@@ -1,0 +1,44 @@
+# ACACIA reproduction — common workflows.
+
+GO ?= go
+
+.PHONY: all build vet test bench results results-csv examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every figure/table of the paper (quick mode).
+results:
+	$(GO) run ./cmd/acacia-sim -all
+
+# Same, as CSV for plotting.
+results-csv:
+	$(GO) run ./cmd/acacia-sim -all -csv
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/retail
+	$(GO) run ./examples/localization
+	$(GO) run ./examples/offload
+	$(GO) run ./examples/mobility
+
+# The artifacts the reproduction records.
+test_output.txt:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench_output.txt:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,69 @@
+package acacia
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"acacia/internal/geo"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	tb := NewTestbed(TestbedConfig{Seed: 99, IdleTimeout: time.Hour})
+	customer := tb.UEs[0]
+	tb.MoveUE(customer, geo.Point{X: 21, Y: 15})
+	if err := tb.Attach(customer); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.StartRetailApp(customer, "electronics"); err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(15 * time.Second)
+
+	if !customer.DM.Connected(RetailServiceName) {
+		t.Fatal("no MEC connectivity")
+	}
+	if customer.Frontend.Responses == 0 {
+		t.Fatal("no AR responses")
+	}
+	st := customer.Frontend.Stats
+	if st.Total.Mean() <= 0 || st.Total.Mean() > 1000 {
+		t.Errorf("total latency = %.1f ms", st.Total.Mean())
+	}
+	// The headline property: edge+pruning total stays in the low hundreds
+	// of ms, with match far below the 502 ms Naive search.
+	if st.Match.Mean() >= 300 {
+		t.Errorf("match latency = %.1f ms, pruning not effective", st.Match.Mean())
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) < 20 {
+		t.Fatalf("experiments = %d", len(ids))
+	}
+	if ids[0] != "3a" || ids[len(ids)-1] != "ablation-index" {
+		t.Errorf("presentation order: first=%s last=%s", ids[0], ids[len(ids)-1])
+	}
+	for _, id := range ids {
+		if ExperimentTitle(id) == "" {
+			t.Errorf("no title for %s", id)
+		}
+	}
+	r, err := RunExperiment("3e", ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.String(), "1920x1080") {
+		t.Error("experiment output missing expected row")
+	}
+	if _, err := RunExperiment("bogus", ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestPublicSchemeConstants(t *testing.T) {
+	if SchemeACACIA.String() != "ACACIA" || SchemeNaive.String() != "Naive" || SchemeRxPower.String() != "rxPower" {
+		t.Error("scheme re-exports broken")
+	}
+}

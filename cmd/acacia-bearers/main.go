@@ -1,0 +1,78 @@
+// Command acacia-bearers traces the EPC control plane through a full
+// bearer lifecycle: attach, dedicated MEC bearer activation, idle release
+// and service-request promotion, printing every serialized control message
+// with its protocol, name and wire size — the data behind the paper's §4
+// control-overhead analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"acacia"
+	"acacia/internal/geo"
+	"acacia/internal/netsim"
+)
+
+func main() {
+	idle := flag.Duration("idle", 3*time.Second, "LTE inactivity timeout (paper: 11.576s)")
+	flag.Parse()
+
+	tb := acacia.NewTestbed(acacia.TestbedConfig{Seed: 7, IdleTimeout: *idle})
+	tb.EPC.Acct.Trace = true
+	b := tb.UEs[0]
+	tb.MoveUE(b, geo.Point{X: 21, Y: 15})
+
+	fmt.Println("== attach ==")
+	if err := tb.Attach(b); err != nil {
+		panic(err)
+	}
+	if err := tb.StartRetailApp(b, "electronics"); err != nil {
+		panic(err)
+	}
+	tb.Run(3 * time.Second)
+
+	fmt.Println("== quiesce; waiting for the inactivity timer ==")
+	b.Frontend.Stop()
+	b.D2D.SetPos(geo.Point{X: 5000, Y: 5000})
+	tb.Run(*idle + 3*time.Second)
+
+	fmt.Println("== uplink data: promotion ==")
+	pg := netsim.NewPinger(b.UE.Host, tb.CloudHosts["california"].Node.Addr(), 64, 7400)
+	pg.SendOne()
+	tb.Run(3 * time.Second)
+
+	fmt.Println("== S1 handover to a neighbour cell ==")
+	east := tb.AddNeighborENB("enb-east")
+	if err := tb.Handover(b, east); err != nil {
+		panic(err)
+	}
+	tb.Run(time.Second)
+
+	fmt.Println("== UE-initiated detach ==")
+	if err := b.UE.Detach(nil); err != nil {
+		panic(err)
+	}
+	tb.Run(time.Second)
+
+	fmt.Println("\ntime        protocol    message                          bytes")
+	var total, s1apB, gtpB uint64
+	var s1apN, gtpN uint64
+	for _, rec := range tb.EPC.Acct.Log {
+		fmt.Printf("%9.3fs  %-10s  %-32s %5d\n", rec.At.Seconds(), rec.Proto, rec.Name, rec.Bytes)
+		total += uint64(rec.Bytes)
+		switch rec.Proto.String() {
+		case "SCTP/S1AP":
+			s1apN++
+			s1apB += uint64(rec.Bytes)
+		case "GTPv2":
+			gtpN++
+			gtpB += uint64(rec.Bytes)
+		}
+	}
+	of := tb.Ctl.Stats()
+	fmt.Printf("\nsummary: S1AP %d msgs / %d B; GTPv2 %d msgs / %d B; OpenFlow %d msgs / %d B\n",
+		s1apN, s1apB, gtpN, gtpB, of.Sent, of.SentBytes)
+	fmt.Printf("paper §4 per release/re-establish cycle: SCTP 7 (1138 B), GTPv2 4 (352 B), OpenFlow 4 (1424 B)\n")
+}

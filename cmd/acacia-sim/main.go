@@ -1,0 +1,66 @@
+// Command acacia-sim regenerates the paper's evaluation: every figure and
+// table, or a chosen subset, printed as aligned text tables.
+//
+// Usage:
+//
+//	acacia-sim -list
+//	acacia-sim -fig 13
+//	acacia-sim -fig 3a,3b,overhead
+//	acacia-sim -all [-full] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"acacia"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list experiment ids and exit")
+		fig  = flag.String("fig", "", "comma-separated experiment ids to run (e.g. 3a,8,13)")
+		all  = flag.Bool("all", false, "run every experiment")
+		full = flag.Bool("full", false, "publication-length runs (slower, tighter statistics)")
+		seed = flag.Uint64("seed", 2016, "simulation seed")
+		csv  = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	opts := acacia.ExperimentOptions{Full: *full, Seed: *seed}
+	print := func(r *acacia.ExperimentResult) {
+		if !*csv {
+			fmt.Println(r)
+			return
+		}
+		fmt.Printf("## %s: %s\n", r.ID, r.Title)
+		for _, t := range r.Tables {
+			fmt.Println(t.CSV())
+		}
+	}
+
+	switch {
+	case *list:
+		for _, id := range acacia.ExperimentIDs() {
+			fmt.Printf("%-18s %s\n", id, acacia.ExperimentTitle(id))
+		}
+	case *all:
+		for _, r := range acacia.RunAllExperiments(opts) {
+			print(r)
+		}
+	case *fig != "":
+		for _, id := range strings.Split(*fig, ",") {
+			r, err := acacia.RunExperiment(strings.TrimSpace(id), opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "acacia-sim:", err)
+				os.Exit(1)
+			}
+			print(r)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,78 @@
+// Retail: the paper's full engaged-retail scenario (§5.1).
+//
+// Sales staff publish their sections over LTE-direct. A customer interested
+// in electronics walks the store's serpentine aisle; as she moves, the
+// device manager keeps the AR session alive against the edge CI server,
+// localization tracks her, and the AR back-end prunes its object database
+// to the cells around her. The example prints a travelogue: per-checkpoint
+// position estimate, search-space size and frame latency.
+//
+//	go run ./examples/retail
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"acacia"
+	"acacia/internal/geo"
+)
+
+func main() {
+	tb := acacia.NewTestbed(acacia.TestbedConfig{Seed: 42})
+	customer := tb.UEs[0]
+	floor := tb.Floor
+
+	start := floor.Checkpoint("C10").Pos // enters near electronics
+	tb.MoveUE(customer, start)
+	if err := tb.Attach(customer); err != nil {
+		panic(err)
+	}
+	if err := tb.StartRetailApp(customer, "electronics"); err != nil {
+		panic(err)
+	}
+	tb.Run(8 * time.Second) // discovery + dedicated bearer + session start
+
+	fmt.Println("checkpoint  section       est-error(m)  candidates  frame-total(ms)")
+	walk := []string{"C10", "C11", "C12", "C14", "C15", "C16", "C18", "C19"}
+	for _, name := range walk {
+		cp := floor.Checkpoint(name)
+		tb.MoveUE(customer, cp.Pos)
+
+		// Reset per-stop statistics by snapshotting counts.
+		framesBefore := customer.Frontend.Responses
+		totalBefore := customer.Frontend.Stats.Total.Mean() * float64(customer.Frontend.Stats.Total.N())
+		candBefore := tb.EdgeBackend.CandidateStats.Mean() * float64(tb.EdgeBackend.CandidateStats.N())
+
+		tb.Run(10 * time.Second) // browse this spot
+
+		frames := customer.Frontend.Responses - framesBefore
+		totalNow := customer.Frontend.Stats.Total.Mean() * float64(customer.Frontend.Stats.Total.N())
+		candNow := tb.EdgeBackend.CandidateStats.Mean() * float64(tb.EdgeBackend.CandidateStats.N())
+		var meanTotal, meanCand float64
+		if frames > 0 {
+			meanTotal = (totalNow - totalBefore) / float64(frames)
+			meanCand = (candNow - candBefore) / float64(frames)
+		}
+		est, _ := tb.Loc.Estimate(customer.Name)
+		fmt.Printf("%-11s %-13s %10.2f  %10.1f  %14.1f\n",
+			name, floor.SectionAt(cp.Pos), est.Dist(cp.Pos), meanCand, meanTotal)
+	}
+
+	fe := customer.Frontend
+	fmt.Printf("\nsession: %d frames, %d matched, mean total %.1f ms (match %.1f, compute %.1f, network %.1f)\n",
+		fe.Responses, fe.Found, fe.Stats.Total.Mean(),
+		fe.Stats.Match.Mean(), fe.Stats.Compute.Mean(), fe.Stats.Network.Mean())
+	fmt.Printf("edge back-end served %d frames over %d-object database, mean search %0.f objects\n",
+		tb.EdgeBackend.Frames, tb.DB.Len(), tb.EdgeBackend.CandidateStats.Mean())
+
+	// Leaving the store: the app unregisters and the dedicated bearer goes
+	// away, returning the UE to a single always-on default bearer.
+	if err := customer.DM.Unregister(acacia.RetailServiceName); err != nil {
+		panic(err)
+	}
+	tb.Run(2 * time.Second)
+	sess := tb.EPC.Session(customer.UE.IMSI)
+	fmt.Printf("after checkout: %d dedicated bearers remain\n", len(sess.DedicatedBearers()))
+	_ = geo.Point{}
+}

@@ -1,0 +1,3 @@
+module acacia
+
+go 1.22

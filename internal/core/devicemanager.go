@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"acacia/internal/d2d"
+	"acacia/internal/epc"
+	"acacia/internal/pkt"
+)
+
+// ServiceInfo mirrors the Android Parcelable the prototype exchanges
+// between CI applications and the device manager: the user's interest
+// expression and, on discovery, the matched message with its radio
+// measurements.
+type ServiceInfo struct {
+	// ServiceName is the CI service (LTE-direct service name).
+	ServiceName string
+	// Interest is the modem filter expression for the user's interest
+	// (e.g. "laptops" within the retail service). A match triggers MEC
+	// connectivity setup.
+	Interest d2d.Expression
+	// ServiceWide, when non-zero, is an additional broader subscription
+	// whose matches are forwarded to the application without triggering
+	// connectivity — the retail app uses it to hear every landmark of the
+	// store for localization.
+	ServiceWide d2d.Expression
+}
+
+// Discovery is a matched service discovery delivered to a CI application.
+type Discovery struct {
+	ServiceInfo ServiceInfo
+	Message     d2d.DiscoveryMessage
+}
+
+// CIApp is the interface a CI application registers with the device
+// manager: discovery notifications and connectivity lifecycle callbacks.
+type CIApp interface {
+	// OnDiscovery is invoked for every matching service discovery message
+	// (after the first one has triggered connectivity setup).
+	OnDiscovery(d Discovery)
+	// OnConnected is invoked when the dedicated MEC bearer toward server
+	// is live and the application may start using its CI server.
+	OnConnected(server pkt.Addr)
+	// OnDisconnected is invoked after connectivity release or setup
+	// failure (err non-nil on failure).
+	OnDisconnected(err error)
+}
+
+// DeviceManager is the ACACIA on-device daemon: it proxies discovery
+// between CI applications and the LTE-direct modem, and manages MEC
+// connectivity on demand — requesting a dedicated bearer from the MRS on
+// the first interest match and releasing it when the application exits.
+type DeviceManager struct {
+	ue      *epc.UE
+	dev     *d2d.Device
+	mrs     *MRS
+	enbName string
+
+	apps map[string]*appState
+
+	// Matches counts interest matches delivered to applications.
+	Matches uint64
+}
+
+type appState struct {
+	info      ServiceInfo
+	app       CIApp
+	sub       *d2d.Subscription
+	wideSub   *d2d.Subscription
+	requested bool
+	connected bool
+	server    pkt.Addr
+}
+
+// NewDeviceManager creates the daemon for a UE with its LTE-direct device.
+// enbName tells the MRS which base station the UE is served by (context the
+// network side already has; passed explicitly here).
+func NewDeviceManager(ue *epc.UE, dev *d2d.Device, mrs *MRS, enbName string) *DeviceManager {
+	return &DeviceManager{
+		ue: ue, dev: dev, mrs: mrs, enbName: enbName,
+		apps: make(map[string]*appState),
+	}
+}
+
+// Register binds a CI application: the device manager installs the modem
+// subscription for its interest. The first match triggers connectivity
+// setup; all matches are forwarded to the application.
+func (dm *DeviceManager) Register(info ServiceInfo, app CIApp) error {
+	if _, dup := dm.apps[info.ServiceName]; dup {
+		return fmt.Errorf("core: service %q already registered", info.ServiceName)
+	}
+	st := &appState{info: info, app: app}
+	st.sub = dm.dev.Subscribe(info.Interest, func(msg d2d.DiscoveryMessage) {
+		dm.onMatch(st, msg)
+	})
+	if info.ServiceWide != (d2d.Expression{}) {
+		st.wideSub = dm.dev.Subscribe(info.ServiceWide, func(msg d2d.DiscoveryMessage) {
+			// Broad matches inform the application (localization input)
+			// but never trigger connectivity. Skip duplicates the interest
+			// subscription already delivers.
+			if st.info.Interest.Matches(msg.Code) {
+				return
+			}
+			dm.Matches++
+			st.app.OnDiscovery(Discovery{ServiceInfo: st.info, Message: msg})
+		})
+	}
+	dm.apps[info.ServiceName] = st
+	return nil
+}
+
+// Unregister releases the application's subscription and MEC connectivity.
+func (dm *DeviceManager) Unregister(serviceName string) error {
+	st, ok := dm.apps[serviceName]
+	if !ok {
+		return fmt.Errorf("core: service %q not registered", serviceName)
+	}
+	st.sub.Cancel()
+	if st.wideSub != nil {
+		st.wideSub.Cancel()
+	}
+	delete(dm.apps, serviceName)
+	if st.connected {
+		dm.mrs.ReleaseConnectivity(dm.ue.Addr(), func(err error) {
+			st.app.OnDisconnected(err)
+		})
+	}
+	return nil
+}
+
+// onMatch handles a modem-filtered discovery match.
+func (dm *DeviceManager) onMatch(st *appState, msg d2d.DiscoveryMessage) {
+	dm.Matches++
+	st.app.OnDiscovery(Discovery{ServiceInfo: st.info, Message: msg})
+	if st.requested {
+		return
+	}
+	// First match: establish MEC connectivity on demand. This is the
+	// design point that avoids a second always-on bearer — the extra
+	// bearer exists only while a matching service is nearby and wanted.
+	st.requested = true
+	dm.mrs.RequestConnectivity(st.info.ServiceName, dm.ue.Addr(), dm.enbName, func(server pkt.Addr, err error) {
+		if err != nil {
+			st.requested = false
+			st.app.OnDisconnected(err)
+			return
+		}
+		st.connected = true
+		st.server = server
+		st.app.OnConnected(server)
+	})
+}
+
+// Connected reports whether the named application currently has MEC
+// connectivity.
+func (dm *DeviceManager) Connected(serviceName string) bool {
+	st := dm.apps[serviceName]
+	return st != nil && st.connected
+}
+
+// TriggerManually requests MEC connectivity for a registered application
+// without waiting for a proximity discovery match — the paper's §8 "ACACIA
+// without proximity service discovery" mode, where launching the
+// application itself is the trigger.
+func (dm *DeviceManager) TriggerManually(serviceName string) error {
+	st, ok := dm.apps[serviceName]
+	if !ok {
+		return fmt.Errorf("core: service %q not registered", serviceName)
+	}
+	if st.requested {
+		return nil // already triggered (by discovery or manually)
+	}
+	st.requested = true
+	dm.mrs.RequestConnectivity(st.info.ServiceName, dm.ue.Addr(), dm.enbName, func(server pkt.Addr, err error) {
+		if err != nil {
+			st.requested = false
+			st.app.OnDisconnected(err)
+			return
+		}
+		st.connected = true
+		st.server = server
+		st.app.OnConnected(server)
+	})
+	return nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"acacia/internal/d2d"
+	"acacia/internal/geo"
+	"acacia/internal/localization"
+)
+
+// LocalizationManager runs on the CI server: it aggregates (landmark,
+// rxPower) reports forwarded by each user's device manager, converts powers
+// to distances with the environment's fitted path-loss model, and
+// trilaterates the user's position for the AR back-end's database pruning.
+type LocalizationManager struct {
+	floor *geo.Floor
+	fit   localization.PathLossFit
+
+	users map[string]*userTrack
+
+	// Estimates counts successful position estimates.
+	Estimates uint64
+}
+
+type userTrack struct {
+	// latest rxPower per landmark name (most recent report wins).
+	latest map[string]float64
+	// est is the most recent position estimate.
+	est    geo.Point
+	hasEst bool
+}
+
+// NewLocalizationManager creates a manager for a floor with a fitted
+// path-loss model (the one-time calibration overhead).
+func NewLocalizationManager(floor *geo.Floor, fit localization.PathLossFit) *LocalizationManager {
+	return &LocalizationManager{
+		floor: floor,
+		fit:   fit,
+		users: make(map[string]*userTrack),
+	}
+}
+
+// CalibrateFromChannel builds the path-loss fit by sampling the given d2d
+// channel model at known distances — the per-environment regression the
+// paper describes as a one-time overhead.
+func CalibrateFromChannel(m d2d.PathLossModel, rng interface{ NormFloat64() float64 }) localization.PathLossFit {
+	var samples []localization.CalibrationSample
+	for d := 1.0; d <= 45; d += 1.5 {
+		rx := m.MeanRxPower(d)
+		if rng != nil {
+			rx += rng.NormFloat64() * m.ShadowSigmaDB
+		}
+		samples = append(samples, localization.CalibrationSample{Distance: d, RxPowerDBm: rx})
+	}
+	fit, err := localization.FitPathLoss(samples)
+	if err != nil {
+		panic("core: calibration failed: " + err.Error())
+	}
+	return fit
+}
+
+// Report ingests one (landmark, rxPower) observation for a user and
+// refreshes the estimate when at least three landmarks are known.
+func (lm *LocalizationManager) Report(user, landmark string, rxPowerDBm float64) {
+	tr := lm.users[user]
+	if tr == nil {
+		tr = &userTrack{latest: make(map[string]float64)}
+		lm.users[user] = tr
+	}
+	tr.latest[landmark] = rxPowerDBm
+	lm.reestimate(tr)
+}
+
+func (lm *LocalizationManager) reestimate(tr *userTrack) {
+	var ms []localization.Measurement
+	for name, rx := range tr.latest {
+		l := lm.floor.Landmark(name)
+		if l == nil {
+			continue
+		}
+		ms = append(ms, localization.Measurement{
+			Landmark: l.Pos,
+			Distance: lm.fit.Distance(rx),
+		})
+	}
+	if len(ms) < 3 {
+		return
+	}
+	est, err := localization.Trilaterate(ms)
+	if err != nil {
+		return
+	}
+	// The user is known to be on the floor; clamp degenerate estimates.
+	est = lm.floor.Bounds.Clamp(est)
+	tr.est = est
+	tr.hasEst = true
+	lm.Estimates++
+}
+
+// Estimate returns the user's latest position estimate, if any.
+func (lm *LocalizationManager) Estimate(user string) (geo.Point, bool) {
+	tr := lm.users[user]
+	if tr == nil || !tr.hasEst {
+		return geo.Point{}, false
+	}
+	return tr.est, true
+}
+
+// StrongestLandmarks returns the names of the user's n highest-rxPower
+// landmarks — the input of the rxPower baseline's section pruning.
+func (lm *LocalizationManager) StrongestLandmarks(user string, n int) []string {
+	tr := lm.users[user]
+	if tr == nil {
+		return nil
+	}
+	type lp struct {
+		name string
+		rx   float64
+	}
+	var all []lp
+	for name, rx := range tr.latest {
+		all = append(all, lp{name, rx})
+	}
+	// Insertion sort by descending power (tiny n).
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].rx > all[j-1].rx; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, 0, n)
+	for _, e := range all[:n] {
+		out = append(out, e.name)
+	}
+	return out
+}
+
+// Forget drops a user's tracking state (application exit).
+func (lm *LocalizationManager) Forget(user string) { delete(lm.users, user) }

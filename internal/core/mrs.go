@@ -1,0 +1,155 @@
+// Package core implements ACACIA itself: the MEC Registration Server (MRS),
+// the on-device ACACIA device manager, the LTE-direct localization manager,
+// the AR front-end/back-end pair, and a calibrated testbed that wires them
+// onto the EPC/SDN/netsim substrates. The package also provides the CLOUD
+// and MEC baselines the paper compares against.
+package core
+
+import (
+	"fmt"
+
+	"acacia/internal/epc"
+	"acacia/internal/pkt"
+)
+
+// EdgeSite is one mobile edge cloud instance: its CI server address and the
+// local user planes that terminate dedicated bearers there.
+type EdgeSite struct {
+	Name     string
+	CIServer pkt.Addr
+	SGWPlane string
+	PGWPlane string
+	// ENBs lists the base stations this site is local to; the MRS picks
+	// the site serving the requesting UE's eNB.
+	ENBs []string
+}
+
+// CIService is a continuous-interactive service registered with the MRS.
+type CIService struct {
+	// Name is the LTE-direct service name (e.g. the retail chain).
+	Name string
+	// PolicyID keys the PCRF rule for this service's dedicated bearers.
+	PolicyID string
+	Sites    []EdgeSite
+}
+
+// MRS is the MEC Registration Server: the 3GPP application function that
+// turns device-manager connectivity requests into PCRF signaling and tracks
+// which UE is bound to which edge site.
+type MRS struct {
+	core     *epc.Core
+	services map[string]*CIService
+	bindings map[pkt.Addr]*binding // by UE IP
+
+	// Requests/Deletes count connectivity operations.
+	Requests, Deletes uint64
+}
+
+type binding struct {
+	service *CIService
+	site    *EdgeSite
+	ebi     uint8
+}
+
+// NewMRS creates an MRS against the given EPC control plane.
+func NewMRS(core *epc.Core) *MRS {
+	return &MRS{
+		core:     core,
+		services: make(map[string]*CIService),
+		bindings: make(map[pkt.Addr]*binding),
+	}
+}
+
+// RegisterService adds a CI service and its edge sites.
+func (m *MRS) RegisterService(svc CIService) {
+	cp := svc
+	m.services[svc.Name] = &cp
+}
+
+// Service returns a registered service by name.
+func (m *MRS) Service(name string) *CIService { return m.services[name] }
+
+// SiteFor picks the edge site of a service local to the given eNB. It
+// falls back to the first site when no site lists the eNB.
+func (m *MRS) SiteFor(svc *CIService, enbName string) (*EdgeSite, error) {
+	if len(svc.Sites) == 0 {
+		return nil, fmt.Errorf("core: service %q has no edge sites", svc.Name)
+	}
+	for i := range svc.Sites {
+		for _, e := range svc.Sites[i].ENBs {
+			if e == enbName {
+				return &svc.Sites[i], nil
+			}
+		}
+	}
+	return &svc.Sites[0], nil
+}
+
+// RequestConnectivity handles a device manager's request: locate the
+// closest CI server for the service and have the PCRF activate a dedicated
+// bearer toward it. done receives the selected CI server address.
+func (m *MRS) RequestConnectivity(serviceName string, ueIP pkt.Addr, enbName string, done func(pkt.Addr, error)) {
+	m.Requests++
+	svc, ok := m.services[serviceName]
+	if !ok {
+		if done != nil {
+			done(pkt.Addr{}, fmt.Errorf("core: unknown CI service %q", serviceName))
+		}
+		return
+	}
+	if b := m.bindings[ueIP]; b != nil {
+		// Idempotent: the bearer already exists.
+		if done != nil {
+			done(b.site.CIServer, nil)
+		}
+		return
+	}
+	site, err := m.SiteFor(svc, enbName)
+	if err != nil {
+		if done != nil {
+			done(pkt.Addr{}, err)
+		}
+		return
+	}
+	m.core.PCRF.RequestDedicatedBearer(svc.PolicyID, ueIP, site.CIServer, site.SGWPlane, site.PGWPlane,
+		func(ebi uint8, err error) {
+			if err != nil {
+				if done != nil {
+					done(pkt.Addr{}, err)
+				}
+				return
+			}
+			m.bindings[ueIP] = &binding{service: svc, site: site, ebi: ebi}
+			if done != nil {
+				done(site.CIServer, nil)
+			}
+		})
+}
+
+// ReleaseConnectivity tears down the UE's dedicated bearer for the service.
+func (m *MRS) ReleaseConnectivity(ueIP pkt.Addr, done func(error)) {
+	b := m.bindings[ueIP]
+	if b == nil {
+		if done != nil {
+			done(fmt.Errorf("core: UE %v has no MEC binding", ueIP))
+		}
+		return
+	}
+	m.Deletes++
+	m.core.PCRF.RequestBearerTermination(ueIP, b.site.CIServer, func(err error) {
+		if err == nil {
+			delete(m.bindings, ueIP)
+		}
+		if done != nil {
+			done(err)
+		}
+	})
+}
+
+// Binding reports the edge site currently bound to a UE, or nil.
+func (m *MRS) Binding(ueIP pkt.Addr) *EdgeSite {
+	if b := m.bindings[ueIP]; b != nil {
+		return b.site
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package d2d
+
+import "time"
+
+// Technology characterizes a proximity service discovery radio. The paper
+// (§8) notes ACACIA can run over other pub/sub discovery technologies —
+// Bluetooth iBeacon and Wi-Fi Aware — which differ in transmit power,
+// propagation, discovery period and scale, but expose the same service
+// discovery message + power-level shape the device manager consumes.
+type Technology struct {
+	Name     string
+	PathLoss PathLossModel
+	// SensitivityDBm is the weakest decodable broadcast.
+	SensitivityDBm float64
+	// MinPeriod is the fastest sensible advertisement period.
+	MinPeriod time.Duration
+	// TypicalRangeM is the advertised usable range (documentation; derived
+	// ranges are validated against it in tests).
+	TypicalRangeM float64
+}
+
+// The three technologies the paper discusses.
+var (
+	// LTEDirect: 23 dBm UE transmit power, licensed spectrum, superior
+	// range and robustness; 5-10 s discovery periods.
+	LTEDirect = Technology{
+		Name:           "LTE-direct",
+		PathLoss:       DefaultPathLoss,
+		SensitivityDBm: SensitivityDBm,
+		MinPeriod:      5 * time.Second,
+		TypicalRangeM:  60,
+	}
+	// IBeacon: Bluetooth LE at ~0 dBm with ~100 ms advertisement
+	// intervals; tens of meters indoors.
+	IBeacon = Technology{
+		Name: "iBeacon",
+		PathLoss: PathLossModel{
+			TxPowerDBm:    0,
+			RefLossDB:     60, // 2.4 GHz reference loss incl. antenna
+			Exponent:      2.6,
+			ShadowSigmaDB: 4.0, // BLE fading is noisier
+		},
+		SensitivityDBm: -95,
+		MinPeriod:      100 * time.Millisecond,
+		TypicalRangeM:  20,
+	}
+	// WiFiAware (NAN): ~15 dBm, 2.4/5 GHz, discovery windows every 512 TU
+	// (~524 ms).
+	WiFiAware = Technology{
+		Name: "Wi-Fi Aware",
+		PathLoss: PathLossModel{
+			TxPowerDBm:    15,
+			RefLossDB:     62,
+			Exponent:      2.8,
+			ShadowSigmaDB: 3.0,
+		},
+		SensitivityDBm: -92,
+		MinPeriod:      524 * time.Millisecond,
+		TypicalRangeM:  40,
+	}
+)
+
+// Technologies lists the supported discovery radios.
+func Technologies() []Technology {
+	return []Technology{LTEDirect, IBeacon, WiFiAware}
+}
+
+// MaxRange reports the distance at which the technology's mean received
+// power falls to its sensitivity: the decode horizon without shadowing.
+func (t Technology) MaxRange() float64 {
+	return t.PathLoss.InvertMeanDistance(t.SensitivityDBm)
+}
+
+// Apply configures an environment to use this technology's channel: path
+// loss and sensitivity. Existing devices keep their subscriptions; only
+// the radio model changes.
+func (t Technology) Apply(e *Env) {
+	e.PathLoss = t.PathLoss
+	e.sensitivity = t.SensitivityDBm
+}

@@ -1,0 +1,112 @@
+package d2d
+
+import (
+	"testing"
+	"time"
+
+	"acacia/internal/geo"
+	"acacia/internal/sim"
+)
+
+func TestTechnologyRangeOrdering(t *testing.T) {
+	lte := LTEDirect.MaxRange()
+	wifi := WiFiAware.MaxRange()
+	ble := IBeacon.MaxRange()
+	if !(ble < wifi && wifi <= lte*2 && lte > wifi*0.5) {
+		t.Errorf("ranges: ble=%.1f wifi=%.1f lte=%.1f", ble, wifi, lte)
+	}
+	// LTE-direct has the superior range the paper credits it with.
+	if lte <= ble {
+		t.Errorf("LTE-direct range %.1f not beyond iBeacon %.1f", lte, ble)
+	}
+}
+
+func TestTechnologyRangesMatchSpec(t *testing.T) {
+	for _, tech := range Technologies() {
+		r := tech.MaxRange()
+		// The decode horizon should be the same order as the documented
+		// typical range (within a factor of ~3: typical < max).
+		if r < tech.TypicalRangeM*0.8 || r > tech.TypicalRangeM*4 {
+			t.Errorf("%s: decode horizon %.1f m vs typical %.1f m", tech.Name, r, tech.TypicalRangeM)
+		}
+		if tech.MinPeriod <= 0 {
+			t.Errorf("%s: no minimum period", tech.Name)
+		}
+	}
+}
+
+func TestApplySwitchesChannel(t *testing.T) {
+	eng := sim.NewEngine(9)
+	env := NewEnv(eng)
+	env.PathLoss.ShadowSigmaDB = 0
+
+	pub := env.AddDevice("p", geo.Point{X: 0, Y: 0})
+	// Subscriber placed beyond iBeacon range but inside LTE-direct range.
+	dist := (IBeacon.MaxRange() + 5)
+	sub := env.AddDevice("s", geo.Point{X: dist, Y: 0})
+	n := 0
+	sub.Subscribe(Expression{Code: 1, Mask: MaskItem}, func(DiscoveryMessage) { n++ })
+	pub.Publish("svc", 1, "x", time.Second)
+
+	eng.RunUntil(sim.Time(1500 * time.Millisecond))
+	if n != 1 {
+		t.Fatalf("LTE-direct deliveries = %d, want 1", n)
+	}
+
+	// Switch to iBeacon: the same geometry is now out of range.
+	tech := IBeacon
+	tech.PathLoss.ShadowSigmaDB = 0
+	tech.Apply(env)
+	eng.RunUntil(sim.Time(4500 * time.Millisecond))
+	if n != 1 {
+		t.Errorf("iBeacon deliveries at %.1f m = %d, want none beyond range", dist, n-1)
+	}
+}
+
+func TestIBeaconWorksAtShortRange(t *testing.T) {
+	eng := sim.NewEngine(9)
+	env := NewEnv(eng)
+	tech := IBeacon
+	tech.PathLoss.ShadowSigmaDB = 0
+	tech.Apply(env)
+	pub := env.AddDevice("p", geo.Point{X: 0, Y: 0})
+	sub := env.AddDevice("s", geo.Point{X: 5, Y: 0})
+	n := 0
+	sub.Subscribe(Expression{Code: 1, Mask: MaskItem}, func(DiscoveryMessage) { n++ })
+	pub.Publish("svc", 1, "x", IBeacon.MinPeriod)
+	eng.RunUntil(sim.Time(time.Second))
+	if n < 8 {
+		t.Errorf("iBeacon deliveries at 5 m over 1 s = %d, want ≈10 (100 ms period)", n)
+	}
+}
+
+func TestDiscoveryLatencyByTechnology(t *testing.T) {
+	// iBeacon's fast advertisement interval buys quick discovery; LTE-direct
+	// pays its 5 s period but reaches much farther. Both trade-offs are
+	// visible in time-to-first-match at 10 m.
+	measure := func(tech Technology) sim.Time {
+		eng := sim.NewEngine(33)
+		env := NewEnv(eng)
+		tech.PathLoss.ShadowSigmaDB = 0
+		tech.Apply(env)
+		pub := env.AddDevice("p", geo.Point{X: 0, Y: 0})
+		sub := env.AddDevice("s", geo.Point{X: 10, Y: 0})
+		var at sim.Time
+		sub.Subscribe(Expression{Code: 1, Mask: MaskItem}, func(m DiscoveryMessage) {
+			if at == 0 {
+				at = m.At
+			}
+		})
+		pub.Publish("svc", 1, "x", tech.MinPeriod)
+		eng.RunUntil(sim.Time(20 * time.Second))
+		return at
+	}
+	lte := measure(LTEDirect)
+	ble := measure(IBeacon)
+	if ble == 0 || lte == 0 {
+		t.Fatalf("no discovery: ble=%v lte=%v", ble, lte)
+	}
+	if ble >= lte {
+		t.Errorf("iBeacon first match %v not faster than LTE-direct %v", ble, lte)
+	}
+}

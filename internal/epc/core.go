@@ -1,0 +1,209 @@
+package epc
+
+import (
+	"fmt"
+	"time"
+
+	"acacia/internal/netsim"
+	"acacia/internal/pkt"
+	"acacia/internal/sdn"
+	"acacia/internal/sim"
+)
+
+// Config wires a Core into its simulation substrate.
+type Config struct {
+	Eng *sim.Engine
+	Net *netsim.Network
+	Ctl *sdn.Controller
+	// S1APDelay is the one-way eNB<->MME control latency.
+	S1APDelay time.Duration
+	// GTPv2Delay is the one-way latency between core control entities.
+	GTPv2Delay time.Duration
+	// IdleTimeout overrides the LTE inactivity timeout (tests shorten it);
+	// zero selects the standard 11.576 s.
+	IdleTimeout time.Duration
+}
+
+// Core is the evolved packet core control plane: one MME, HSS and PCRF,
+// plus split gateway control planes managing any number of user planes.
+type Core struct {
+	cfg  Config
+	Eng  *sim.Engine
+	Ctl  *sdn.Controller
+	Acct *Accounting
+
+	HSS  *HSS
+	PCRF *PCRF
+	MME  *MME
+	SGWC *SGWC
+	PGWC *PGWC
+
+	sessions map[string]*Session // by IMSI
+	byIP     map[pkt.Addr]*Session
+	nextUEID uint32
+}
+
+// NewCore builds an empty core.
+func NewCore(cfg Config) *Core {
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = IdleTimeout
+	}
+	c := &Core{
+		cfg:      cfg,
+		Eng:      cfg.Eng,
+		Ctl:      cfg.Ctl,
+		Acct:     &Accounting{},
+		sessions: make(map[string]*Session),
+		byIP:     make(map[pkt.Addr]*Session),
+	}
+	c.HSS = &HSS{subscribers: make(map[string]Subscriber)}
+	c.PCRF = &PCRF{core: c, rules: make(map[string]PolicyRule)}
+	c.MME = &MME{core: c}
+	c.SGWC = &SGWC{core: c, planes: make(map[string]*UserPlane)}
+	c.PGWC = &PGWC{core: c, planes: make(map[string]*UserPlane)}
+	if cfg.Ctl != nil {
+		cfg.Ctl.OnPacketIn = c.onPacketIn
+	}
+	return c
+}
+
+// IdleTimeout reports the configured inactivity timeout.
+func (c *Core) IdleTimeout() time.Duration { return c.cfg.IdleTimeout }
+
+// Session returns the session for an IMSI, or nil.
+func (c *Core) Session(imsi string) *Session { return c.sessions[imsi] }
+
+// SessionByIP returns the session owning a UE IP, or nil.
+func (c *Core) SessionByIP(ip pkt.Addr) *Session { return c.byIP[ip] }
+
+// sendS1AP serializes, accounts and delivers an eNB<->MME message.
+func (c *Core) sendS1AP(m *pkt.S1APMsg, deliver func()) {
+	b := m.Encode(nil)
+	c.Acct.Record(c.Eng.Now(), ProtoS1AP, m.Procedure.String(), len(b))
+	c.Eng.Schedule(c.cfg.S1APDelay, deliver)
+}
+
+// sendGTPv2 serializes, accounts and delivers a core control message.
+func (c *Core) sendGTPv2(m *pkt.GTPv2Msg, deliver func()) {
+	b := m.Encode(nil)
+	c.Acct.Record(c.Eng.Now(), ProtoGTPv2, m.Type.String(), len(b))
+	c.Eng.Schedule(c.cfg.GTPv2Delay, deliver)
+}
+
+// onPacketIn handles GW-U table misses. The only expected miss is downlink
+// traffic for an idle UE arriving at its SGW-U: buffer it and page.
+func (c *Core) onPacketIn(sw *sdn.Switch, inPort uint32, p *netsim.Packet, tunnelID uint64) {
+	// Identify the UE by inner destination (downlink view).
+	sess := c.byIP[p.Flow.Dst]
+	if sess == nil {
+		return // not ours; drop
+	}
+	c.SGWC.bufferAndPage(sess, sw, p, tunnelID)
+}
+
+// SessionState is the RRC/S1 state of a UE session.
+type SessionState uint8
+
+// Session states.
+const (
+	StateDetached SessionState = iota
+	StateConnecting
+	StateConnected
+	StateIdle
+	StatePromoting
+)
+
+// String names the state.
+func (s SessionState) String() string {
+	switch s {
+	case StateDetached:
+		return "detached"
+	case StateConnecting:
+		return "connecting"
+	case StateConnected:
+		return "connected"
+	case StateIdle:
+		return "idle"
+	case StatePromoting:
+		return "promoting"
+	default:
+		return fmt.Sprintf("SessionState(%d)", uint8(s))
+	}
+}
+
+// Bearer is the authoritative record of one EPS bearer. Individual control
+// entities exchange real messages to mutate it, but the state itself is
+// kept in one place rather than copied per entity.
+type Bearer struct {
+	EBI uint8
+	QoS pkt.BearerQoS
+	// TFT is nil for the default bearer (match-everything-else).
+	TFT *pkt.TFT
+	// SGWPlane/PGWPlane name the user planes serving this bearer; the
+	// dedicated MEC bearer uses local (edge) planes.
+	SGWPlane, PGWPlane string
+	// CIServer is the dedicated bearer's remote endpoint filter anchor.
+	CIServer pkt.Addr
+
+	// GTP tunnel endpoints.
+	S1UL uint32 // allocated by SGW-C; eNB sends uplink with this TEID
+	S1DL uint32 // allocated by eNB; SGW-U sends downlink with this TEID
+	S5UL uint32 // allocated by PGW-C
+	S5DL uint32 // allocated by SGW-C
+}
+
+// Session is one UE's EPC context.
+type Session struct {
+	IMSI    string
+	UEIP    pkt.Addr
+	State   SessionState
+	ENB     *ENB
+	UE      *UE
+	MMEUEID uint32
+	ENBUEID uint32
+	Bearers map[uint8]*Bearer
+
+	// Timestamps for observability.
+	AttachedAt  sim.Time
+	LastStateAt sim.Time
+
+	// onConnected callbacks run once when the session (re)enters
+	// StateConnected — promotion waiters and attach continuations.
+	onConnected []func()
+}
+
+// Bearer returns the bearer with the given EBI, or nil.
+func (s *Session) Bearer(ebi uint8) *Bearer { return s.Bearers[ebi] }
+
+// DedicatedBearers lists non-default bearers in EBI order.
+func (s *Session) DedicatedBearers() []*Bearer {
+	var out []*Bearer
+	for ebi := uint8(EBIDedicated); ebi < 16; ebi++ {
+		if b, ok := s.Bearers[ebi]; ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func (s *Session) setState(eng *sim.Engine, st SessionState) {
+	s.State = st
+	s.LastStateAt = eng.Now()
+	if st == StateConnected {
+		cbs := s.onConnected
+		s.onConnected = nil
+		for _, cb := range cbs {
+			cb()
+		}
+	}
+}
+
+// whenConnected runs cb immediately if connected, otherwise once the
+// session next reaches StateConnected.
+func (s *Session) whenConnected(cb func()) {
+	if s.State == StateConnected {
+		cb()
+		return
+	}
+	s.onConnected = append(s.onConnected, cb)
+}

@@ -1,0 +1,318 @@
+package epc
+
+import (
+	"sort"
+	"time"
+
+	"acacia/internal/netsim"
+	"acacia/internal/pkt"
+	"acacia/internal/sim"
+)
+
+// ENB is an eNodeB: the radio-side anchor. Its node's port 0 is the S1
+// backhaul; each connected UE gets its own radio port. The eNB performs the
+// S1 GTP-U encapsulation for uplink (choosing the bearer by re-evaluating
+// the UE's TFTs, exactly as the radio-bearer mapping does), decapsulates
+// downlink, tracks per-UE activity for the LTE inactivity timer, and
+// buffers uplink packets across idle-to-connected promotions.
+type ENB struct {
+	core *Core
+	node *netsim.Node
+
+	// RACHDelay models the radio-side latency of paging response and
+	// service-request ramp-up (RACH + RRC connection establishment).
+	RACHDelay time.Duration
+
+	byUEIP   map[pkt.Addr]*ueCtx
+	byRadio  map[int]*ueCtx // radio port id -> ctx
+	byDLTEID map[uint32]dlKey
+	teids    teidAllocator
+	ticker   *sim.Ticker
+
+	// Stats.
+	ULPackets, DLPackets uint64
+	BufferedUL           uint64
+	DroppedUL            uint64
+}
+
+type dlKey struct {
+	ctx *ueCtx
+	ebi uint8
+}
+
+type ueCtx struct {
+	ue        *UE
+	sess      *Session
+	radioPort int // eNB-side port of the radio link
+	uePort    int // UE-side port of the radio link
+	connected bool
+	lastSeen  sim.Time
+	ulBuffer  []*netsim.Packet
+}
+
+// maxULBuffer bounds uplink buffering during promotion.
+const maxULBuffer = 64
+
+// NewENB wraps node as an eNodeB. Port 0 must already be connected to the
+// backhaul before traffic flows.
+func NewENB(core *Core, node *netsim.Node) *ENB {
+	e := &ENB{
+		core:      core,
+		node:      node,
+		RACHDelay: 50 * time.Millisecond,
+		byUEIP:    make(map[pkt.Addr]*ueCtx),
+		byRadio:   make(map[int]*ueCtx),
+		byDLTEID:  make(map[uint32]dlKey),
+	}
+	node.SetHandler(e.handle)
+	e.ticker = sim.NewTicker(core.Eng, 500*time.Millisecond, e.checkIdle)
+	return e
+}
+
+// Addr returns the eNB's S1-U endpoint address.
+func (e *ENB) Addr() pkt.Addr { return e.node.Addr() }
+
+// Node returns the underlying network node.
+func (e *ENB) Node() *netsim.Node { return e.node }
+
+// ConnectUE attaches a UE's radio link to this eNB. The returned link is
+// the radio bearer path; radioCfg applies in both directions with
+// QCI-priority scheduling enabled downlink (the radio scheduler). A UE may
+// be connected to several eNBs (neighbour cells); the first connection
+// becomes its serving cell, later ones are handover candidates.
+func (e *ENB) ConnectUE(ue *UE, radioCfg netsim.LinkConfig) *netsim.Link {
+	radioCfg.Prioritized = true
+	link := e.core.cfg.Net.ConnectSymmetric(ue.node, e.node, radioCfg)
+	ctx := &ueCtx{ue: ue, radioPort: link.B.ID, uePort: link.A.ID}
+	e.byUEIP[ue.Addr()] = ctx
+	e.byRadio[link.B.ID] = ctx
+	if ue.enb == nil {
+		ue.enb = e
+		ue.servingPort = link.A.ID
+	}
+	return link
+}
+
+// Name reports the eNB's node name (used by the MRS for edge-site
+// selection).
+func (e *ENB) Name() string { return e.node.Name() }
+
+// handle is the netsim packet handler.
+func (e *ENB) handle(ingress *netsim.Port, p *netsim.Packet) {
+	if ingress == nil {
+		return
+	}
+	if ingress.ID == 0 {
+		e.handleDownlink(p)
+		return
+	}
+	ctx := e.byRadio[ingress.ID]
+	if ctx == nil {
+		return
+	}
+	e.handleUplink(ctx, p)
+}
+
+func (e *ENB) handleUplink(ctx *ueCtx, p *netsim.Packet) {
+	ctx.lastSeen = e.core.Eng.Now()
+	if !ctx.connected {
+		// Idle UE with data: buffer and promote.
+		if len(ctx.ulBuffer) < maxULBuffer {
+			ctx.ulBuffer = append(ctx.ulBuffer, p)
+			e.BufferedUL++
+		} else {
+			e.DroppedUL++
+		}
+		if ctx.sess != nil && ctx.sess.State == StateIdle {
+			e.sendServiceRequest(ctx.sess)
+		}
+		return
+	}
+	e.forwardUplink(ctx, p)
+}
+
+func (e *ENB) forwardUplink(ctx *ueCtx, p *netsim.Packet) {
+	b := e.classifyUplink(ctx.sess, p)
+	if b == nil {
+		e.DroppedUL++
+		return
+	}
+	sgw := e.core.SGWC.planes[b.SGWPlane]
+	p.Priority = b.QoS.QCI.Priority()
+	p.Encapsulate(e.Addr(), sgw.Addr(), b.S1UL)
+	e.ULPackets++
+	e.node.Port(0).Send(p)
+}
+
+// classifyUplink picks the bearer for an uplink packet: dedicated-bearer
+// TFTs in precedence order, falling back to the default bearer.
+func (e *ENB) classifyUplink(sess *Session, p *netsim.Packet) *Bearer {
+	if sess == nil {
+		return nil
+	}
+	dedicated := sess.DedicatedBearers()
+	sort.SliceStable(dedicated, func(i, j int) bool {
+		return tftPrecedence(dedicated[i].TFT) < tftPrecedence(dedicated[j].TFT)
+	})
+	for _, b := range dedicated {
+		if b.TFT != nil && b.TFT.MatchUplink(p.Flow, p.TOS) {
+			return b
+		}
+	}
+	return sess.Bearers[EBIDefault]
+}
+
+func tftPrecedence(t *pkt.TFT) int {
+	if t == nil || len(t.Filters) == 0 {
+		return 255
+	}
+	best := 255
+	for _, f := range t.Filters {
+		if int(f.Precedence) < best {
+			best = int(f.Precedence)
+		}
+	}
+	return best
+}
+
+func (e *ENB) handleDownlink(p *netsim.Packet) {
+	if !p.Tunneled() || p.TunnelDst != e.Addr() {
+		return // not for us
+	}
+	teid := p.Decapsulate()
+	key, ok := e.byDLTEID[teid]
+	if !ok || !key.ctx.connected {
+		return
+	}
+	key.ctx.lastSeen = e.core.Eng.Now()
+	if b := key.ctx.sess.Bearers[key.ebi]; b != nil {
+		p.Priority = b.QoS.QCI.Priority()
+	}
+	e.DLPackets++
+	e.node.Port(key.ctx.radioPort).Send(p)
+}
+
+// attachBearer installs the radio/S1 downlink mapping for a bearer and
+// returns the freshly allocated eNB-side downlink TEID.
+func (e *ENB) attachBearer(sess *Session, b *Bearer) uint32 {
+	ctx := e.byUEIP[sess.UE.Addr()]
+	ctx.sess = sess
+	ctx.connected = true
+	ctx.lastSeen = e.core.Eng.Now()
+	// Drop any stale mapping for this bearer.
+	for teid, key := range e.byDLTEID {
+		if key.ctx == ctx && key.ebi == b.EBI {
+			delete(e.byDLTEID, teid)
+		}
+	}
+	teid := e.teids.alloc()
+	e.byDLTEID[teid] = dlKey{ctx: ctx, ebi: b.EBI}
+	return teid
+}
+
+// detachBearer removes a dedicated bearer's radio mapping.
+func (e *ENB) detachBearer(sess *Session, ebi uint8) {
+	for teid, key := range e.byDLTEID {
+		if key.ctx.sess == sess && key.ebi == ebi {
+			delete(e.byDLTEID, teid)
+		}
+	}
+}
+
+// releaseContext tears down the UE's radio-side state on S1 release. The
+// session and its bearers persist in the core; only eNB mappings go.
+func (e *ENB) releaseContext(sess *Session) {
+	ctx := e.byUEIP[sess.UE.Addr()]
+	if ctx == nil {
+		return
+	}
+	ctx.connected = false
+	for teid, key := range e.byDLTEID {
+		if key.ctx == ctx {
+			delete(e.byDLTEID, teid)
+		}
+	}
+}
+
+// flushUplink replays packets buffered during promotion.
+func (e *ENB) flushUplink(sess *Session) {
+	ctx := e.byUEIP[sess.UE.Addr()]
+	if ctx == nil {
+		return
+	}
+	buf := ctx.ulBuffer
+	ctx.ulBuffer = nil
+	for _, p := range buf {
+		e.forwardUplink(ctx, p)
+	}
+}
+
+// sendServiceRequest starts promotion: RACH + RRC connection, then the
+// S1AP InitialUEMessage carrying the NAS service request.
+func (e *ENB) sendServiceRequest(sess *Session) {
+	if sess.State != StateIdle {
+		return
+	}
+	sess.setState(e.core.Eng, StatePromoting)
+	e.core.Eng.Schedule(e.RACHDelay, func() {
+		msg := &pkt.S1APMsg{
+			Procedure: pkt.S1APInitialUEMessage,
+			ENBUEID:   sess.ENBUEID,
+			NAS:       (&pkt.NASMsg{Type: pkt.NASServiceRequest}).Encode(nil),
+		}
+		// The MME sees the session as idle until it processes the request.
+		sess.setState(e.core.Eng, StateIdle)
+		e.core.sendS1AP(msg, func() { e.core.MME.onServiceRequest(sess) })
+	})
+}
+
+// pageUE delivers a page over the radio; the UE responds with a service
+// request after the paging-cycle delay.
+func (e *ENB) pageUE(sess *Session) {
+	e.core.Eng.Schedule(e.RACHDelay, func() {
+		if sess.State == StateIdle {
+			e.sendServiceRequest(sess)
+		}
+	})
+}
+
+// sendInitialAttach carries the UE's attach request to the MME.
+func (e *ENB) sendInitialAttach(ue *UE, sgwPlane, pgwPlane string, done func(error)) {
+	nas := (&pkt.NASMsg{
+		Type: pkt.NASAttachRequest,
+		IMSI: ue.IMSI,
+		ESM:  &pkt.NASMsg{Type: pkt.NASActivateDefaultBearerRequest, APN: "internet"},
+	}).Encode(nil)
+	msg := &pkt.S1APMsg{
+		Procedure: pkt.S1APInitialUEMessage,
+		ENBUEID:   1,
+		NAS:       nas,
+	}
+	e.core.sendS1AP(msg, func() {
+		e.core.MME.onInitialAttach(e, ue, sgwPlane, pgwPlane, done)
+	})
+}
+
+// checkIdle fires the inactivity timer for connected UEs.
+func (e *ENB) checkIdle() {
+	now := e.core.Eng.Now()
+	timeout := e.core.cfg.IdleTimeout
+	for _, ctx := range e.byUEIP {
+		if !ctx.connected || ctx.sess == nil || ctx.sess.State != StateConnected {
+			continue
+		}
+		if now.Sub(ctx.lastSeen) >= timeout {
+			e.requestRelease(ctx.sess)
+		}
+	}
+}
+
+// requestRelease sends the UE Context Release Request that starts the idle
+// transition.
+func (e *ENB) requestRelease(sess *Session) {
+	msg := &pkt.S1APMsg{
+		Procedure: pkt.S1APUEContextReleaseRequest,
+		ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID, Cause: 20,
+	}
+	e.core.sendS1AP(msg, func() { e.core.MME.onReleaseRequest(sess) })
+}

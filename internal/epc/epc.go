@@ -1,0 +1,133 @@
+// Package epc implements the LTE/EPC control and user planes of the ACACIA
+// testbed: UE and eNodeB with radio-bearer semantics, MME, HSS, PCRF/PCEF,
+// and split gateways (SGW-C/PGW-C control planes programming SGW-U/PGW-U
+// switches through the SDN controller).
+//
+// Control-plane exchanges (S1AP-over-SCTP between eNB and MME, GTPv2-C
+// between MME and the gateway control planes) are serialized with the pkt
+// encodings on every hop, so message and byte counts — the paper's §4
+// control-overhead analysis — are measured from real encodings rather than
+// assumed. Data-plane traffic flows through netsim links and sdn switches
+// with GTP-U encapsulation.
+//
+// The package implements the full bearer lifecycle the paper exercises:
+//
+//   - initial attach with default-bearer establishment (always-on),
+//   - network-initiated dedicated bearer activation toward local (edge)
+//     gateways — ACACIA's traffic-redirection mechanism,
+//   - S1 release after the LTE inactivity timeout (11.576 s) and
+//     service-request promotion when traffic resumes, including paging for
+//     downlink-triggered wakeups.
+package epc
+
+import (
+	"fmt"
+	"time"
+
+	"acacia/internal/sim"
+)
+
+// IdleTimeout is the LTE RRC inactivity timeout after which the network
+// releases a UE's radio and S1 bearers (Huang et al. [35]: 11.576 s).
+const IdleTimeout = 11576 * time.Millisecond
+
+// Protocol identifies a control-plane protocol for accounting.
+type Protocol uint8
+
+// Accounted protocols.
+const (
+	ProtoS1AP     Protocol = iota // S1AP over SCTP (eNB <-> MME)
+	ProtoGTPv2                    // GTPv2-C (MME <-> SGW-C <-> PGW-C)
+	ProtoOpenFlow                 // controller <-> GW-U (accounted by sdn)
+	protoCount
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoS1AP:
+		return "SCTP/S1AP"
+	case ProtoGTPv2:
+		return "GTPv2"
+	case ProtoOpenFlow:
+		return "OpenFlow"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// MsgRecord is one logged control message.
+type MsgRecord struct {
+	At    sim.Time
+	Proto Protocol
+	Name  string
+	Bytes int
+}
+
+// Accounting tallies control-plane messages by protocol. The §4 experiment
+// snapshots it around a release/re-establish cycle.
+type Accounting struct {
+	Msgs  [protoCount]uint64
+	Bytes [protoCount]uint64
+	// Log holds individual records when Trace is enabled.
+	Trace bool
+	Log   []MsgRecord
+}
+
+// Record adds one message.
+func (a *Accounting) Record(at sim.Time, proto Protocol, name string, bytes int) {
+	a.Msgs[proto]++
+	a.Bytes[proto] += uint64(bytes)
+	if a.Trace {
+		a.Log = append(a.Log, MsgRecord{At: at, Proto: proto, Name: name, Bytes: bytes})
+	}
+}
+
+// Snapshot returns a copy of current counters (log excluded).
+func (a *Accounting) Snapshot() Accounting {
+	cp := Accounting{Msgs: a.Msgs, Bytes: a.Bytes}
+	return cp
+}
+
+// Diff reports counters accumulated since an earlier snapshot.
+func (a *Accounting) Diff(since Accounting) Accounting {
+	var d Accounting
+	for i := range a.Msgs {
+		d.Msgs[i] = a.Msgs[i] - since.Msgs[i]
+		d.Bytes[i] = a.Bytes[i] - since.Bytes[i]
+	}
+	return d
+}
+
+// TotalMsgs sums message counts across protocols.
+func (a *Accounting) TotalMsgs() uint64 {
+	var t uint64
+	for _, v := range a.Msgs {
+		t += v
+	}
+	return t
+}
+
+// TotalBytes sums byte counts across protocols.
+func (a *Accounting) TotalBytes() uint64 {
+	var t uint64
+	for _, v := range a.Bytes {
+		t += v
+	}
+	return t
+}
+
+// teidAllocator hands out unique tunnel endpoint identifiers per gateway.
+type teidAllocator struct{ next uint32 }
+
+func (t *teidAllocator) alloc() uint32 {
+	t.next++
+	return t.next
+}
+
+// EBI values: the default bearer gets 5 (the first valid EPS bearer id),
+// dedicated bearers count up from 6.
+const (
+	EBIDefault   = 5
+	EBIDedicated = 6
+)

@@ -1,0 +1,680 @@
+package epc
+
+import (
+	"testing"
+	"time"
+
+	"acacia/internal/netsim"
+	"acacia/internal/pkt"
+	"acacia/internal/sdn"
+	"acacia/internal/sim"
+)
+
+// testbed is a compact version of the ACACIA topology:
+//
+//	UE --radio-- eNB --backhaul-- router --+-- core SGW-U -- core PGW-U -- inet server
+//	                                       +-- edge SGW-U -- edge PGW-U -- CI server
+type testbed struct {
+	eng  *sim.Engine
+	nw   *netsim.Network
+	core *Core
+	ue   *UE
+	enb  *ENB
+
+	inetHost *netsim.Host
+	ciHost   *netsim.Host
+
+	edgeSGW, edgePGW *sdn.Switch
+	coreSGW, corePGW *sdn.Switch
+}
+
+const (
+	radioDelay    = 5 * time.Millisecond
+	backhaulDelay = 500 * time.Microsecond
+	coreDelay     = 10 * time.Millisecond // eNB side -> centralized GWs
+	inetDelay     = 20 * time.Millisecond // PGW -> internet server
+	edgeDelay     = 100 * time.Microsecond
+)
+
+func buildTestbed(t *testing.T, idle time.Duration) *testbed {
+	t.Helper()
+	eng := sim.NewEngine(42)
+	nw := netsim.New(eng)
+	ctl := sdn.NewController(eng)
+	ctl.RTT = 200 * time.Microsecond
+
+	tb := &testbed{eng: eng, nw: nw}
+
+	ueN := nw.AddNode("ue", pkt.AddrFrom(172, 16, 0, 2))
+	enbN := nw.AddNode("enb", pkt.AddrFrom(10, 1, 0, 1))
+	rtrN := nw.AddNode("backhaul", pkt.AddrFrom(10, 1, 0, 254))
+	coreSGWN := nw.AddNode("core-sgw-u", pkt.AddrFrom(10, 2, 0, 1))
+	corePGWN := nw.AddNode("core-pgw-u", pkt.AddrFrom(10, 2, 0, 2))
+	edgeSGWN := nw.AddNode("edge-sgw-u", pkt.AddrFrom(10, 3, 0, 1))
+	edgePGWN := nw.AddNode("edge-pgw-u", pkt.AddrFrom(10, 3, 0, 2))
+	inetN := nw.AddNode("inet-server", pkt.AddrFrom(8, 8, 0, 10))
+	ciN := nw.AddNode("ci-server", pkt.AddrFrom(10, 3, 0, 10))
+
+	gbit := func(d time.Duration) netsim.LinkConfig {
+		return netsim.LinkConfig{BitsPerSecond: 1e9, Propagation: d}
+	}
+
+	// eNB port 0 is the backhaul, so connect it before any UE.
+	nw.ConnectSymmetric(enbN, rtrN, gbit(backhaulDelay)) // enb:0 - rtr:0
+	nw.ConnectSymmetric(rtrN, coreSGWN, gbit(coreDelay)) // rtr:1 - coreSGW:0
+	nw.ConnectSymmetric(coreSGWN, corePGWN, gbit(backhaulDelay))
+	nw.ConnectSymmetric(corePGWN, inetN, gbit(inetDelay))
+	nw.ConnectSymmetric(rtrN, edgeSGWN, gbit(edgeDelay)) // rtr:2 - edgeSGW:0
+	nw.ConnectSymmetric(edgeSGWN, edgePGWN, gbit(edgeDelay))
+	nw.ConnectSymmetric(edgePGWN, ciN, gbit(edgeDelay))
+
+	rtr := netsim.NewRouter(rtrN)
+	rtr.AddHostRoute(enbN.Addr(), rtrN.Port(0))
+	rtr.AddHostRoute(coreSGWN.Addr(), rtrN.Port(1))
+	rtr.AddHostRoute(edgeSGWN.Addr(), rtrN.Port(2))
+
+	tb.coreSGW = sdn.NewSwitch(1, coreSGWN, sdn.ACACIAGWCosts)
+	tb.corePGW = sdn.NewSwitch(2, corePGWN, sdn.ACACIAGWCosts)
+	tb.edgeSGW = sdn.NewSwitch(3, edgeSGWN, sdn.ACACIAGWCosts)
+	tb.edgePGW = sdn.NewSwitch(4, edgePGWN, sdn.ACACIAGWCosts)
+	for _, sw := range []*sdn.Switch{tb.coreSGW, tb.corePGW, tb.edgeSGW, tb.edgePGW} {
+		ctl.AddSwitch(sw)
+	}
+
+	core := NewCore(Config{
+		Eng: eng, Net: nw, Ctl: ctl,
+		S1APDelay:   2 * time.Millisecond,
+		GTPv2Delay:  time.Millisecond,
+		IdleTimeout: idle,
+	})
+	tb.core = core
+
+	core.SGWC.AddUserPlane("core-sgw", tb.coreSGW, 0, 1)
+	core.PGWC.AddUserPlane("core-pgw", tb.corePGW, 0, 1)
+	core.SGWC.AddUserPlane("edge-sgw", tb.edgeSGW, 0, 1)
+	core.PGWC.AddUserPlane("edge-pgw", tb.edgePGW, 0, 1)
+
+	core.HSS.Provision(Subscriber{IMSI: "001010000000001"})
+	core.PCRF.AddRule(PolicyRule{ServiceID: "retail-ar", QCI: pkt.QCIMEC, ARP: 2, Precedence: 10})
+
+	tb.enb = NewENB(core, enbN)
+	tb.ue = NewUE(ueN, "001010000000001")
+	tb.enb.ConnectUE(tb.ue, netsim.LinkConfig{BitsPerSecond: 100e6, Propagation: radioDelay})
+
+	tb.inetHost = netsim.NewHost(inetN)
+	tb.inetHost.Listen(netsim.PingPort, netsim.PingResponder{})
+	tb.ciHost = netsim.NewHost(ciN)
+	tb.ciHost.Listen(netsim.PingPort, netsim.PingResponder{})
+
+	return tb
+}
+
+// attach runs the attach procedure to completion.
+func (tb *testbed) attach(t *testing.T) {
+	t.Helper()
+	var attachErr error
+	done := false
+	tb.ue.Attach("core-sgw", "core-pgw", func(err error) {
+		attachErr = err
+		done = true
+	})
+	tb.eng.RunFor(2 * time.Second)
+	if !done {
+		t.Fatal("attach did not complete")
+	}
+	if attachErr != nil {
+		t.Fatalf("attach: %v", attachErr)
+	}
+}
+
+// dedicate activates the MEC dedicated bearer toward the CI server.
+func (tb *testbed) dedicate(t *testing.T) uint8 {
+	t.Helper()
+	var ebi uint8
+	var derr error
+	done := false
+	tb.core.PCRF.RequestDedicatedBearer("retail-ar", tb.ue.Addr(), tb.ciHost.Node.Addr(),
+		"edge-sgw", "edge-pgw", func(e uint8, err error) {
+			ebi, derr, done = e, err, true
+		})
+	tb.eng.RunFor(2 * time.Second)
+	if !done {
+		t.Fatal("dedicated bearer activation did not complete")
+	}
+	if derr != nil {
+		t.Fatalf("dedicated bearer: %v", derr)
+	}
+	return ebi
+}
+
+func TestAttachEstablishesDefaultBearer(t *testing.T) {
+	tb := buildTestbed(t, time.Hour)
+	tb.attach(t)
+	if !tb.ue.Attached() {
+		t.Fatal("UE not attached")
+	}
+	sess := tb.core.Session(tb.ue.IMSI)
+	if sess == nil || sess.State != StateConnected {
+		t.Fatalf("session = %+v", sess)
+	}
+	if sess.UEIP != tb.ue.Addr() {
+		t.Errorf("UE IP = %v", sess.UEIP)
+	}
+	if sess.Bearer(EBIDefault) == nil {
+		t.Fatal("no default bearer")
+	}
+	if tb.coreSGW.FlowCount() != 2 || tb.corePGW.FlowCount() != 2 {
+		t.Errorf("core flows sgw=%d pgw=%d, want 2/2", tb.coreSGW.FlowCount(), tb.corePGW.FlowCount())
+	}
+	if tb.edgeSGW.FlowCount() != 0 {
+		t.Errorf("edge flows before dedicated bearer = %d", tb.edgeSGW.FlowCount())
+	}
+	acct := tb.core.Acct
+	if acct.Msgs[ProtoS1AP] == 0 || acct.Msgs[ProtoGTPv2] == 0 {
+		t.Errorf("accounting: %+v", acct)
+	}
+}
+
+func TestAttachUnknownIMSIFails(t *testing.T) {
+	tb := buildTestbed(t, time.Hour)
+	ueN := tb.nw.AddNode("ue2", pkt.AddrFrom(172, 16, 0, 3))
+	rogue := NewUE(ueN, "999990000000009")
+	tb.enb.ConnectUE(rogue, netsim.LinkConfig{Propagation: radioDelay})
+	var gotErr error
+	rogue.Attach("core-sgw", "core-pgw", func(err error) { gotErr = err })
+	tb.eng.RunFor(time.Second)
+	if gotErr == nil {
+		t.Fatal("unknown IMSI attach succeeded")
+	}
+	if rogue.Attached() {
+		t.Error("rogue UE attached")
+	}
+}
+
+func TestDataPathThroughCore(t *testing.T) {
+	tb := buildTestbed(t, time.Hour)
+	tb.attach(t)
+	pg := netsim.NewPinger(tb.ue.Host, tb.inetHost.Node.Addr(), 64, 5000)
+	pg.Start(100 * time.Millisecond)
+	tb.eng.RunFor(2 * time.Second)
+	pg.Stop()
+	tb.eng.RunFor(500 * time.Millisecond)
+	if pg.Received < 10 {
+		t.Fatalf("replies = %d of %d", pg.Received, pg.Sent)
+	}
+	// Expected RTT: 2*(radio + backhaul + core + sgw-pgw + inet) plus
+	// small switching costs.
+	want := 2 * (radioDelay + backhaulDelay + coreDelay + backhaulDelay + inetDelay).Seconds() * 1000
+	got := pg.RTTs.Mean()
+	if got < want || got > want*1.2 {
+		t.Errorf("core RTT = %.2f ms, want ≈%.2f", got, want)
+	}
+	// Traffic must traverse the core GWs with GTP encapsulation.
+	if tb.coreSGW.Stats().Encapsulated == 0 || tb.corePGW.Stats().Decapsulated == 0 {
+		t.Error("no GTP activity on core GW-Us")
+	}
+}
+
+func TestDedicatedBearerRedirectsToEdge(t *testing.T) {
+	tb := buildTestbed(t, time.Hour)
+	tb.attach(t)
+	ebi := tb.dedicate(t)
+	if ebi != EBIDedicated {
+		t.Errorf("EBI = %d", ebi)
+	}
+	sess := tb.core.Session(tb.ue.IMSI)
+	if len(sess.DedicatedBearers()) != 1 {
+		t.Fatalf("dedicated bearers = %d", len(sess.DedicatedBearers()))
+	}
+	// The UE modem classifies CI traffic onto the dedicated bearer.
+	ciFlow := pkt.FiveTuple{Src: tb.ue.Addr(), Dst: tb.ciHost.Node.Addr(), DstPort: 80, Proto: pkt.ProtoTCP}
+	if got := tb.ue.BearerFor(ciFlow, 0); got != ebi {
+		t.Errorf("CI flow bearer = %d, want %d", got, ebi)
+	}
+	inetFlow := pkt.FiveTuple{Src: tb.ue.Addr(), Dst: tb.inetHost.Node.Addr(), DstPort: 80, Proto: pkt.ProtoTCP}
+	if got := tb.ue.BearerFor(inetFlow, 0); got != EBIDefault {
+		t.Errorf("internet flow bearer = %d, want default", got)
+	}
+
+	// CI pings ride the edge path: far lower RTT, via edge switches only.
+	edgeBefore := tb.edgeSGW.Stats().Encapsulated
+	pgCI := netsim.NewPinger(tb.ue.Host, tb.ciHost.Node.Addr(), 64, 5001)
+	pgCI.Start(50 * time.Millisecond)
+	tb.eng.RunFor(time.Second)
+	pgCI.Stop()
+	tb.eng.RunFor(200 * time.Millisecond)
+	if pgCI.Received < 10 {
+		t.Fatalf("CI replies = %d", pgCI.Received)
+	}
+	edgeRTT := pgCI.RTTs.Mean()
+	wantEdge := 2 * (radioDelay + backhaulDelay + edgeDelay*3).Seconds() * 1000
+	if edgeRTT < wantEdge || edgeRTT > wantEdge*1.3 {
+		t.Errorf("edge RTT = %.2f ms, want ≈%.2f", edgeRTT, wantEdge)
+	}
+	if tb.edgeSGW.Stats().Encapsulated == edgeBefore {
+		t.Error("CI traffic did not traverse the edge SGW-U")
+	}
+
+	// Internet traffic still uses the core path.
+	pgInet := netsim.NewPinger(tb.ue.Host, tb.inetHost.Node.Addr(), 64, 5002)
+	pgInet.SendOne()
+	tb.eng.RunFor(time.Second)
+	if pgInet.Received != 1 {
+		t.Fatal("internet ping lost after dedicated bearer setup")
+	}
+	if pgInet.RTTs.Mean() < 2*coreDelay.Seconds()*1000 {
+		t.Errorf("internet RTT %.2f ms suspiciously low", pgInet.RTTs.Mean())
+	}
+}
+
+func TestDedicatedBearerPriority(t *testing.T) {
+	tb := buildTestbed(t, time.Hour)
+	tb.attach(t)
+	tb.dedicate(t)
+	ciFlow := pkt.FiveTuple{Src: tb.ue.Addr(), Dst: tb.ciHost.Node.Addr(), DstPort: 80, Proto: pkt.ProtoUDP}
+	p := &netsim.Packet{Flow: ciFlow, Size: 100}
+	tb.ue.classify(p)
+	if p.Priority != pkt.QCIMEC.Priority() {
+		t.Errorf("CI packet priority = %d, want %d", p.Priority, pkt.QCIMEC.Priority())
+	}
+	inet := &netsim.Packet{Flow: pkt.FiveTuple{Src: tb.ue.Addr(), Dst: tb.inetHost.Node.Addr()}, Size: 100}
+	tb.ue.classify(inet)
+	if inet.Priority != pkt.QCIDefault.Priority() {
+		t.Errorf("default packet priority = %d", inet.Priority)
+	}
+}
+
+func TestBearerDeletion(t *testing.T) {
+	tb := buildTestbed(t, time.Hour)
+	tb.attach(t)
+	tb.dedicate(t)
+	if tb.edgeSGW.FlowCount() == 0 {
+		t.Fatal("no edge flows after activation")
+	}
+	var delErr error
+	done := false
+	tb.core.PCRF.RequestBearerTermination(tb.ue.Addr(), tb.ciHost.Node.Addr(), func(err error) {
+		delErr, done = err, true
+	})
+	tb.eng.RunFor(time.Second)
+	if !done || delErr != nil {
+		t.Fatalf("termination done=%v err=%v", done, delErr)
+	}
+	if n := len(tb.core.Session(tb.ue.IMSI).DedicatedBearers()); n != 0 {
+		t.Errorf("dedicated bearers = %d", n)
+	}
+	if tb.edgeSGW.FlowCount() != 0 || tb.edgePGW.FlowCount() != 0 {
+		t.Errorf("edge flows after delete: sgw=%d pgw=%d", tb.edgeSGW.FlowCount(), tb.edgePGW.FlowCount())
+	}
+	// CI traffic falls back to the default bearer.
+	ciFlow := pkt.FiveTuple{Src: tb.ue.Addr(), Dst: tb.ciHost.Node.Addr(), DstPort: 80, Proto: pkt.ProtoTCP}
+	if got := tb.ue.BearerFor(ciFlow, 0); got != EBIDefault {
+		t.Errorf("CI flow bearer after deletion = %d", got)
+	}
+}
+
+func TestIdleReleaseAndPromotion(t *testing.T) {
+	tb := buildTestbed(t, 3*time.Second)
+	tb.attach(t)
+	tb.dedicate(t)
+	sess := tb.core.Session(tb.ue.IMSI)
+
+	// Go idle.
+	tb.eng.RunFor(5 * time.Second)
+	if sess.State != StateIdle {
+		t.Fatalf("state = %v after inactivity, want idle", sess.State)
+	}
+	if tb.core.MME.Releases != 1 {
+		t.Errorf("releases = %d", tb.core.MME.Releases)
+	}
+
+	// Uplink data wakes the session and is delivered after promotion.
+	pg := netsim.NewPinger(tb.ue.Host, tb.inetHost.Node.Addr(), 64, 5003)
+	pg.SendOne()
+	tb.eng.RunFor(2 * time.Second)
+	if sess.State != StateConnected {
+		t.Fatalf("state = %v after uplink, want connected", sess.State)
+	}
+	if tb.core.MME.Promotions != 1 {
+		t.Errorf("promotions = %d", tb.core.MME.Promotions)
+	}
+	if pg.Received != 1 {
+		t.Errorf("buffered uplink ping not delivered: received=%d", pg.Received)
+	}
+}
+
+func TestReleaseReestablishMessageBudget(t *testing.T) {
+	// The §4 cycle: S1 release + service-request re-establishment must cost
+	// 7 SCTP/S1AP messages, 4 GTPv2 messages and 4 OpenFlow messages with a
+	// default + dedicated bearer pair, matching the paper's testbed count
+	// of 15 messages.
+	tb := buildTestbed(t, 3*time.Second)
+	tb.attach(t)
+	tb.dedicate(t)
+	sess := tb.core.Session(tb.ue.IMSI)
+	// The dedicate helper already ran 2 s of virtual time past activation;
+	// snapshot now, before the 3 s inactivity timer fires.
+	acctBefore := tb.core.Acct.Snapshot()
+	ofBefore := tb.core.Ctl.Stats()
+
+	// Idle out...
+	tb.eng.RunFor(5 * time.Second)
+	if sess.State != StateIdle {
+		t.Fatalf("state = %v", sess.State)
+	}
+	// ...and promote via uplink data.
+	pg := netsim.NewPinger(tb.ue.Host, tb.inetHost.Node.Addr(), 64, 5004)
+	pg.SendOne()
+	tb.eng.RunFor(2 * time.Second)
+	if sess.State != StateConnected {
+		t.Fatalf("state = %v", sess.State)
+	}
+
+	d := tb.core.Acct.Diff(acctBefore)
+	if d.Msgs[ProtoS1AP] != 7 {
+		t.Errorf("S1AP messages = %d, want 7 (paper)", d.Msgs[ProtoS1AP])
+	}
+	if d.Msgs[ProtoGTPv2] != 4 {
+		t.Errorf("GTPv2 messages = %d, want 4 (paper)", d.Msgs[ProtoGTPv2])
+	}
+	ofAfter := tb.core.Ctl.Stats()
+	ofMsgs := ofAfter.Sent - ofBefore.Sent
+	if ofMsgs != 4 {
+		t.Errorf("OpenFlow messages = %d, want 4 (paper)", ofMsgs)
+	}
+	// Byte totals land in the paper's regime (2914 bytes total). Our
+	// encodings are leaner — no ASN.1 PER padding, minimal optional IEs and
+	// no SCTP SACK chunks — so the measured cycle sits below the testbed
+	// capture but within ~2.5x.
+	total := d.TotalBytes() + (ofAfter.SentBytes - ofBefore.SentBytes)
+	if total < 900 || total > 4500 {
+		t.Errorf("cycle bytes = %d, want within [900, 4500] (paper: 2914)", total)
+	}
+}
+
+func TestPagingOnDownlinkWhileIdle(t *testing.T) {
+	tb := buildTestbed(t, 3*time.Second)
+	tb.attach(t)
+	sess := tb.core.Session(tb.ue.IMSI)
+	tb.eng.RunFor(5 * time.Second)
+	if sess.State != StateIdle {
+		t.Fatalf("state = %v", sess.State)
+	}
+
+	// Downlink traffic to the idle UE triggers paging and promotion; the
+	// SGW buffers the triggering packet and replays it once connected.
+	var got int
+	tb.ue.Host.Listen(8888, netsim.AppFunc(func(_ *netsim.Host, p *netsim.Packet) { got++ }))
+	tb.inetHost.Send(tb.ue.Addr(), 9999, 8888, pkt.ProtoUDP, 200, nil)
+	tb.eng.RunFor(3 * time.Second)
+	if tb.core.MME.Pagings == 0 {
+		t.Error("no paging occurred")
+	}
+	if sess.State != StateConnected {
+		t.Errorf("state = %v after paging, want connected", sess.State)
+	}
+	if got != 1 {
+		t.Errorf("paging-buffered downlink delivered = %d, want 1 (replayed)", got)
+	}
+	// Subsequent downlink is delivered directly.
+	tb.inetHost.Send(tb.ue.Addr(), 9999, 8888, pkt.ProtoUDP, 200, nil)
+	tb.eng.RunFor(time.Second)
+	if got != 2 {
+		t.Errorf("post-paging downlink total = %d, want 2", got)
+	}
+}
+
+func TestControlMessagesRoundTripDecode(t *testing.T) {
+	// Every control message the procedures emit must decode back; run a
+	// full lifecycle with tracing and re-parse per protocol. (Encoding
+	// already happens in sendS1AP/sendGTPv2; this guards that the specific
+	// IE combinations used are well-formed.)
+	tb := buildTestbed(t, 3*time.Second)
+	tb.core.Acct.Trace = true
+	tb.attach(t)
+	tb.dedicate(t)
+	tb.eng.RunFor(6 * time.Second) // idle out
+	netsim.NewPinger(tb.ue.Host, tb.inetHost.Node.Addr(), 64, 5005).SendOne()
+	tb.eng.RunFor(2 * time.Second)
+
+	if len(tb.core.Acct.Log) < 15 {
+		t.Fatalf("only %d messages logged", len(tb.core.Acct.Log))
+	}
+	for _, rec := range tb.core.Acct.Log {
+		if rec.Bytes <= 0 {
+			t.Errorf("%s %s encoded to %d bytes", rec.Proto, rec.Name, rec.Bytes)
+		}
+	}
+}
+
+func TestSessionStateString(t *testing.T) {
+	states := []SessionState{StateDetached, StateConnecting, StateConnected, StateIdle, StatePromoting}
+	seen := map[string]bool{}
+	for _, s := range states {
+		str := s.String()
+		if str == "" || seen[str] {
+			t.Errorf("state %d string %q", s, str)
+		}
+		seen[str] = true
+	}
+	if SessionState(99).String() == "" {
+		t.Error("unknown state empty string")
+	}
+}
+
+func TestAccountingDiff(t *testing.T) {
+	var a Accounting
+	a.Record(0, ProtoS1AP, "x", 100)
+	snap := a.Snapshot()
+	a.Record(0, ProtoS1AP, "y", 50)
+	a.Record(0, ProtoGTPv2, "z", 30)
+	d := a.Diff(snap)
+	if d.Msgs[ProtoS1AP] != 1 || d.Bytes[ProtoS1AP] != 50 {
+		t.Errorf("diff S1AP = %d/%d", d.Msgs[ProtoS1AP], d.Bytes[ProtoS1AP])
+	}
+	if d.TotalMsgs() != 2 || d.TotalBytes() != 80 {
+		t.Errorf("totals = %d/%d", d.TotalMsgs(), d.TotalBytes())
+	}
+}
+
+func TestGBRAdmissionControl(t *testing.T) {
+	tb := buildTestbed(t, time.Hour)
+	// Constrain the edge PGW-U to 10 Mbps of guaranteed rate and define a
+	// GBR service needing 6 Mbps per bearer: the first UE is admitted, the
+	// second rejected.
+	tb.core.PGWC.Plane("edge-pgw").GBRCapacityBps = 10_000_000
+	tb.core.PCRF.AddRule(PolicyRule{
+		ServiceID: "gbr-video", QCI: 1, ARP: 2, Precedence: 5,
+		GuaranteedUL: 2_000_000, GuaranteedDL: 4_000_000,
+	})
+	tb.attach(t)
+
+	request := func() error {
+		var reqErr error
+		done := false
+		tb.core.PCRF.RequestDedicatedBearer("gbr-video", tb.ue.Addr(), tb.ciHost.Node.Addr(),
+			"edge-sgw", "edge-pgw", func(_ uint8, err error) { reqErr, done = err, true })
+		tb.eng.RunFor(time.Second)
+		if !done {
+			t.Fatal("request did not complete")
+		}
+		return reqErr
+	}
+	if err := request(); err != nil {
+		t.Fatalf("first GBR bearer rejected: %v", err)
+	}
+	if got := tb.core.PGWC.Plane("edge-pgw").GBRInUse(); got != 6_000_000 {
+		t.Errorf("GBR in use = %d, want 6 Mbps", got)
+	}
+
+	// Second UE requesting the same service must be rejected.
+	ue2N := tb.nw.AddNode("ue2", pkt.AddrFrom(172, 16, 0, 3))
+	ue2 := NewUE(ue2N, "001010000000002")
+	tb.core.HSS.Provision(Subscriber{IMSI: ue2.IMSI})
+	tb.enb.ConnectUE(ue2, netsim.LinkConfig{Propagation: radioDelay})
+	var attachErr error
+	ue2.Attach("core-sgw", "core-pgw", func(err error) { attachErr = err })
+	tb.eng.RunFor(2 * time.Second)
+	if attachErr != nil {
+		t.Fatal(attachErr)
+	}
+	var secondErr error
+	secondDone := false
+	tb.core.PCRF.RequestDedicatedBearer("gbr-video", ue2.Addr(), tb.ciHost.Node.Addr(),
+		"edge-sgw", "edge-pgw", func(_ uint8, err error) { secondErr, secondDone = err, true })
+	tb.eng.RunFor(time.Second)
+	if !secondDone || secondErr == nil {
+		t.Fatalf("second GBR bearer should be rejected (done=%v err=%v)", secondDone, secondErr)
+	}
+
+	// Releasing the first bearer frees the capacity.
+	var delErr error
+	tb.core.PCRF.RequestBearerTermination(tb.ue.Addr(), tb.ciHost.Node.Addr(), func(err error) { delErr = err })
+	tb.eng.RunFor(time.Second)
+	if delErr != nil {
+		t.Fatal(delErr)
+	}
+	if got := tb.core.PGWC.Plane("edge-pgw").GBRInUse(); got != 0 {
+		t.Errorf("GBR in use after release = %d", got)
+	}
+	if err := request(); err != nil {
+		t.Errorf("re-admission after release failed: %v", err)
+	}
+}
+
+func TestNonGBRBearersSkipAdmission(t *testing.T) {
+	tb := buildTestbed(t, time.Hour)
+	tb.core.PGWC.Plane("edge-pgw").GBRCapacityBps = 1 // essentially zero
+	tb.attach(t)
+	// The retail-ar rule is non-GBR (QCI 5): always admitted.
+	ebi := tb.dedicate(t)
+	if ebi != EBIDedicated {
+		t.Errorf("non-GBR bearer not admitted: ebi=%d", ebi)
+	}
+}
+
+func TestBearerMBREnforcedAtPGW(t *testing.T) {
+	tb := buildTestbed(t, time.Hour)
+	tb.core.PCRF.AddRule(PolicyRule{
+		ServiceID: "capped-ar", QCI: pkt.QCIMEC, ARP: 2, Precedence: 6,
+		MaxUL: 5_000_000,
+	})
+	tb.attach(t)
+	var derr error
+	done := false
+	tb.core.PCRF.RequestDedicatedBearer("capped-ar", tb.ue.Addr(), tb.ciHost.Node.Addr(),
+		"edge-sgw", "edge-pgw", func(_ uint8, err error) { derr, done = err, true })
+	tb.eng.RunFor(2 * time.Second)
+	if !done || derr != nil {
+		t.Fatalf("bearer: done=%v err=%v", done, derr)
+	}
+
+	// Offer 30 Mbps of uplink CI traffic: the PGW-U meter polices to 5.
+	sink := netsim.NewSink(tb.ciHost, 9100)
+	src := netsim.NewCBRSource(tb.ue.Host, tb.ciHost.Node.Addr(), 9100, 1250)
+	src.Start(30e6)
+	tb.eng.RunFor(3 * time.Second)
+	src.Stop()
+	tb.eng.RunFor(200 * time.Millisecond)
+	got := sink.ThroughputBps()
+	if got < 4e6 || got > 6e6 {
+		t.Errorf("policed uplink = %.2f Mbps, want ≈5 (MBR)", got/1e6)
+	}
+}
+
+func TestDetachTearsDownEverything(t *testing.T) {
+	tb := buildTestbed(t, time.Hour)
+	tb.attach(t)
+	tb.dedicate(t)
+	if tb.coreSGW.FlowCount() == 0 || tb.edgeSGW.FlowCount() == 0 {
+		t.Fatal("flows missing before detach")
+	}
+	done := false
+	if err := tb.ue.Detach(func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	tb.eng.RunFor(time.Second)
+	if !done {
+		t.Fatal("detach did not complete")
+	}
+	if tb.ue.Attached() {
+		t.Error("UE still attached")
+	}
+	if tb.core.Session(tb.ue.IMSI) != nil {
+		t.Error("session survived detach")
+	}
+	if tb.core.SessionByIP(tb.ue.Addr()) != nil {
+		t.Error("IP binding survived detach")
+	}
+	for name, sw := range map[string]*sdn.Switch{
+		"core-sgw": tb.coreSGW, "core-pgw": tb.corePGW,
+		"edge-sgw": tb.edgeSGW, "edge-pgw": tb.edgePGW,
+	} {
+		if sw.FlowCount() != 0 {
+			t.Errorf("%s still has %d flows", name, sw.FlowCount())
+		}
+	}
+	// Traffic no longer flows.
+	pg := netsim.NewPinger(tb.ue.Host, tb.inetHost.Node.Addr(), 64, 5200)
+	pg.SendOne()
+	tb.eng.RunFor(time.Second)
+	if pg.Received != 0 {
+		t.Error("ping delivered after detach")
+	}
+	// Re-attach works and restores connectivity.
+	tb.attach(t)
+	pg2 := netsim.NewPinger(tb.ue.Host, tb.inetHost.Node.Addr(), 64, 5201)
+	pg2.SendOne()
+	tb.eng.RunFor(time.Second)
+	if pg2.Received != 1 {
+		t.Error("ping lost after re-attach")
+	}
+}
+
+func TestDetachWhileNotAttached(t *testing.T) {
+	tb := buildTestbed(t, time.Hour)
+	if err := tb.ue.Detach(nil); err == nil {
+		t.Error("detach before attach accepted")
+	}
+}
+
+func TestDedicatedBearerActivationWhileIdle(t *testing.T) {
+	// An MRS/PCRF-triggered bearer activation for an idle UE must first
+	// page it awake, then complete the E-RAB setup after promotion.
+	tb := buildTestbed(t, 3*time.Second)
+	tb.attach(t)
+	sess := tb.core.Session(tb.ue.IMSI)
+	tb.eng.RunFor(5 * time.Second)
+	if sess.State != StateIdle {
+		t.Fatalf("state = %v", sess.State)
+	}
+
+	var ebi uint8
+	var derr error
+	done := false
+	tb.core.PCRF.RequestDedicatedBearer("retail-ar", tb.ue.Addr(), tb.ciHost.Node.Addr(),
+		"edge-sgw", "edge-pgw", func(e uint8, err error) { ebi, derr, done = e, err, true })
+	tb.eng.RunFor(3 * time.Second)
+	if !done {
+		t.Fatal("activation did not complete")
+	}
+	if derr != nil {
+		t.Fatalf("activation: %v", derr)
+	}
+	if ebi != EBIDedicated {
+		t.Errorf("ebi = %d", ebi)
+	}
+	if tb.core.MME.Pagings == 0 {
+		t.Error("idle UE was not paged for bearer activation")
+	}
+	if sess.State != StateConnected {
+		t.Errorf("state = %v after activation", sess.State)
+	}
+	// The new bearer carries traffic.
+	pg := netsim.NewPinger(tb.ue.Host, tb.ciHost.Node.Addr(), 64, 5300)
+	pg.SendOne()
+	tb.eng.RunFor(time.Second)
+	if pg.Received != 1 {
+		t.Error("CI ping lost after idle-time activation")
+	}
+}

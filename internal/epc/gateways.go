@@ -1,0 +1,501 @@
+package epc
+
+import (
+	"fmt"
+
+	"acacia/internal/netsim"
+	"acacia/internal/pkt"
+	"acacia/internal/sdn"
+)
+
+// Subscriber is an HSS record.
+type Subscriber struct {
+	IMSI string
+	// DefaultQoS is the default bearer's QoS profile.
+	DefaultQoS pkt.BearerQoS
+}
+
+// HSS is the home subscriber server: the authorization database consulted
+// at attach.
+type HSS struct {
+	subscribers map[string]Subscriber
+}
+
+// Provision registers a subscriber.
+func (h *HSS) Provision(s Subscriber) {
+	if s.DefaultQoS.QCI == 0 {
+		s.DefaultQoS = pkt.BearerQoS{QCI: pkt.QCIDefault, ARP: 9}
+	}
+	h.subscribers[s.IMSI] = s
+}
+
+// Lookup returns the subscriber record and whether it exists.
+func (h *HSS) Lookup(imsi string) (Subscriber, bool) {
+	s, ok := h.subscribers[imsi]
+	return s, ok
+}
+
+// PolicyRule is a PCRF rule mapping an application service to bearer QoS.
+type PolicyRule struct {
+	ServiceID string
+	QCI       pkt.QCI
+	ARP       uint8
+	// Precedence orders the resulting TFT filter.
+	Precedence uint8
+	// GuaranteedUL/DL are the GBR rates (bits/s) for guaranteed-bit-rate
+	// QCIs; the PCEF admission-controls them against the serving PGW-U's
+	// capacity. Zero for non-GBR classes.
+	GuaranteedUL, GuaranteedDL uint64
+	// MaxUL/MaxDL are the bearer's maximum bit rates (bits/s), enforced by
+	// meters at the PGW-U. Zero means unpoliced.
+	MaxUL, MaxDL uint64
+}
+
+// PCRF is the policy and charging rules function. ACACIA's MRS (an
+// application function) signals it with service and flow information; it
+// resolves the policy rule and invokes the PCEF in the PGW-C, triggering
+// network-initiated dedicated bearer activation (TS 23.401 §5.4.1).
+type PCRF struct {
+	core  *Core
+	rules map[string]PolicyRule
+}
+
+// AddRule provisions a policy rule for a service.
+func (p *PCRF) AddRule(r PolicyRule) { p.rules[r.ServiceID] = r }
+
+// Rule returns the rule for a service id.
+func (p *PCRF) Rule(serviceID string) (PolicyRule, bool) {
+	r, ok := p.rules[serviceID]
+	return r, ok
+}
+
+// RequestDedicatedBearer is the Rx-like entry point used by the MRS: it
+// resolves policy for (service, UE, CI server) and asks the PCEF to
+// activate a dedicated bearer on the given local user planes. done (may be
+// nil) receives the bearer EBI or an error.
+func (p *PCRF) RequestDedicatedBearer(serviceID string, ueIP, ciServer pkt.Addr, sgwPlane, pgwPlane string, done func(uint8, error)) {
+	rule, ok := p.rules[serviceID]
+	if !ok {
+		fail(done, fmt.Errorf("epc: no policy rule for service %q", serviceID))
+		return
+	}
+	sess := p.core.byIP[ueIP]
+	if sess == nil {
+		fail(done, fmt.Errorf("epc: no session for UE %v", ueIP))
+		return
+	}
+	p.core.PGWC.activateDedicatedBearer(sess, rule, ciServer, sgwPlane, pgwPlane, done)
+}
+
+// RequestBearerTermination tears down the dedicated bearer toward ciServer.
+func (p *PCRF) RequestBearerTermination(ueIP, ciServer pkt.Addr, done func(error)) {
+	sess := p.core.byIP[ueIP]
+	if sess == nil {
+		if done != nil {
+			done(fmt.Errorf("epc: no session for UE %v", ueIP))
+		}
+		return
+	}
+	p.core.PGWC.deactivateDedicatedBearer(sess, ciServer, done)
+}
+
+func fail(done func(uint8, error), err error) {
+	if done != nil {
+		done(0, err)
+	}
+}
+
+// UserPlane is one GW-U: a switch plus the port conventions the control
+// plane programs against.
+type UserPlane struct {
+	Name string
+	SW   *sdn.Switch
+	// AccessPort faces the eNB side (SGW-U) or the SGW-U side (PGW-U).
+	AccessPort int
+	// CorePort faces the PGW-U side (SGW-U) or the SGi/server side (PGW-U).
+	CorePort int
+	// GBRCapacityBps bounds the sum of guaranteed bit rates (UL+DL) the
+	// PCEF may admit onto this plane; zero means no admission control.
+	GBRCapacityBps uint64
+	// gbrInUse tracks admitted guaranteed rate.
+	gbrInUse uint64
+}
+
+// GBRInUse reports the guaranteed rate currently admitted on this plane.
+func (u *UserPlane) GBRInUse() uint64 { return u.gbrInUse }
+
+// admitGBR reserves rate if capacity allows.
+func (u *UserPlane) admitGBR(rate uint64) bool {
+	if u.GBRCapacityBps == 0 || rate == 0 {
+		return true
+	}
+	if u.gbrInUse+rate > u.GBRCapacityBps {
+		return false
+	}
+	u.gbrInUse += rate
+	return true
+}
+
+// releaseGBR returns previously admitted rate.
+func (u *UserPlane) releaseGBR(rate uint64) {
+	if rate >= u.gbrInUse {
+		u.gbrInUse = 0
+		return
+	}
+	u.gbrInUse -= rate
+}
+
+// Addr returns the user plane's GTP endpoint address.
+func (u *UserPlane) Addr() pkt.Addr { return u.SW.Node().Addr() }
+
+// Flow cookies: one per (UE, bearer, direction) so release/re-establish can
+// delete exactly the downlink rules.
+func cookieUL(ueIP pkt.Addr, ebi uint8) uint64 {
+	return uint64(ueIP.Uint32())<<16 | uint64(ebi)<<8 | 0x01
+}
+
+func cookieDL(ueIP pkt.Addr, ebi uint8) uint64 {
+	return uint64(ueIP.Uint32())<<16 | uint64(ebi)<<8 | 0x02
+}
+
+// SGWC is the serving gateway control plane.
+type SGWC struct {
+	core   *Core
+	planes map[string]*UserPlane
+	teids  teidAllocator
+	// paged tracks buffered downlink packets per session awaiting
+	// promotion.
+	paged map[string][]bufferedDL
+}
+
+type bufferedDL struct {
+	sw *sdn.Switch
+	p  *netsim.Packet
+	// teid is the S5 tunnel the packet arrived on; replay re-encapsulates
+	// with it so the reinstalled downlink rule matches.
+	teid uint64
+}
+
+// maxDLBuffer bounds per-session downlink buffering while paging, matching
+// typical SGW paging buffers (a handful of packets; TCP retransmission
+// recovers the rest).
+const maxDLBuffer = 16
+
+// AddUserPlane registers an SGW-U under a name ("core-sgw", "edge-sgw-1").
+func (s *SGWC) AddUserPlane(name string, sw *sdn.Switch, accessPort, corePort int) *UserPlane {
+	up := &UserPlane{Name: name, SW: sw, AccessPort: accessPort, CorePort: corePort}
+	s.planes[name] = up
+	sw.MarkGTPPort(accessPort)
+	sw.MarkGTPPort(corePort)
+	return up
+}
+
+// Plane returns a registered user plane.
+func (s *SGWC) Plane(name string) *UserPlane { return s.planes[name] }
+
+// PGWC is the PDN gateway control plane; it hosts the PCEF.
+type PGWC struct {
+	core   *Core
+	planes map[string]*UserPlane
+	teids  teidAllocator
+}
+
+// AddUserPlane registers a PGW-U ("core-pgw", "edge-pgw-1"). corePort faces
+// the SGW-U; sgiPort faces the packet data network (servers).
+func (p *PGWC) AddUserPlane(name string, sw *sdn.Switch, corePort, sgiPort int) *UserPlane {
+	up := &UserPlane{Name: name, SW: sw, AccessPort: corePort, CorePort: sgiPort}
+	p.planes[name] = up
+	sw.MarkGTPPort(corePort)
+	return up
+}
+
+// Plane returns a registered user plane.
+func (p *PGWC) Plane(name string) *UserPlane { return p.planes[name] }
+
+// installBearerFlows programs the four GTP flow rules of one bearer:
+// uplink and downlink on both its SGW-U and PGW-U.
+func (c *Core) installBearerFlows(sess *Session, b *Bearer) {
+	sgw := c.SGWC.planes[b.SGWPlane]
+	pgw := c.PGWC.planes[b.PGWPlane]
+	if sgw == nil || pgw == nil {
+		panic(fmt.Sprintf("epc: bearer references unknown planes %q/%q", b.SGWPlane, b.PGWPlane))
+	}
+	// SGW-U uplink: S1 tunnel in -> S5 tunnel out toward PGW-U.
+	c.Ctl.InstallFlow(sgw.SW, sdn.FlowEntry{
+		Priority: 100, Cookie: cookieUL(sess.UEIP, b.EBI),
+		Match: pkt.Match{TunnelID: pkt.U64(uint64(b.S1UL))},
+		Actions: []pkt.Action{
+			{Type: pkt.ActionSetTunnel, TunnelID: uint64(b.S5UL), TunnelDst: pgw.Addr()},
+			{Type: pkt.ActionOutput, Port: uint32(sgw.CorePort)},
+		},
+	})
+	// PGW-U uplink: S5 tunnel in -> plain out the SGi port. The bearer's
+	// MBR, when set, is enforced here with a meter — the PCEF's QoS
+	// enforcement point.
+	c.Ctl.InstallFlow(pgw.SW, sdn.FlowEntry{
+		Priority: 100, Cookie: cookieUL(sess.UEIP, b.EBI),
+		Match:    pkt.Match{TunnelID: pkt.U64(uint64(b.S5UL))},
+		Actions:  []pkt.Action{{Type: pkt.ActionOutput, Port: uint32(pgw.CorePort)}},
+		MeterBps: float64(b.QoS.MaxBitrateUL),
+	})
+	c.installDownlinkFlows(sess, b)
+}
+
+// installDownlinkFlows programs the two downlink rules (PGW-U and SGW-U).
+// They are installed separately because S1 release deletes the SGW-U
+// downlink rule while keeping uplink state.
+func (c *Core) installDownlinkFlows(sess *Session, b *Bearer) {
+	sgw := c.SGWC.planes[b.SGWPlane]
+	pgw := c.PGWC.planes[b.PGWPlane]
+	// PGW-U downlink: classify by UE IP (and CI server for dedicated
+	// bearers) -> S5 tunnel toward SGW-U.
+	dlMatch := pkt.Match{IPv4Dst: pkt.AddrPtr(sess.UEIP)}
+	if !b.CIServer.IsZero() {
+		dlMatch.IPv4Src = pkt.AddrPtr(b.CIServer)
+	}
+	c.Ctl.InstallFlow(pgw.SW, sdn.FlowEntry{
+		Priority: 100, Cookie: cookieDL(sess.UEIP, b.EBI),
+		Match: dlMatch,
+		Actions: []pkt.Action{
+			{Type: pkt.ActionSetTunnel, TunnelID: uint64(b.S5DL), TunnelDst: sgw.Addr()},
+			{Type: pkt.ActionOutput, Port: uint32(pgw.AccessPort)},
+		},
+		MeterBps: float64(b.QoS.MaxBitrateDL),
+	})
+	c.installSGWDownlink(sess, b)
+}
+
+// installSGWDownlink programs only the SGW-U downlink rule. Promotion after
+// an idle period reinstalls just this rule — the PGW-U side is unaffected
+// by eNB TEID changes — matching the testbed's OpenFlow message budget of
+// one delete + one add per bearer per release/re-establish cycle.
+func (c *Core) installSGWDownlink(sess *Session, b *Bearer) {
+	sgw := c.SGWC.planes[b.SGWPlane]
+	// SGW-U downlink: S5 tunnel in -> S1 tunnel toward the eNB.
+	c.Ctl.InstallFlow(sgw.SW, sdn.FlowEntry{
+		Priority: 100, Cookie: cookieDL(sess.UEIP, b.EBI),
+		Match: pkt.Match{TunnelID: pkt.U64(uint64(b.S5DL))},
+		Actions: []pkt.Action{
+			{Type: pkt.ActionSetTunnel, TunnelID: uint64(b.S1DL), TunnelDst: sess.ENB.Addr()},
+			{Type: pkt.ActionOutput, Port: uint32(sgw.AccessPort)},
+		},
+	})
+}
+
+// removeBearerFlows deletes all four rules of a bearer.
+func (c *Core) removeBearerFlows(sess *Session, b *Bearer) {
+	sgw := c.SGWC.planes[b.SGWPlane]
+	pgw := c.PGWC.planes[b.PGWPlane]
+	c.Ctl.RemoveFlows(sgw.SW, cookieUL(sess.UEIP, b.EBI))
+	c.Ctl.RemoveFlows(pgw.SW, cookieUL(sess.UEIP, b.EBI))
+	c.Ctl.RemoveFlows(pgw.SW, cookieDL(sess.UEIP, b.EBI))
+	c.removeSGWDownlink(sess, b)
+}
+
+// removeSGWDownlink deletes only the SGW-U downlink rule — the S1 release
+// action that makes later downlink traffic miss and trigger paging.
+func (c *Core) removeSGWDownlink(sess *Session, b *Bearer) {
+	sgw := c.SGWC.planes[b.SGWPlane]
+	c.Ctl.RemoveFlows(sgw.SW, cookieDL(sess.UEIP, b.EBI))
+}
+
+// bufferAndPage handles a downlink table miss for an idle UE: buffer the
+// packet (bounded, as real SGW paging buffers are) and start paging. Once
+// the UE promotes back to connected, the buffered packets are replayed
+// through the SGW-U, whose freshly reinstalled downlink rules deliver them.
+func (s *SGWC) bufferAndPage(sess *Session, sw *sdn.Switch, p *netsim.Packet, teid uint64) {
+	if sess.State != StateIdle && sess.State != StatePromoting {
+		return // race with an in-flight state change; nothing to do
+	}
+	if s.paged == nil {
+		s.paged = make(map[string][]bufferedDL)
+	}
+	first := len(s.paged[sess.IMSI]) == 0
+	if len(s.paged[sess.IMSI]) < maxDLBuffer {
+		s.paged[sess.IMSI] = append(s.paged[sess.IMSI], bufferedDL{sw: sw, p: p, teid: teid})
+	}
+	if first {
+		if sess.State == StateIdle {
+			s.core.MME.page(sess)
+		}
+		sess.whenConnected(func() { s.replayBuffered(sess) })
+	}
+}
+
+// replayBuffered re-injects paging-buffered downlink packets into their
+// SGW-U after promotion, restoring the S5 encapsulation the switch stripped
+// before the table miss.
+func (s *SGWC) replayBuffered(sess *Session) {
+	buf := s.paged[sess.IMSI]
+	delete(s.paged, sess.IMSI)
+	for _, item := range buf {
+		if item.teid != 0 && !item.p.Tunneled() {
+			addr := item.sw.Node().Addr()
+			item.p.Encapsulate(addr, addr, uint32(item.teid))
+		}
+		item.sw.Node().Inject(item.p)
+	}
+}
+
+// activateDedicatedBearer runs the network-initiated dedicated bearer
+// activation: PCEF (here) builds the bearer, then the Create Bearer
+// Request/Response chain flows PGW-C -> SGW-C -> MME -> eNB -> UE and back.
+func (p *PGWC) activateDedicatedBearer(sess *Session, rule PolicyRule, ciServer pkt.Addr, sgwPlane, pgwPlane string, done func(uint8, error)) {
+	if sess.State == StateDetached {
+		fail(done, fmt.Errorf("epc: UE %s not attached", sess.IMSI))
+		return
+	}
+	if p.planes[pgwPlane] == nil || p.core.SGWC.planes[sgwPlane] == nil {
+		fail(done, fmt.Errorf("epc: unknown user planes %q/%q", sgwPlane, pgwPlane))
+		return
+	}
+	// Next free EBI.
+	ebi := uint8(EBIDedicated)
+	for sess.Bearers[ebi] != nil {
+		ebi++
+		if ebi > 15 {
+			fail(done, fmt.Errorf("epc: UE %s has no free EBI", sess.IMSI))
+			return
+		}
+	}
+	// GBR admission control: a guaranteed-bit-rate bearer must fit the
+	// serving plane's remaining capacity or be rejected outright
+	// (TS 23.401 bearer-level admission at the PCEF).
+	gbr := rule.GuaranteedUL + rule.GuaranteedDL
+	plane := p.planes[pgwPlane]
+	if !plane.admitGBR(gbr) {
+		fail(done, fmt.Errorf("epc: plane %q GBR capacity exhausted (%d in use of %d, requested %d)",
+			pgwPlane, plane.gbrInUse, plane.GBRCapacityBps, gbr))
+		return
+	}
+
+	tft := pkt.DedicatedBearerTFT(ciServer)
+	tft.Filters[0].Precedence = rule.Precedence
+	b := &Bearer{
+		EBI: ebi,
+		QoS: pkt.BearerQoS{
+			QCI: rule.QCI, ARP: rule.ARP,
+			GuaranteedUL: rule.GuaranteedUL, GuaranteedDL: rule.GuaranteedDL,
+			MaxBitrateUL: rule.MaxUL, MaxBitrateDL: rule.MaxDL,
+		},
+		TFT:      &tft,
+		SGWPlane: sgwPlane,
+		PGWPlane: pgwPlane,
+		CIServer: ciServer,
+		S5UL:     p.teids.alloc(),
+	}
+
+	// PGW-C -> SGW-C: Create Bearer Request (S5), carrying the PGW-side
+	// F-TEID. The SGW-C fills in its own TEIDs and forwards upstream.
+	req := &pkt.GTPv2Msg{
+		Type: pkt.GTPv2CreateBearerRequest,
+		TEID: 1, Seq: uint32(ebi),
+		Bearers: []pkt.BearerContext{{
+			EBI: ebi, TFT: b.TFT, QoS: &b.QoS,
+			FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS5PGW, TEID: b.S5UL, Addr: p.planes[pgwPlane].Addr()}},
+		}},
+	}
+	p.core.sendGTPv2(req, func() {
+		p.core.SGWC.onCreateBearerRequest(sess, b, done)
+	})
+}
+
+// onCreateBearerRequest is the SGW-C half of dedicated bearer activation.
+func (s *SGWC) onCreateBearerRequest(sess *Session, b *Bearer, done func(uint8, error)) {
+	b.S1UL = s.teids.alloc()
+	b.S5DL = s.teids.alloc()
+	// SGW-C -> MME: Create Bearer Request (S11) with the *local* SGW-U
+	// address in the S1-U F-TEID — the step that steers the radio-side
+	// tunnel to the edge.
+	req := &pkt.GTPv2Msg{
+		Type: pkt.GTPv2CreateBearerRequest,
+		TEID: 2, Seq: uint32(b.EBI),
+		Bearers: []pkt.BearerContext{{
+			EBI: b.EBI, TFT: b.TFT, QoS: &b.QoS,
+			FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: s.planes[b.SGWPlane].Addr()}},
+		}},
+	}
+	s.core.sendGTPv2(req, func() {
+		s.core.MME.onCreateBearerRequest(sess, b, func(err error) {
+			s.finishCreateBearer(sess, b, err, done)
+		})
+	})
+}
+
+// finishCreateBearer sends the Create Bearer Responses back down the chain
+// and programs the user planes.
+func (s *SGWC) finishCreateBearer(sess *Session, b *Bearer, err error, done func(uint8, error)) {
+	cause := uint8(pkt.GTPv2CauseAccepted)
+	if err != nil {
+		cause = pkt.GTPv2CauseDenied
+	}
+	// SGW-C -> PGW-C response (S5), then PGW-C concludes.
+	resp := &pkt.GTPv2Msg{
+		Type: pkt.GTPv2CreateBearerResponse,
+		TEID: 1, Seq: uint32(b.EBI), Cause: cause,
+		Bearers: []pkt.BearerContext{{
+			EBI: b.EBI, Cause: cause,
+			FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS5SGW, TEID: b.S5DL, Addr: s.planes[b.SGWPlane].Addr()}},
+		}},
+	}
+	s.core.sendGTPv2(resp, func() {
+		if err != nil {
+			// Return any GBR reservation made at admission.
+			s.core.PGWC.planes[b.PGWPlane].releaseGBR(b.QoS.GuaranteedUL + b.QoS.GuaranteedDL)
+			fail(done, err)
+			return
+		}
+		sess.Bearers[b.EBI] = b
+		s.core.installBearerFlows(sess, b)
+		if done != nil {
+			done(b.EBI, nil)
+		}
+	})
+}
+
+// deactivateDedicatedBearer tears down the bearer whose CI server matches.
+func (p *PGWC) deactivateDedicatedBearer(sess *Session, ciServer pkt.Addr, done func(error)) {
+	var b *Bearer
+	for _, cand := range sess.DedicatedBearers() {
+		if cand.CIServer == ciServer {
+			b = cand
+			break
+		}
+	}
+	if b == nil {
+		if done != nil {
+			done(fmt.Errorf("epc: no dedicated bearer toward %v", ciServer))
+		}
+		return
+	}
+	req := &pkt.GTPv2Msg{
+		Type: pkt.GTPv2DeleteBearerRequest,
+		TEID: 1, Seq: uint32(b.EBI),
+		Bearers: []pkt.BearerContext{{EBI: b.EBI}},
+	}
+	p.core.sendGTPv2(req, func() {
+		// SGW-C forwards to the MME, which releases the radio side.
+		fwd := &pkt.GTPv2Msg{
+			Type: pkt.GTPv2DeleteBearerRequest,
+			TEID: 2, Seq: uint32(b.EBI),
+			Bearers: []pkt.BearerContext{{EBI: b.EBI}},
+		}
+		p.core.sendGTPv2(fwd, func() {
+			p.core.MME.onDeleteBearerRequest(sess, b, func() {
+				resp := &pkt.GTPv2Msg{
+					Type: pkt.GTPv2DeleteBearerResponse,
+					TEID: 1, Seq: uint32(b.EBI), Cause: pkt.GTPv2CauseAccepted,
+					Bearers: []pkt.BearerContext{{EBI: b.EBI, Cause: pkt.GTPv2CauseAccepted}},
+				}
+				p.core.sendGTPv2(resp, func() {
+					p.core.removeBearerFlows(sess, b)
+					delete(sess.Bearers, b.EBI)
+					p.planes[b.PGWPlane].releaseGBR(b.QoS.GuaranteedUL + b.QoS.GuaranteedDL)
+					if done != nil {
+						done(nil)
+					}
+				})
+			})
+		})
+	})
+}

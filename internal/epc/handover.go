@@ -1,0 +1,138 @@
+package epc
+
+import (
+	"fmt"
+	"time"
+
+	"acacia/internal/pkt"
+)
+
+// S1-based handover (TS 23.401 §5.5.1): the serving eNB reports the UE
+// moving out of its cell, the MME prepares every bearer at the target eNB,
+// the UE retunes, and the SGW-C repoints the downlink tunnels. The SGW
+// stays the anchor — exactly the role the paper's background section
+// assigns it — so UE IP and bearers (including the dedicated MEC bearer)
+// survive the move.
+
+// handoverInterruption is the radio-layer outage while the UE detunes from
+// the source cell and synchronizes to the target (detach + RACH).
+const handoverInterruption = 30 * time.Millisecond
+
+// Handovers counts completed handovers (on the MME).
+
+// Handover moves sess from its serving eNB to target. done (may be nil)
+// fires when the path switch completes or the preparation fails.
+func (m *MME) Handover(sess *Session, target *ENB, done func(error)) {
+	c := m.core
+	if sess.State != StateConnected {
+		if done != nil {
+			done(fmt.Errorf("epc: cannot hand over session in state %v", sess.State))
+		}
+		return
+	}
+	source := sess.ENB
+	if source == target {
+		if done != nil {
+			done(fmt.Errorf("epc: source and target eNB are both %s", target.Name()))
+		}
+		return
+	}
+	tctx := target.byUEIP[sess.UE.Addr()]
+	if tctx == nil {
+		if done != nil {
+			done(fmt.Errorf("epc: UE %s has no radio link to %s", sess.IMSI, target.Name()))
+		}
+		return
+	}
+
+	// 1. Source eNB -> MME: Handover Required.
+	required := &pkt.S1APMsg{
+		Procedure: pkt.S1APHandoverRequired,
+		ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID, Cause: 2, // radio reasons
+	}
+	c.sendS1AP(required, func() {
+		// 2. MME -> target eNB: Handover Request carrying every E-RAB.
+		var erabs []pkt.ERABItem
+		for _, b := range sess.Bearers {
+			sgw := c.SGWC.planes[b.SGWPlane]
+			erabs = append(erabs, pkt.ERABItem{
+				ERABID: b.EBI, QoS: &b.QoS,
+				Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: sgw.Addr()},
+			})
+		}
+		hoReq := &pkt.S1APMsg{
+			Procedure: pkt.S1APHandoverRequest,
+			ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+			ERABs: erabs,
+		}
+		c.sendS1AP(hoReq, func() {
+			// Target admits the bearers: new downlink TEIDs.
+			var ackItems []pkt.ERABItem
+			for _, b := range sess.Bearers {
+				b.S1DL = target.attachBearer(sess, b)
+				ackItems = append(ackItems, pkt.ERABItem{
+					ERABID:    b.EBI,
+					Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1UeNodeB, TEID: b.S1DL, Addr: target.Addr()},
+				})
+			}
+			// 3. Target -> MME: Handover Request Acknowledge.
+			ack := &pkt.S1APMsg{
+				Procedure: pkt.S1APHandoverRequestAck,
+				ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+				ERABs: ackItems,
+			}
+			c.sendS1AP(ack, func() {
+				// 4. MME -> source eNB: Handover Command; the source tells
+				// the UE to retune (RRC reconfiguration with mobility).
+				// The Target-to-Source transparent container carries the
+				// RRC reconfiguration (opaque to the MME).
+				cmd := &pkt.S1APMsg{
+					Procedure: pkt.S1APHandoverCommand,
+					ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+					NAS: make([]byte, 90),
+				}
+				c.sendS1AP(cmd, func() {
+					source.releaseContext(sess)
+					c.Eng.Schedule(handoverInterruption, func() {
+						sess.UE.switchRadio(target, tctx.uePort)
+						sess.ENB = target
+						// 5. Target -> MME: Handover Notify.
+						notify := &pkt.S1APMsg{
+							Procedure: pkt.S1APHandoverNotify,
+							ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+						}
+						c.sendS1AP(notify, func() {
+							m.pathSwitch(sess, done)
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// pathSwitch repoints the SGW-U downlink rules at the new eNB (Modify
+// Bearer Request/Response on S11).
+func (m *MME) pathSwitch(sess *Session, done func(error)) {
+	c := m.core
+	var items []pkt.BearerContext
+	for _, b := range sess.Bearers {
+		items = append(items, pkt.BearerContext{
+			EBI:    b.EBI,
+			FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1UeNodeB, TEID: b.S1DL, Addr: sess.ENB.Addr()}},
+		})
+	}
+	req := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerRequest, Seq: 8, IMSI: sess.IMSI, Bearers: items}
+	c.sendGTPv2(req, func() {
+		for _, b := range sess.Bearers {
+			c.installSGWDownlink(sess, b)
+		}
+		resp := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerResponse, Seq: 8, Cause: pkt.GTPv2CauseAccepted}
+		c.sendGTPv2(resp, func() {
+			m.Handovers++
+			if done != nil {
+				done(nil)
+			}
+		})
+	})
+}

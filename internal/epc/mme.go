@@ -1,0 +1,428 @@
+package epc
+
+import (
+	"fmt"
+
+	"acacia/internal/pkt"
+)
+
+// MME is the mobility management entity: it terminates S1AP from the eNBs
+// and drives session procedures over GTPv2 toward the SGW-C.
+type MME struct {
+	core *Core
+	// Stats.
+	Attaches   uint64
+	Releases   uint64
+	Promotions uint64
+	Pagings    uint64
+	Handovers  uint64
+}
+
+// --- Attach ---
+
+// onInitialAttach handles an InitialUEMessage carrying an attach request.
+// defaultPlanes name the (central) user planes serving the default bearer.
+func (m *MME) onInitialAttach(enb *ENB, ue *UE, sgwPlane, pgwPlane string, done func(error)) {
+	c := m.core
+	sub, ok := c.HSS.Lookup(ue.IMSI)
+	if !ok {
+		if done != nil {
+			done(fmt.Errorf("epc: IMSI %s unknown to HSS", ue.IMSI))
+		}
+		return
+	}
+	if c.sessions[ue.IMSI] != nil {
+		if done != nil {
+			done(fmt.Errorf("epc: IMSI %s already attached", ue.IMSI))
+		}
+		return
+	}
+	if c.SGWC.planes[sgwPlane] == nil || c.PGWC.planes[pgwPlane] == nil {
+		if done != nil {
+			done(fmt.Errorf("epc: unknown default planes %q/%q", sgwPlane, pgwPlane))
+		}
+		return
+	}
+	m.Attaches++
+	c.nextUEID++
+	sess := &Session{
+		IMSI:       ue.IMSI,
+		ENB:        enb,
+		UE:         ue,
+		MMEUEID:    c.nextUEID,
+		ENBUEID:    c.nextUEID | 0x1000000,
+		Bearers:    make(map[uint8]*Bearer),
+		AttachedAt: c.Eng.Now(),
+	}
+	sess.setState(c.Eng, StateConnecting)
+	c.sessions[ue.IMSI] = sess
+
+	// MME -> SGW-C: Create Session Request (S11).
+	b := &Bearer{EBI: EBIDefault, QoS: sub.DefaultQoS, SGWPlane: sgwPlane, PGWPlane: pgwPlane}
+	csReq := &pkt.GTPv2Msg{
+		Type: pkt.GTPv2CreateSessionRequest,
+		IMSI: ue.IMSI, Seq: 1,
+		Bearers: []pkt.BearerContext{{EBI: b.EBI, QoS: &b.QoS}},
+	}
+	c.sendGTPv2(csReq, func() {
+		// SGW-C allocates its TEIDs, forwards Create Session to the PGW-C.
+		b.S1UL = c.SGWC.teids.alloc()
+		b.S5DL = c.SGWC.teids.alloc()
+		fwd := &pkt.GTPv2Msg{
+			Type: pkt.GTPv2CreateSessionRequest,
+			IMSI: ue.IMSI, Seq: 1,
+			SenderFTEID: &pkt.FTEID{IfaceType: pkt.FTEIDIfaceS5SGW, TEID: b.S5DL, Addr: c.SGWC.planes[sgwPlane].Addr()},
+			Bearers:     []pkt.BearerContext{{EBI: b.EBI, QoS: &b.QoS}},
+		}
+		c.sendGTPv2(fwd, func() {
+			// PGW-C (PCEF): confirm the UE's statically bound address (the
+			// PAA) and allocate the S5 TEID.
+			sess.UEIP = sess.UE.Addr()
+			c.byIP[sess.UEIP] = sess
+			b.S5UL = c.PGWC.teids.alloc()
+			resp := &pkt.GTPv2Msg{
+				Type: pkt.GTPv2CreateSessionResponse,
+				Seq:  1, Cause: pkt.GTPv2CauseAccepted, PAA: sess.UEIP,
+				SenderFTEID: &pkt.FTEID{IfaceType: pkt.FTEIDIfaceS5PGW, TEID: b.S5UL, Addr: c.PGWC.planes[pgwPlane].Addr()},
+				Bearers:     []pkt.BearerContext{{EBI: b.EBI, Cause: pkt.GTPv2CauseAccepted}},
+			}
+			c.sendGTPv2(resp, func() {
+				// SGW-C -> MME: Create Session Response with the S1-U
+				// F-TEID the eNB must send uplink to.
+				resp2 := &pkt.GTPv2Msg{
+					Type: pkt.GTPv2CreateSessionResponse,
+					Seq:  1, Cause: pkt.GTPv2CauseAccepted, PAA: sess.UEIP,
+					Bearers: []pkt.BearerContext{{
+						EBI: b.EBI, Cause: pkt.GTPv2CauseAccepted,
+						FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: c.SGWC.planes[sgwPlane].Addr()}},
+					}},
+				}
+				c.sendGTPv2(resp2, func() {
+					m.setupInitialContext(sess, b, done)
+				})
+			})
+		})
+	})
+}
+
+// setupInitialContext runs the S1AP Initial Context Setup exchange with the
+// eNB and the follow-up Modify Bearer toward the SGW-C.
+func (m *MME) setupInitialContext(sess *Session, b *Bearer, done func(error)) {
+	c := m.core
+	sgw := c.SGWC.planes[b.SGWPlane]
+	acceptNAS := (&pkt.NASMsg{
+		Type: pkt.NASAttachAccept,
+		ESM: &pkt.NASMsg{
+			Type: pkt.NASActivateDefaultBearerRequest,
+			EBI:  b.EBI, APN: "internet", UEIP: sess.UEIP, QoS: &b.QoS,
+		},
+	}).Encode(nil)
+	icsReq := &pkt.S1APMsg{
+		Procedure: pkt.S1APInitialContextSetupRequest,
+		ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+		NAS: acceptNAS,
+		ERABs: []pkt.ERABItem{{
+			ERABID: b.EBI, QoS: &b.QoS,
+			Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: sgw.Addr()},
+		}},
+	}
+	c.sendS1AP(icsReq, func() {
+		// eNB allocates its downlink TEID and attaches the radio bearer.
+		b.S1DL = sess.ENB.attachBearer(sess, b)
+		icsResp := &pkt.S1APMsg{
+			Procedure: pkt.S1APInitialContextSetupResponse,
+			ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+			ERABs: []pkt.ERABItem{{
+				ERABID:    b.EBI,
+				Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1UeNodeB, TEID: b.S1DL, Addr: sess.ENB.Addr()},
+			}},
+		}
+		c.sendS1AP(icsResp, func() {
+			// MME -> SGW-C: Modify Bearer with the eNB F-TEID.
+			mbReq := &pkt.GTPv2Msg{
+				Type: pkt.GTPv2ModifyBearerRequest, Seq: 2, IMSI: sess.IMSI,
+				Bearers: []pkt.BearerContext{{
+					EBI:    b.EBI,
+					FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1UeNodeB, TEID: b.S1DL, Addr: sess.ENB.Addr()}},
+				}},
+			}
+			c.sendGTPv2(mbReq, func() {
+				mbResp := &pkt.GTPv2Msg{
+					Type: pkt.GTPv2ModifyBearerResponse, Seq: 2, Cause: pkt.GTPv2CauseAccepted,
+					Bearers: []pkt.BearerContext{{EBI: b.EBI, Cause: pkt.GTPv2CauseAccepted}},
+				}
+				c.sendGTPv2(mbResp, func() {
+					sess.Bearers[b.EBI] = b
+					c.installBearerFlows(sess, b)
+					// UE -> MME attach complete.
+					complete := &pkt.S1APMsg{
+						Procedure: pkt.S1APUplinkNASTransport,
+						ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+						NAS: (&pkt.NASMsg{Type: pkt.NASAttachComplete}).Encode(nil),
+					}
+					c.sendS1AP(complete, func() {
+						sess.UE.completeAttach(sess)
+						sess.setState(c.Eng, StateConnected)
+						if done != nil {
+							done(nil)
+						}
+					})
+				})
+			})
+		})
+	})
+}
+
+// --- Detach ---
+
+// onDetach handles a UE-initiated detach: tear down every bearer's user
+// plane, delete the session at the gateways (Delete Session Request on S11
+// and S5), and release the radio context.
+func (m *MME) onDetach(sess *Session, done func()) {
+	c := m.core
+	req := &pkt.GTPv2Msg{Type: pkt.GTPv2DeleteSessionRequest, Seq: 9, IMSI: sess.IMSI}
+	c.sendGTPv2(req, func() {
+		fwd := &pkt.GTPv2Msg{Type: pkt.GTPv2DeleteSessionRequest, Seq: 9, IMSI: sess.IMSI}
+		c.sendGTPv2(fwd, func() {
+			// PGW-C: drop flows, return GBR reservations.
+			for _, b := range sess.Bearers {
+				c.removeBearerFlows(sess, b)
+				c.PGWC.planes[b.PGWPlane].releaseGBR(b.QoS.GuaranteedUL + b.QoS.GuaranteedDL)
+			}
+			resp := &pkt.GTPv2Msg{Type: pkt.GTPv2DeleteSessionResponse, Seq: 9, Cause: pkt.GTPv2CauseAccepted}
+			c.sendGTPv2(resp, func() {
+				resp2 := &pkt.GTPv2Msg{Type: pkt.GTPv2DeleteSessionResponse, Seq: 9, Cause: pkt.GTPv2CauseAccepted}
+				c.sendGTPv2(resp2, func() {
+					cmd := &pkt.S1APMsg{
+						Procedure: pkt.S1APUEContextReleaseCommand,
+						ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID, Cause: 3, // detach
+					}
+					c.sendS1AP(cmd, func() {
+						sess.ENB.releaseContext(sess)
+						complete := &pkt.S1APMsg{
+							Procedure: pkt.S1APUEContextReleaseComplete,
+							ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+						}
+						c.sendS1AP(complete, func() {
+							sess.setState(c.Eng, StateDetached)
+							delete(c.sessions, sess.IMSI)
+							delete(c.byIP, sess.UEIP)
+							sess.UE.completeDetach()
+							if done != nil {
+								done()
+							}
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// --- S1 release (idle transition) ---
+
+// onReleaseRequest handles the eNB's UE Context Release Request after the
+// inactivity timer fires.
+func (m *MME) onReleaseRequest(sess *Session) {
+	c := m.core
+	if sess.State != StateConnected {
+		return
+	}
+	m.Releases++
+	sess.setState(c.Eng, StateIdle)
+	// MME -> SGW-C: Release Access Bearers (drops eNB-facing state).
+	raReq := &pkt.GTPv2Msg{Type: pkt.GTPv2ReleaseAccessBearersRequest, Seq: 3, IMSI: sess.IMSI}
+	c.sendGTPv2(raReq, func() {
+		// SGW-C deletes the SGW-U downlink rules: later downlink traffic
+		// misses and triggers paging.
+		for _, b := range sess.Bearers {
+			c.removeSGWDownlink(sess, b)
+		}
+		raResp := &pkt.GTPv2Msg{Type: pkt.GTPv2ReleaseAccessBearersResponse, Seq: 3, Cause: pkt.GTPv2CauseAccepted}
+		c.sendGTPv2(raResp, func() {
+			cmd := &pkt.S1APMsg{
+				Procedure: pkt.S1APUEContextReleaseCommand,
+				ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID, Cause: 20, // user-inactivity
+			}
+			c.sendS1AP(cmd, func() {
+				sess.ENB.releaseContext(sess)
+				complete := &pkt.S1APMsg{
+					Procedure: pkt.S1APUEContextReleaseComplete,
+					ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+				}
+				c.sendS1AP(complete, func() {})
+			})
+		})
+	})
+}
+
+// --- Service request (promotion) ---
+
+// onServiceRequest handles the eNB's InitialUEMessage{Service Request} when
+// an idle UE has data to send (or responds to paging).
+func (m *MME) onServiceRequest(sess *Session) {
+	c := m.core
+	if sess.State != StateIdle {
+		return
+	}
+	m.Promotions++
+	sess.setState(c.Eng, StatePromoting)
+
+	// Rebuild the E-RAB list for every bearer of the session.
+	var erabs []pkt.ERABItem
+	for _, b := range sess.Bearers {
+		sgw := c.SGWC.planes[b.SGWPlane]
+		erabs = append(erabs, pkt.ERABItem{
+			ERABID: b.EBI, QoS: &b.QoS,
+			Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: sgw.Addr()},
+			TFT:       b.TFT,
+		})
+	}
+	icsReq := &pkt.S1APMsg{
+		Procedure: pkt.S1APInitialContextSetupRequest,
+		ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+		ERABs: erabs,
+	}
+	c.sendS1AP(icsReq, func() {
+		var respItems []pkt.ERABItem
+		for _, b := range sess.Bearers {
+			b.S1DL = sess.ENB.attachBearer(sess, b)
+			respItems = append(respItems, pkt.ERABItem{
+				ERABID:    b.EBI,
+				Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1UeNodeB, TEID: b.S1DL, Addr: sess.ENB.Addr()},
+			})
+		}
+		icsResp := &pkt.S1APMsg{
+			Procedure: pkt.S1APInitialContextSetupResponse,
+			ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+			ERABs: respItems,
+		}
+		c.sendS1AP(icsResp, func() {
+			var mbItems []pkt.BearerContext
+			for _, b := range sess.Bearers {
+				mbItems = append(mbItems, pkt.BearerContext{
+					EBI:    b.EBI,
+					FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1UeNodeB, TEID: b.S1DL, Addr: sess.ENB.Addr()}},
+				})
+			}
+			mbReq := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerRequest, Seq: 4, IMSI: sess.IMSI, Bearers: mbItems}
+			c.sendGTPv2(mbReq, func() {
+				// SGW-C reinstalls the SGW-U downlink rules toward the new
+				// eNB TEIDs (PGW-U state is unchanged).
+				for _, b := range sess.Bearers {
+					c.installSGWDownlink(sess, b)
+				}
+				mbResp := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerResponse, Seq: 4, Cause: pkt.GTPv2CauseAccepted}
+				c.sendGTPv2(mbResp, func() {
+					// NAS service accept closes the promotion exchange.
+					accept := &pkt.S1APMsg{
+						Procedure: pkt.S1APDownlinkNASTransport,
+						ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+						NAS: (&pkt.NASMsg{Type: pkt.NASServiceAccept}).Encode(nil),
+					}
+					c.sendS1AP(accept, func() {
+						sess.setState(c.Eng, StateConnected)
+						sess.ENB.flushUplink(sess)
+					})
+				})
+			})
+		})
+	})
+}
+
+// page sends an S1AP Paging message and delivers the page to the UE over
+// the radio; the UE answers with a service request.
+func (m *MME) page(sess *Session) {
+	c := m.core
+	if sess.State != StateIdle {
+		return
+	}
+	m.Pagings++
+	msg := &pkt.S1APMsg{Procedure: pkt.S1APPaging, MMEUEID: sess.MMEUEID}
+	c.sendS1AP(msg, func() {
+		sess.ENB.pageUE(sess)
+	})
+}
+
+// --- Dedicated bearer S1AP leg ---
+
+// onCreateBearerRequest is the MME's role in dedicated bearer activation:
+// run the E-RAB Setup exchange with the eNB (which delivers the TFT to the
+// UE in the RRC reconfiguration) and report back to the SGW-C.
+func (m *MME) onCreateBearerRequest(sess *Session, b *Bearer, done func(error)) {
+	c := m.core
+	doSetup := func() {
+		sgw := c.SGWC.planes[b.SGWPlane]
+		// The NAS Activate Dedicated EPS Bearer Context Request carries the
+		// QoS and TFT the eNB relays to the UE in the RRC reconfiguration.
+		activateNAS := (&pkt.NASMsg{
+			Type:      pkt.NASActivateDedicatedBearerRequest,
+			EBI:       b.EBI,
+			LinkedEBI: EBIDefault,
+			QoS:       &b.QoS,
+			TFT:       b.TFT,
+		}).Encode(nil)
+		req := &pkt.S1APMsg{
+			Procedure: pkt.S1APERABSetupRequest,
+			ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+			NAS: activateNAS,
+			ERABs: []pkt.ERABItem{{
+				ERABID: b.EBI, QoS: &b.QoS,
+				Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: sgw.Addr()},
+				TFT:       b.TFT,
+			}},
+		}
+		c.sendS1AP(req, func() {
+			b.S1DL = sess.ENB.attachBearer(sess, b)
+			if err := sess.UE.installTFTFromNAS(activateNAS); err != nil {
+				panic("epc: NAS bearer activation round trip failed: " + err.Error())
+			}
+			resp := &pkt.S1APMsg{
+				Procedure: pkt.S1APERABSetupResponse,
+				ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+				ERABs: []pkt.ERABItem{{
+					ERABID:    b.EBI,
+					Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1UeNodeB, TEID: b.S1DL, Addr: sess.ENB.Addr()},
+				}},
+			}
+			c.sendS1AP(resp, func() {
+				if done != nil {
+					done(nil)
+				}
+			})
+		})
+	}
+	switch sess.State {
+	case StateConnected:
+		doSetup()
+	case StateIdle:
+		// Wake the UE first; bearer setup rides after promotion.
+		sess.whenConnected(doSetup)
+		m.page(sess)
+	case StatePromoting, StateConnecting:
+		sess.whenConnected(doSetup)
+	default:
+		if done != nil {
+			done(fmt.Errorf("epc: UE %s in state %v", sess.IMSI, sess.State))
+		}
+	}
+}
+
+// onDeleteBearerRequest releases the radio leg of a dedicated bearer.
+func (m *MME) onDeleteBearerRequest(sess *Session, b *Bearer, done func()) {
+	c := m.core
+	cmd := &pkt.S1APMsg{
+		Procedure: pkt.S1APERABReleaseCommand,
+		ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+		ERABs: []pkt.ERABItem{{ERABID: b.EBI}},
+	}
+	c.sendS1AP(cmd, func() {
+		sess.ENB.detachBearer(sess, b.EBI)
+		sess.UE.removeTFT(b.EBI)
+		resp := &pkt.S1APMsg{
+			Procedure: pkt.S1APERABReleaseResponse,
+			ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+		}
+		c.sendS1AP(resp, done)
+	})
+}

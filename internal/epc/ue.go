@@ -1,0 +1,192 @@
+package epc
+
+import (
+	"fmt"
+	"sort"
+
+	"acacia/internal/netsim"
+	"acacia/internal/pkt"
+)
+
+// UE is a user device: a netsim host behind a radio link, with the modem's
+// uplink TFT classifier. Applications use the embedded Host; every outgoing
+// packet is classified against the installed uplink TFTs so it departs with
+// the right bearer priority (the eNB performs the corresponding S1 mapping).
+type UE struct {
+	Host *netsim.Host
+	node *netsim.Node
+	IMSI string
+	enb  *ENB
+
+	// servingPort is the radio port toward the serving eNB. A UE may have
+	// radio links to several eNBs (neighbour cells); handover switches
+	// this.
+	servingPort int
+
+	attached bool
+	sess     *Session
+
+	// Modem UL TFT state: EBI -> (QCI, TFT).
+	tfts map[uint8]modemTFT
+}
+
+type modemTFT struct {
+	qci pkt.QCI
+	tft *pkt.TFT
+}
+
+// NewUE wraps node as a UE with the given IMSI. The node's address is the
+// UE's (statically bound) IP, confirmed by the PGW at attach.
+func NewUE(node *netsim.Node, imsi string) *UE {
+	ue := &UE{
+		Host: netsim.NewHost(node),
+		node: node,
+		IMSI: imsi,
+		tfts: make(map[uint8]modemTFT),
+	}
+	ue.Host.ClassifyEgress = ue.classify
+	return ue
+}
+
+// Addr returns the UE's IP address.
+func (u *UE) Addr() pkt.Addr { return u.node.Addr() }
+
+// Attached reports whether the attach procedure has completed.
+func (u *UE) Attached() bool { return u.attached }
+
+// Session returns the UE's EPC session (nil before attach completes).
+func (u *UE) Session() *Session { return u.sess }
+
+// Attach runs the initial attach through the connected eNB, establishing
+// the default bearer on the named user planes. done (may be nil) fires when
+// the attach completes or fails.
+func (u *UE) Attach(sgwPlane, pgwPlane string, done func(error)) {
+	if u.enb == nil {
+		if done != nil {
+			done(fmt.Errorf("epc: UE %s has no radio connection", u.IMSI))
+		}
+		return
+	}
+	if u.attached {
+		if done != nil {
+			done(fmt.Errorf("epc: UE %s already attached", u.IMSI))
+		}
+		return
+	}
+	u.enb.sendInitialAttach(u, sgwPlane, pgwPlane, done)
+}
+
+// completeAttach is called by the MME when the default bearer is live.
+func (u *UE) completeAttach(sess *Session) {
+	u.attached = true
+	u.sess = sess
+}
+
+// Detach runs the UE-initiated detach: the NAS detach request rides an
+// uplink NAS transport, then the MME tears the session down. done (may be
+// nil) fires when the UE is fully detached.
+func (u *UE) Detach(done func()) error {
+	if !u.attached || u.sess == nil {
+		return fmt.Errorf("epc: UE %s not attached", u.IMSI)
+	}
+	sess := u.sess
+	core := u.enb.core
+	nas := (&pkt.NASMsg{Type: pkt.NASDetachRequest, IMSI: u.IMSI}).Encode(nil)
+	msg := &pkt.S1APMsg{
+		Procedure: pkt.S1APUplinkNASTransport,
+		ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
+		NAS: nas,
+	}
+	core.sendS1AP(msg, func() { core.MME.onDetach(sess, done) })
+	return nil
+}
+
+// completeDetach clears the UE-side session state.
+func (u *UE) completeDetach() {
+	u.attached = false
+	u.sess = nil
+	u.tfts = make(map[uint8]modemTFT)
+}
+
+// installTFT is the modem-side effect of the RRC Connection Reconfiguration
+// carrying a dedicated bearer's TFT.
+func (u *UE) installTFT(ebi uint8, qci pkt.QCI, tft *pkt.TFT) {
+	u.tfts[ebi] = modemTFT{qci: qci, tft: tft}
+}
+
+// removeTFT drops a dedicated bearer's classifier.
+func (u *UE) removeTFT(ebi uint8) { delete(u.tfts, ebi) }
+
+// installTFTFromNAS decodes an Activate Dedicated EPS Bearer Context
+// Request from its wire form and installs the carried TFT and QoS — the
+// modem consumes exactly the bytes the network sent.
+func (u *UE) installTFTFromNAS(nas []byte) error {
+	var m pkt.NASMsg
+	if _, err := m.Decode(nas); err != nil {
+		return err
+	}
+	if m.Type != pkt.NASActivateDedicatedBearerRequest {
+		return fmt.Errorf("epc: NAS type 0x%02x is not a dedicated bearer activation", m.Type)
+	}
+	if m.TFT == nil || m.QoS == nil {
+		return fmt.Errorf("epc: bearer activation without TFT/QoS")
+	}
+	u.installTFT(m.EBI, m.QoS.QCI, m.TFT)
+	return nil
+}
+
+// classify is the Host egress hook: stamp the packet's priority from the
+// matching bearer's QCI (UL TFT evaluation in the modem) and send it out
+// the radio port.
+func (u *UE) classify(p *netsim.Packet) *netsim.Port {
+	qci := pkt.QCIDefault
+	ebis := make([]int, 0, len(u.tfts))
+	for ebi := range u.tfts {
+		ebis = append(ebis, int(ebi))
+	}
+	sort.Ints(ebis)
+	bestPrec := 256
+	for _, ebi := range ebis {
+		mt := u.tfts[uint8(ebi)]
+		if mt.tft == nil {
+			continue
+		}
+		if mt.tft.MatchUplink(p.Flow, p.TOS) {
+			if prec := tftPrecedence(mt.tft); prec < bestPrec {
+				bestPrec = prec
+				qci = mt.qci
+			}
+		}
+	}
+	p.Priority = qci.Priority()
+	if u.servingPort >= len(u.node.Ports()) {
+		return nil
+	}
+	return u.node.Port(u.servingPort)
+}
+
+// ServingENB reports the eNB currently serving the UE.
+func (u *UE) ServingENB() *ENB { return u.enb }
+
+// switchRadio retunes the UE to the target eNB's radio link (the RRC
+// reconfiguration with mobility control of an S1 handover).
+func (u *UE) switchRadio(target *ENB, portID int) {
+	u.enb = target
+	u.servingPort = portID
+}
+
+// BearerFor reports which EBI an uplink five-tuple would ride, mirroring
+// the modem's classification (for tests and observability).
+func (u *UE) BearerFor(flow pkt.FiveTuple, tos uint8) uint8 {
+	best := uint8(EBIDefault)
+	bestPrec := 256
+	for ebi, mt := range u.tfts {
+		if mt.tft != nil && mt.tft.MatchUplink(flow, tos) {
+			if prec := tftPrecedence(mt.tft); prec < bestPrec {
+				bestPrec = prec
+				best = ebi
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,126 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: each experiment builds the workloads on the simulation
+// substrates, runs them, and prints the same rows/series the paper reports.
+// Absolute numbers come from the calibrated models; the shapes — who wins,
+// by what factor, where crossovers fall — are the reproduction targets
+// (see EXPERIMENTS.md for paper-vs-measured values).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"acacia/internal/stats"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	// Notes carry paper-vs-measured commentary.
+	Notes []string
+}
+
+// String renders the full result.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options tune experiment durations; the zero value selects quick settings
+// suitable for tests, Full selects publication-length runs.
+type Options struct {
+	Full bool
+	Seed uint64
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 2016
+	}
+	return o.Seed
+}
+
+// Runner produces a Result.
+type Runner func(Options) *Result
+
+// registry maps experiment ids to runners, with a stable presentation
+// order.
+var (
+	registry = map[string]Runner{}
+	order    []string
+	titles   = map[string]string{}
+)
+
+// presentation is the paper's order; registration order (Go init order
+// across files) is alphabetical by file and not meaningful.
+var presentation = []string{
+	"3a", "3b", "3c", "3d", "3e", "3f", "3g", "3h", "overhead",
+	"6", "8", "9", "10a", "10b",
+	"compression", "11a", "11b", "12", "13",
+	"ablation-fastpath", "ablation-bearer", "ablation-stages",
+	"ablation-radius", "ablation-solver", "ablation-qci", "ablation-index",
+}
+
+func register(id, title string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+	titles[id] = title
+	order = append(order, id)
+}
+
+// IDs returns all experiment ids in presentation order; experiments not in
+// the canonical list (if any are added) follow in registration order.
+func IDs() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, id := range presentation {
+		if _, ok := registry[id]; ok {
+			out = append(out, id)
+			seen[id] = true
+		}
+	}
+	for _, id := range order {
+		if !seen[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Title returns the registered title for an id.
+func Title(id string) string { return titles[id] }
+
+// Run executes one experiment by id.
+func Run(id string, opts Options) (*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		var known []string
+		known = append(known, order...)
+		sort.Strings(known)
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(known, ", "))
+	}
+	return r(opts), nil
+}
+
+// RunAll executes every experiment in presentation order.
+func RunAll(opts Options) []*Result {
+	ids := IDs()
+	out := make([]*Result, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, registry[id](opts))
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+package localization
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"acacia/internal/d2d"
+	"acacia/internal/geo"
+	"acacia/internal/sim"
+)
+
+func TestFitPathLossRecoversExactModel(t *testing.T) {
+	// Samples generated from rx = -40 - 30*log10(d) must be recovered
+	// exactly (alpha=-40, beta=-30).
+	var samples []CalibrationSample
+	for _, d := range []float64{1, 2, 5, 10, 20, 40} {
+		samples = append(samples, CalibrationSample{Distance: d, RxPowerDBm: -40 - 30*math.Log10(d)})
+	}
+	fit, err := FitPathLoss(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha+40) > 1e-9 || math.Abs(fit.Beta+30) > 1e-9 {
+		t.Errorf("fit = %+v, want alpha=-40 beta=-30", fit)
+	}
+	if fit.Residual > 1e-9 {
+		t.Errorf("residual = %v on noiseless data", fit.Residual)
+	}
+	// Inverse model round-trips.
+	for _, d := range []float64{1.5, 7, 33} {
+		rx := -40 - 30*math.Log10(d)
+		if got := fit.Distance(rx); math.Abs(got-d) > 1e-6 {
+			t.Errorf("Distance(%v) = %v, want %v", rx, got, d)
+		}
+	}
+}
+
+func TestFitPathLossMatchesD2DModel(t *testing.T) {
+	// Calibrating against the d2d channel recovers its parameters:
+	// alpha = Tx - RefLoss, beta = -10*exponent.
+	m := d2d.DefaultPathLoss
+	var samples []CalibrationSample
+	for d := 1.0; d <= 50; d += 2.5 {
+		samples = append(samples, CalibrationSample{Distance: d, RxPowerDBm: m.MeanRxPower(d)})
+	}
+	fit, err := FitPathLoss(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-(m.TxPowerDBm-m.RefLossDB)) > 1e-6 {
+		t.Errorf("alpha = %v, want %v", fit.Alpha, m.TxPowerDBm-m.RefLossDB)
+	}
+	if math.Abs(fit.Beta-(-10*m.Exponent)) > 1e-6 {
+		t.Errorf("beta = %v, want %v", fit.Beta, -10*m.Exponent)
+	}
+}
+
+func TestFitPathLossErrors(t *testing.T) {
+	if _, err := FitPathLoss(nil); err == nil {
+		t.Error("empty calibration accepted")
+	}
+	if _, err := FitPathLoss([]CalibrationSample{{Distance: 5, RxPowerDBm: -60}}); err == nil {
+		t.Error("single sample accepted")
+	}
+	same := []CalibrationSample{{Distance: 5, RxPowerDBm: -60}, {Distance: 5, RxPowerDBm: -61}}
+	if _, err := FitPathLoss(same); err == nil {
+		t.Error("degenerate distances accepted")
+	}
+	bad := []CalibrationSample{{Distance: 0, RxPowerDBm: -60}, {Distance: 5, RxPowerDBm: -61}}
+	if _, err := FitPathLoss(bad); err == nil {
+		t.Error("non-positive distance accepted")
+	}
+}
+
+func exactMeasurements(truth geo.Point, landmarks []geo.Point) []Measurement {
+	ms := make([]Measurement, len(landmarks))
+	for i, l := range landmarks {
+		ms[i] = Measurement{Landmark: l, Distance: truth.Dist(l)}
+	}
+	return ms
+}
+
+var testLandmarks = []geo.Point{{X: 0, Y: 0}, {X: 40, Y: 0}, {X: 20, Y: 30}, {X: 5, Y: 25}}
+
+func TestTrilaterateExact(t *testing.T) {
+	truth := geo.Point{X: 13, Y: 11}
+	for k := 3; k <= len(testLandmarks); k++ {
+		got, err := Trilaterate(exactMeasurements(truth, testLandmarks[:k]))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if got.Dist(truth) > 1e-6 {
+			t.Errorf("k=%d: got %v, want %v", k, got, truth)
+		}
+	}
+}
+
+func TestTrilaterateLinearExact(t *testing.T) {
+	truth := geo.Point{X: 28, Y: 7}
+	got, err := TrilaterateLinear(exactMeasurements(truth, testLandmarks[:3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(truth) > 1e-6 {
+		t.Errorf("got %v, want %v", got, truth)
+	}
+}
+
+func TestTrilateratePropertyExactRecovery(t *testing.T) {
+	f := func(xr, yr uint16) bool {
+		truth := geo.Point{X: float64(xr%400) / 10, Y: float64(yr%300) / 10}
+		got, err := Trilaterate(exactMeasurements(truth, testLandmarks))
+		if err != nil {
+			return false
+		}
+		return got.Dist(truth) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrilaterateNoisyBeatsLinear(t *testing.T) {
+	// Under multiplicative ranging noise the Gauss-Newton solver should be
+	// at least as accurate as the linearized solution on average — the
+	// ablation the design doc calls out.
+	rng := sim.NewRNG(99)
+	truth := geo.Point{X: 17, Y: 13}
+	var gnErr, linErr float64
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		ms := exactMeasurements(truth, testLandmarks)
+		for j := range ms {
+			ms[j].Distance *= 1 + 0.15*rng.NormFloat64()
+			if ms[j].Distance < 0.1 {
+				ms[j].Distance = 0.1
+			}
+		}
+		gn, err := Trilaterate(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin, err := TrilaterateLinear(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gnErr += gn.Dist(truth)
+		linErr += lin.Dist(truth)
+	}
+	gnErr /= trials
+	linErr /= trials
+	if gnErr > linErr*1.05 {
+		t.Errorf("Gauss-Newton mean error %.3f m worse than linear %.3f m", gnErr, linErr)
+	}
+	// With 15% ranging noise over ~20 m ranges, errors land in the
+	// low-meters regime the paper reports.
+	if gnErr > 5 {
+		t.Errorf("Gauss-Newton error %.2f m implausibly large", gnErr)
+	}
+}
+
+func TestTrilaterateErrors(t *testing.T) {
+	if _, err := Trilaterate(nil); err == nil {
+		t.Error("no measurements accepted")
+	}
+	two := exactMeasurements(geo.Point{X: 1, Y: 1}, testLandmarks[:2])
+	if _, err := Trilaterate(two); err == nil {
+		t.Error("two measurements accepted")
+	}
+}
+
+func TestTrilaterateCollinearLandmarks(t *testing.T) {
+	// Collinear landmarks: linear solver must reject; Gauss-Newton may
+	// still converge to one of the two mirror solutions, so we only require
+	// it not to blow up.
+	col := []geo.Point{{X: 0, Y: 5}, {X: 20, Y: 5}, {X: 40, Y: 5}}
+	truth := geo.Point{X: 10, Y: 5} // on the line: unambiguous
+	if _, err := TrilaterateLinear(exactMeasurements(truth, col)); err == nil {
+		t.Error("linear solver accepted collinear geometry")
+	}
+	got, err := Trilaterate(exactMeasurements(truth, col))
+	if err != nil {
+		t.Fatalf("Gauss-Newton failed on collinear landmarks: %v", err)
+	}
+	if got.Dist(truth) > 0.5 {
+		t.Errorf("collinear on-line estimate %v, want %v", got, truth)
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	cs := Combinations(5, 3)
+	if len(cs) != 10 {
+		t.Fatalf("C(5,3) = %d, want 10", len(cs))
+	}
+	seen := map[[3]int]bool{}
+	for _, c := range cs {
+		if len(c) != 3 {
+			t.Fatalf("combination %v wrong size", c)
+		}
+		if !(c[0] < c[1] && c[1] < c[2]) {
+			t.Fatalf("combination %v not ascending", c)
+		}
+		key := [3]int{c[0], c[1], c[2]}
+		if seen[key] {
+			t.Fatalf("duplicate combination %v", c)
+		}
+		seen[key] = true
+	}
+	if got := Combinations(7, 7); len(got) != 1 {
+		t.Errorf("C(7,7) = %d", len(got))
+	}
+	if got := Combinations(3, 0); len(got) != 1 {
+		t.Errorf("C(3,0) = %d, want 1 (empty set)", len(got))
+	}
+	if Combinations(3, 4) != nil {
+		t.Error("C(3,4) should be nil")
+	}
+}
+
+func TestEndToEndLocalizationWithChannelModel(t *testing.T) {
+	// Full pipeline: d2d channel generates rxPower with shadowing at the
+	// retail checkpoints; regression + trilateration localize; mean error
+	// must land in the paper's ~3 m regime (allowing up to 5 m).
+	floor := geo.RetailFloor()
+	channel := d2d.DefaultPathLoss
+	rng := sim.NewRNG(2016)
+
+	// Calibration: samples at known distances (the one-time overhead).
+	var cal []CalibrationSample
+	for d := 1.0; d <= 40; d += 1.5 {
+		cal = append(cal, CalibrationSample{Distance: d, RxPowerDBm: channel.RxPower(d, rng)})
+	}
+	fit, err := FitPathLoss(cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var totalErr float64
+	for _, cp := range floor.Checkpoints {
+		var ms []Measurement
+		for _, lm := range floor.Landmarks {
+			rx := channel.RxPower(cp.Pos.Dist(lm.Pos), rng)
+			if rx < d2d.SensitivityDBm {
+				continue
+			}
+			ms = append(ms, Measurement{Landmark: lm.Pos, Distance: fit.Distance(rx)})
+		}
+		if len(ms) < 3 {
+			t.Fatalf("checkpoint %s hears only %d landmarks", cp.Name, len(ms))
+		}
+		est, err := Trilaterate(ms)
+		if err != nil {
+			t.Fatalf("checkpoint %s: %v", cp.Name, err)
+		}
+		totalErr += est.Dist(cp.Pos)
+	}
+	mean := totalErr / float64(len(floor.Checkpoints))
+	if mean > 5 {
+		t.Errorf("mean localization error %.2f m, want ≲ 5 (paper: ~3)", mean)
+	}
+	if mean < 0.1 {
+		t.Errorf("mean error %.2f m implausibly small for a shadowed channel", mean)
+	}
+}
+
+func TestTrilaterateWeightedExact(t *testing.T) {
+	truth := geo.Point{X: 13, Y: 11}
+	got, err := TrilaterateWeighted(exactMeasurements(truth, testLandmarks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(truth) > 1e-5 {
+		t.Errorf("got %v, want %v", got, truth)
+	}
+}
+
+func TestTrilaterateWeightedBeatsUnweightedUnderMultiplicativeNoise(t *testing.T) {
+	// With σ_d ∝ d (the shadowing regime), inverse-distance weighting
+	// should be at least as accurate on average.
+	rng := sim.NewRNG(123)
+	truth := geo.Point{X: 17, Y: 13}
+	var wErr, uErr float64
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		ms := exactMeasurements(truth, testLandmarks)
+		for j := range ms {
+			ms[j].Distance *= 1 + 0.2*rng.NormFloat64()
+			if ms[j].Distance < 0.1 {
+				ms[j].Distance = 0.1
+			}
+		}
+		w, err := TrilaterateWeighted(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := Trilaterate(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wErr += w.Dist(truth)
+		uErr += u.Dist(truth)
+	}
+	if wErr > uErr*1.02 {
+		t.Errorf("weighted mean error %.3f worse than unweighted %.3f", wErr/trials, uErr/trials)
+	}
+}
+
+func TestTrilaterateWeightedErrors(t *testing.T) {
+	if _, err := TrilaterateWeighted(nil); err == nil {
+		t.Error("no measurements accepted")
+	}
+}

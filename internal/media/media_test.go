@@ -1,0 +1,250 @@
+package media
+
+import (
+	"math"
+	"testing"
+
+	"acacia/internal/compute"
+)
+
+func TestPreviewFPSTable(t *testing.T) {
+	if got := PreviewFPS(compute.Resolution{W: 1920, H: 1080}); got != 10 {
+		t.Errorf("HD preview = %v FPS, want 10 (paper)", got)
+	}
+	if got := PreviewFPS(compute.Resolution{W: 320, H: 240}); got != 30 {
+		t.Errorf("QVGA preview = %v FPS", got)
+	}
+	if got := PreviewFPS(compute.Resolution{W: 123, H: 456}); got != 10 {
+		t.Errorf("unknown resolution default = %v", got)
+	}
+}
+
+func TestPreviewFPSNonIncreasing(t *testing.T) {
+	order := []compute.Resolution{
+		{W: 320, H: 240}, {W: 640, H: 480}, {W: 720, H: 480},
+		{W: 1280, H: 720}, {W: 1280, H: 960}, {W: 1440, H: 1080}, {W: 1920, H: 1080},
+	}
+	prev := math.Inf(1)
+	for _, r := range order {
+		fps := PreviewFPS(r)
+		if fps > prev {
+			t.Errorf("FPS increased at %v", r)
+		}
+		prev = fps
+	}
+}
+
+func TestFig3fShape(t *testing.T) {
+	// Paper's Fig. 3(f) anchors at 12 Mbps for full-HD grayscale:
+	// raw < 1 FPS, JPEG 90 ≈ 8 FPS.
+	hd := compute.Resolution{W: 1920, H: 1080}
+	if fps := RawGray.UploadFPS(hd, 12e6); fps >= 1 {
+		t.Errorf("raw upload = %.2f FPS, want < 1", fps)
+	}
+	if fps := JPEG90.UploadFPS(hd, 12e6); math.Abs(fps-8) > 1 {
+		t.Errorf("JPEG90 upload = %.2f FPS, want ≈8", fps)
+	}
+	// Stronger compression always uploads faster.
+	encs := Fig3fEncodings()
+	for i := 1; i < len(encs); i++ {
+		if encs[i-1].Ratio < encs[i].Ratio {
+			t.Errorf("encoding order %v >= %v violated", encs[i-1], encs[i])
+		}
+		fPrev := encs[i-1].UploadFPS(hd, 10e6)
+		fCur := encs[i].UploadFPS(hd, 10e6)
+		if fPrev < fCur {
+			t.Errorf("%v slower than %v", encs[i-1], encs[i])
+		}
+	}
+	// FPS scales linearly with capacity.
+	if f1, f2 := JPEG80.UploadFPS(hd, 5.5e6), JPEG80.UploadFPS(hd, 11e6); math.Abs(f2/f1-2) > 1e-9 {
+		t.Errorf("capacity scaling %v -> %v", f1, f2)
+	}
+}
+
+func TestAppCompressionTableValues(t *testing.T) {
+	tbl := AppCompressionTable()
+	if len(tbl) != 3 {
+		t.Fatalf("entries = %d", len(tbl))
+	}
+	// Paper: 53/38/23 ms and 5x/5.8x/4.7x.
+	if tbl[0].EncodeMS != 53 || tbl[0].Ratio != 5.0 {
+		t.Errorf("1280x720 entry = %+v", tbl[0])
+	}
+	if tbl[2].EncodeMS != 23 || tbl[2].Ratio != 4.7 {
+		t.Errorf("720x480 entry = %+v", tbl[2])
+	}
+}
+
+func TestAppFrameBytes(t *testing.T) {
+	r := compute.Resolution{W: 960, H: 720}
+	want := int(float64(r.Pixels()) / 5.8)
+	if got := AppFrameBytes(r); got != want {
+		t.Errorf("AppFrameBytes = %d, want %d", got, want)
+	}
+	// Unknown resolution falls back to the generic JPEG90 ratio.
+	other := compute.Resolution{W: 640, H: 480}
+	if got := AppFrameBytes(other); got != JPEG90.FrameBytes(other) {
+		t.Errorf("fallback = %d", got)
+	}
+}
+
+func TestCodecRoundTripQuality(t *testing.T) {
+	f := SyntheticFrame(128, 96, 7)
+	for _, q := range []int{50, 80, 90, 100} {
+		data, err := Compress(f, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decompress(data)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		psnr, err := PSNR(f, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if psnr < 25 {
+			t.Errorf("q=%d: PSNR %.1f dB too low", q, psnr)
+		}
+		// Near-lossless q=100 keeps the noise floor and may expand slightly
+		// under the simple Golomb entropy stage; every lossy setting must
+		// genuinely compress.
+		if q < 100 && len(data) >= len(f.Pix) {
+			t.Errorf("q=%d: no compression (%d >= %d)", q, len(data), len(f.Pix))
+		}
+		if q == 100 && len(data) > len(f.Pix)*3/2 {
+			t.Errorf("q=100 expanded beyond 1.5x raw (%d vs %d)", len(data), len(f.Pix))
+		}
+	}
+}
+
+func TestCodecQualityMonotonicity(t *testing.T) {
+	f := SyntheticFrame(128, 96, 9)
+	var prevSize int
+	var prevPSNR float64
+	for i, q := range []int{30, 60, 90} {
+		data, err := Compress(f, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := Decompress(data)
+		psnr, _ := PSNR(f, got)
+		if i > 0 {
+			if len(data) <= prevSize {
+				t.Errorf("q=%d size %d not larger than lower quality %d", q, len(data), prevSize)
+			}
+			if psnr <= prevPSNR {
+				t.Errorf("q=%d PSNR %.1f not better than lower quality %.1f", q, psnr, prevPSNR)
+			}
+		}
+		prevSize, prevPSNR = len(data), psnr
+	}
+}
+
+func TestCodecRejectsBadDimensions(t *testing.T) {
+	f := NewFrame(10, 10) // not multiples of 8
+	if _, err := Compress(f, 90); err == nil {
+		t.Error("accepted non-block-aligned frame")
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	f := SyntheticFrame(64, 64, 1)
+	data, err := Compress(f, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(data[:5]); err == nil {
+		t.Error("accepted truncated header")
+	}
+	if _, err := Decompress(data[:len(data)/2]); err == nil {
+		t.Error("accepted truncated body")
+	}
+	bad := append([]byte{}, data...)
+	bad[0], bad[1] = 0xff, 0xff // absurd width
+	if _, err := Decompress(bad); err == nil {
+		t.Error("accepted absurd dimensions")
+	}
+}
+
+func TestPSNRIdentical(t *testing.T) {
+	f := SyntheticFrame(64, 64, 2)
+	psnr, err := PSNR(f, f)
+	if err != nil || !math.IsInf(psnr, 1) {
+		t.Errorf("PSNR(self) = %v, %v", psnr, err)
+	}
+	other := NewFrame(32, 32)
+	if _, err := PSNR(f, other); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestDCTInverseIsIdentity(t *testing.T) {
+	var block [64]float64
+	for i := range block {
+		block[i] = float64((i*37)%256) - 128
+	}
+	orig := block
+	dct2d(&block)
+	idct2d(&block)
+	for i := range block {
+		if math.Abs(block[i]-orig[i]) > 1e-9 {
+			t.Fatalf("DCT round trip error at %d: %v vs %v", i, block[i], orig[i])
+		}
+	}
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	seen := [64]bool{}
+	for _, v := range zigzag {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("zigzag invalid at %d", v)
+		}
+		seen[v] = true
+	}
+	// Starts at DC, ends at the highest frequency.
+	if zigzag[0] != 0 || zigzag[63] != 63 {
+		t.Errorf("zigzag endpoints %d..%d", zigzag[0], zigzag[63])
+	}
+}
+
+func TestGolombRoundTrip(t *testing.T) {
+	w := &bitWriter{}
+	values := []uint32{0, 1, 2, 3, 7, 8, 100, 1000, 65535}
+	for _, v := range values {
+		w.writeGolomb(v)
+	}
+	signed := []int{0, 1, -1, 5, -5, 127, -128, 1000, -999}
+	for _, v := range signed {
+		w.writeSigned(v)
+	}
+	r := &bitReader{data: w.bytes()}
+	for _, want := range values {
+		got, err := r.readGolomb()
+		if err != nil || got != want {
+			t.Fatalf("readGolomb = %v, %v; want %v", got, err, want)
+		}
+	}
+	for _, want := range signed {
+		got, err := r.readSigned()
+		if err != nil || got != want {
+			t.Fatalf("readSigned = %v, %v; want %v", got, err, want)
+		}
+	}
+}
+
+func TestLowerQualityCompressesSmaller(t *testing.T) {
+	f := SyntheticFrame(256, 192, 3)
+	lo, err := Compress(f, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Compress(f, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lo) >= len(hi) {
+		t.Errorf("q30 size %d >= q95 size %d", len(lo), len(hi))
+	}
+}

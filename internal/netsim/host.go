@@ -1,0 +1,261 @@
+package netsim
+
+import (
+	"time"
+
+	"acacia/internal/pkt"
+	"acacia/internal/sim"
+	"acacia/internal/stats"
+)
+
+// App consumes packets delivered to a host port number.
+type App interface {
+	Deliver(h *Host, p *Packet)
+}
+
+// AppFunc adapts a function to the App interface.
+type AppFunc func(h *Host, p *Packet)
+
+// Deliver implements App.
+func (f AppFunc) Deliver(h *Host, p *Packet) { f(h, p) }
+
+// Host is an endpoint: it originates traffic and delivers received packets
+// to registered applications by destination port. A single-homed host sends
+// everything out its only link; multi-homed hosts (like the UE, which has
+// one radio link but multiple bearers) install a ClassifyEgress function.
+type Host struct {
+	Node *Node
+	apps map[uint16]App
+	// ClassifyEgress, when set, picks the egress port and may mutate the
+	// packet (e.g. set Priority from the matching bearer's QCI). When nil,
+	// port 0 is used. This is where the UE modem's UL-TFT classification
+	// plugs in.
+	ClassifyEgress func(p *Packet) *Port
+	// Unclaimed counts packets for ports with no registered app.
+	Unclaimed uint64
+}
+
+// NewHost wraps node with host behaviour and installs its handler.
+func NewHost(node *Node) *Host {
+	h := &Host{Node: node, apps: make(map[uint16]App)}
+	node.SetHandler(h.handle)
+	return h
+}
+
+// Listen registers app for packets whose destination port is port.
+func (h *Host) Listen(port uint16, app App) { h.apps[port] = app }
+
+// Send originates a packet from this host to dst with the given ports,
+// protocol, wire size and payload.
+func (h *Host) Send(dst pkt.Addr, srcPort, dstPort uint16, proto uint8, size int, payload any) {
+	p := &Packet{
+		Flow: pkt.FiveTuple{
+			Src: h.Node.Addr(), Dst: dst,
+			SrcPort: srcPort, DstPort: dstPort, Proto: proto,
+		},
+		Size:    size,
+		Payload: payload,
+	}
+	h.Node.Inject(p)
+}
+
+func (h *Host) handle(ingress *Port, p *Packet) {
+	if ingress == nil || p.Flow.Dst != h.Node.Addr() {
+		// Locally originated, or transit traffic we must forward.
+		h.egress(p)
+		return
+	}
+	if app, ok := h.apps[p.Flow.DstPort]; ok {
+		app.Deliver(h, p)
+		return
+	}
+	h.Unclaimed++
+}
+
+func (h *Host) egress(p *Packet) {
+	var port *Port
+	if h.ClassifyEgress != nil {
+		port = h.ClassifyEgress(p)
+	} else if len(h.Node.Ports()) > 0 {
+		port = h.Node.Port(0)
+	}
+	if port == nil {
+		h.Unclaimed++
+		return
+	}
+	port.Send(p)
+}
+
+// Engine returns the simulation engine.
+func (h *Host) Engine() *sim.Engine { return h.Node.Engine() }
+
+// --- Ping ---
+
+// pingReq is the payload of an echo request.
+type pingReq struct {
+	seq    int
+	sentAt sim.Time
+}
+
+// PingPort is the well-known port echo responders listen on.
+const PingPort = 7
+
+// PingResponder echoes any packet back to its sender, preserving size.
+type PingResponder struct{}
+
+// Deliver implements App.
+func (PingResponder) Deliver(h *Host, p *Packet) {
+	reply := &Packet{
+		Flow:     p.Flow.Reverse(),
+		Size:     p.Size,
+		Payload:  p.Payload,
+		TOS:      p.TOS,
+		Priority: p.Priority,
+	}
+	h.Node.Inject(reply)
+}
+
+// Pinger sends periodic echo requests and records RTTs.
+type Pinger struct {
+	host     *Host
+	dst      pkt.Addr
+	size     int
+	srcPort  uint16
+	seq      int
+	inFlight map[int]sim.Time
+	// RTTs collects observed round-trip times in milliseconds.
+	RTTs stats.Sample
+	// Lost counts requests that were never answered by the time Stop or
+	// final accounting runs (computed as sent - received).
+	Sent, Received int
+	ticker         *sim.Ticker
+}
+
+// NewPinger creates a pinger on h towards dst with the given probe size.
+// Register its receiving side before starting: the pinger listens on its
+// source port for replies.
+func NewPinger(h *Host, dst pkt.Addr, size int, srcPort uint16) *Pinger {
+	pg := &Pinger{host: h, dst: dst, size: size, srcPort: srcPort, inFlight: make(map[int]sim.Time)}
+	h.Listen(srcPort, AppFunc(func(_ *Host, p *Packet) {
+		req, ok := p.Payload.(pingReq)
+		if !ok {
+			return
+		}
+		if _, pending := pg.inFlight[req.seq]; !pending {
+			return
+		}
+		delete(pg.inFlight, req.seq)
+		pg.Received++
+		rtt := h.Engine().Now().Sub(req.sentAt)
+		pg.RTTs.Add(float64(rtt) / float64(time.Millisecond))
+	}))
+	return pg
+}
+
+// Start begins probing every interval.
+func (pg *Pinger) Start(interval time.Duration) {
+	pg.SendOne()
+	pg.ticker = sim.NewTicker(pg.host.Engine(), interval, pg.SendOne)
+}
+
+// SendOne sends a single probe immediately.
+func (pg *Pinger) SendOne() {
+	pg.seq++
+	pg.Sent++
+	pg.inFlight[pg.seq] = pg.host.Engine().Now()
+	pg.host.Send(pg.dst, pg.srcPort, PingPort, pkt.ProtoICMP, pg.size, pingReq{seq: pg.seq, sentAt: pg.host.Engine().Now()})
+}
+
+// Stop halts probing.
+func (pg *Pinger) Stop() {
+	if pg.ticker != nil {
+		pg.ticker.Stop()
+	}
+}
+
+// Lost reports probes sent but not (yet) answered.
+func (pg *Pinger) Lost() int { return pg.Sent - pg.Received }
+
+// --- Constant bit rate source ---
+
+// CBRSource emits fixed-size packets at a constant bit rate, the background
+// traffic generator for the congestion experiments.
+type CBRSource struct {
+	host     *Host
+	dst      pkt.Addr
+	dstPort  uint16
+	size     int
+	ticker   *sim.Ticker
+	SentPkts uint64
+}
+
+// NewCBRSource creates a source on h sending size-byte UDP packets to
+// dst:dstPort.
+func NewCBRSource(h *Host, dst pkt.Addr, dstPort uint16, size int) *CBRSource {
+	return &CBRSource{host: h, dst: dst, dstPort: dstPort, size: size}
+}
+
+// Start begins emitting at bitsPerSecond. A zero rate is a no-op.
+func (c *CBRSource) Start(bitsPerSecond float64) {
+	if bitsPerSecond <= 0 {
+		return
+	}
+	interval := time.Duration(float64(c.size*8) / bitsPerSecond * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	c.ticker = sim.NewTicker(c.host.Engine(), interval, func() {
+		c.SentPkts++
+		c.host.Send(c.dst, 30000, c.dstPort, pkt.ProtoUDP, c.size, nil)
+	})
+}
+
+// Stop halts emission.
+func (c *CBRSource) Stop() {
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+}
+
+// --- Sink with throughput measurement ---
+
+// Sink absorbs packets and measures goodput.
+type Sink struct {
+	Bytes   uint64
+	Packets uint64
+	first   sim.Time
+	last    sim.Time
+	eng     *sim.Engine
+	// OnPacket, when set, observes each arrival.
+	OnPacket func(p *Packet)
+}
+
+// NewSink registers a sink app on h at port and returns it.
+func NewSink(h *Host, port uint16) *Sink {
+	s := &Sink{eng: h.Engine()}
+	h.Listen(port, s)
+	return s
+}
+
+// Deliver implements App.
+func (s *Sink) Deliver(_ *Host, p *Packet) {
+	if s.Packets == 0 {
+		s.first = s.eng.Now()
+	}
+	s.last = s.eng.Now()
+	s.Packets++
+	s.Bytes += uint64(p.Size)
+	if s.OnPacket != nil {
+		s.OnPacket(p)
+	}
+}
+
+// ThroughputBps reports the average received rate between the first and
+// last packet.
+func (s *Sink) ThroughputBps() float64 {
+	dur := s.last.Sub(s.first).Seconds()
+	if dur <= 0 {
+		return 0
+	}
+	return float64(s.Bytes*8) / dur
+}

@@ -1,0 +1,226 @@
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// LinkConfig describes one direction of a link.
+type LinkConfig struct {
+	// BitsPerSecond is the serialization rate. Zero means infinite
+	// bandwidth (pure delay line).
+	BitsPerSecond float64
+	// Propagation is the one-way propagation delay.
+	Propagation time.Duration
+	// Jitter adds an exponentially distributed extra delay with this mean
+	// to each delivery — the right-skewed scheduling jitter of an LTE
+	// radio link. Zero disables it.
+	Jitter time.Duration
+	// QueueBytes bounds the transmit queue (drop-tail). Zero means a
+	// generous default of 256 KiB.
+	QueueBytes int
+	// Prioritized selects QCI-priority scheduling instead of FIFO. The
+	// eNodeB radio scheduler uses this; wired links are FIFO.
+	Prioritized bool
+}
+
+// DefaultQueueBytes is the transmit queue bound applied when a LinkConfig
+// leaves QueueBytes zero.
+const DefaultQueueBytes = 256 << 10
+
+// LinkStats counts per-direction link activity.
+type LinkStats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	Bytes     uint64
+}
+
+// linkDir is one direction of a link: a single transmitter serving a bounded
+// queue, followed by a propagation delay line.
+type linkDir struct {
+	net    *Network
+	cfg    LinkConfig
+	dst    *Port
+	queue  pktHeap
+	qBytes int
+	busy   bool
+	down   bool
+	stats  LinkStats
+	seq    uint64 // FIFO tie-break within a priority level
+}
+
+func newLinkDir(net *Network, cfg LinkConfig, dst *Port) *linkDir {
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = DefaultQueueBytes
+	}
+	return &linkDir{net: net, cfg: cfg, dst: dst}
+}
+
+// send enqueues p for transmission, dropping it if the queue is full.
+func (d *linkDir) send(p *Packet) {
+	d.stats.Sent++
+	if d.down {
+		d.stats.Dropped++
+		return
+	}
+	if d.cfg.BitsPerSecond == 0 {
+		// Pure delay line: no serialization, no queueing.
+		d.stats.Bytes += uint64(p.Size)
+		d.deliverAfter(p, d.cfg.Propagation)
+		return
+	}
+	if d.qBytes+p.Size > d.cfg.QueueBytes {
+		d.stats.Dropped++
+		return
+	}
+	d.qBytes += p.Size
+	item := &queuedPacket{p: p, seq: d.seq}
+	d.seq++
+	if !d.cfg.Prioritized {
+		// FIFO: priority field ignored by giving every packet priority 0.
+		item.prio = 0
+	} else {
+		item.prio = p.Priority
+	}
+	heap.Push(&d.queue, item)
+	if !d.busy {
+		d.transmitNext()
+	}
+}
+
+func (d *linkDir) transmitNext() {
+	if d.queue.Len() == 0 {
+		d.busy = false
+		return
+	}
+	d.busy = true
+	item := heap.Pop(&d.queue).(*queuedPacket)
+	p := item.p
+	d.qBytes -= p.Size
+	txTime := time.Duration(float64(p.Size*8) / d.cfg.BitsPerSecond * float64(time.Second))
+	d.net.eng.Schedule(txTime, func() {
+		d.stats.Bytes += uint64(p.Size)
+		d.deliverAfter(p, d.cfg.Propagation)
+		d.transmitNext()
+	})
+}
+
+func (d *linkDir) deliverAfter(p *Packet, delay time.Duration) {
+	if d.cfg.Jitter > 0 {
+		delay += time.Duration(d.net.eng.RNG().ExpFloat64() * float64(d.cfg.Jitter))
+	}
+	d.net.eng.Schedule(delay, func() {
+		d.stats.Delivered++
+		d.dst.deliver(p)
+	})
+}
+
+// Backlog reports the bytes currently waiting in the transmit queue.
+func (d *linkDir) Backlog() int { return d.qBytes }
+
+type queuedPacket struct {
+	p    *Packet
+	prio int
+	seq  uint64
+}
+
+type pktHeap []*queuedPacket
+
+func (h pktHeap) Len() int { return len(h) }
+func (h pktHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pktHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pktHeap) Push(x any)   { *h = append(*h, x.(*queuedPacket)) }
+func (h *pktHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Link is a bidirectional connection between two ports. Each direction has
+// independent bandwidth, delay and queueing.
+type Link struct {
+	A, B   *Port
+	ab, ba *linkDir
+}
+
+// StatsAB reports counters for the A->B direction.
+func (l *Link) StatsAB() LinkStats { return l.ab.stats }
+
+// StatsBA reports counters for the B->A direction.
+func (l *Link) StatsBA() LinkStats { return l.ba.stats }
+
+// BacklogAB reports queued bytes in the A->B direction.
+func (l *Link) BacklogAB() int { return l.ab.Backlog() }
+
+// SetConfigAB replaces the A->B direction configuration; queued packets are
+// unaffected. Used by experiments that vary emulated RTT mid-run.
+func (l *Link) SetConfigAB(cfg LinkConfig) {
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = DefaultQueueBytes
+	}
+	l.ab.cfg = cfg
+}
+
+// SetConfigBA replaces the B->A direction configuration.
+func (l *Link) SetConfigBA(cfg LinkConfig) {
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = DefaultQueueBytes
+	}
+	l.ba.cfg = cfg
+}
+
+// SetDown fails (true) or repairs (false) the link: while down, every
+// packet offered in either direction is dropped at the transmitter.
+// Packets already in flight are delivered. Failure-injection for tests and
+// experiments.
+func (l *Link) SetDown(down bool) {
+	l.ab.down = down
+	l.ba.down = down
+}
+
+// Down reports whether the link is currently failed.
+func (l *Link) Down() bool { return l.ab.down }
+
+// Port is one attachment point of a link on a node.
+type Port struct {
+	Node *Node
+	// ID is the node-local port number (OpenFlow in_port).
+	ID   int
+	link *Link
+	out  *linkDir // transmit direction away from this port
+}
+
+// Send transmits p out of this port.
+func (pt *Port) Send(p *Packet) {
+	if pt.out == nil {
+		panic("netsim: send on unconnected port " + pt.Node.Name())
+	}
+	pt.out.send(p)
+}
+
+// Peer returns the port at the other end of the attached link.
+func (pt *Port) Peer() *Port {
+	if pt.link == nil {
+		return nil
+	}
+	if pt.link.A == pt {
+		return pt.link.B
+	}
+	return pt.link.A
+}
+
+// Link returns the attached link.
+func (pt *Port) Link() *Link { return pt.link }
+
+func (pt *Port) deliver(p *Packet) {
+	pt.Node.receive(pt, p)
+}

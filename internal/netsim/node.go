@@ -1,0 +1,233 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"acacia/internal/pkt"
+	"acacia/internal/sim"
+)
+
+// Handler processes a packet arriving at a node. ingress is nil for packets
+// the node originates locally (injected via Node.Inject).
+type Handler func(ingress *Port, p *Packet)
+
+// CPUModel gives a node a per-packet processing cost served by a single
+// FIFO processor, modeling the difference between a user-space gateway
+// (OpenEPC, microseconds per packet) and a kernel fast path (OVS megaflow
+// cache, sub-microsecond). A nil model means zero-cost processing.
+type CPUModel struct {
+	// PerPacket is the fixed service time per packet.
+	PerPacket time.Duration
+	// PerByte is the additional service time per payload byte.
+	PerByte time.Duration
+	// QueuePackets bounds the processor input queue; 0 means 4096.
+	QueuePackets int
+}
+
+// DefaultCPUQueuePackets is the processor queue bound used when a CPUModel
+// leaves QueuePackets zero.
+const DefaultCPUQueuePackets = 4096
+
+// NodeStats counts node-level packet activity.
+type NodeStats struct {
+	Received  uint64
+	Forwarded uint64
+	CPUDrops  uint64
+	HopDrops  uint64
+}
+
+// Node is a network element: a host, gateway, switch or base station. Its
+// behaviour lives in the Handler installed by the owning layer (epc, sdn,
+// core). The node itself provides ports, addressing, optional CPU cost and
+// counters.
+type Node struct {
+	net     *Network
+	name    string
+	addr    pkt.Addr
+	ports   []*Port
+	handler Handler
+
+	cpu      *CPUModel
+	cpuQueue []cpuItem
+	cpuBusy  bool
+
+	stats NodeStats
+}
+
+type cpuItem struct {
+	ingress *Port
+	p       *Packet
+}
+
+// Name reports the node's unique name within its network.
+func (n *Node) Name() string { return n.name }
+
+// Addr reports the node's primary address.
+func (n *Node) Addr() pkt.Addr { return n.addr }
+
+// Network returns the owning network.
+func (n *Node) Network() *Network { return n.net }
+
+// Engine returns the simulation engine, a convenience for handlers that
+// schedule work.
+func (n *Node) Engine() *sim.Engine { return n.net.eng }
+
+// Stats reports the node's packet counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// SetHandler installs the packet handler. It must be set before traffic
+// reaches the node.
+func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// SetCPU installs a processing-cost model; packets queue for a single
+// processor before the handler runs.
+func (n *Node) SetCPU(m *CPUModel) { n.cpu = m }
+
+// Ports returns the node's ports in creation order.
+func (n *Node) Ports() []*Port { return n.ports }
+
+// Port returns the port with the given node-local id.
+func (n *Node) Port(id int) *Port {
+	if id < 0 || id >= len(n.ports) {
+		panic(fmt.Sprintf("netsim: node %s has no port %d", n.name, id))
+	}
+	return n.ports[id]
+}
+
+// Inject hands a locally originated packet to the node's handler, stamping
+// its creation time. Use this to start traffic at a host.
+func (n *Node) Inject(p *Packet) {
+	p.ID = n.net.nextPacketID()
+	p.CreatedAt = n.net.eng.Now()
+	n.dispatch(nil, p)
+}
+
+// receive is called by a link when a packet arrives on one of the node's
+// ports.
+func (n *Node) receive(ingress *Port, p *Packet) {
+	n.stats.Received++
+	p.Hops++
+	if p.Hops > MaxHops {
+		n.stats.HopDrops++
+		return
+	}
+	n.dispatch(ingress, p)
+}
+
+func (n *Node) dispatch(ingress *Port, p *Packet) {
+	if n.cpu == nil {
+		n.handle(ingress, p)
+		return
+	}
+	limit := n.cpu.QueuePackets
+	if limit == 0 {
+		limit = DefaultCPUQueuePackets
+	}
+	if len(n.cpuQueue) >= limit {
+		n.stats.CPUDrops++
+		return
+	}
+	n.cpuQueue = append(n.cpuQueue, cpuItem{ingress, p})
+	if !n.cpuBusy {
+		n.serveCPU()
+	}
+}
+
+func (n *Node) serveCPU() {
+	if len(n.cpuQueue) == 0 {
+		n.cpuBusy = false
+		return
+	}
+	n.cpuBusy = true
+	item := n.cpuQueue[0]
+	n.cpuQueue = n.cpuQueue[1:]
+	cost := n.cpu.PerPacket + time.Duration(item.p.Size)*n.cpu.PerByte
+	n.net.eng.Schedule(cost, func() {
+		n.handle(item.ingress, item.p)
+		n.serveCPU()
+	})
+}
+
+func (n *Node) handle(ingress *Port, p *Packet) {
+	if n.handler == nil {
+		panic(fmt.Sprintf("netsim: node %s has no handler", n.name))
+	}
+	n.stats.Forwarded++
+	n.handler(ingress, p)
+}
+
+// Network is a collection of nodes and links driven by one sim engine.
+type Network struct {
+	eng    *sim.Engine
+	nodes  map[string]*Node
+	byAddr map[pkt.Addr]*Node
+	links  []*Link
+	pktSeq uint64
+}
+
+// New creates an empty network on eng.
+func New(eng *sim.Engine) *Network {
+	return &Network{
+		eng:    eng,
+		nodes:  make(map[string]*Node),
+		byAddr: make(map[pkt.Addr]*Node),
+	}
+}
+
+// Engine returns the driving simulation engine.
+func (nw *Network) Engine() *sim.Engine { return nw.eng }
+
+// AddNode creates a node with a unique name and primary address.
+func (nw *Network) AddNode(name string, addr pkt.Addr) *Node {
+	if _, dup := nw.nodes[name]; dup {
+		panic("netsim: duplicate node name " + name)
+	}
+	if !addr.IsZero() {
+		if other, dup := nw.byAddr[addr]; dup {
+			panic(fmt.Sprintf("netsim: address %v already assigned to %s", addr, other.name))
+		}
+	}
+	n := &Node{net: nw, name: name, addr: addr}
+	nw.nodes[name] = n
+	if !addr.IsZero() {
+		nw.byAddr[addr] = n
+	}
+	return n
+}
+
+// Node returns the node with the given name, or nil.
+func (nw *Network) Node(name string) *Node { return nw.nodes[name] }
+
+// NodeByAddr returns the node owning addr, or nil.
+func (nw *Network) NodeByAddr(a pkt.Addr) *Node { return nw.byAddr[a] }
+
+// Connect joins two nodes with a link configured independently per
+// direction (ab: a->b, ba: b->a) and returns it. New ports are appended to
+// each node.
+func (nw *Network) Connect(a, b *Node, ab, ba LinkConfig) *Link {
+	pa := &Port{Node: a, ID: len(a.ports)}
+	pb := &Port{Node: b, ID: len(b.ports)}
+	a.ports = append(a.ports, pa)
+	b.ports = append(b.ports, pb)
+	l := &Link{A: pa, B: pb}
+	l.ab = newLinkDir(nw, ab, pb)
+	l.ba = newLinkDir(nw, ba, pa)
+	pa.link, pb.link = l, l
+	pa.out, pb.out = l.ab, l.ba
+	nw.links = append(nw.links, l)
+	return l
+}
+
+// ConnectSymmetric joins two nodes with identical per-direction configs.
+func (nw *Network) ConnectSymmetric(a, b *Node, cfg LinkConfig) *Link {
+	return nw.Connect(a, b, cfg, cfg)
+}
+
+// Links returns all links in creation order.
+func (nw *Network) Links() []*Link { return nw.links }
+
+func (nw *Network) nextPacketID() uint64 {
+	nw.pktSeq++
+	return nw.pktSeq
+}

@@ -1,0 +1,83 @@
+// Package netsim simulates a packet network in virtual time on top of the
+// sim engine: nodes connected by links with propagation delay, serialization
+// at a configured bandwidth, bounded drop-tail queues and optional
+// QCI-priority scheduling, plus per-node CPU processing costs.
+//
+// The EPC gateways, SDN switches, hosts and traffic generators of the ACACIA
+// testbed are all netsim nodes. Latency and throughput numbers in the
+// experiments are measured by instrumenting packets as they traverse this
+// substrate.
+package netsim
+
+import (
+	"acacia/internal/pkt"
+	"acacia/internal/sim"
+)
+
+// Packet is one simulated datagram. Packets are passed by pointer and owned
+// by whichever queue or handler currently holds them; handlers that fan a
+// packet out must Clone it.
+type Packet struct {
+	// ID is unique per network for tracing.
+	ID uint64
+	// Flow is the inner five-tuple (endpoint view).
+	Flow pkt.FiveTuple
+	// TOS is the inner IP TOS byte; bearers mark it from their QCI.
+	TOS uint8
+	// Size is the current on-the-wire size in bytes, including any tunnel
+	// encapsulation currently applied.
+	Size int
+	// Payload carries an application-defined value (request/response
+	// structs); it does not contribute to Size, which callers set
+	// explicitly.
+	Payload any
+
+	// Tunnel state: when TEID is non-zero the packet is GTP-U encapsulated
+	// between TunnelSrc and TunnelDst and Size includes pkt.GTPUOverhead.
+	TEID                 uint32
+	TunnelSrc, TunnelDst pkt.Addr
+
+	// Priority is the scheduling priority derived from the bearer QCI
+	// (lower = served first). Zero means default best effort.
+	Priority int
+
+	// CreatedAt is when the packet entered the network.
+	CreatedAt sim.Time
+	// Hops counts forwarding operations, a loop guard.
+	Hops int
+}
+
+// MaxHops aborts forwarding loops: no testbed path is longer than this.
+const MaxHops = 64
+
+// Clone returns a copy of p sharing the Payload value.
+func (p *Packet) Clone() *Packet {
+	c := *p
+	return &c
+}
+
+// Encapsulate applies GTP-U tunnel state between two gateway addresses and
+// grows the wire size by the encapsulation overhead.
+func (p *Packet) Encapsulate(src, dst pkt.Addr, teid uint32) {
+	if p.TEID != 0 {
+		panic("netsim: double GTP encapsulation")
+	}
+	p.TEID = teid
+	p.TunnelSrc, p.TunnelDst = src, dst
+	p.Size += pkt.GTPUOverhead
+}
+
+// Decapsulate removes GTP-U tunnel state and returns the TEID it carried.
+func (p *Packet) Decapsulate() uint32 {
+	if p.TEID == 0 {
+		panic("netsim: decapsulating an untunneled packet")
+	}
+	teid := p.TEID
+	p.TEID = 0
+	p.TunnelSrc, p.TunnelDst = pkt.Addr{}, pkt.Addr{}
+	p.Size -= pkt.GTPUOverhead
+	return teid
+}
+
+// Tunneled reports whether the packet currently carries GTP-U encapsulation.
+func (p *Packet) Tunneled() bool { return p.TEID != 0 }

@@ -1,0 +1,621 @@
+package pkt
+
+import "fmt"
+
+// OpenFlow-style messages between the SDN controller (the testbed's Ryu
+// analog) and the GW-U switches (the OVS analogs). The encoding follows
+// OpenFlow 1.3 framing: an 8-byte header, a 40-byte flow-mod body, an OXM
+// TLV match padded to 8 bytes, and instruction/action lists padded to 8
+// bytes. The GTP encap/decap capability is expressed the way the testbed's
+// extended OVS does it — a tunnel-metadata set-field plus output to a GTP
+// logical port.
+
+// OFMsgType is the OpenFlow message type.
+type OFMsgType uint8
+
+// Message types used by the testbed (OpenFlow 1.3 numbering).
+const (
+	OFHello       OFMsgType = 0
+	OFEchoRequest OFMsgType = 2
+	OFEchoReply   OFMsgType = 3
+	OFPacketIn    OFMsgType = 10
+	OFFlowRemoved OFMsgType = 11
+	OFPacketOut   OFMsgType = 13
+	OFFlowMod     OFMsgType = 14
+	OFBarrier     OFMsgType = 20
+)
+
+// String names the message type.
+func (t OFMsgType) String() string {
+	switch t {
+	case OFHello:
+		return "Hello"
+	case OFEchoRequest:
+		return "EchoRequest"
+	case OFEchoReply:
+		return "EchoReply"
+	case OFPacketIn:
+		return "PacketIn"
+	case OFFlowRemoved:
+		return "FlowRemoved"
+	case OFPacketOut:
+		return "PacketOut"
+	case OFFlowMod:
+		return "FlowMod"
+	case OFBarrier:
+		return "Barrier"
+	default:
+		return fmt.Sprintf("OFMsgType(%d)", uint8(t))
+	}
+}
+
+// FlowMod commands.
+const (
+	FlowModAdd    = 0
+	FlowModModify = 1
+	FlowModDelete = 3
+)
+
+// OXM match field identifiers (OpenFlow 1.3 OFB numbering; TunnelID is the
+// field the GTP extension uses for the TEID).
+const (
+	OXMInPort   = 0
+	OXMEthType  = 5
+	OXMIPProto  = 10
+	OXMIPv4Src  = 11
+	OXMIPv4Dst  = 12
+	OXMUDPSrc   = 15
+	OXMUDPDst   = 16
+	OXMTunnelID = 38
+)
+
+// Match is the set of OXM fields a flow entry matches on. Nil-valued
+// (unset) fields are wildcards.
+type Match struct {
+	InPort   *uint32
+	EthType  *uint16
+	IPProto  *uint8
+	IPv4Src  *Addr
+	IPv4Dst  *Addr
+	UDPSrc   *uint16
+	UDPDst   *uint16
+	TunnelID *uint64 // GTP TEID carried in tunnel metadata
+}
+
+// U32 returns a pointer to v, a convenience for building matches.
+func U32(v uint32) *uint32 { return &v }
+
+// U16 returns a pointer to v.
+func U16(v uint16) *uint16 { return &v }
+
+// U8 returns a pointer to v.
+func U8(v uint8) *uint8 { return &v }
+
+// U64 returns a pointer to v.
+func U64(v uint64) *uint64 { return &v }
+
+// AddrPtr returns a pointer to a.
+func AddrPtr(a Addr) *Addr { return &a }
+
+// Matches reports whether a packet view satisfies every set field.
+func (m *Match) Matches(inPort uint32, ft FiveTuple, tunnelID uint64) bool {
+	if m.InPort != nil && *m.InPort != inPort {
+		return false
+	}
+	if m.IPProto != nil && *m.IPProto != ft.Proto {
+		return false
+	}
+	if m.IPv4Src != nil && *m.IPv4Src != ft.Src {
+		return false
+	}
+	if m.IPv4Dst != nil && *m.IPv4Dst != ft.Dst {
+		return false
+	}
+	if m.UDPSrc != nil && *m.UDPSrc != ft.SrcPort {
+		return false
+	}
+	if m.UDPDst != nil && *m.UDPDst != ft.DstPort {
+		return false
+	}
+	if m.TunnelID != nil && *m.TunnelID != tunnelID {
+		return false
+	}
+	return true
+}
+
+// SpecificityScore counts set fields; used to order overlapping entries of
+// equal priority deterministically.
+func (m *Match) SpecificityScore() int {
+	n := 0
+	for _, set := range []bool{m.InPort != nil, m.EthType != nil, m.IPProto != nil,
+		m.IPv4Src != nil, m.IPv4Dst != nil, m.UDPSrc != nil, m.UDPDst != nil, m.TunnelID != nil} {
+		if set {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Match) encode(b []byte) []byte {
+	start := len(b)
+	b = putU16(b, 1) // OFPMT_OXM
+	b = putU16(b, 0) // length placeholder
+	oxm := func(field uint8, val []byte) {
+		b = putU16(b, 0x8000) // OFPXMC_OPENFLOW_BASIC
+		b = append(b, field<<1, byte(len(val)))
+		b = append(b, val...)
+	}
+	if m.InPort != nil {
+		oxm(OXMInPort, u32bytes(*m.InPort))
+	}
+	if m.EthType != nil {
+		oxm(OXMEthType, []byte{byte(*m.EthType >> 8), byte(*m.EthType)})
+	}
+	if m.IPProto != nil {
+		oxm(OXMIPProto, []byte{*m.IPProto})
+	}
+	if m.IPv4Src != nil {
+		oxm(OXMIPv4Src, m.IPv4Src[:])
+	}
+	if m.IPv4Dst != nil {
+		oxm(OXMIPv4Dst, m.IPv4Dst[:])
+	}
+	if m.UDPSrc != nil {
+		oxm(OXMUDPSrc, []byte{byte(*m.UDPSrc >> 8), byte(*m.UDPSrc)})
+	}
+	if m.UDPDst != nil {
+		oxm(OXMUDPDst, []byte{byte(*m.UDPDst >> 8), byte(*m.UDPDst)})
+	}
+	if m.TunnelID != nil {
+		v := *m.TunnelID
+		oxm(OXMTunnelID, []byte{byte(v >> 56), byte(v >> 48), byte(v >> 40), byte(v >> 32),
+			byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+	}
+	mlen := len(b) - start
+	b[start+2] = byte(mlen >> 8)
+	b[start+3] = byte(mlen)
+	// Pad to 8-byte boundary as OpenFlow requires.
+	for (len(b)-start)%8 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func (m *Match) decode(r *reader) error {
+	start := r.off
+	typ, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if typ != 1 {
+		return fmt.Errorf("pkt: OpenFlow match type %d, want OXM", typ)
+	}
+	mlen, err := r.u16()
+	if err != nil {
+		return err
+	}
+	end := start + int(mlen)
+	for r.off < end {
+		if _, err := r.u16(); err != nil { // OXM class
+			return err
+		}
+		fieldHM, err := r.u8()
+		if err != nil {
+			return err
+		}
+		vlen, err := r.u8()
+		if err != nil {
+			return err
+		}
+		val, err := r.bytes(int(vlen))
+		if err != nil {
+			return err
+		}
+		switch fieldHM >> 1 {
+		case OXMInPort:
+			m.InPort = U32(be.Uint32(val))
+		case OXMEthType:
+			m.EthType = U16(be.Uint16(val))
+		case OXMIPProto:
+			m.IPProto = U8(val[0])
+		case OXMIPv4Src:
+			var a Addr
+			copy(a[:], val)
+			m.IPv4Src = &a
+		case OXMIPv4Dst:
+			var a Addr
+			copy(a[:], val)
+			m.IPv4Dst = &a
+		case OXMUDPSrc:
+			m.UDPSrc = U16(be.Uint16(val))
+		case OXMUDPDst:
+			m.UDPDst = U16(be.Uint16(val))
+		case OXMTunnelID:
+			m.TunnelID = U64(be.Uint64(val))
+		default:
+			return fmt.Errorf("pkt: unknown OXM field %d", fieldHM>>1)
+		}
+	}
+	// Consume padding to the 8-byte boundary.
+	for (r.off-start)%8 != 0 {
+		if _, err := r.u8(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ActionType identifies a flow action.
+type ActionType uint8
+
+// Actions supported by the testbed's extended OVS.
+const (
+	// ActionOutput forwards to a switch port; GTP logical ports perform
+	// encapsulation on output and decapsulation on input.
+	ActionOutput ActionType = iota + 1
+	// ActionSetTunnel sets the tunnel metadata (TEID + remote endpoint)
+	// consumed by a subsequent output to a GTP logical port.
+	ActionSetTunnel
+	// ActionSetField rewrites a header field (used for TOS remarking).
+	ActionSetField
+	// ActionDrop discards the packet (encoded as an empty action list in
+	// real OpenFlow; explicit here for clarity).
+	ActionDrop
+)
+
+// Action is one flow-entry action.
+type Action struct {
+	Type       ActionType
+	Port       uint32 // ActionOutput
+	TunnelID   uint64 // ActionSetTunnel: GTP TEID
+	TunnelDst  Addr   // ActionSetTunnel: remote GTP endpoint
+	FieldValue uint8  // ActionSetField: new TOS
+}
+
+func (a *Action) encode(b []byte) []byte {
+	switch a.Type {
+	case ActionOutput:
+		// OFPAT_OUTPUT: type(2) len(2) port(4) max_len(2) pad(6) = 16.
+		b = putU16(b, 0)
+		b = putU16(b, 16)
+		b = putU32(b, a.Port)
+		b = putU16(b, 0xffff)
+		return append(b, 0, 0, 0, 0, 0, 0)
+	case ActionSetTunnel:
+		// Experimenter action: type(2)=0xffff len(2) exp_id(4) subtype(2)
+		// pad(2) tunnel_id(8) dst(4) pad(4) = 24.
+		b = putU16(b, 0xffff)
+		b = putU16(b, 24)
+		b = putU32(b, 0x00002320) // Nicira experimenter id, as OVS uses
+		b = putU16(b, 1)          // subtype: set GTP tunnel
+		b = append(b, 0, 0)
+		v := a.TunnelID
+		b = append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+			byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+		return append(b, a.TunnelDst[:]...)
+	case ActionSetField:
+		// OFPAT_SET_FIELD with a 1-byte OXM, padded to 16.
+		b = putU16(b, 25)
+		b = putU16(b, 16)
+		b = putU16(b, 0x8000)
+		b = append(b, 8<<1, 1, a.FieldValue) // IP DSCP
+		return append(b, 0, 0, 0, 0, 0, 0, 0)
+	case ActionDrop:
+		// Encoded as an experimenter no-op so the list length reflects it.
+		b = putU16(b, 0xffff)
+		b = putU16(b, 8)
+		return putU32(b, 0)
+	default:
+		panic(fmt.Sprintf("pkt: unknown action type %d", a.Type))
+	}
+}
+
+func decodeAction(r *reader) (Action, error) {
+	var a Action
+	typ, err := r.u16()
+	if err != nil {
+		return a, err
+	}
+	alen, err := r.u16()
+	if err != nil {
+		return a, err
+	}
+	body, err := r.bytes(int(alen) - 4)
+	if err != nil {
+		return a, err
+	}
+	switch typ {
+	case 0:
+		a.Type = ActionOutput
+		a.Port = be.Uint32(body[:4])
+	case 25:
+		a.Type = ActionSetField
+		a.FieldValue = body[4]
+	case 0xffff:
+		if alen == 8 {
+			a.Type = ActionDrop
+			return a, nil
+		}
+		a.Type = ActionSetTunnel
+		a.TunnelID = be.Uint64(body[8:16])
+		copy(a.TunnelDst[:], body[16:20])
+	default:
+		return a, fmt.Errorf("pkt: unknown action type %d", typ)
+	}
+	return a, nil
+}
+
+// OFMsg is one controller<->switch message.
+type OFMsg struct {
+	Type OFMsgType
+	XID  uint32
+
+	// FlowMod fields.
+	Command     uint8
+	TableID     uint8
+	Priority    uint16
+	IdleTimeout uint16 // seconds; 0 = permanent
+	HardTimeout uint16
+	Cookie      uint64
+	Match       Match
+	Actions     []Action
+
+	// PacketIn / PacketOut fields.
+	BufferID uint32
+	InPort   uint32
+	DataLen  uint16 // bytes of packet data carried
+	Reason   uint8
+}
+
+const ofHeaderLen = 8
+
+// Encode appends the message to b.
+func (m *OFMsg) Encode(b []byte) []byte {
+	start := len(b)
+	b = append(b, 0x04, byte(m.Type)) // OpenFlow 1.3
+	b = putU16(b, 0)                  // length placeholder
+	b = putU32(b, m.XID)
+	switch m.Type {
+	case OFFlowMod:
+		// cookie(8) cookie_mask(8) table(1) cmd(1) idle(2) hard(2) prio(2)
+		// buffer(4) out_port(4) out_group(4) flags(2) pad(2) = 40.
+		b = putU32(b, uint32(m.Cookie>>32))
+		b = putU32(b, uint32(m.Cookie))
+		b = putU32(b, 0xffffffff)
+		b = putU32(b, 0xffffffff)
+		b = append(b, m.TableID, m.Command)
+		b = putU16(b, m.IdleTimeout)
+		b = putU16(b, m.HardTimeout)
+		b = putU16(b, m.Priority)
+		b = putU32(b, 0xffffffff) // OFP_NO_BUFFER
+		b = putU32(b, 0xffffffff) // out_port any
+		b = putU32(b, 0xffffffff) // out_group any
+		b = putU16(b, 1)          // OFPFF_SEND_FLOW_REM
+		b = putU16(b, 0)          // pad
+		b = m.Match.encode(b)
+		// One OFPIT_APPLY_ACTIONS instruction wrapping the action list.
+		istart := len(b)
+		b = putU16(b, 4) // OFPIT_APPLY_ACTIONS
+		b = putU16(b, 0) // length placeholder
+		b = putU32(b, 0) // pad
+		for i := range m.Actions {
+			b = m.Actions[i].encode(b)
+		}
+		ilen := len(b) - istart
+		b[istart+2] = byte(ilen >> 8)
+		b[istart+3] = byte(ilen)
+	case OFPacketIn:
+		b = putU32(b, m.BufferID)
+		b = putU16(b, m.DataLen)
+		b = append(b, m.Reason, m.TableID)
+		b = putU32(b, uint32(m.Cookie>>32))
+		b = putU32(b, uint32(m.Cookie))
+		b = m.Match.encode(b)
+		b = putU16(b, 0) // pad
+		b = append(b, make([]byte, m.DataLen)...)
+	case OFPacketOut:
+		b = putU32(b, m.BufferID)
+		b = putU32(b, m.InPort)
+		astart := len(b)
+		b = putU16(b, 0)                // actions length placeholder
+		b = append(b, 0, 0, 0, 0, 0, 0) // pad
+		alen0 := len(b)
+		for i := range m.Actions {
+			b = m.Actions[i].encode(b)
+		}
+		alen := len(b) - alen0
+		b[astart] = byte(alen >> 8)
+		b[astart+1] = byte(alen)
+		b = append(b, make([]byte, m.DataLen)...)
+	case OFHello, OFEchoRequest, OFEchoReply, OFBarrier:
+		// Header only.
+	case OFFlowRemoved:
+		b = putU32(b, uint32(m.Cookie>>32))
+		b = putU32(b, uint32(m.Cookie))
+		b = putU16(b, m.Priority)
+		b = append(b, m.Reason, m.TableID)
+		b = append(b, make([]byte, 24)...) // duration/timeouts/counters
+		b = m.Match.encode(b)
+	default:
+		panic(fmt.Sprintf("pkt: cannot encode OpenFlow type %v", m.Type))
+	}
+	total := len(b) - start
+	b[start+2] = byte(total >> 8)
+	b[start+3] = byte(total)
+	return b
+}
+
+// Decode parses a message from the front of b.
+func (m *OFMsg) Decode(b []byte) (int, error) {
+	r := &reader{b: b}
+	ver, err := r.u8()
+	if err != nil {
+		return 0, err
+	}
+	if ver != 0x04 {
+		return 0, fmt.Errorf("pkt: OpenFlow version 0x%02x unsupported", ver)
+	}
+	typ, err := r.u8()
+	if err != nil {
+		return 0, err
+	}
+	m.Type = OFMsgType(typ)
+	total, err := r.u16()
+	if err != nil {
+		return 0, err
+	}
+	if len(b) < int(total) {
+		return 0, fmt.Errorf("%w: OpenFlow declares %d bytes, %d present", ErrTruncated, total, len(b))
+	}
+	if m.XID, err = r.u32(); err != nil {
+		return 0, err
+	}
+	switch m.Type {
+	case OFFlowMod:
+		hi, err := r.u32()
+		if err != nil {
+			return 0, err
+		}
+		lo, err := r.u32()
+		if err != nil {
+			return 0, err
+		}
+		m.Cookie = uint64(hi)<<32 | uint64(lo)
+		if _, err := r.bytes(8); err != nil { // cookie mask
+			return 0, err
+		}
+		if m.TableID, err = r.u8(); err != nil {
+			return 0, err
+		}
+		if m.Command, err = r.u8(); err != nil {
+			return 0, err
+		}
+		if m.IdleTimeout, err = r.u16(); err != nil {
+			return 0, err
+		}
+		if m.HardTimeout, err = r.u16(); err != nil {
+			return 0, err
+		}
+		if m.Priority, err = r.u16(); err != nil {
+			return 0, err
+		}
+		if _, err := r.bytes(16); err != nil { // buffer, out port/group, flags, pad
+			return 0, err
+		}
+		m.Match = Match{}
+		if err := m.Match.decode(r); err != nil {
+			return 0, err
+		}
+		m.Actions = nil
+		for r.off < int(total) {
+			if _, err := r.u16(); err != nil { // instruction type
+				return 0, err
+			}
+			ilen, err := r.u16()
+			if err != nil {
+				return 0, err
+			}
+			if _, err := r.u32(); err != nil { // pad
+				return 0, err
+			}
+			iend := r.off + int(ilen) - 8
+			for r.off < iend {
+				a, err := decodeAction(r)
+				if err != nil {
+					return 0, err
+				}
+				m.Actions = append(m.Actions, a)
+			}
+		}
+	case OFPacketIn:
+		if m.BufferID, err = r.u32(); err != nil {
+			return 0, err
+		}
+		if m.DataLen, err = r.u16(); err != nil {
+			return 0, err
+		}
+		if m.Reason, err = r.u8(); err != nil {
+			return 0, err
+		}
+		if m.TableID, err = r.u8(); err != nil {
+			return 0, err
+		}
+		hi, err := r.u32()
+		if err != nil {
+			return 0, err
+		}
+		lo, err := r.u32()
+		if err != nil {
+			return 0, err
+		}
+		m.Cookie = uint64(hi)<<32 | uint64(lo)
+		m.Match = Match{}
+		if err := m.Match.decode(r); err != nil {
+			return 0, err
+		}
+		if _, err := r.u16(); err != nil {
+			return 0, err
+		}
+		if _, err := r.bytes(int(m.DataLen)); err != nil {
+			return 0, err
+		}
+	case OFPacketOut:
+		if m.BufferID, err = r.u32(); err != nil {
+			return 0, err
+		}
+		if m.InPort, err = r.u32(); err != nil {
+			return 0, err
+		}
+		alen, err := r.u16()
+		if err != nil {
+			return 0, err
+		}
+		if _, err := r.bytes(6); err != nil {
+			return 0, err
+		}
+		aend := r.off + int(alen)
+		m.Actions = nil
+		for r.off < aend {
+			a, err := decodeAction(r)
+			if err != nil {
+				return 0, err
+			}
+			m.Actions = append(m.Actions, a)
+		}
+		m.DataLen = uint16(int(total) - r.off)
+		if _, err := r.bytes(int(m.DataLen)); err != nil {
+			return 0, err
+		}
+	case OFHello, OFEchoRequest, OFEchoReply, OFBarrier:
+		// Header only.
+	case OFFlowRemoved:
+		hi, err := r.u32()
+		if err != nil {
+			return 0, err
+		}
+		lo, err := r.u32()
+		if err != nil {
+			return 0, err
+		}
+		m.Cookie = uint64(hi)<<32 | uint64(lo)
+		if m.Priority, err = r.u16(); err != nil {
+			return 0, err
+		}
+		if m.Reason, err = r.u8(); err != nil {
+			return 0, err
+		}
+		if m.TableID, err = r.u8(); err != nil {
+			return 0, err
+		}
+		if _, err := r.bytes(24); err != nil {
+			return 0, err
+		}
+		m.Match = Match{}
+		if err := m.Match.decode(r); err != nil {
+			return 0, err
+		}
+	default:
+		return 0, fmt.Errorf("pkt: cannot decode OpenFlow type %d", typ)
+	}
+	return int(total), nil
+}

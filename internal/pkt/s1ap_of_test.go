@@ -1,0 +1,274 @@
+package pkt
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleS1AP() S1APMsg {
+	tft := DedicatedBearerTFT(AddrFrom(10, 20, 0, 9))
+	return S1APMsg{
+		Procedure: S1APERABSetupRequest,
+		ENBUEID:   17,
+		MMEUEID:   170001,
+		NAS:       []byte("nas-pdu-content-for-roundtrip-test-x42"),
+		ERABs: []ERABItem{{
+			ERABID:    6,
+			QoS:       &BearerQoS{QCI: QCIMEC, ARP: 2},
+			Transport: FTEID{IfaceType: FTEIDIfaceS1USGW, TEID: 0x5001, Addr: AddrFrom(10, 20, 0, 1)},
+			TFT:       &tft,
+		}},
+	}
+}
+
+func TestS1APRoundTrip(t *testing.T) {
+	orig := sampleS1AP()
+	b := orig.Encode(nil)
+	var got S1APMsg
+	n, err := got.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Errorf("decode consumed %d of %d", n, len(b))
+	}
+	if !reflect.DeepEqual(got, orig) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, orig)
+	}
+}
+
+func TestS1APReleaseMessages(t *testing.T) {
+	for _, proc := range []S1APProcedure{
+		S1APUEContextReleaseRequest, S1APUEContextReleaseCommand, S1APUEContextReleaseComplete,
+	} {
+		orig := S1APMsg{Procedure: proc, ENBUEID: 3, MMEUEID: 9, Cause: 20}
+		b := orig.Encode(nil)
+		var got S1APMsg
+		if _, err := got.Decode(b); err != nil {
+			t.Fatalf("%v: %v", proc, err)
+		}
+		if got.Procedure != proc || got.Cause != 20 {
+			t.Errorf("%v: got %+v", proc, got)
+		}
+	}
+}
+
+func TestS1APChecksumDetectsCorruption(t *testing.T) {
+	msg := sampleS1AP()
+	b := msg.Encode(nil)
+	b[len(b)-1] ^= 0xff
+	var got S1APMsg
+	if _, err := got.Decode(b); err == nil {
+		t.Error("decode accepted corrupted S1AP payload")
+	}
+}
+
+func TestS1APSCTPFraming(t *testing.T) {
+	msg := S1APMsg{Procedure: S1APInitialUEMessage, ENBUEID: 1, NAS: make([]byte, 80)}
+	b := msg.Encode(nil)
+	if len(b) <= SCTPFramingLen {
+		t.Fatalf("message %d bytes, need more than framing %d", len(b), SCTPFramingLen)
+	}
+	// Chunk length field covers chunk header + payload.
+	chunkLen := int(be.Uint16(b[SCTPCommonHeaderLen+2:]))
+	if chunkLen != len(b)-SCTPCommonHeaderLen {
+		t.Errorf("chunk length %d, want %d", chunkLen, len(b)-SCTPCommonHeaderLen)
+	}
+}
+
+func TestS1APNASPayloadPreserved(t *testing.T) {
+	f := func(nas []byte) bool {
+		if len(nas) > 1024 {
+			nas = nas[:1024]
+		}
+		orig := S1APMsg{Procedure: S1APDownlinkNASTransport, ENBUEID: 2, MMEUEID: 4, NAS: nas}
+		var got S1APMsg
+		if _, err := got.Decode(orig.Encode(nil)); err != nil {
+			return false
+		}
+		if len(nas) == 0 {
+			return len(got.NAS) == 0
+		}
+		return string(got.NAS) == string(nas)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestS1APProcedureString(t *testing.T) {
+	if S1APERABSetupRequest.String() != "E-RABSetupRequest" {
+		t.Errorf("String() = %q", S1APERABSetupRequest.String())
+	}
+	if S1APProcedure(99).String() == "" {
+		t.Error("unknown procedure produced empty string")
+	}
+}
+
+func sampleFlowMod() OFMsg {
+	return OFMsg{
+		Type:     OFFlowMod,
+		XID:      77,
+		Command:  FlowModAdd,
+		TableID:  0,
+		Priority: 100,
+		Cookie:   0xacac1a,
+		Match: Match{
+			InPort:   U32(1),
+			IPProto:  U8(ProtoUDP),
+			IPv4Src:  AddrPtr(AddrFrom(172, 16, 0, 9)),
+			IPv4Dst:  AddrPtr(AddrFrom(10, 20, 0, 9)),
+			TunnelID: U64(0x5001),
+		},
+		Actions: []Action{
+			{Type: ActionSetTunnel, TunnelID: 0x6001, TunnelDst: AddrFrom(10, 20, 0, 2)},
+			{Type: ActionOutput, Port: 2},
+		},
+	}
+}
+
+func TestOpenFlowFlowModRoundTrip(t *testing.T) {
+	orig := sampleFlowMod()
+	b := orig.Encode(nil)
+	var got OFMsg
+	n, err := got.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Errorf("decode consumed %d of %d", n, len(b))
+	}
+	if !reflect.DeepEqual(got, orig) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, orig)
+	}
+}
+
+func TestOpenFlowPacketInRoundTrip(t *testing.T) {
+	orig := OFMsg{
+		Type: OFPacketIn, XID: 3, BufferID: 0xffffffff, DataLen: 128,
+		Reason: 0, TableID: 0, Cookie: 5,
+		Match: Match{InPort: U32(4), TunnelID: U64(9)},
+	}
+	b := orig.Encode(nil)
+	var got OFMsg
+	if _, err := got.Decode(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.DataLen != 128 || *got.Match.InPort != 4 || *got.Match.TunnelID != 9 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestOpenFlowPacketOutRoundTrip(t *testing.T) {
+	orig := OFMsg{
+		Type: OFPacketOut, XID: 4, BufferID: 0xffffffff, InPort: 7, DataLen: 64,
+		Actions: []Action{{Type: ActionOutput, Port: 1}},
+	}
+	b := orig.Encode(nil)
+	var got OFMsg
+	if _, err := got.Decode(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.InPort != 7 || got.DataLen != 64 || len(got.Actions) != 1 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestOpenFlowHeaderOnlyMessages(t *testing.T) {
+	for _, typ := range []OFMsgType{OFHello, OFEchoRequest, OFEchoReply, OFBarrier} {
+		orig := OFMsg{Type: typ, XID: 9}
+		b := orig.Encode(nil)
+		if len(b) != ofHeaderLen {
+			t.Errorf("%v: encoded %d bytes, want %d", typ, len(b), ofHeaderLen)
+		}
+		var got OFMsg
+		if _, err := got.Decode(b); err != nil {
+			t.Errorf("%v: %v", typ, err)
+		}
+	}
+}
+
+func TestOpenFlowMatchSemantics(t *testing.T) {
+	m := Match{
+		IPv4Dst:  AddrPtr(AddrFrom(10, 0, 0, 1)),
+		IPProto:  U8(ProtoUDP),
+		TunnelID: U64(42),
+	}
+	ft := FiveTuple{Src: AddrFrom(1, 1, 1, 1), Dst: AddrFrom(10, 0, 0, 1), Proto: ProtoUDP}
+	if !m.Matches(3, ft, 42) {
+		t.Error("match failed on conforming packet")
+	}
+	if m.Matches(3, ft, 43) {
+		t.Error("match succeeded with wrong tunnel id")
+	}
+	ft2 := ft
+	ft2.Dst = AddrFrom(10, 0, 0, 2)
+	if m.Matches(3, ft2, 42) {
+		t.Error("match succeeded with wrong destination")
+	}
+	var wild Match
+	if !wild.Matches(1, ft, 0) {
+		t.Error("empty match (wildcard) did not match")
+	}
+}
+
+func TestOpenFlowSpecificity(t *testing.T) {
+	if (&Match{}).SpecificityScore() != 0 {
+		t.Error("empty match specificity not 0")
+	}
+	m := sampleFlowMod().Match
+	if m.SpecificityScore() != 5 {
+		t.Errorf("specificity = %d, want 5", m.SpecificityScore())
+	}
+}
+
+func TestOpenFlowEncodingIs8ByteAligned(t *testing.T) {
+	fm := sampleFlowMod()
+	b := fm.Encode(nil)
+	if len(b)%8 != 0 {
+		t.Errorf("FlowMod length %d not 8-byte aligned", len(b))
+	}
+}
+
+func TestOpenFlowDecodeTruncated(t *testing.T) {
+	fm := sampleFlowMod()
+	b := fm.Encode(nil)
+	for n := 1; n < len(b); n++ {
+		var got OFMsg
+		if _, err := got.Decode(b[:n]); err == nil {
+			t.Errorf("decode of %d-byte prefix succeeded", n)
+		}
+	}
+}
+
+func TestQCITable(t *testing.T) {
+	for _, q := range StandardQCIs() {
+		c, ok := q.Class()
+		if !ok {
+			t.Errorf("QCI %d missing from table", q)
+			continue
+		}
+		if c.QCI != q {
+			t.Errorf("table entry mismatch for %d", q)
+		}
+		if c.DelayBudget <= 0 || c.Priority < 1 {
+			t.Errorf("QCI %d has invalid characteristics %+v", q, c)
+		}
+	}
+	if QCI(42).Valid() {
+		t.Error("QCI 42 reported valid")
+	}
+	if QCIMEC.Priority() >= QCIDefault.Priority() {
+		t.Error("MEC QCI must have stricter priority than default")
+	}
+	// Priorities are unique per the standard table.
+	seen := map[int]QCI{}
+	for _, q := range StandardQCIs() {
+		p := q.Priority()
+		if other, dup := seen[p]; dup {
+			t.Errorf("QCIs %d and %d share priority %d", q, other, p)
+		}
+		seen[p] = q
+	}
+}

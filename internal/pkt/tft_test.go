@@ -1,0 +1,213 @@
+package pkt
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTFT() TFT {
+	return TFT{
+		Op: TFTOpCreateNew,
+		Filters: []PacketFilter{
+			{
+				ID: 1, Direction: DirBidirectional, Precedence: 10,
+				RemoteAddr: AddrFrom(10, 10, 0, 5), RemoteMask: Addr{255, 255, 255, 255},
+				Proto: ProtoUDP, RemotePortLo: 5000, RemotePortHi: 5010,
+			},
+			{
+				ID: 2, Direction: DirUplink, Precedence: 20,
+				Proto: ProtoTCP, LocalPortLo: 1024, LocalPortHi: 65535,
+			},
+		},
+	}
+}
+
+func TestTFTEncodeDecodeRoundTrip(t *testing.T) {
+	orig := sampleTFT()
+	b := orig.Encode(nil)
+	var got TFT
+	n, err := got.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Errorf("decode consumed %d of %d bytes", n, len(b))
+	}
+	if !reflect.DeepEqual(got, orig) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, orig)
+	}
+}
+
+func TestTFTMatchUplinkByRemoteAddr(t *testing.T) {
+	server := AddrFrom(10, 10, 0, 5)
+	tft := DedicatedBearerTFT(server)
+
+	toServer := FiveTuple{Src: AddrFrom(172, 16, 0, 9), Dst: server, SrcPort: 40000, DstPort: 8080, Proto: ProtoTCP}
+	if !tft.MatchUplink(toServer, 0) {
+		t.Error("uplink packet to CI server did not match dedicated TFT")
+	}
+
+	toInternet := toServer
+	toInternet.Dst = AddrFrom(93, 184, 216, 34)
+	if tft.MatchUplink(toInternet, 0) {
+		t.Error("internet-bound packet matched dedicated TFT")
+	}
+}
+
+func TestTFTMatchDownlink(t *testing.T) {
+	server := AddrFrom(10, 10, 0, 5)
+	tft := DedicatedBearerTFT(server)
+	fromServer := FiveTuple{Src: server, Dst: AddrFrom(172, 16, 0, 9), SrcPort: 8080, DstPort: 40000, Proto: ProtoTCP}
+	if !tft.MatchDownlink(fromServer, 0) {
+		t.Error("downlink packet from CI server did not match")
+	}
+	fromOther := fromServer
+	fromOther.Src = AddrFrom(8, 8, 8, 8)
+	if tft.MatchDownlink(fromOther, 0) {
+		t.Error("downlink packet from other host matched")
+	}
+}
+
+func TestTFTDirectionality(t *testing.T) {
+	tft := TFT{Op: TFTOpCreateNew, Filters: []PacketFilter{{
+		ID: 1, Direction: DirUplink, Precedence: 1,
+		RemoteAddr: AddrFrom(9, 9, 9, 9), RemoteMask: Addr{255, 255, 255, 255},
+	}}}
+	up := FiveTuple{Src: AddrFrom(1, 1, 1, 1), Dst: AddrFrom(9, 9, 9, 9), Proto: ProtoUDP}
+	down := up.Reverse()
+	if !tft.MatchUplink(up, 0) {
+		t.Error("uplink filter did not match uplink packet")
+	}
+	if tft.MatchDownlink(down, 0) {
+		t.Error("uplink-only filter matched a downlink packet")
+	}
+}
+
+func TestTFTPortRangeMatching(t *testing.T) {
+	tft := TFT{Op: TFTOpCreateNew, Filters: []PacketFilter{{
+		ID: 1, Direction: DirBidirectional, Precedence: 1,
+		Proto: ProtoUDP, RemotePortLo: 5000, RemotePortHi: 5010,
+	}}}
+	base := FiveTuple{Src: AddrFrom(1, 1, 1, 1), Dst: AddrFrom(2, 2, 2, 2), SrcPort: 999, Proto: ProtoUDP}
+	for _, tc := range []struct {
+		port uint16
+		want bool
+	}{
+		{4999, false}, {5000, true}, {5005, true}, {5010, true}, {5011, false},
+	} {
+		ft := base
+		ft.DstPort = tc.port
+		if got := tft.MatchUplink(ft, 0); got != tc.want {
+			t.Errorf("port %d: match = %v, want %v", tc.port, got, tc.want)
+		}
+	}
+}
+
+func TestTFTProtocolMismatch(t *testing.T) {
+	tft := TFT{Op: TFTOpCreateNew, Filters: []PacketFilter{{
+		ID: 1, Direction: DirBidirectional, Precedence: 1, Proto: ProtoTCP,
+	}}}
+	udp := FiveTuple{Src: AddrFrom(1, 1, 1, 1), Dst: AddrFrom(2, 2, 2, 2), Proto: ProtoUDP}
+	if tft.MatchUplink(udp, 0) {
+		t.Error("TCP-only filter matched a UDP packet")
+	}
+}
+
+func TestTFTSubnetMask(t *testing.T) {
+	tft := TFT{Op: TFTOpCreateNew, Filters: []PacketFilter{{
+		ID: 1, Direction: DirBidirectional, Precedence: 1,
+		RemoteAddr: AddrFrom(10, 10, 0, 0), RemoteMask: Addr{255, 255, 0, 0},
+	}}}
+	in := FiveTuple{Src: AddrFrom(1, 1, 1, 1), Dst: AddrFrom(10, 10, 99, 3)}
+	out := FiveTuple{Src: AddrFrom(1, 1, 1, 1), Dst: AddrFrom(10, 11, 0, 3)}
+	if !tft.MatchUplink(in, 0) {
+		t.Error("in-subnet destination did not match")
+	}
+	if tft.MatchUplink(out, 0) {
+		t.Error("out-of-subnet destination matched")
+	}
+}
+
+func TestTFTTOSMatching(t *testing.T) {
+	tft := TFT{Op: TFTOpCreateNew, Filters: []PacketFilter{{
+		ID: 1, Direction: DirBidirectional, Precedence: 1,
+		TOSTrafficClass: 0x2e << 2, TOSMask: 0xfc,
+	}}}
+	ft := FiveTuple{Src: AddrFrom(1, 1, 1, 1), Dst: AddrFrom(2, 2, 2, 2)}
+	if !tft.MatchUplink(ft, 0x2e<<2) {
+		t.Error("matching TOS did not match")
+	}
+	if tft.MatchUplink(ft, 0) {
+		t.Error("non-matching TOS matched")
+	}
+}
+
+func TestTFTPrecedenceOrdering(t *testing.T) {
+	// Two overlapping filters; matching consults them in precedence order.
+	// Since TFT matching is existential the result is identical, but the
+	// byPrecedence order must be stable and sorted.
+	tft := TFT{Op: TFTOpCreateNew, Filters: []PacketFilter{
+		{ID: 2, Direction: DirBidirectional, Precedence: 20},
+		{ID: 1, Direction: DirBidirectional, Precedence: 10},
+	}}
+	fs := tft.byPrecedence()
+	if fs[0].Precedence != 10 || fs[1].Precedence != 20 {
+		t.Errorf("byPrecedence order: %v, %v", fs[0].Precedence, fs[1].Precedence)
+	}
+}
+
+func TestTFTEmptyFilterIsWildcard(t *testing.T) {
+	tft := TFT{Op: TFTOpCreateNew, Filters: []PacketFilter{{ID: 1, Direction: DirBidirectional}}}
+	any := FiveTuple{Src: AddrFrom(5, 5, 5, 5), Dst: AddrFrom(6, 6, 6, 6), SrcPort: 1, DstPort: 2, Proto: ProtoICMP}
+	if !tft.MatchUplink(any, 0xff) {
+		t.Error("wildcard filter did not match arbitrary packet")
+	}
+}
+
+func TestTFTEncodeTooManyFiltersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Encode with 16 filters did not panic")
+		}
+	}()
+	tft := TFT{Op: TFTOpCreateNew, Filters: make([]PacketFilter, 16)}
+	tft.Encode(nil)
+}
+
+func TestTFTPropertyRoundTrip(t *testing.T) {
+	f := func(id, prec, proto uint8, addr [4]byte, plo, phi uint16) bool {
+		if phi < plo {
+			plo, phi = phi, plo
+		}
+		if phi == 0 {
+			phi = 1
+		}
+		orig := TFT{Op: TFTOpCreateNew, Filters: []PacketFilter{{
+			ID: id & 0x0f, Direction: DirBidirectional, Precedence: prec,
+			RemoteAddr: Addr(addr), RemoteMask: Addr{255, 255, 255, 255},
+			Proto: proto, RemotePortLo: plo, RemotePortHi: phi,
+		}}}
+		b := orig.Encode(nil)
+		var got TFT
+		n, err := got.Decode(b)
+		if err != nil || n != len(b) {
+			return false
+		}
+		return reflect.DeepEqual(got, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTFTDecodeTruncated(t *testing.T) {
+	tft := sampleTFT()
+	b := tft.Encode(nil)
+	for n := 1; n < len(b); n++ {
+		var got TFT
+		if _, err := got.Decode(b[:n]); err == nil {
+			t.Errorf("decode of %d-byte prefix succeeded", n)
+		}
+	}
+}

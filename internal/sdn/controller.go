@@ -1,0 +1,159 @@
+package sdn
+
+import (
+	"fmt"
+	"time"
+
+	"acacia/internal/netsim"
+	"acacia/internal/pkt"
+	"acacia/internal/sim"
+)
+
+// MsgStats accounts controller-channel traffic by direction: message counts
+// and serialized byte totals. These feed the §4 control-overhead numbers.
+type MsgStats struct {
+	Sent      uint64
+	SentBytes uint64
+	Received  uint64
+	RecvBytes uint64
+}
+
+// PacketInHandler reacts to a table miss: it receives the switch, ingress
+// port, the (already decapsulated) packet and the tunnel metadata it
+// carried. The packet is the controller's to keep — buffer-and-page logic
+// re-injects it after installing state. Experiments without reactive setup
+// may leave the handler nil (misses are then dropped).
+type PacketInHandler func(sw *Switch, inPort uint32, p *netsim.Packet, tunnelID uint64)
+
+// Controller is the OpenFlow controller (the testbed's Ryu analog extended
+// with GTP flow management). It serializes every message it exchanges with
+// its switches so the control-plane byte accounting reflects real
+// encodings.
+type Controller struct {
+	eng *sim.Engine
+	// RTT is the one-way control-channel latency applied to FlowMods and
+	// PacketIns (the controller usually sits next to the GW-Us).
+	RTT time.Duration
+
+	switches map[uint64]*Switch
+	xid      uint32
+
+	// OnPacketIn handles reactive flow setup.
+	OnPacketIn PacketInHandler
+
+	stats MsgStats
+	// ByType counts messages per OpenFlow message type.
+	ByType map[pkt.OFMsgType]uint64
+}
+
+// NewController creates a controller on eng.
+func NewController(eng *sim.Engine) *Controller {
+	return &Controller{
+		eng:      eng,
+		switches: make(map[uint64]*Switch),
+		ByType:   make(map[pkt.OFMsgType]uint64),
+	}
+}
+
+// Stats reports channel counters.
+func (c *Controller) Stats() MsgStats { return c.stats }
+
+// AddSwitch connects a switch to the controller (the OpenFlow Hello
+// exchange).
+func (c *Controller) AddSwitch(sw *Switch) {
+	if _, dup := c.switches[sw.DPID]; dup {
+		panic(fmt.Sprintf("sdn: duplicate dpid %d", sw.DPID))
+	}
+	c.switches[sw.DPID] = sw
+	sw.controller = c
+	hello := &pkt.OFMsg{Type: pkt.OFHello, XID: c.nextXID()}
+	c.accountSent(hello)
+	c.accountReceived(hello) // symmetric hello from the switch
+}
+
+// Switch returns the connected switch with the given datapath id, or nil.
+func (c *Controller) Switch(dpid uint64) *Switch { return c.switches[dpid] }
+
+func (c *Controller) nextXID() uint32 {
+	c.xid++
+	return c.xid
+}
+
+func (c *Controller) accountSent(m *pkt.OFMsg) int {
+	b := m.Encode(nil)
+	c.stats.Sent++
+	c.stats.SentBytes += uint64(len(b))
+	c.ByType[m.Type]++
+	return len(b)
+}
+
+func (c *Controller) accountReceived(m *pkt.OFMsg) int {
+	b := m.Encode(nil)
+	c.stats.Received++
+	c.stats.RecvBytes += uint64(len(b))
+	c.ByType[m.Type]++
+	return len(b)
+}
+
+// InstallFlow sends a FlowMod(add) to the switch; the entry takes effect
+// after the control RTT. The returned byte count is the serialized FlowMod
+// size (used by overhead accounting).
+func (c *Controller) InstallFlow(sw *Switch, e FlowEntry) int {
+	msg := &pkt.OFMsg{
+		Type: pkt.OFFlowMod, XID: c.nextXID(),
+		Command:     pkt.FlowModAdd,
+		Priority:    e.Priority,
+		Cookie:      e.Cookie,
+		IdleTimeout: uint16(e.IdleTimeout / time.Second),
+		Match:       e.Match,
+		Actions:     e.Actions,
+	}
+	n := c.accountSent(msg)
+	c.eng.Schedule(c.RTT, func() { sw.installFlow(e) })
+	return n
+}
+
+// RemoveFlows sends a FlowMod(delete) for all entries with the given
+// cookie.
+func (c *Controller) RemoveFlows(sw *Switch, cookie uint64) int {
+	msg := &pkt.OFMsg{
+		Type: pkt.OFFlowMod, XID: c.nextXID(),
+		Command: pkt.FlowModDelete,
+		Cookie:  cookie,
+	}
+	n := c.accountSent(msg)
+	c.eng.Schedule(c.RTT, func() { sw.removeFlows(cookie) })
+	return n
+}
+
+// packetIn is called by a switch on a table miss.
+func (c *Controller) packetIn(sw *Switch, inPort uint32, p *netsim.Packet, tunnelID uint64) {
+	msg := &pkt.OFMsg{
+		Type: pkt.OFPacketIn, XID: c.nextXID(),
+		BufferID: 0xffffffff,
+		DataLen:  uint16(clampLen(p.Size, 128)), // truncated packet copy
+		Match:    pkt.Match{InPort: pkt.U32(inPort), TunnelID: pkt.U64(tunnelID)},
+	}
+	c.accountReceived(msg)
+	if c.OnPacketIn == nil {
+		sw.stats.Dropped++
+		return
+	}
+	c.eng.Schedule(c.RTT, func() { c.OnPacketIn(sw, inPort, p, tunnelID) })
+}
+
+// flowRemoved is called by a switch when an idle entry expires.
+func (c *Controller) flowRemoved(sw *Switch, e *FlowEntry) {
+	msg := &pkt.OFMsg{
+		Type: pkt.OFFlowRemoved, XID: c.nextXID(),
+		Cookie: e.Cookie, Priority: e.Priority, Match: e.Match,
+	}
+	c.accountReceived(msg)
+}
+
+func clampLen(v, lim int) int {
+	if v > lim {
+		return lim
+	}
+	return v
+}

@@ -1,0 +1,179 @@
+package sdn
+
+import (
+	"time"
+
+	"acacia/internal/netsim"
+	"acacia/internal/pkt"
+	"acacia/internal/sim"
+)
+
+// GTP-U path management (TS 29.281 §7.2): GTP peers exchange Echo
+// Request/Response over the tunnel path; a run of missed responses marks
+// the path down. The monitor discovers its peers from the switch's
+// installed SetTunnel actions, so supervision follows the programmed
+// bearers automatically.
+
+// gtpEcho is the in-simulation payload of an echo message.
+type gtpEcho struct {
+	req  bool
+	seq  uint32
+	from pkt.Addr
+}
+
+// gtpEchoWireSize is the on-the-wire size of a GTP echo (outer IP + UDP +
+// GTP header with sequence, per TS 29.281).
+const gtpEchoWireSize = pkt.IPv4Len + pkt.UDPLen + pkt.GTPULen + 4
+
+// PathState describes one supervised peer path.
+type PathState struct {
+	Peer pkt.Addr
+	Port int
+	Down bool
+	// Sent/Received count echo requests and responses.
+	Sent, Received uint64
+	lastSentSeq    uint32
+	lastAckedSeq   uint32
+	misses         int
+}
+
+// PathMonitor supervises a switch's GTP peers.
+type PathMonitor struct {
+	sw        *Switch
+	maxMisses int
+	peers     map[pkt.Addr]*PathState
+	ticker    *sim.Ticker
+
+	// OnPathDown/OnPathUp observe path state transitions.
+	OnPathDown func(peer pkt.Addr)
+	OnPathUp   func(peer pkt.Addr)
+}
+
+// EnablePathMonitor starts echo supervision on the switch: every period it
+// refreshes the peer set from the flow table, sends an Echo Request to
+// each, and declares a path down after maxMisses consecutive unanswered
+// requests.
+func (sw *Switch) EnablePathMonitor(period time.Duration, maxMisses int) *PathMonitor {
+	if sw.pathMon != nil {
+		return sw.pathMon
+	}
+	if maxMisses <= 0 {
+		maxMisses = 3
+	}
+	m := &PathMonitor{
+		sw:        sw,
+		maxMisses: maxMisses,
+		peers:     make(map[pkt.Addr]*PathState),
+	}
+	sw.pathMon = m
+	m.ticker = sim.NewTicker(sw.eng, period, m.tick)
+	return m
+}
+
+// Peers returns the supervised path states (live views).
+func (m *PathMonitor) Peers() map[pkt.Addr]*PathState { return m.peers }
+
+// Stop halts supervision.
+func (m *PathMonitor) Stop() { m.ticker.Stop() }
+
+// tick refreshes peers from the table and probes each.
+func (m *PathMonitor) tick() {
+	m.refreshPeers()
+	for _, ps := range m.peers {
+		// Check the previous round's answer before probing again.
+		if ps.lastAckedSeq < ps.lastSentSeq {
+			ps.misses++
+			if !ps.Down && ps.misses >= m.maxMisses {
+				ps.Down = true
+				if m.OnPathDown != nil {
+					m.OnPathDown(ps.Peer)
+				}
+			}
+		}
+		ps.lastSentSeq++
+		ps.Sent++
+		m.sw.node.Port(ps.Port).Send(&netsim.Packet{
+			Flow: pkt.FiveTuple{
+				Src: m.sw.node.Addr(), Dst: ps.Peer,
+				SrcPort: pkt.GTPUPort, DstPort: pkt.GTPUPort, Proto: pkt.ProtoUDP,
+			},
+			Size:    gtpEchoWireSize,
+			Payload: gtpEcho{req: true, seq: ps.lastSentSeq, from: m.sw.node.Addr()},
+		})
+	}
+}
+
+// refreshPeers derives the peer set from SetTunnel actions and the output
+// port that follows them.
+func (m *PathMonitor) refreshPeers() {
+	seen := map[pkt.Addr]int{}
+	for i := range m.sw.table {
+		e := &m.sw.table[i]
+		var dst pkt.Addr
+		for _, a := range e.Actions {
+			switch a.Type {
+			case pkt.ActionSetTunnel:
+				dst = a.TunnelDst
+			case pkt.ActionOutput:
+				if !dst.IsZero() {
+					seen[dst] = int(a.Port)
+				}
+			}
+		}
+	}
+	for peer, port := range seen {
+		if ps, ok := m.peers[peer]; ok {
+			ps.Port = port
+			continue
+		}
+		m.peers[peer] = &PathState{Peer: peer, Port: port}
+	}
+	// Paths whose flows disappeared stop being probed.
+	for peer := range m.peers {
+		if _, still := seen[peer]; !still {
+			delete(m.peers, peer)
+		}
+	}
+}
+
+// handleEcho intercepts GTP echo messages before table lookup. Returns
+// true when the packet was consumed.
+func (sw *Switch) handleEcho(ingress *netsim.Port, p *netsim.Packet) bool {
+	echo, ok := p.Payload.(gtpEcho)
+	if !ok || p.Flow.Dst != sw.node.Addr() || p.Flow.DstPort != pkt.GTPUPort {
+		return false
+	}
+	if echo.req {
+		if ingress == nil {
+			return true
+		}
+		ingress.Send(&netsim.Packet{
+			Flow:    p.Flow.Reverse(),
+			Size:    gtpEchoWireSize,
+			Payload: gtpEcho{req: false, seq: echo.seq, from: sw.node.Addr()},
+		})
+		return true
+	}
+	if sw.pathMon != nil {
+		sw.pathMon.onResponse(echo)
+	}
+	return true
+}
+
+func (m *PathMonitor) onResponse(echo gtpEcho) {
+	ps, ok := m.peers[echo.from]
+	if !ok {
+		return
+	}
+	ps.Received++
+	if echo.seq > ps.lastAckedSeq {
+		ps.lastAckedSeq = echo.seq
+	}
+	ps.misses = 0
+	if ps.Down {
+		ps.Down = false
+		if m.OnPathUp != nil {
+			m.OnPathUp(ps.Peer)
+		}
+	}
+}

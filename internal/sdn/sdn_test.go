@@ -1,0 +1,471 @@
+package sdn
+
+import (
+	"testing"
+	"time"
+
+	"acacia/internal/netsim"
+	"acacia/internal/pkt"
+	"acacia/internal/sim"
+)
+
+// gwTopo builds: src -- sgwU -- pgwU -- dst with 1 Gbps links and installs
+// the GTP flow chain for one uplink bearer:
+//
+//	src encapsulates toward sgwU with TEID s1=101;
+//	sgwU re-tunnels to pgwU with TEID s5=201;
+//	pgwU decapsulates and forwards plain to dst.
+type gwTopo struct {
+	eng        *sim.Engine
+	nw         *netsim.Network
+	src, dst   *netsim.Host
+	sgwU, pgwU *Switch
+	ctl        *Controller
+}
+
+func buildGWTopo(t *testing.T, costs PathCosts) *gwTopo {
+	t.Helper()
+	eng := sim.NewEngine(7)
+	nw := netsim.New(eng)
+	srcN := nw.AddNode("src", pkt.AddrFrom(10, 0, 0, 1))
+	sgwN := nw.AddNode("sgw-u", pkt.AddrFrom(10, 0, 0, 2))
+	pgwN := nw.AddNode("pgw-u", pkt.AddrFrom(10, 0, 0, 3))
+	dstN := nw.AddNode("dst", pkt.AddrFrom(10, 0, 0, 4))
+	cfg := netsim.LinkConfig{BitsPerSecond: 1e9, Propagation: 100 * time.Microsecond}
+	nw.ConnectSymmetric(srcN, sgwN, cfg) // src port0 <-> sgw port0
+	nw.ConnectSymmetric(sgwN, pgwN, cfg) // sgw port1 <-> pgw port0
+	nw.ConnectSymmetric(pgwN, dstN, cfg) // pgw port1 <-> dst port0
+
+	sgw := NewSwitch(1, sgwN, costs)
+	pgw := NewSwitch(2, pgwN, costs)
+	sgw.MarkGTPPort(0)
+	sgw.MarkGTPPort(1)
+	pgw.MarkGTPPort(0)
+
+	ctl := NewController(eng)
+	ctl.RTT = 200 * time.Microsecond
+	ctl.AddSwitch(sgw)
+	ctl.AddSwitch(pgw)
+
+	// Proactively install the uplink chain.
+	ctl.InstallFlow(sgw, FlowEntry{
+		Priority: 100, Cookie: 0xbea4e401,
+		Match: pkt.Match{TunnelID: pkt.U64(101)},
+		Actions: []pkt.Action{
+			{Type: pkt.ActionSetTunnel, TunnelID: 201, TunnelDst: pgwN.Addr()},
+			{Type: pkt.ActionOutput, Port: 1},
+		},
+	})
+	ctl.InstallFlow(pgw, FlowEntry{
+		Priority: 100, Cookie: 0xbea4e401,
+		Match:   pkt.Match{TunnelID: pkt.U64(201)},
+		Actions: []pkt.Action{{Type: pkt.ActionOutput, Port: 1}},
+	})
+	eng.RunFor(time.Millisecond) // let FlowMods land
+
+	return &gwTopo{
+		eng: eng, nw: nw,
+		src: netsim.NewHost(srcN), dst: netsim.NewHost(dstN),
+		sgwU: sgw, pgwU: pgw, ctl: ctl,
+	}
+}
+
+// sendTunneled injects one uplink packet from src, pre-encapsulated toward
+// the SGW-U as an eNB would.
+func (g *gwTopo) sendTunneled(size int) {
+	p := &netsim.Packet{
+		Flow: pkt.FiveTuple{
+			Src: g.src.Node.Addr(), Dst: g.dst.Node.Addr(),
+			SrcPort: 1000, DstPort: 2000, Proto: pkt.ProtoUDP,
+		},
+		Size: size,
+	}
+	p.Encapsulate(g.src.Node.Addr(), g.sgwU.Node().Addr(), 101)
+	g.src.Node.Inject(p)
+}
+
+func TestGTPChainDeliversDecapsulated(t *testing.T) {
+	g := buildGWTopo(t, ACACIAGWCosts)
+	var got []*netsim.Packet
+	g.dst.Listen(2000, netsim.AppFunc(func(_ *netsim.Host, p *netsim.Packet) {
+		got = append(got, p)
+	}))
+	g.sendTunneled(1000)
+	g.eng.Run()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d packets", len(got))
+	}
+	if got[0].Tunneled() {
+		t.Error("packet arrived still tunneled")
+	}
+	if got[0].Size != 1000 {
+		t.Errorf("size = %d, want 1000 (all encapsulation stripped)", got[0].Size)
+	}
+	if g.sgwU.Stats().Decapsulated != 1 || g.sgwU.Stats().Encapsulated != 1 {
+		t.Errorf("sgw encap/decap stats = %+v", g.sgwU.Stats())
+	}
+	if g.pgwU.Stats().Decapsulated != 1 {
+		t.Errorf("pgw stats = %+v", g.pgwU.Stats())
+	}
+}
+
+func TestFastPathAfterFirstPacket(t *testing.T) {
+	g := buildGWTopo(t, ACACIAGWCosts)
+	g.dst.Listen(2000, netsim.AppFunc(func(_ *netsim.Host, p *netsim.Packet) {}))
+	for i := 0; i < 10; i++ {
+		g.sendTunneled(1000)
+	}
+	g.eng.Run()
+	st := g.sgwU.Stats()
+	if st.SlowPathHits != 1 {
+		t.Errorf("slow path hits = %d, want 1 (first packet only)", st.SlowPathHits)
+	}
+	if st.FastPathHits != 9 {
+		t.Errorf("fast path hits = %d, want 9", st.FastPathHits)
+	}
+}
+
+func TestUserSpaceGWAlwaysSlowPath(t *testing.T) {
+	g := buildGWTopo(t, OpenEPCGWCosts)
+	g.dst.Listen(2000, netsim.AppFunc(func(_ *netsim.Host, p *netsim.Packet) {}))
+	for i := 0; i < 10; i++ {
+		g.sendTunneled(1000)
+	}
+	g.eng.Run()
+	st := g.sgwU.Stats()
+	if st.FastPathHits != 0 {
+		t.Errorf("user-space GW used fast path %d times", st.FastPathHits)
+	}
+	if st.SlowPathHits != 10 {
+		t.Errorf("slow path hits = %d, want 10", st.SlowPathHits)
+	}
+}
+
+func TestThroughputOrderingMatchesFig8(t *testing.T) {
+	// The Fig. 8 shape: OpenEPC user-space GW << ACACIA fast path ≈ ideal.
+	measure := func(costs PathCosts) float64 {
+		g := buildGWTopo(t, costs)
+		sink := netsim.NewSink(g.dst, 2000)
+		// Saturating CBR: 1 Gbps of 1400-byte tunneled packets for 200 ms.
+		interval := time.Duration(float64(1400*8) / 1e9 * float64(time.Second))
+		tick := sim.NewTicker(g.eng, interval, func() { g.sendTunneled(1400) })
+		g.eng.RunFor(200 * time.Millisecond)
+		tick.Stop()
+		g.eng.RunFor(100 * time.Millisecond)
+		return sink.ThroughputBps()
+	}
+	openepc := measure(OpenEPCGWCosts)
+	acacia := measure(ACACIAGWCosts)
+	ideal := measure(IdealGWCosts)
+	if !(openepc < acacia && acacia <= ideal*1.01) {
+		t.Errorf("throughput ordering: openepc=%.1f acacia=%.1f ideal=%.1f Mbps",
+			openepc/1e6, acacia/1e6, ideal/1e6)
+	}
+	if openepc > 0.5*ideal {
+		t.Errorf("user-space GW (%.1f Mbps) should be well below line rate (%.1f)", openepc/1e6, ideal/1e6)
+	}
+	if acacia < 0.85*ideal {
+		t.Errorf("ACACIA fast path (%.1f Mbps) should approach line rate (%.1f)", acacia/1e6, ideal/1e6)
+	}
+}
+
+func TestPacketInOnTableMiss(t *testing.T) {
+	g := buildGWTopo(t, ACACIAGWCosts)
+	var misses []uint64
+	g.ctl.OnPacketIn = func(sw *Switch, inPort uint32, p *netsim.Packet, tunnelID uint64) {
+		misses = append(misses, tunnelID)
+		// Reactive setup: install a flow matching this tunnel.
+		g.ctl.InstallFlow(sw, FlowEntry{
+			Priority: 50, Cookie: 0xcafe,
+			Match:   pkt.Match{TunnelID: pkt.U64(tunnelID)},
+			Actions: []pkt.Action{{Type: pkt.ActionOutput, Port: 1}},
+		})
+	}
+	// Unknown TEID 999 triggers a miss.
+	p := &netsim.Packet{
+		Flow: pkt.FiveTuple{Src: g.src.Node.Addr(), Dst: g.dst.Node.Addr(), DstPort: 2000, Proto: pkt.ProtoUDP},
+		Size: 500,
+	}
+	p.Encapsulate(g.src.Node.Addr(), g.sgwU.Node().Addr(), 999)
+	g.src.Node.Inject(p)
+	g.eng.Run()
+	if len(misses) != 1 || misses[0] != 999 {
+		t.Fatalf("misses = %v", misses)
+	}
+	if g.sgwU.FlowCount() != 2 {
+		t.Errorf("flows after reactive install = %d, want 2", g.sgwU.FlowCount())
+	}
+}
+
+func TestTableMissWithoutControllerDrops(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := netsim.New(eng)
+	n := nw.AddNode("sw", pkt.AddrFrom(10, 0, 0, 9))
+	peer := nw.AddNode("peer", pkt.AddrFrom(10, 0, 0, 8))
+	nw.ConnectSymmetric(n, peer, netsim.LinkConfig{})
+	sw := NewSwitch(9, n, ACACIAGWCosts)
+	netsim.NewHost(peer).Send(n.Addr(), 1, 2, pkt.ProtoUDP, 100, nil)
+	eng.Run()
+	if sw.Stats().Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", sw.Stats().Dropped)
+	}
+}
+
+func TestFlowPriorityOrdering(t *testing.T) {
+	g := buildGWTopo(t, ACACIAGWCosts)
+	// A higher-priority drop rule for the same tunnel must win.
+	g.ctl.InstallFlow(g.sgwU, FlowEntry{
+		Priority: 200, Cookie: 0xdead,
+		Match:   pkt.Match{TunnelID: pkt.U64(101)},
+		Actions: []pkt.Action{{Type: pkt.ActionDrop}},
+	})
+	g.eng.RunFor(time.Millisecond)
+	var got int
+	g.dst.Listen(2000, netsim.AppFunc(func(_ *netsim.Host, p *netsim.Packet) { got++ }))
+	g.sendTunneled(100)
+	g.eng.Run()
+	if got != 0 {
+		t.Error("lower-priority forward rule won over higher-priority drop")
+	}
+}
+
+func TestRemoveFlowsByCookie(t *testing.T) {
+	g := buildGWTopo(t, ACACIAGWCosts)
+	if g.sgwU.FlowCount() != 1 {
+		t.Fatalf("flows = %d", g.sgwU.FlowCount())
+	}
+	g.ctl.RemoveFlows(g.sgwU, 0xbea4e401)
+	g.eng.RunFor(time.Millisecond)
+	if g.sgwU.FlowCount() != 0 {
+		t.Errorf("flows after remove = %d", g.sgwU.FlowCount())
+	}
+	// Traffic now misses (drops, no OnPacketIn handler).
+	g.sendTunneled(100)
+	g.eng.Run()
+	if g.sgwU.Stats().TableMisses != 1 {
+		t.Errorf("misses = %d", g.sgwU.Stats().TableMisses)
+	}
+}
+
+func TestIdleFlowExpiry(t *testing.T) {
+	g := buildGWTopo(t, ACACIAGWCosts)
+	g.ctl.InstallFlow(g.sgwU, FlowEntry{
+		Priority: 10, Cookie: 0x111,
+		Match:       pkt.Match{TunnelID: pkt.U64(55)},
+		Actions:     []pkt.Action{{Type: pkt.ActionOutput, Port: 1}},
+		IdleTimeout: 5 * time.Second,
+	})
+	g.eng.RunFor(time.Millisecond)
+	if g.sgwU.FlowCount() != 2 {
+		t.Fatalf("flows = %d", g.sgwU.FlowCount())
+	}
+	g.eng.RunFor(6 * time.Second)
+	if n := g.sgwU.ExpireIdleFlows(); n != 1 {
+		t.Errorf("expired = %d, want 1 (permanent flow stays)", n)
+	}
+	if g.sgwU.FlowCount() != 1 {
+		t.Errorf("flows after expiry = %d", g.sgwU.FlowCount())
+	}
+}
+
+func TestControllerAccounting(t *testing.T) {
+	g := buildGWTopo(t, ACACIAGWCosts)
+	before := g.ctl.Stats()
+	n := g.ctl.InstallFlow(g.sgwU, FlowEntry{
+		Priority: 10, Cookie: 0x222,
+		Match:   pkt.Match{TunnelID: pkt.U64(77)},
+		Actions: []pkt.Action{{Type: pkt.ActionSetTunnel, TunnelID: 88, TunnelDst: g.pgwU.Node().Addr()}, {Type: pkt.ActionOutput, Port: 1}},
+	})
+	after := g.ctl.Stats()
+	if after.Sent != before.Sent+1 {
+		t.Errorf("sent count %d -> %d", before.Sent, after.Sent)
+	}
+	if int(after.SentBytes-before.SentBytes) != n {
+		t.Errorf("byte accounting mismatch: %d vs %d", after.SentBytes-before.SentBytes, n)
+	}
+	// A realistic GTP FlowMod lands in the few-hundred-byte range the
+	// paper's 1424-bytes-per-4-messages measurement implies.
+	if n < 80 || n > 600 {
+		t.Errorf("FlowMod size = %d bytes, implausible", n)
+	}
+}
+
+func TestDuplicateDPIDPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := netsim.New(eng)
+	a := nw.AddNode("a", pkt.AddrFrom(1, 0, 0, 1))
+	b := nw.AddNode("b", pkt.AddrFrom(1, 0, 0, 2))
+	ctl := NewController(eng)
+	ctl.AddSwitch(NewSwitch(1, a, ACACIAGWCosts))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate dpid did not panic")
+		}
+	}()
+	ctl.AddSwitch(NewSwitch(1, b, ACACIAGWCosts))
+}
+
+func TestInstallFlowReplacesSameMatch(t *testing.T) {
+	g := buildGWTopo(t, ACACIAGWCosts)
+	// Same match + priority as the original chain entry, different action.
+	g.ctl.InstallFlow(g.sgwU, FlowEntry{
+		Priority: 100, Cookie: 0x999,
+		Match:   pkt.Match{TunnelID: pkt.U64(101)},
+		Actions: []pkt.Action{{Type: pkt.ActionDrop}},
+	})
+	g.eng.RunFor(time.Millisecond)
+	if g.sgwU.FlowCount() != 1 {
+		t.Errorf("flows = %d, want 1 (replaced)", g.sgwU.FlowCount())
+	}
+	var got int
+	g.dst.Listen(2000, netsim.AppFunc(func(_ *netsim.Host, p *netsim.Packet) { got++ }))
+	g.sendTunneled(100)
+	g.eng.Run()
+	if got != 0 {
+		t.Error("replaced entry's old action still in effect")
+	}
+}
+
+func TestMeterPolicesToRate(t *testing.T) {
+	// Install an entry with a 10 Mbps meter and offer 50 Mbps: delivery
+	// rate must police to ≈10 Mbps.
+	g := buildGWTopo(t, ACACIAGWCosts)
+	g.ctl.InstallFlow(g.sgwU, FlowEntry{
+		Priority: 200, Cookie: 0x3e7e4,
+		Match: pkt.Match{TunnelID: pkt.U64(101)},
+		Actions: []pkt.Action{
+			{Type: pkt.ActionSetTunnel, TunnelID: 201, TunnelDst: g.pgwU.Node().Addr()},
+			{Type: pkt.ActionOutput, Port: 1},
+		},
+		MeterBps: 10e6,
+	})
+	g.eng.RunFor(time.Millisecond)
+
+	sink := netsim.NewSink(g.dst, 2000)
+	interval := time.Duration(float64(1000*8) / 50e6 * float64(time.Second))
+	tick := sim.NewTicker(g.eng, interval, func() { g.sendTunneled(1000) })
+	g.eng.RunFor(2 * time.Second)
+	tick.Stop()
+	g.eng.RunFor(100 * time.Millisecond)
+
+	got := sink.ThroughputBps()
+	if got < 9e6 || got > 11.5e6 {
+		t.Errorf("metered throughput = %.2f Mbps, want ≈10", got/1e6)
+	}
+}
+
+func TestMeterAllowsBurstThenPolices(t *testing.T) {
+	g := buildGWTopo(t, ACACIAGWCosts)
+	g.ctl.InstallFlow(g.sgwU, FlowEntry{
+		Priority: 200, Cookie: 0x3e7e5,
+		Match: pkt.Match{TunnelID: pkt.U64(101)},
+		Actions: []pkt.Action{
+			{Type: pkt.ActionSetTunnel, TunnelID: 201, TunnelDst: g.pgwU.Node().Addr()},
+			{Type: pkt.ActionOutput, Port: 1},
+		},
+		MeterBps:        8e6,
+		MeterBurstBytes: 5000,
+	})
+	g.eng.RunFor(time.Millisecond)
+	var got int
+	g.dst.Listen(2000, netsim.AppFunc(func(_ *netsim.Host, p *netsim.Packet) { got++ }))
+	// Instant burst of 10 x 1000 B: the 5000 B bucket admits ~5.
+	for i := 0; i < 10; i++ {
+		g.sendTunneled(1000)
+	}
+	g.eng.Run()
+	if got < 4 || got > 6 {
+		t.Errorf("burst delivered %d packets, want ≈5 (bucket-bounded)", got)
+	}
+}
+
+func TestUnmeteredFlowUnaffected(t *testing.T) {
+	g := buildGWTopo(t, ACACIAGWCosts)
+	var got int
+	g.dst.Listen(2000, netsim.AppFunc(func(_ *netsim.Host, p *netsim.Packet) { got++ }))
+	for i := 0; i < 20; i++ {
+		g.sendTunneled(1000)
+	}
+	g.eng.Run()
+	if got != 20 {
+		t.Errorf("unmetered delivered %d of 20", got)
+	}
+}
+
+func TestPathMonitorSupervisesPeers(t *testing.T) {
+	g := buildGWTopo(t, ACACIAGWCosts)
+	mon := g.sgwU.EnablePathMonitor(time.Second, 3)
+	g.eng.RunFor(5 * time.Second)
+	ps := mon.Peers()[g.pgwU.Node().Addr()]
+	if ps == nil {
+		t.Fatal("PGW-U peer not discovered from flow table")
+	}
+	if ps.Down {
+		t.Error("healthy path marked down")
+	}
+	if ps.Sent < 3 || ps.Received < 3 {
+		t.Errorf("echo counters: sent=%d received=%d", ps.Sent, ps.Received)
+	}
+}
+
+func TestPathMonitorDetectsFailureAndRecovery(t *testing.T) {
+	g := buildGWTopo(t, ACACIAGWCosts)
+	mon := g.sgwU.EnablePathMonitor(time.Second, 3)
+	var downs, ups []pkt.Addr
+	mon.OnPathDown = func(p pkt.Addr) { downs = append(downs, p) }
+	mon.OnPathUp = func(p pkt.Addr) { ups = append(ups, p) }
+	g.eng.RunFor(3 * time.Second)
+
+	// Fail the SGW-U <-> PGW-U link.
+	link := g.sgwU.Node().Port(1).Link()
+	link.SetDown(true)
+	g.eng.RunFor(6 * time.Second)
+	if len(downs) != 1 || downs[0] != g.pgwU.Node().Addr() {
+		t.Fatalf("downs = %v", downs)
+	}
+	if !mon.Peers()[g.pgwU.Node().Addr()].Down {
+		t.Error("path not marked down")
+	}
+
+	link.SetDown(false)
+	g.eng.RunFor(3 * time.Second)
+	if len(ups) != 1 {
+		t.Fatalf("ups = %v", ups)
+	}
+	if mon.Peers()[g.pgwU.Node().Addr()].Down {
+		t.Error("path still down after repair")
+	}
+}
+
+func TestPathMonitorForgetsRemovedPeers(t *testing.T) {
+	g := buildGWTopo(t, ACACIAGWCosts)
+	mon := g.sgwU.EnablePathMonitor(time.Second, 3)
+	g.eng.RunFor(2 * time.Second)
+	if len(mon.Peers()) != 1 {
+		t.Fatalf("peers = %d", len(mon.Peers()))
+	}
+	g.ctl.RemoveFlows(g.sgwU, 0xbea4e401)
+	g.eng.RunFor(2 * time.Second)
+	if len(mon.Peers()) != 0 {
+		t.Errorf("peers after flow removal = %d", len(mon.Peers()))
+	}
+}
+
+func TestEchoDoesNotDisturbDataPlane(t *testing.T) {
+	g := buildGWTopo(t, ACACIAGWCosts)
+	g.sgwU.EnablePathMonitor(500*time.Millisecond, 3)
+	var got int
+	g.dst.Listen(2000, netsim.AppFunc(func(_ *netsim.Host, p *netsim.Packet) { got++ }))
+	for i := 0; i < 5; i++ {
+		g.sendTunneled(1000)
+	}
+	g.eng.RunFor(3 * time.Second)
+	if got != 5 {
+		t.Errorf("data packets delivered = %d of 5 with echo running", got)
+	}
+	// Echoes must not appear as table misses.
+	if g.sgwU.Stats().TableMisses != 0 || g.pgwU.Stats().TableMisses != 0 {
+		t.Errorf("echo traffic caused table misses: sgw=%d pgw=%d",
+			g.sgwU.Stats().TableMisses, g.pgwU.Stats().TableMisses)
+	}
+}

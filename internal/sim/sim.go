@@ -1,0 +1,354 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All ACACIA experiments run in virtual time: entities schedule events on a
+// shared Engine, and the engine advances a virtual clock from event to event.
+// This makes latency measurements exact and runs reproducible — two runs with
+// the same seed produce identical results, regardless of host load.
+//
+// The engine is intentionally single-threaded: handlers run one at a time in
+// timestamp order (ties broken by scheduling order), so entity state needs no
+// locking. Concurrency in the simulated system is expressed by scheduling,
+// not by goroutines.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured as a duration since the start of
+// the simulation. The zero Time is the simulation epoch.
+type Time time.Duration
+
+// Common virtual-time unit helpers.
+const (
+	Nanosecond  Time = Time(time.Nanosecond)
+	Microsecond Time = Time(time.Microsecond)
+	Millisecond Time = Time(time.Millisecond)
+	Second      Time = Time(time.Second)
+)
+
+// Duration converts t to a time.Duration since the simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(time.Duration(t)) / float64(time.Millisecond) }
+
+// Add returns t shifted forward by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// String formats t as a duration since the epoch.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Events are one-shot; recurring behaviour is
+// built by re-scheduling from within the handler.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among equal timestamps
+	fn     func()
+	index  int // heap index; -1 once popped or cancelled
+	cancel bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel must be called from simulation
+// context (i.e. from within a handler or before Run).
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancel = true
+	}
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e != nil && e.cancel }
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler with a virtual clock.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *RNG
+	stopped bool
+	// Processed counts events whose handlers have run.
+	processed uint64
+	// Limit, when non-zero, aborts Run after this many events as a runaway
+	// guard. Runs that legitimately need more should raise it.
+	Limit uint64
+}
+
+// NewEngine returns an engine with its clock at the epoch and a deterministic
+// random source derived from seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed), Limit: 500_000_000}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Processed reports how many events have been executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule runs fn after delay d (>= 0) of virtual time and returns the
+// event handle, which may be used to cancel it.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.ScheduleAt(e.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time t, which must not be in the
+// past.
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Stop makes Run return after the currently executing handler completes.
+// Pending events remain queued and would run if Run were called again.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue drains, Stop is
+// called, or the event limit is hit (which panics, as it indicates a
+// scheduling loop).
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		e.step()
+	}
+}
+
+// RunUntil executes events with timestamps <= t and then sets the clock to t.
+// Events scheduled beyond t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped && e.queue[0].at <= t {
+		e.step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d of virtual time from the current clock.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.cancel {
+		return
+	}
+	e.now = ev.at
+	e.processed++
+	if e.Limit != 0 && e.processed > e.Limit {
+		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v (scheduling loop?)", e.Limit, e.now))
+	}
+	ev.fn()
+}
+
+// Pending reports the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// NextEventAt returns the timestamp of the earliest pending event and whether
+// one exists.
+func (e *Engine) NextEventAt() (Time, bool) {
+	for len(e.queue) > 0 && e.queue[0].cancel {
+		heap.Pop(&e.queue)
+	}
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// Ticker repeatedly invokes a handler at a fixed virtual-time period until
+// stopped. It is the simulation analog of time.Ticker.
+type Ticker struct {
+	eng    *Engine
+	period time.Duration
+	fn     func()
+	ev     *Event
+	done   bool
+}
+
+// NewTicker schedules fn every period, with the first firing after one full
+// period. Period must be positive.
+func NewTicker(eng *Engine, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.Schedule(t.period, func() {
+		if t.done {
+			return
+		}
+		t.fn()
+		if !t.done {
+			t.arm()
+		}
+	})
+}
+
+// Stop halts future firings. It may be called from within the handler.
+func (t *Ticker) Stop() {
+	t.done = true
+	t.ev.Cancel()
+}
+
+// RNG is a small, fast, deterministic random source (xoshiro256**). It is
+// independent of math/rand so simulation results cannot drift with Go
+// releases.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via SplitMix64.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal deviate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u1 := r.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := r.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// ExpFloat64 returns an exponential deviate with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u == 0 {
+			continue
+		}
+		return -math.Log(u)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Fork derives an independent generator whose stream is a deterministic
+// function of the parent's current state and the label. Useful for giving
+// each simulated entity its own stream so adding entities does not perturb
+// others.
+func (r *RNG) Fork(label string) *RNG {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	return NewRNG(r.Uint64() ^ h)
+}

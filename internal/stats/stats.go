@@ -1,0 +1,312 @@
+// Package stats provides the summary statistics and series formatting used by
+// the ACACIA experiment harness: means, percentiles, CDFs, and aligned table
+// output mirroring the rows and series the paper reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates float64 observations and answers summary queries.
+// The zero value is an empty sample ready for use.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll appends all observations in xs.
+func (s *Sample) AddAll(xs ...float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns a copy of the observations in insertion order is not
+// guaranteed once percentile queries have run; callers should treat the
+// result as an unordered multiset.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// Mean reports the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// StdDev reports the population standard deviation, or 0 for fewer than two
+// observations.
+func (s *Sample) StdDev() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Min reports the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[0]
+}
+
+// Max reports the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. Empty samples report 0.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.Min()
+	}
+	if p >= 100 {
+		return s.Max()
+	}
+	s.sort()
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median reports the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// CDF returns (value, cumulative fraction) pairs over the sample, one point
+// per distinct value, suitable for plotting the paper's CDF figures.
+func (s *Sample) CDF() []CDFPoint {
+	if len(s.xs) == 0 {
+		return nil
+	}
+	s.sort()
+	var pts []CDFPoint
+	n := float64(len(s.xs))
+	for i := 0; i < len(s.xs); i++ {
+		// Collapse runs of equal values to the highest cumulative fraction.
+		if i+1 < len(s.xs) && s.xs[i+1] == s.xs[i] {
+			continue
+		}
+		pts = append(pts, CDFPoint{Value: s.xs[i], Fraction: float64(i+1) / n})
+	}
+	return pts
+}
+
+// FractionBelow reports the fraction of observations <= x.
+func (s *Sample) FractionBelow(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	i := sort.SearchFloat64s(s.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(s.xs))
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// Summary is a compact five-number-plus-mean description of a sample.
+type Summary struct {
+	N                int
+	Mean, StdDev     float64
+	Min, Median, Max float64
+	P90, P95, P99    float64
+}
+
+// Summarize computes a Summary for s.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		StdDev: s.StdDev(),
+		Min:    s.Min(),
+		Median: s.Median(),
+		Max:    s.Max(),
+		P90:    s.Percentile(90),
+		P95:    s.Percentile(95),
+		P99:    s.Percentile(99),
+	}
+}
+
+// String formats the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.3g min=%.4g p50=%.4g p95=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.P95, s.Max)
+}
+
+// Table renders aligned experiment output: a header row plus data rows, with
+// columns padded to the widest cell. It is how every experiment prints its
+// figure/table series.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row of cells, formatting each with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders f with precision appropriate to its magnitude, so both
+// millisecond latencies and multi-hundred-Mbps rates read naturally.
+func FormatFloat(f float64) string {
+	switch {
+	case f == 0:
+		return "0"
+	case math.Abs(f) >= 1000:
+		return fmt.Sprintf("%.0f", f)
+	case math.Abs(f) >= 10:
+		return fmt.Sprintf("%.1f", f)
+	case math.Abs(f) >= 1:
+		return fmt.Sprintf("%.2f", f)
+	case math.Abs(f) >= 0.001:
+		return fmt.Sprintf("%.4f", f)
+	default:
+		return fmt.Sprintf("%.3g", f)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("# ")
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header + rows), with
+// cells containing commas or quotes escaped per RFC 4180. The title is
+// emitted as a comment line.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString("# ")
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Ratio reports a/b, or 0 when b is 0; a convenience for speedup columns.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

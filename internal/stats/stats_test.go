@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+	s.AddAll(3, 1, 2)
+	if s.N() != 3 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 2 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 3 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Median() != 2 {
+		t.Errorf("Median = %v", s.Median())
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	var s Sample
+	s.AddAll(2, 4, 4, 4, 5, 5, 7, 9)
+	if got := s.StdDev(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	var one Sample
+	one.Add(5)
+	if one.StdDev() != 0 {
+		t.Error("single-element stddev should be 0")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(50); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("P50 = %v, want 50.5", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("P100 = %v, want 100", got)
+	}
+	if got := s.Percentile(95); math.Abs(got-95.05) > 1e-9 {
+		t.Errorf("P95 = %v, want 95.05", got)
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	f := func(vals []float64, a, b float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		pa := math.Mod(math.Abs(a), 100)
+		pb := math.Mod(math.Abs(b), 100)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		var s Sample
+		s.AddAll(vals...)
+		return s.Percentile(pa) <= s.Percentile(pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 1, 2, 3)
+	pts := s.CDF()
+	want := []CDFPoint{{1, 0.5}, {2, 0.75}, {3, 1.0}}
+	if len(pts) != len(want) {
+		t.Fatalf("CDF = %v", pts)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("CDF[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	// CDF is nondecreasing and ends at 1.
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].Value < pts[j].Value }) {
+		t.Error("CDF values not sorted")
+	}
+	if pts[len(pts)-1].Fraction != 1 {
+		t.Error("CDF does not end at 1")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	var s Sample
+	s.AddAll(10, 20, 30, 40)
+	cases := []struct {
+		x    float64
+		want float64
+	}{{5, 0}, {10, 0.25}, {25, 0.5}, {40, 1}, {100, 1}}
+	for _, c := range cases {
+		if got := s.FractionBelow(c.x); got != c.want {
+			t.Errorf("FractionBelow(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 10; i++ {
+		s.Add(float64(i))
+	}
+	sum := s.Summarize()
+	if sum.N != 10 || sum.Mean != 5.5 || sum.Min != 1 || sum.Max != 10 {
+		t.Errorf("Summary = %+v", sum)
+	}
+	if !strings.Contains(sum.String(), "n=10") {
+		t.Errorf("String = %q", sum.String())
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := NewTable("Fig X", "scheme", "latency_ms")
+	tbl.AddRow("ACACIA", 13.5)
+	tbl.AddRow("CLOUD", 70.0)
+	out := tbl.String()
+	if !strings.Contains(out, "# Fig X") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, two rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[2], "ACACIA") || !strings.Contains(lines[3], "70") {
+		t.Errorf("rows: %q", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{12345, "12345"},
+		{70.25, "70.2"},
+		{3.14159, "3.14"},
+		{0.0123, "0.0123"},
+		{0.0001234, "0.000123"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 2) != 5 {
+		t.Error("Ratio(10,2)")
+	}
+	if Ratio(10, 0) != 0 {
+		t.Error("Ratio by zero should be 0")
+	}
+}
+
+func TestMeanMatchesManualComputation(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		var sum float64
+		ok := true
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e15 {
+				ok = false
+				break
+			}
+			s.Add(v)
+			sum += v
+		}
+		if !ok || s.N() == 0 {
+			return true
+		}
+		want := sum / float64(s.N())
+		return math.Abs(s.Mean()-want) <= 1e-9*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("Fig X", "scheme", "latency,ms", "note")
+	tbl.AddRow("ACACIA", 13.5, `says "fast"`)
+	out := tbl.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %q", out)
+	}
+	if lines[1] != `scheme,"latency,ms",note` {
+		t.Errorf("header: %q", lines[1])
+	}
+	if lines[2] != `ACACIA,13.5,"says ""fast"""` {
+		t.Errorf("row: %q", lines[2])
+	}
+}

@@ -1,0 +1,152 @@
+package vision
+
+import (
+	"fmt"
+
+	"acacia/internal/geo"
+	"acacia/internal/media"
+)
+
+// Object is one entry of the AR database: an annotated, geo-tagged item in
+// the store with its canonical feature set.
+type Object struct {
+	Name string
+	// Tag is the annotation returned to the user on a match (price,
+	// reviews link, etc. in the real application).
+	Tag string
+	// Section and Subsection geo-tag the object's location on the floor.
+	Section    string
+	Subsection int
+	// Pos is the object's position, used to generate evaluation frames at
+	// checkpoints.
+	Pos geo.Point
+	// Features is the canonical SURF feature set extracted at enrollment.
+	Features *FeatureSet
+}
+
+// DB is the geo-tagged object database of the AR back-end. Objects are
+// indexed by subsection so a location estimate prunes the search space.
+type DB struct {
+	Objects      []*Object
+	bySubsection map[int][]*Object
+}
+
+// NewDB builds an empty database.
+func NewDB() *DB {
+	return &DB{bySubsection: make(map[int][]*Object)}
+}
+
+// Add inserts an object.
+func (db *DB) Add(o *Object) {
+	db.Objects = append(db.Objects, o)
+	db.bySubsection[o.Subsection] = append(db.bySubsection[o.Subsection], o)
+}
+
+// Len reports the object count.
+func (db *DB) Len() int { return len(db.Objects) }
+
+// InSubsections returns the objects tagged with any of the given
+// subsection IDs; a nil ids slice means the entire database.
+func (db *DB) InSubsections(ids []int) []*Object {
+	if ids == nil {
+		return db.Objects
+	}
+	var out []*Object
+	for _, id := range ids {
+		out = append(out, db.bySubsection[id]...)
+	}
+	return out
+}
+
+// ObjectsPerRetailSubsection is the retail database density: 5 objects in
+// each of the 21 subsections = 105 objects, the paper's database size.
+const ObjectsPerRetailSubsection = 5
+
+// BuildRetailDB populates the 105-object retail database over the floor's
+// subsections, with featuresPerObject canonical features per object.
+// Object feature sets derive deterministically from stable per-object
+// seeds, so every run sees the same database.
+func BuildRetailDB(floor *geo.Floor, featuresPerObject int) *DB {
+	db := NewDB()
+	for _, ss := range floor.Subsections {
+		for k := 0; k < ObjectsPerRetailSubsection; k++ {
+			seed := uint64(ss.ID)*1000 + uint64(k) + 0xACAC1A
+			// Spread object positions inside the subsection.
+			frac := (float64(k) + 0.5) / ObjectsPerRetailSubsection
+			pos := ss.Bounds.Min.Lerp(ss.Bounds.Max, frac)
+			db.Add(&Object{
+				Name:       fmt.Sprintf("obj-%02d-%d", ss.ID, k),
+				Tag:        fmt.Sprintf("%s item %d in cell %d", ss.Section, k, ss.ID),
+				Section:    ss.Section,
+				Subsection: ss.ID,
+				Pos:        pos,
+				Features:   GenerateObjectFeatures(seed, featuresPerObject),
+			})
+		}
+	}
+	return db
+}
+
+// BuildRetailDBFromImages populates the retail database by *enrolling real
+// images*: each object's catalog photo is rendered (deterministically from
+// its seed), run through the Harris/patch-descriptor detector, and stored.
+// The pixel-level counterpart of BuildRetailDB, used to exercise the whole
+// AR pipeline on actual image data. imgW/imgH are the catalog photo size.
+func BuildRetailDBFromImages(floor *geo.Floor, imgW, imgH int, opts DetectOptions) *DB {
+	db := NewDB()
+	for _, ss := range floor.Subsections {
+		for k := 0; k < ObjectsPerRetailSubsection; k++ {
+			seed := uint64(ss.ID)*1000 + uint64(k) + 0xACAC1A
+			photo := media.SyntheticFrame(imgW, imgH, seed)
+			frac := (float64(k) + 0.5) / ObjectsPerRetailSubsection
+			pos := ss.Bounds.Min.Lerp(ss.Bounds.Max, frac)
+			db.Add(&Object{
+				Name:       fmt.Sprintf("obj-%02d-%d", ss.ID, k),
+				Tag:        fmt.Sprintf("%s item %d in cell %d", ss.Section, k, ss.ID),
+				Section:    ss.Section,
+				Subsection: ss.ID,
+				Pos:        pos,
+				Features:   EnrollFromImage(photo, opts),
+			})
+		}
+	}
+	return db
+}
+
+// ObjectPhoto renders the catalog image an object was enrolled from (same
+// deterministic seed as BuildRetailDBFromImages).
+func ObjectPhoto(subsection, k, imgW, imgH int) *media.Frame {
+	seed := uint64(subsection)*1000 + uint64(k) + 0xACAC1A
+	return media.SyntheticFrame(imgW, imgH, seed)
+}
+
+// SearchResult is the outcome of a database search.
+type SearchResult struct {
+	// Best is the matched object, or nil for no-match.
+	Best *Object
+	// BestInliers is the consensus size for Best.
+	BestInliers int
+	// Candidates is how many objects were compared.
+	Candidates int
+	// MACs is the total descriptor workload of the search, which the
+	// compute device models convert into the runtime the paper measures.
+	MACs float64
+}
+
+// Search matches the query frame against the objects in the given
+// subsections (nil = whole database) and returns the best accepted match.
+// All candidates are scanned; the best consensus wins, mirroring the AR
+// back-end's exhaustive scoring within its (pruned) search space.
+func (db *DB) Search(query *FeatureSet, subsections []int, m *Matcher) SearchResult {
+	var res SearchResult
+	for _, obj := range db.InSubsections(subsections) {
+		res.Candidates++
+		r := m.Match(query, obj.Features)
+		res.MACs += r.MACs
+		if r.Matched && r.Inliers > res.BestInliers {
+			res.Best = obj
+			res.BestInliers = r.Inliers
+		}
+	}
+	return res
+}

@@ -1,0 +1,159 @@
+package vision
+
+import (
+	"testing"
+
+	"acacia/internal/geo"
+	"acacia/internal/media"
+	"acacia/internal/sim"
+)
+
+func TestDetectFeaturesFindsCorners(t *testing.T) {
+	frame := media.SyntheticFrame(256, 192, 5)
+	fs := DetectFeatures(frame, DetectOptions{})
+	if fs.Len() < 20 {
+		t.Fatalf("features = %d, want a healthy corner set", fs.Len())
+	}
+	if fs.Len() > 256 {
+		t.Fatalf("features = %d exceeds cap", fs.Len())
+	}
+	for i, kp := range fs.Keypoints {
+		if kp.X < 0 || kp.X >= 1 || kp.Y < 0 || kp.Y >= 1 {
+			t.Fatalf("keypoint %d out of normalized bounds: %+v", i, kp)
+		}
+	}
+	// Descriptors are unit-normalized.
+	for i := range fs.Descriptors {
+		var sum float64
+		for _, v := range fs.Descriptors[i] {
+			sum += float64(v) * float64(v)
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("descriptor %d norm² = %v", i, sum)
+		}
+	}
+}
+
+func TestDetectFeaturesDeterministic(t *testing.T) {
+	frame := media.SyntheticFrame(256, 192, 5)
+	a := DetectFeatures(frame, DetectOptions{})
+	b := DetectFeatures(frame, DetectOptions{})
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Keypoints {
+		if a.Keypoints[i] != b.Keypoints[i] || a.Descriptors[i] != b.Descriptors[i] {
+			t.Fatal("detection not deterministic")
+		}
+	}
+}
+
+func TestDetectFlatImageHasNoCorners(t *testing.T) {
+	flat := media.NewFrame(128, 128)
+	for i := range flat.Pix {
+		flat.Pix[i] = 128
+	}
+	fs := DetectFeatures(flat, DetectOptions{})
+	if fs.Len() != 0 {
+		t.Errorf("flat image produced %d corners", fs.Len())
+	}
+}
+
+func TestDetectTinyImage(t *testing.T) {
+	tiny := media.SyntheticFrame(16, 16, 1)
+	if fs := DetectFeatures(tiny, DetectOptions{}); fs.Len() != 0 {
+		t.Errorf("tiny image produced %d features", fs.Len())
+	}
+}
+
+// TestRealImageMatchSurvivesCompression is the end-to-end pixel pipeline:
+// enroll an object from a clean frame, photograph it through the lossy
+// JPEG-style codec, and confirm the matcher still recognizes it — while a
+// different scene does not match.
+func TestRealImageMatchSurvivesCompression(t *testing.T) {
+	clean := media.SyntheticFrame(320, 240, 11)
+	enrolled := EnrollFromImage(clean, DetectOptions{})
+	if enrolled.Len() < 30 {
+		t.Fatalf("enrollment features = %d", enrolled.Len())
+	}
+
+	// The AR front-end compresses at JPEG-90 before upload.
+	data, err := media.Compress(clean, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := media.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := DetectFeatures(decoded, DetectOptions{})
+	if query.Len() < 30 {
+		t.Fatalf("query features = %d", query.Len())
+	}
+
+	m := NewMatcher(MatcherConfig{RANSACTol: 0.01}, sim.NewRNG(12))
+	res := m.Match(query, enrolled)
+	if !res.Matched {
+		t.Fatalf("compressed frame did not match its enrollment (inliers=%d)", res.Inliers)
+	}
+
+	other := media.SyntheticFrame(320, 240, 999)
+	otherFS := DetectFeatures(other, DetectOptions{})
+	if res := m.Match(otherFS, enrolled); res.Matched {
+		t.Errorf("different scene matched with %d inliers", res.Inliers)
+	}
+}
+
+func TestRealImageMatchDegradesWithQuality(t *testing.T) {
+	clean := media.SyntheticFrame(320, 240, 13)
+	enrolled := EnrollFromImage(clean, DetectOptions{})
+	m := NewMatcher(MatcherConfig{RANSACTol: 0.01}, sim.NewRNG(14))
+
+	inliersAt := func(q int) int {
+		data, err := media.Compress(clean, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := media.Decompress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Match(DetectFeatures(dec, DetectOptions{}), enrolled).Inliers
+	}
+	hi := inliersAt(95)
+	lo := inliersAt(15)
+	if hi <= lo {
+		t.Errorf("inliers at q95 (%d) not above q15 (%d)", hi, lo)
+	}
+	if hi < 10 {
+		t.Errorf("high-quality inliers = %d, want strong consensus", hi)
+	}
+}
+
+func TestImageEnrolledDBSearch(t *testing.T) {
+	floor := geo.RetailFloor()
+	db := BuildRetailDBFromImages(floor, 160, 120, DetectOptions{MaxFeatures: 96})
+	if db.Len() != 105 {
+		t.Fatalf("objects = %d", db.Len())
+	}
+	// Photograph object (cell 9, item 2) through the JPEG-90 codec and
+	// search its cell.
+	photo := ObjectPhoto(9, 2, 160, 120)
+	data, err := media.Compress(photo, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := media.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := DetectFeatures(dec, DetectOptions{MaxFeatures: 96})
+	m := NewMatcher(MatcherConfig{RANSACTol: 0.01}, sim.NewRNG(77))
+	res := db.Search(query, []int{9}, m)
+	if res.Best == nil {
+		t.Fatal("no match for photographed object")
+	}
+	if res.Best.Name != "obj-09-2" {
+		t.Errorf("matched %s, want obj-09-2", res.Best.Name)
+	}
+}

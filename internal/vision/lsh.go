@@ -1,0 +1,150 @@
+package vision
+
+import (
+	"sort"
+
+	"acacia/internal/sim"
+)
+
+// LSH prefiltering: an approximate-nearest-neighbour index over the whole
+// database's descriptors. Random-hyperplane signatures bucket similar
+// descriptors together; a query votes for the objects its descriptors
+// collide with, and only the top-voted objects go through the full
+// (expensive) matching pipeline. This is the classic way AR back-ends scale
+// beyond what geo-pruning alone covers, and the ablation quantifies the
+// work/recall trade against brute force.
+
+// IndexConfig tunes the LSH index; zero values select defaults.
+type IndexConfig struct {
+	// Bits is the signature width per table (default 16, max 32).
+	Bits int
+	// Tables is the number of independent hash tables (default 8).
+	Tables int
+}
+
+func (c IndexConfig) withDefaults() IndexConfig {
+	if c.Bits == 0 {
+		c.Bits = 16
+	}
+	if c.Bits > 32 {
+		c.Bits = 32
+	}
+	if c.Tables == 0 {
+		c.Tables = 8
+	}
+	return c
+}
+
+// Index is an LSH index over a database's descriptors.
+type Index struct {
+	cfg    IndexConfig
+	db     *DB
+	planes [][]Descriptor       // [table][bit] hyperplane normals
+	tables []map[uint32][]int32 // signature -> object indices (deduplicated per bucket)
+}
+
+// BuildIndex hashes every descriptor of every object in db. The rng seeds
+// the hyperplanes; the same seed reproduces the same index.
+func BuildIndex(db *DB, cfg IndexConfig, rng *sim.RNG) *Index {
+	cfg = cfg.withDefaults()
+	ix := &Index{cfg: cfg, db: db}
+	ix.planes = make([][]Descriptor, cfg.Tables)
+	ix.tables = make([]map[uint32][]int32, cfg.Tables)
+	for t := 0; t < cfg.Tables; t++ {
+		ix.planes[t] = make([]Descriptor, cfg.Bits)
+		for b := 0; b < cfg.Bits; b++ {
+			ix.planes[t][b] = randomDescriptor(rng)
+		}
+		ix.tables[t] = make(map[uint32][]int32)
+	}
+	for objIdx, obj := range db.Objects {
+		for d := range obj.Features.Descriptors {
+			desc := &obj.Features.Descriptors[d]
+			for t := 0; t < cfg.Tables; t++ {
+				sig := ix.signature(t, desc)
+				bucket := ix.tables[t][sig]
+				// Deduplicate consecutive inserts of the same object.
+				if n := len(bucket); n == 0 || bucket[n-1] != int32(objIdx) {
+					ix.tables[t][sig] = append(bucket, int32(objIdx))
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// signature computes the table's bit signature for a descriptor.
+func (ix *Index) signature(table int, d *Descriptor) uint32 {
+	var sig uint32
+	for b, plane := range ix.planes[table] {
+		var dot float64
+		for i := 0; i < DescriptorDim; i++ {
+			dot += float64(d[i]) * float64(plane[i])
+		}
+		if dot >= 0 {
+			sig |= 1 << uint(b)
+		}
+	}
+	return sig
+}
+
+// hashMACs is the descriptor work of hashing one descriptor across all
+// tables (Bits*Tables dot products of DescriptorDim each).
+func (ix *Index) hashMACs() float64 {
+	return float64(ix.cfg.Bits*ix.cfg.Tables) * DescriptorDim
+}
+
+// CandidateObjects votes for the objects most similar to the query frame
+// and returns the topM, plus the hashing workload in MACs.
+func (ix *Index) CandidateObjects(query *FeatureSet, topM int) ([]*Object, float64) {
+	votes := make(map[int32]int)
+	for d := range query.Descriptors {
+		desc := &query.Descriptors[d]
+		for t := 0; t < ix.cfg.Tables; t++ {
+			sig := ix.signature(t, desc)
+			for _, objIdx := range ix.tables[t][sig] {
+				votes[objIdx]++
+			}
+		}
+	}
+	type scored struct {
+		idx   int32
+		votes int
+	}
+	all := make([]scored, 0, len(votes))
+	for idx, v := range votes {
+		all = append(all, scored{idx, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].votes != all[j].votes {
+			return all[i].votes > all[j].votes
+		}
+		return all[i].idx < all[j].idx
+	})
+	if topM > len(all) {
+		topM = len(all)
+	}
+	out := make([]*Object, 0, topM)
+	for _, s := range all[:topM] {
+		out = append(out, ix.db.Objects[s.idx])
+	}
+	return out, float64(query.Len()) * ix.hashMACs()
+}
+
+// SearchWithIndex prefilters the database with the LSH index, then runs the
+// full matching pipeline over only the topM voted objects.
+func (db *DB) SearchWithIndex(query *FeatureSet, ix *Index, topM int, m *Matcher) SearchResult {
+	var res SearchResult
+	cands, hashWork := ix.CandidateObjects(query, topM)
+	res.MACs += hashWork
+	for _, obj := range cands {
+		res.Candidates++
+		r := m.Match(query, obj.Features)
+		res.MACs += r.MACs
+		if r.Matched && r.Inliers > res.BestInliers {
+			res.Best = obj
+			res.BestInliers = r.Inliers
+		}
+	}
+	return res
+}

@@ -1,0 +1,219 @@
+package vision
+
+import (
+	"math"
+
+	"acacia/internal/sim"
+)
+
+// MatcherConfig tunes the four-stage matching pipeline. Zero values select
+// the defaults the AR back-end uses.
+type MatcherConfig struct {
+	// RatioThreshold is Lowe's 2-NN ratio test bound (default 0.75): the
+	// best match must be this much closer than the second best.
+	RatioThreshold float64
+	// MinInliers is the RANSAC consensus needed to declare an object match
+	// (default 8).
+	MinInliers int
+	// RANSACIters bounds model hypotheses per candidate (default 64).
+	RANSACIters int
+	// RANSACTol is the keypoint reprojection tolerance in normalized image
+	// units (default 0.02).
+	RANSACTol float64
+	// Stages masks pipeline stages for the ablation study; the default
+	// (StageAll) runs everything.
+	Stages Stage
+}
+
+// Stage is a bitmask of pipeline stages.
+type Stage uint8
+
+// Pipeline stages, in execution order.
+const (
+	StageRatio Stage = 1 << iota
+	StageSymmetry
+	StageRANSAC
+
+	StageAll = StageRatio | StageSymmetry | StageRANSAC
+)
+
+func (c MatcherConfig) withDefaults() MatcherConfig {
+	if c.RatioThreshold == 0 {
+		c.RatioThreshold = 0.75
+	}
+	if c.MinInliers == 0 {
+		c.MinInliers = 8
+	}
+	if c.RANSACIters == 0 {
+		c.RANSACIters = 64
+	}
+	if c.RANSACTol == 0 {
+		c.RANSACTol = 0.02
+	}
+	if c.Stages == 0 {
+		c.Stages = StageAll
+	}
+	return c
+}
+
+// Correspondence is one accepted descriptor match between query feature Q
+// and train (database) feature T.
+type Correspondence struct {
+	Q, T int
+}
+
+// MatchResult is the outcome of matching a query frame against one
+// database object.
+type MatchResult struct {
+	// Matched reports whether the pipeline accepted the object.
+	Matched bool
+	// Inliers is the RANSAC consensus size (0 when rejected earlier).
+	Inliers int
+	// Correspondences are the matches surviving every enabled stage.
+	Correspondences []Correspondence
+	// MACs counts descriptor multiply-accumulate operations performed, the
+	// workload unit the compute device models convert to latency.
+	MACs float64
+}
+
+// Matcher runs the brute-force matching pipeline.
+type Matcher struct {
+	cfg MatcherConfig
+	rng *sim.RNG
+}
+
+// NewMatcher creates a matcher; rng drives RANSAC sampling and must be
+// deterministic for reproducible runs.
+func NewMatcher(cfg MatcherConfig, rng *sim.RNG) *Matcher {
+	return &Matcher{cfg: cfg.withDefaults(), rng: rng}
+}
+
+// knn2 finds, for each query descriptor, the two nearest train descriptors,
+// returning (best index, best distSq, second distSq) triples and the MAC
+// count of the scan.
+func knn2(q, t []Descriptor) (best []int, d1, d2 []float64, macs float64) {
+	best = make([]int, len(q))
+	d1 = make([]float64, len(q))
+	d2 = make([]float64, len(q))
+	for i := range q {
+		b, b1, b2 := -1, math.Inf(1), math.Inf(1)
+		for j := range t {
+			d := q[i].DistSq(&t[j])
+			if d < b1 {
+				b, b2, b1 = j, b1, d
+			} else if d < b2 {
+				b2 = d
+			}
+		}
+		best[i], d1[i], d2[i] = b, b1, b2
+	}
+	macs = float64(len(q)) * float64(len(t)) * DescriptorDim
+	return best, d1, d2, macs
+}
+
+// Match runs the pipeline for a query frame against one object's features.
+func (m *Matcher) Match(query, train *FeatureSet) MatchResult {
+	var res MatchResult
+	if query.Len() == 0 || train.Len() == 0 {
+		return res
+	}
+
+	// Stage 1: forward 2-NN with ratio test.
+	fwdBest, fd1, fd2, macs := knn2(query.Descriptors, train.Descriptors)
+	res.MACs += macs
+	ratio2 := m.cfg.RatioThreshold * m.cfg.RatioThreshold
+	var cands []Correspondence
+	for i, j := range fwdBest {
+		if j < 0 {
+			continue
+		}
+		if m.cfg.Stages&StageRatio != 0 {
+			if fd2[i] == 0 || fd1[i]/fd2[i] > ratio2 {
+				continue
+			}
+		}
+		cands = append(cands, Correspondence{Q: i, T: j})
+	}
+
+	// Stage 2: symmetry (cross-check) — the reverse 2-NN of each candidate
+	// train feature must point back at the query feature.
+	if m.cfg.Stages&StageSymmetry != 0 && len(cands) > 0 {
+		revBest, _, _, revMACs := knn2(train.Descriptors, query.Descriptors)
+		res.MACs += revMACs
+		sym := cands[:0]
+		for _, c := range cands {
+			if revBest[c.T] == c.Q {
+				sym = append(sym, c)
+			}
+		}
+		cands = sym
+	}
+
+	// Stage 3: RANSAC over a similarity model (scale + translation, the
+	// transform our synthetic frames apply).
+	if m.cfg.Stages&StageRANSAC != 0 {
+		inliers, consensus := m.ransac(query, train, cands)
+		// Model estimation cost is tiny next to the k-NN scans but not
+		// free; count one descriptor-op per hypothesis-correspondence pair.
+		res.MACs += float64(m.cfg.RANSACIters * len(cands))
+		res.Inliers = consensus
+		res.Correspondences = inliers
+		res.Matched = consensus >= m.cfg.MinInliers
+		return res
+	}
+
+	res.Correspondences = cands
+	res.Inliers = len(cands)
+	res.Matched = len(cands) >= m.cfg.MinInliers
+	return res
+}
+
+// ransac estimates a scale+translation model from correspondence pairs and
+// returns the best consensus set.
+func (m *Matcher) ransac(query, train *FeatureSet, cands []Correspondence) ([]Correspondence, int) {
+	if len(cands) < 2 {
+		return nil, 0
+	}
+	tol2 := m.cfg.RANSACTol * m.cfg.RANSACTol
+	bestCount := 0
+	var bestInliers []Correspondence
+	for iter := 0; iter < m.cfg.RANSACIters; iter++ {
+		a := cands[m.rng.Intn(len(cands))]
+		b := cands[m.rng.Intn(len(cands))]
+		if a == b {
+			continue
+		}
+		// Hypothesize: queryKP = trainKP*s + (tx, ty). Estimate s from the
+		// pair's train-space vs query-space separation, then t from one
+		// correspondence.
+		tdx := float64(train.Keypoints[b.T].X - train.Keypoints[a.T].X)
+		tdy := float64(train.Keypoints[b.T].Y - train.Keypoints[a.T].Y)
+		qdx := float64(query.Keypoints[b.Q].X - query.Keypoints[a.Q].X)
+		qdy := float64(query.Keypoints[b.Q].Y - query.Keypoints[a.Q].Y)
+		tn := math.Hypot(tdx, tdy)
+		if tn < 1e-6 {
+			continue
+		}
+		s := math.Hypot(qdx, qdy) / tn
+		if s < 0.1 || s > 10 {
+			continue
+		}
+		tx := float64(query.Keypoints[a.Q].X) - float64(train.Keypoints[a.T].X)*s
+		ty := float64(query.Keypoints[a.Q].Y) - float64(train.Keypoints[a.T].Y)*s
+		var inliers []Correspondence
+		for _, c := range cands {
+			px := float64(train.Keypoints[c.T].X)*s + tx
+			py := float64(train.Keypoints[c.T].Y)*s + ty
+			dx := px - float64(query.Keypoints[c.Q].X)
+			dy := py - float64(query.Keypoints[c.Q].Y)
+			if dx*dx+dy*dy <= tol2 {
+				inliers = append(inliers, c)
+			}
+		}
+		if len(inliers) > bestCount {
+			bestCount = len(inliers)
+			bestInliers = inliers
+		}
+	}
+	return bestInliers, bestCount
+}

@@ -1,0 +1,101 @@
+package vision
+
+import (
+	"fmt"
+
+	"acacia/internal/geo"
+	"acacia/internal/yamlite"
+)
+
+// MarshalYAML serializes the database in the YAML layout the AR back-end
+// loads at startup, mirroring the paper's OpenCV YAML persistence: a list of
+// objects, each with its name, annotation tag, geo-tags and feature data.
+func (db *DB) MarshalYAML() []byte {
+	objects := &yamlite.Node{Kind: yamlite.KindSeq}
+	for _, o := range db.Objects {
+		kps := make([]float64, 0, o.Features.Len()*2)
+		for _, kp := range o.Features.Keypoints {
+			kps = append(kps, float64(kp.X), float64(kp.Y))
+		}
+		descs := &yamlite.Node{Kind: yamlite.KindSeq}
+		for i := range o.Features.Descriptors {
+			d := &o.Features.Descriptors[i]
+			vals := make([]float64, DescriptorDim)
+			for j, v := range d {
+				vals[j] = float64(v)
+			}
+			descs.Seq = append(descs.Seq, yamlite.FloatSeq(vals))
+		}
+		node := yamlite.Map().
+			Set("name", yamlite.Str(o.Name)).
+			Set("tag", yamlite.Str(o.Tag)).
+			Set("section", yamlite.Str(o.Section)).
+			Set("subsection", yamlite.Int(o.Subsection)).
+			Set("pos", yamlite.FloatSeq([]float64{o.Pos.X, o.Pos.Y})).
+			Set("keypoints", yamlite.FloatSeq(kps)).
+			Set("descriptors", descs)
+		objects.Seq = append(objects.Seq, node)
+	}
+	doc := yamlite.Map().
+		Set("format", yamlite.Str("acacia-ar-db")).
+		Set("version", yamlite.Int(1)).
+		Set("objects", objects)
+	return yamlite.Marshal(doc)
+}
+
+// UnmarshalYAML loads a database previously serialized with MarshalYAML.
+func UnmarshalYAML(data []byte) (*DB, error) {
+	doc, err := yamlite.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	if doc.Get("format").Text() != "acacia-ar-db" {
+		return nil, fmt.Errorf("vision: unrecognized database format %q", doc.Get("format").Text())
+	}
+	objects := doc.Get("objects")
+	if objects == nil || objects.Kind != yamlite.KindSeq {
+		return nil, fmt.Errorf("vision: missing objects sequence")
+	}
+	db := NewDB()
+	for i, node := range objects.Seq {
+		o := &Object{
+			Name:    node.Get("name").Text(),
+			Tag:     node.Get("tag").Text(),
+			Section: node.Get("section").Text(),
+		}
+		if o.Subsection, err = node.Get("subsection").Int(); err != nil {
+			return nil, fmt.Errorf("vision: object %d subsection: %w", i, err)
+		}
+		pos, err := node.Get("pos").Floats()
+		if err != nil || len(pos) != 2 {
+			return nil, fmt.Errorf("vision: object %d pos malformed", i)
+		}
+		o.Pos = geo.Point{X: pos[0], Y: pos[1]}
+		kps, err := node.Get("keypoints").Floats()
+		if err != nil || len(kps)%2 != 0 {
+			return nil, fmt.Errorf("vision: object %d keypoints malformed", i)
+		}
+		descs := node.Get("descriptors")
+		if descs == nil || descs.Kind != yamlite.KindSeq || descs.Len() != len(kps)/2 {
+			return nil, fmt.Errorf("vision: object %d descriptor/keypoint count mismatch", i)
+		}
+		fs := &FeatureSet{}
+		for k := 0; k < len(kps); k += 2 {
+			fs.Keypoints = append(fs.Keypoints, Keypoint{X: float32(kps[k]), Y: float32(kps[k+1])})
+		}
+		for j, dnode := range descs.Seq {
+			vals, err := dnode.Floats()
+			if err != nil || len(vals) != DescriptorDim {
+				return nil, fmt.Errorf("vision: object %d descriptor %d malformed", i, j)
+			}
+			var d Descriptor
+			for k, v := range vals {
+				d[k] = float32(v)
+			}
+			fs.Descriptors = append(fs.Descriptors, d)
+		}
+		o.Features = fs
+		db.Add(o)
+	}
+	return db, nil
+}

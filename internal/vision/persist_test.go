@@ -1,0 +1,107 @@
+package vision
+
+import (
+	"testing"
+
+	"acacia/internal/geo"
+	"acacia/internal/sim"
+)
+
+func TestYAMLRoundTrip(t *testing.T) {
+	floor := geo.RetailFloor()
+	// Small feature sets keep the document manageable in a unit test.
+	db := BuildRetailDB(floor, 8)
+	data := db.MarshalYAML()
+	got, err := UnmarshalYAML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Fatalf("objects = %d, want %d", got.Len(), db.Len())
+	}
+	for i, o := range db.Objects {
+		g := got.Objects[i]
+		if g.Name != o.Name || g.Tag != o.Tag || g.Section != o.Section || g.Subsection != o.Subsection {
+			t.Fatalf("object %d metadata mismatch: %+v vs %+v", i, g, o)
+		}
+		if g.Pos.Dist(o.Pos) > 1e-9 {
+			t.Fatalf("object %d pos %v vs %v", i, g.Pos, o.Pos)
+		}
+		if g.Features.Len() != o.Features.Len() {
+			t.Fatalf("object %d feature count", i)
+		}
+		for j := range o.Features.Descriptors {
+			if g.Features.Keypoints[j] != o.Features.Keypoints[j] {
+				t.Fatalf("object %d keypoint %d", i, j)
+			}
+			if g.Features.Descriptors[j] != o.Features.Descriptors[j] {
+				t.Fatalf("object %d descriptor %d", i, j)
+			}
+		}
+	}
+}
+
+func TestYAMLLoadedDBIsSearchable(t *testing.T) {
+	floor := geo.RetailFloor()
+	db := BuildRetailDB(floor, 64)
+	loaded, err := UnmarshalYAML(db.MarshalYAML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := loaded.Objects[33]
+	frame := GenerateFrame(target.Features, DefaultFrameParams(100), sim.NewRNG(20))
+	m := NewMatcher(MatcherConfig{}, sim.NewRNG(21))
+	res := loaded.Search(frame, []int{target.Subsection}, m)
+	if res.Best != target {
+		t.Errorf("search over loaded DB returned %v", res.Best)
+	}
+}
+
+func TestUnmarshalYAMLErrors(t *testing.T) {
+	cases := []string{
+		"format: something-else\nobjects: []\n",
+		"format: acacia-ar-db\nversion: 1\n", // no objects
+		"not yaml at all",
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalYAML([]byte(c)); err == nil {
+			t.Errorf("UnmarshalYAML(%q) succeeded", c)
+		}
+	}
+}
+
+func TestUnmarshalYAMLRejectsCorruptObject(t *testing.T) {
+	floor := geo.RetailFloor()
+	db := NewDB()
+	db.Add(&Object{
+		Name: "x", Tag: "t", Section: "food", Subsection: 0,
+		Pos:      floor.Subsections[0].Bounds.Center(),
+		Features: GenerateObjectFeatures(1, 4),
+	})
+	data := db.MarshalYAML()
+	// Truncate descriptors by dropping the last line block: corrupt the
+	// descriptor/keypoint correspondence by removing one descriptor row.
+	doc := string(data)
+	idx := lastIndex(doc, "      - [")
+	if idx < 0 {
+		t.Fatalf("unexpected document layout:\n%s", doc)
+	}
+	end := idx
+	for end < len(doc) && doc[end] != '\n' {
+		end++
+	}
+	corrupted := doc[:idx] + doc[end+1:]
+	if _, err := UnmarshalYAML([]byte(corrupted)); err == nil {
+		t.Error("corrupt document accepted")
+	}
+}
+
+func lastIndex(s, sub string) int {
+	idx := -1
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			idx = i
+		}
+	}
+	return idx
+}

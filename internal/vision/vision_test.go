@@ -1,0 +1,260 @@
+package vision
+
+import (
+	"testing"
+	"testing/quick"
+
+	"acacia/internal/geo"
+	"acacia/internal/sim"
+)
+
+func TestDescriptorDistSq(t *testing.T) {
+	var a, b Descriptor
+	a[0], b[1] = 1, 1
+	if d := a.DistSq(&a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	if d := a.DistSq(&b); d != 2 {
+		t.Errorf("orthogonal unit distance² = %v, want 2", d)
+	}
+}
+
+func TestDescriptorNormalization(t *testing.T) {
+	rng := sim.NewRNG(5)
+	f := func(seed uint64) bool {
+		d := randomDescriptor(sim.NewRNG(seed))
+		var sum float64
+		for _, v := range d {
+			sum += float64(v) * float64(v)
+		}
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	_ = rng
+}
+
+func TestPerturbStaysClose(t *testing.T) {
+	rng := sim.NewRNG(7)
+	orig := randomDescriptor(rng)
+	pert := perturb(&orig, 0.05, rng)
+	other := randomDescriptor(rng)
+	if orig.DistSq(&pert) >= orig.DistSq(&other) {
+		t.Error("perturbed descriptor farther than a random one")
+	}
+}
+
+func TestGenerateObjectFeaturesDeterministic(t *testing.T) {
+	a := GenerateObjectFeatures(42, 100)
+	b := GenerateObjectFeatures(42, 100)
+	if a.Len() != 100 || b.Len() != 100 {
+		t.Fatalf("lengths %d/%d", a.Len(), b.Len())
+	}
+	for i := range a.Descriptors {
+		if a.Descriptors[i] != b.Descriptors[i] || a.Keypoints[i] != b.Keypoints[i] {
+			t.Fatal("same seed produced different features")
+		}
+	}
+	c := GenerateObjectFeatures(43, 100)
+	if a.Descriptors[0] == c.Descriptors[0] {
+		t.Error("different seeds produced identical first descriptor")
+	}
+}
+
+func TestGenerateFrameComposition(t *testing.T) {
+	obj := GenerateObjectFeatures(1, 200)
+	params := DefaultFrameParams(100)
+	frame := GenerateFrame(obj, params, sim.NewRNG(2))
+	if frame.Len() != 100 {
+		t.Errorf("frame features = %d, want 100", frame.Len())
+	}
+	// Object fraction capped by object size.
+	small := GenerateObjectFeatures(1, 10)
+	frame2 := GenerateFrame(small, params, sim.NewRNG(2))
+	if frame2.Len() != 100 {
+		t.Errorf("capped frame features = %d, want 100 (more clutter)", frame2.Len())
+	}
+}
+
+func TestMatcherFindsObjectInFrame(t *testing.T) {
+	obj := GenerateObjectFeatures(11, 150)
+	frame := GenerateFrame(obj, DefaultFrameParams(120), sim.NewRNG(3))
+	m := NewMatcher(MatcherConfig{}, sim.NewRNG(4))
+	res := m.Match(frame, obj)
+	if !res.Matched {
+		t.Fatalf("object not matched: inliers=%d", res.Inliers)
+	}
+	if res.Inliers < 8 {
+		t.Errorf("inliers = %d", res.Inliers)
+	}
+	if res.MACs <= 0 {
+		t.Error("no MACs accounted")
+	}
+}
+
+func TestMatcherRejectsWrongObject(t *testing.T) {
+	obj := GenerateObjectFeatures(11, 150)
+	other := GenerateObjectFeatures(999, 150)
+	frame := GenerateFrame(obj, DefaultFrameParams(120), sim.NewRNG(3))
+	m := NewMatcher(MatcherConfig{}, sim.NewRNG(4))
+	if res := m.Match(frame, other); res.Matched {
+		t.Errorf("matched wrong object with %d inliers", res.Inliers)
+	}
+}
+
+func TestMatcherRejectsClutter(t *testing.T) {
+	obj := GenerateObjectFeatures(11, 150)
+	clutter := GenerateClutterFrame(120, sim.NewRNG(5))
+	m := NewMatcher(MatcherConfig{}, sim.NewRNG(4))
+	if res := m.Match(clutter, obj); res.Matched {
+		t.Errorf("matched clutter with %d inliers", res.Inliers)
+	}
+}
+
+func TestMatcherEmptyInputs(t *testing.T) {
+	m := NewMatcher(MatcherConfig{}, sim.NewRNG(1))
+	empty := &FeatureSet{}
+	obj := GenerateObjectFeatures(1, 10)
+	if res := m.Match(empty, obj); res.Matched || res.MACs != 0 {
+		t.Error("empty query should not match")
+	}
+	if res := m.Match(obj, empty); res.Matched || res.MACs != 0 {
+		t.Error("empty train should not match")
+	}
+}
+
+func TestStageAblationRelaxesFiltering(t *testing.T) {
+	// Without RANSAC, acceptance uses raw correspondence counts: the
+	// pipeline should still find the true object, and the full pipeline
+	// must never pass more correspondences than a prefix of it.
+	obj := GenerateObjectFeatures(21, 150)
+	frame := GenerateFrame(obj, DefaultFrameParams(120), sim.NewRNG(6))
+
+	ratioOnly := NewMatcher(MatcherConfig{Stages: StageRatio}, sim.NewRNG(7)).Match(frame, obj)
+	ratioSym := NewMatcher(MatcherConfig{Stages: StageRatio | StageSymmetry}, sim.NewRNG(7)).Match(frame, obj)
+	full := NewMatcher(MatcherConfig{}, sim.NewRNG(7)).Match(frame, obj)
+
+	if len(ratioSym.Correspondences) > len(ratioOnly.Correspondences) {
+		t.Error("symmetry stage added correspondences")
+	}
+	if len(full.Correspondences) > len(ratioSym.Correspondences) {
+		t.Error("RANSAC stage added correspondences")
+	}
+	if !full.Matched {
+		t.Error("full pipeline missed the true object")
+	}
+	// Symmetry stage costs a reverse scan: more MACs than ratio alone.
+	if ratioSym.MACs <= ratioOnly.MACs {
+		t.Error("symmetry stage did not account its reverse scan")
+	}
+}
+
+func TestRatioTestFiltersClutterMatches(t *testing.T) {
+	// With the ratio stage disabled, every query feature yields a
+	// candidate; with it enabled, clutter features are mostly dropped.
+	obj := GenerateObjectFeatures(31, 150)
+	frame := GenerateFrame(obj, DefaultFrameParams(120), sim.NewRNG(8))
+	none := NewMatcher(MatcherConfig{Stages: StageRANSAC, MinInliers: 8}, sim.NewRNG(9)).Match(frame, obj)
+	with := NewMatcher(MatcherConfig{Stages: StageRatio | StageRANSAC, MinInliers: 8}, sim.NewRNG(9)).Match(frame, obj)
+	_ = none
+	if !with.Matched {
+		t.Error("ratio+RANSAC missed the true object")
+	}
+}
+
+func TestBuildRetailDB(t *testing.T) {
+	floor := geo.RetailFloor()
+	db := BuildRetailDB(floor, 64)
+	if db.Len() != 105 {
+		t.Fatalf("objects = %d, want 105", db.Len())
+	}
+	perCell := map[int]int{}
+	for _, o := range db.Objects {
+		perCell[o.Subsection]++
+		if o.Features.Len() != 64 {
+			t.Fatalf("object %s has %d features", o.Name, o.Features.Len())
+		}
+		if floor.SectionAt(o.Pos) != o.Section {
+			t.Errorf("object %s position/section mismatch", o.Name)
+		}
+	}
+	if len(perCell) != 21 {
+		t.Errorf("cells populated = %d, want 21", len(perCell))
+	}
+	for cell, n := range perCell {
+		if n != ObjectsPerRetailSubsection {
+			t.Errorf("cell %d has %d objects", cell, n)
+		}
+	}
+}
+
+func TestDBInSubsections(t *testing.T) {
+	floor := geo.RetailFloor()
+	db := BuildRetailDB(floor, 32)
+	if got := len(db.InSubsections(nil)); got != 105 {
+		t.Errorf("nil = whole DB, got %d", got)
+	}
+	if got := len(db.InSubsections([]int{0, 1})); got != 10 {
+		t.Errorf("two cells = %d objects, want 10", got)
+	}
+	if got := len(db.InSubsections([]int{})); got != 0 {
+		t.Errorf("empty id list = %d objects, want 0", got)
+	}
+}
+
+func TestSearchFindsCorrectObjectWithPruning(t *testing.T) {
+	floor := geo.RetailFloor()
+	db := BuildRetailDB(floor, 96)
+	target := db.Objects[17]
+	frame := GenerateFrame(target.Features, DefaultFrameParams(120), sim.NewRNG(10))
+	m := NewMatcher(MatcherConfig{}, sim.NewRNG(11))
+
+	// Pruned search restricted to the target's cell.
+	pruned := db.Search(frame, []int{target.Subsection}, m)
+	if pruned.Best != target {
+		t.Fatalf("pruned search returned %v", pruned.Best)
+	}
+	if pruned.Candidates != ObjectsPerRetailSubsection {
+		t.Errorf("pruned candidates = %d", pruned.Candidates)
+	}
+
+	// Full search also finds it, at much higher cost.
+	full := db.Search(frame, nil, m)
+	if full.Best != target {
+		t.Fatalf("full search returned %v", full.Best)
+	}
+	if full.Candidates != 105 {
+		t.Errorf("full candidates = %d", full.Candidates)
+	}
+	if full.MACs <= pruned.MACs*10 {
+		t.Errorf("full search MACs %.3g should dwarf pruned %.3g", full.MACs, pruned.MACs)
+	}
+}
+
+func TestSearchNoMatchWhenObjectOutsidePrunedSet(t *testing.T) {
+	// The rxPower baseline's failure mode (C13 false negative): pruning to
+	// the wrong cells misses the object entirely.
+	floor := geo.RetailFloor()
+	db := BuildRetailDB(floor, 96)
+	target := db.Objects[0] // subsection 0
+	frame := GenerateFrame(target.Features, DefaultFrameParams(120), sim.NewRNG(12))
+	m := NewMatcher(MatcherConfig{}, sim.NewRNG(13))
+	res := db.Search(frame, []int{5, 6}, m)
+	if res.Best == target {
+		t.Error("found object outside searched cells")
+	}
+}
+
+func TestSearchMACsScaleWithCandidates(t *testing.T) {
+	floor := geo.RetailFloor()
+	db := BuildRetailDB(floor, 64)
+	frame := GenerateClutterFrame(100, sim.NewRNG(14))
+	m := NewMatcher(MatcherConfig{}, sim.NewRNG(15))
+	one := db.Search(frame, []int{0}, m)
+	four := db.Search(frame, []int{0, 1, 2, 3}, m)
+	ratio := four.MACs / one.MACs
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("MAC ratio = %.2f, want ≈4", ratio)
+	}
+}

@@ -1,0 +1,462 @@
+// Package yamlite implements the small YAML subset the AR back-end uses to
+// persist its object database, mirroring the paper's OpenCV YAML storage:
+// block mappings and sequences with indentation, flow sequences for numeric
+// vectors, and plain/quoted scalars. It is not a general YAML parser — it
+// round-trips exactly the documents this repository writes.
+package yamlite
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Node is one YAML value: scalar, sequence or mapping.
+type Node struct {
+	Kind Kind
+	// Scalar holds the string form for KindScalar.
+	Scalar string
+	// Seq holds items for KindSeq.
+	Seq []*Node
+	// Keys/Values hold ordered pairs for KindMap.
+	Keys   []string
+	Values []*Node
+}
+
+// Kind discriminates node types.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindScalar Kind = iota
+	KindSeq
+	KindMap
+)
+
+// Str builds a scalar node from a string.
+func Str(s string) *Node { return &Node{Kind: KindScalar, Scalar: s} }
+
+// Int builds a scalar node from an integer.
+func Int(v int) *Node { return Str(strconv.Itoa(v)) }
+
+// Float builds a scalar node from a float with full round-trip precision.
+func Float(v float64) *Node { return Str(strconv.FormatFloat(v, 'g', -1, 64)) }
+
+// Seq builds a sequence node.
+func Seq(items ...*Node) *Node { return &Node{Kind: KindSeq, Seq: items} }
+
+// FloatSeq builds a sequence of float scalars (encoded in flow style).
+func FloatSeq(vs []float64) *Node {
+	n := &Node{Kind: KindSeq}
+	for _, v := range vs {
+		n.Seq = append(n.Seq, Float(v))
+	}
+	return n
+}
+
+// Map builds an empty mapping node.
+func Map() *Node { return &Node{Kind: KindMap} }
+
+// Set appends (or replaces) a key in a mapping node and returns the node
+// for chaining.
+func (n *Node) Set(key string, v *Node) *Node {
+	if n.Kind != KindMap {
+		panic("yamlite: Set on non-map node")
+	}
+	for i, k := range n.Keys {
+		if k == key {
+			n.Values[i] = v
+			return n
+		}
+	}
+	n.Keys = append(n.Keys, key)
+	n.Values = append(n.Values, v)
+	return n
+}
+
+// Get returns the value for key in a mapping node, or nil.
+func (n *Node) Get(key string) *Node {
+	if n == nil || n.Kind != KindMap {
+		return nil
+	}
+	for i, k := range n.Keys {
+		if k == key {
+			return n.Values[i]
+		}
+	}
+	return nil
+}
+
+// Len reports the child count (sequence items or map entries).
+func (n *Node) Len() int {
+	switch n.Kind {
+	case KindSeq:
+		return len(n.Seq)
+	case KindMap:
+		return len(n.Keys)
+	default:
+		return 0
+	}
+}
+
+// Int parses the scalar as an integer.
+func (n *Node) Int() (int, error) {
+	if n == nil || n.Kind != KindScalar {
+		return 0, fmt.Errorf("yamlite: not a scalar")
+	}
+	return strconv.Atoi(n.Scalar)
+}
+
+// Float parses the scalar as a float.
+func (n *Node) Float() (float64, error) {
+	if n == nil || n.Kind != KindScalar {
+		return 0, fmt.Errorf("yamlite: not a scalar")
+	}
+	return strconv.ParseFloat(n.Scalar, 64)
+}
+
+// Floats parses a sequence of float scalars.
+func (n *Node) Floats() ([]float64, error) {
+	if n == nil || n.Kind != KindSeq {
+		return nil, fmt.Errorf("yamlite: not a sequence")
+	}
+	out := make([]float64, 0, len(n.Seq))
+	for _, item := range n.Seq {
+		v, err := item.Float()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Text returns the scalar string, or "" for non-scalars.
+func (n *Node) Text() string {
+	if n == nil || n.Kind != KindScalar {
+		return ""
+	}
+	return n.Scalar
+}
+
+// Marshal renders the node as a YAML document.
+func Marshal(n *Node) []byte {
+	var b strings.Builder
+	encode(&b, n, 0, false)
+	return []byte(b.String())
+}
+
+func isFlowableSeq(n *Node) bool {
+	if n.Kind != KindSeq {
+		return false
+	}
+	// Empty sequences must use flow style ("[]") — a block encoding would
+	// be indistinguishable from an empty scalar.
+	for _, item := range n.Seq {
+		if item.Kind != KindScalar {
+			return false
+		}
+	}
+	return true
+}
+
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	if strings.ContainsAny(s, ":#[]{},\"'\n") {
+		return true
+	}
+	return s != strings.TrimSpace(s)
+}
+
+func encodeScalar(s string) string {
+	if needsQuoting(s) {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+func encode(b *strings.Builder, n *Node, indent int, inline bool) {
+	pad := strings.Repeat("  ", indent)
+	switch n.Kind {
+	case KindScalar:
+		b.WriteString(encodeScalar(n.Scalar))
+		b.WriteByte('\n')
+	case KindSeq:
+		if isFlowableSeq(n) {
+			b.WriteByte('[')
+			for i, item := range n.Seq {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(encodeScalar(item.Scalar))
+			}
+			b.WriteString("]\n")
+			return
+		}
+		if inline {
+			b.WriteByte('\n')
+		}
+		for _, item := range n.Seq {
+			b.WriteString(pad)
+			b.WriteString("- ")
+			if item.Kind == KindScalar || isFlowableSeq(item) {
+				encode(b, item, 0, false)
+			} else {
+				b.WriteByte('\n')
+				encode(b, item, indent+1, false)
+			}
+		}
+	case KindMap:
+		if inline {
+			b.WriteByte('\n')
+		}
+		for i, k := range n.Keys {
+			v := n.Values[i]
+			b.WriteString(pad)
+			b.WriteString(encodeScalar(k))
+			b.WriteString(":")
+			switch {
+			case v.Kind == KindScalar || isFlowableSeq(v):
+				b.WriteByte(' ')
+				encode(b, v, 0, false)
+			default:
+				b.WriteByte('\n')
+				encode(b, v, indent+1, false)
+			}
+		}
+	}
+}
+
+// Unmarshal parses a document produced by Marshal.
+func Unmarshal(data []byte) (*Node, error) {
+	lines := splitLines(string(data))
+	p := &parser{lines: lines}
+	n, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, fmt.Errorf("yamlite: trailing content at line %d", p.lines[p.pos].num)
+	}
+	return n, nil
+}
+
+type line struct {
+	num    int
+	indent int
+	text   string // content without indentation
+}
+
+func splitLines(s string) []line {
+	var out []line
+	for i, raw := range strings.Split(s, "\n") {
+		trimmed := strings.TrimRight(raw, " \t")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		ind := 0
+		for ind < len(trimmed) && trimmed[ind] == ' ' {
+			ind++
+		}
+		if ind%2 != 0 {
+			ind-- // tolerate odd indentation by rounding down
+		}
+		out = append(out, line{num: i + 1, indent: ind / 2, text: strings.TrimLeft(trimmed, " ")})
+	}
+	return out
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+func (p *parser) peek() (line, bool) {
+	if p.pos >= len(p.lines) {
+		return line{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+// parseBlock parses the block starting at the current position with the
+// given indentation level.
+func (p *parser) parseBlock(indent int) (*Node, error) {
+	l, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("yamlite: unexpected end of document")
+	}
+	if l.indent != indent {
+		return nil, fmt.Errorf("yamlite: line %d: indent %d, want %d", l.num, l.indent, indent)
+	}
+	if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+		return p.parseSeq(indent)
+	}
+	return p.parseMap(indent)
+}
+
+func (p *parser) parseSeq(indent int) (*Node, error) {
+	n := &Node{Kind: KindSeq}
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent != indent || !(strings.HasPrefix(l.text, "- ") || l.text == "-") {
+			return n, nil
+		}
+		p.pos++
+		rest := strings.TrimPrefix(strings.TrimPrefix(l.text, "- "), "-")
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			child, err := p.parseBlock(indent + 1)
+			if err != nil {
+				return nil, err
+			}
+			n.Seq = append(n.Seq, child)
+			continue
+		}
+		item, err := parseInlineValue(rest, l.num)
+		if err != nil {
+			return nil, err
+		}
+		n.Seq = append(n.Seq, item)
+	}
+}
+
+func (p *parser) parseMap(indent int) (*Node, error) {
+	n := Map()
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent != indent || strings.HasPrefix(l.text, "- ") {
+			return n, nil
+		}
+		key, rest, err := splitKey(l.text, l.num)
+		if err != nil {
+			return nil, err
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseInlineValue(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			n.Set(key, v)
+			continue
+		}
+		// Value is the following nested block; an immediately following
+		// sibling or EOF means an empty scalar.
+		next, ok := p.peek()
+		if !ok || next.indent <= indent {
+			n.Set(key, Str(""))
+			continue
+		}
+		child, err := p.parseBlock(indent + 1)
+		if err != nil {
+			return nil, err
+		}
+		n.Set(key, child)
+	}
+}
+
+// splitKey separates "key: value" respecting a quoted key.
+func splitKey(s string, num int) (key, rest string, err error) {
+	if strings.HasPrefix(s, "\"") {
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '"' && s[i-1] != '\\' {
+				end = i
+				break
+			}
+		}
+		if end < 0 || end+1 >= len(s) || s[end+1] != ':' {
+			return "", "", fmt.Errorf("yamlite: line %d: malformed quoted key", num)
+		}
+		k, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return "", "", fmt.Errorf("yamlite: line %d: %v", num, err)
+		}
+		return k, strings.TrimSpace(s[end+2:]), nil
+	}
+	idx := strings.Index(s, ":")
+	if idx < 0 {
+		return "", "", fmt.Errorf("yamlite: line %d: missing ':' in %q", num, s)
+	}
+	return s[:idx], strings.TrimSpace(s[idx+1:]), nil
+}
+
+func parseInlineValue(s string, num int) (*Node, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yamlite: line %d: unterminated flow sequence", num)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		n := &Node{Kind: KindSeq}
+		if inner == "" {
+			return n, nil
+		}
+		for _, part := range strings.Split(inner, ",") {
+			item, err := parseScalar(strings.TrimSpace(part), num)
+			if err != nil {
+				return nil, err
+			}
+			n.Seq = append(n.Seq, item)
+		}
+		return n, nil
+	}
+	return parseScalar(s, num)
+}
+
+func parseScalar(s string, num int) (*Node, error) {
+	if strings.HasPrefix(s, "\"") {
+		u, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("yamlite: line %d: %v", num, err)
+		}
+		return Str(u), nil
+	}
+	return Str(s), nil
+}
+
+// Equal reports deep equality of two nodes.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KindScalar:
+		return a.Scalar == b.Scalar
+	case KindSeq:
+		if len(a.Seq) != len(b.Seq) {
+			return false
+		}
+		for i := range a.Seq {
+			if !Equal(a.Seq[i], b.Seq[i]) {
+				return false
+			}
+		}
+		return true
+	case KindMap:
+		if len(a.Keys) != len(b.Keys) {
+			return false
+		}
+		// Key order matters for round-trip fidelity; compare in order.
+		for i := range a.Keys {
+			if a.Keys[i] != b.Keys[i] || !Equal(a.Values[i], b.Values[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// SortedKeys returns a mapping's keys in lexical order (for deterministic
+// inspection output; Marshal preserves insertion order).
+func (n *Node) SortedKeys() []string {
+	out := append([]string(nil), n.Keys...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,207 @@
+package yamlite
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	doc := Map().Set("name", Str("obj-01")).Set("count", Int(42)).Set("score", Float(3.14))
+	out := Marshal(doc)
+	got, err := Unmarshal(out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !Equal(doc, got) {
+		t.Errorf("round trip:\n%s", out)
+	}
+	if v, _ := got.Get("count").Int(); v != 42 {
+		t.Errorf("count = %v", v)
+	}
+	if v, _ := got.Get("score").Float(); v != 3.14 {
+		t.Errorf("score = %v", v)
+	}
+	if got.Get("name").Text() != "obj-01" {
+		t.Errorf("name = %q", got.Get("name").Text())
+	}
+}
+
+func TestNestedStructureRoundTrip(t *testing.T) {
+	obj := Map().
+		Set("name", Str("widget")).
+		Set("tags", Seq(Str("a"), Str("b"))).
+		Set("meta", Map().Set("section", Str("toys")).Set("cell", Int(7))).
+		Set("vec", FloatSeq([]float64{0.5, -1.25, 3}))
+	doc := Map().Set("objects", Seq(obj, Map().Set("name", Str("other"))))
+	out := Marshal(doc)
+	got, err := Unmarshal(out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !Equal(doc, got) {
+		t.Fatalf("round trip mismatch:\n%s", out)
+	}
+	objs := got.Get("objects")
+	if objs.Len() != 2 {
+		t.Fatalf("objects = %d", objs.Len())
+	}
+	vec, err := objs.Seq[0].Get("vec").Floats()
+	if err != nil || len(vec) != 3 || vec[1] != -1.25 {
+		t.Errorf("vec = %v (%v)", vec, err)
+	}
+}
+
+func TestQuotedStringsRoundTrip(t *testing.T) {
+	cases := []string{
+		"", "plain", "with: colon", "has \"quotes\"", "line\nbreak",
+		"[brackets]", "{braces}", "trailing ", " leading", "#comment-ish",
+	}
+	doc := Map()
+	for i, s := range cases {
+		doc.Set(string(rune('a'+i)), Str(s))
+	}
+	got, err := Unmarshal(Marshal(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(doc, got) {
+		t.Errorf("quoted round trip failed:\n%s", Marshal(doc))
+	}
+}
+
+func TestQuotedKeysRoundTrip(t *testing.T) {
+	doc := Map().Set("key: with colon", Str("v")).Set("normal", Str("w"))
+	got, err := Unmarshal(Marshal(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(doc, got) {
+		t.Errorf("quoted key round trip failed:\n%s", Marshal(doc))
+	}
+}
+
+func TestFlowSeqFormatting(t *testing.T) {
+	doc := Map().Set("v", FloatSeq([]float64{1, 2.5, -3}))
+	out := string(Marshal(doc))
+	if !strings.Contains(out, "v: [1, 2.5, -3]") {
+		t.Errorf("flow sequence not inline: %q", out)
+	}
+}
+
+func TestEmptyFlowSeq(t *testing.T) {
+	got, err := Unmarshal([]byte("v: []\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Get("v").Kind != KindSeq || got.Get("v").Len() != 0 {
+		t.Errorf("empty flow seq = %+v", got.Get("v"))
+	}
+}
+
+func TestSeqOfMaps(t *testing.T) {
+	doc := Seq(
+		Map().Set("a", Int(1)),
+		Map().Set("b", Int(2)),
+	)
+	got, err := Unmarshal(Marshal(doc))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, Marshal(doc))
+	}
+	if !Equal(doc, got) {
+		t.Errorf("seq-of-maps round trip:\n%s", Marshal(doc))
+	}
+}
+
+func TestEmptyValueBecomesEmptyScalar(t *testing.T) {
+	got, err := Unmarshal([]byte("a:\nb: x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Get("a").Text() != "" || got.Get("b").Text() != "x" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		"key without colon\n",
+		"a: [1, 2\n",      // unterminated flow
+		"a: \"unclosed\n", // unclosed quote -> scalar parse error
+	}
+	for _, c := range cases {
+		if _, err := Unmarshal([]byte(c)); err == nil {
+			t.Errorf("Unmarshal(%q) succeeded", c)
+		}
+	}
+}
+
+func TestNodeAccessorErrors(t *testing.T) {
+	if _, err := Seq().Int(); err == nil {
+		t.Error("Int on seq should fail")
+	}
+	if _, err := Str("x").Floats(); err == nil {
+		t.Error("Floats on scalar should fail")
+	}
+	if _, err := Str("abc").Float(); err == nil {
+		t.Error("Float on non-numeric should fail")
+	}
+	var nilNode *Node
+	if nilNode.Get("x") != nil {
+		t.Error("Get on nil should be nil")
+	}
+	if nilNode.Text() != "" {
+		t.Error("Text on nil should be empty")
+	}
+}
+
+func TestSetReplacesExistingKey(t *testing.T) {
+	doc := Map().Set("k", Int(1)).Set("k", Int(2))
+	if doc.Len() != 1 {
+		t.Errorf("len = %d", doc.Len())
+	}
+	if v, _ := doc.Get("k").Int(); v != 2 {
+		t.Errorf("k = %v", v)
+	}
+}
+
+func TestFloatSeqPropertyRoundTrip(t *testing.T) {
+	f := func(vs []float64) bool {
+		for _, v := range vs {
+			if v != v || v > 1e300 || v < -1e300 { // NaN/huge
+				return true
+			}
+		}
+		doc := Map().Set("v", FloatSeq(vs))
+		got, err := Unmarshal(Marshal(doc))
+		if err != nil {
+			return false
+		}
+		back, err := got.Get("v").Floats()
+		if err != nil || len(back) != len(vs) {
+			return false
+		}
+		for i := range vs {
+			if back[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	doc := Map().Set("b", Int(1)).Set("a", Int(2))
+	keys := doc.SortedKeys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("SortedKeys = %v", keys)
+	}
+	// Marshal preserves insertion order, not sorted order.
+	out := string(Marshal(doc))
+	if strings.Index(out, "b:") > strings.Index(out, "a:") {
+		t.Errorf("insertion order not preserved:\n%s", out)
+	}
+}
