@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench results results-csv examples clean
+.PHONY: all build vet test race fmt-check bench results results-csv examples clean
 
 all: build vet test
 
@@ -14,6 +14,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Trials run concurrently; the race detector guards the scheduler and the
+# no-shared-mutable-state contract between trials.
+race:
+	$(GO) test -race ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Regenerate every figure/table of the paper (quick mode).
 results:

@@ -93,8 +93,10 @@ func NewTestbed(cfg TestbedConfig) *Testbed { return core.NewTestbed(cfg) }
 // ExperimentResult is one experiment's rendered tables and notes.
 type ExperimentResult = experiments.Result
 
-// ExperimentOptions tunes experiment durations (Full selects
-// publication-length runs).
+// ExperimentOptions tunes experiment execution: Full selects
+// publication-length runs, Seed/SeedSet pick the base simulation seed, and
+// Parallel bounds how many trials run concurrently (output is
+// byte-identical at every setting).
 type ExperimentOptions = experiments.Options
 
 // ExperimentIDs lists every reproducible figure/table id in presentation
@@ -111,6 +113,8 @@ func RunExperiment(id string, opts ExperimentOptions) (*ExperimentResult, error)
 }
 
 // RunAllExperiments regenerates every figure and table in order.
-func RunAllExperiments(opts ExperimentOptions) []*ExperimentResult {
+// Experiments whose trials failed are omitted from the results and their
+// errors joined into err; the returned results are still valid.
+func RunAllExperiments(opts ExperimentOptions) ([]*ExperimentResult, error) {
 	return experiments.RunAll(opts)
 }

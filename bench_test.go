@@ -36,6 +36,24 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
+// benchRunAll sweeps every experiment per iteration at a given trial
+// concurrency, so the sequential and parallel schedules can be compared.
+func benchRunAll(b *testing.B, parallel int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		results, err := RunAllExperiments(ExperimentOptions{Seed: uint64(i) + 1, Parallel: parallel})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
+func BenchmarkRunAllParallel(b *testing.B)   { benchRunAll(b, 0) }
+
 // One benchmark per figure/table of the evaluation.
 
 func BenchmarkFig3aSURFRuntime(b *testing.B)      { benchExperiment(b, "3a") }

@@ -6,7 +6,10 @@
 //	acacia-sim -list
 //	acacia-sim -fig 13
 //	acacia-sim -fig 3a,3b,overhead
-//	acacia-sim -all [-full] [-seed N]
+//	acacia-sim -all [-full] [-seed N] [-parallel N] [-progress]
+//
+// Trials run concurrently on up to -parallel workers; output on stdout is
+// byte-identical for every -parallel setting (and to -parallel 1).
 package main
 
 import (
@@ -20,16 +23,27 @@ import (
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list experiment ids and exit")
-		fig  = flag.String("fig", "", "comma-separated experiment ids to run (e.g. 3a,8,13)")
-		all  = flag.Bool("all", false, "run every experiment")
-		full = flag.Bool("full", false, "publication-length runs (slower, tighter statistics)")
-		seed = flag.Uint64("seed", 2016, "simulation seed")
-		csv  = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		fig      = flag.String("fig", "", "comma-separated experiment ids to run (e.g. 3a,8,13)")
+		all      = flag.Bool("all", false, "run every experiment")
+		full     = flag.Bool("full", false, "publication-length runs (slower, tighter statistics)")
+		seed     = flag.Uint64("seed", 2016, "simulation seed")
+		parallel = flag.Int("parallel", 0, "max concurrent trials (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report per-trial completion on stderr")
+		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	)
 	flag.Parse()
 
-	opts := acacia.ExperimentOptions{Full: *full, Seed: *seed}
+	opts := acacia.ExperimentOptions{Full: *full, Seed: *seed, SeedSet: true, Parallel: *parallel}
+	if *progress {
+		opts.Progress = func(done, total int, trial string, err error) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "acacia-sim: [%d/%d] %s: %v\n", done, total, trial, err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "acacia-sim: [%d/%d] %s\n", done, total, trial)
+		}
+	}
 	print := func(r *acacia.ExperimentResult) {
 		if !*csv {
 			fmt.Println(r)
@@ -47,8 +61,13 @@ func main() {
 			fmt.Printf("%-18s %s\n", id, acacia.ExperimentTitle(id))
 		}
 	case *all:
-		for _, r := range acacia.RunAllExperiments(opts) {
+		results, err := acacia.RunAllExperiments(opts)
+		for _, r := range results {
 			print(r)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acacia-sim:", err)
+			os.Exit(1)
 		}
 	case *fig != "":
 		for _, id := range strings.Split(*fig, ",") {

@@ -20,42 +20,62 @@ import (
 )
 
 func init() {
-	register("ablation-fastpath", "Ablation: fast-path cost sweep on GW-U throughput", ablationFastPath)
-	register("ablation-bearer", "Ablation: on-demand vs always-on dedicated bearer overhead", ablationBearer)
-	register("ablation-stages", "Ablation: matching pipeline stages vs accuracy and work", ablationStages)
-	register("ablation-radius", "Ablation: pruning granularity vs search cost and coverage", ablationRadius)
-	register("ablation-solver", "Ablation: trilateration solver choice", ablationSolver)
+	register(ablationFastPath())
+	registerSolo("ablation-bearer", "Ablation: on-demand vs always-on dedicated bearer overhead", ablationBearer)
+	register(ablationStages())
+	register(ablationRadius())
+	register(ablationSolver())
+	register(ablationQCI())
+	register(ablationIndex())
 }
 
-func newEngine(opts Options) *sim.Engine { return sim.NewEngine(opts.seed()) }
-
 // ablationFastPath sweeps per-packet costs to show where the data plane
-// stops being link-limited.
-func ablationFastPath(opts Options) *Result {
-	dur := 3 * time.Second
-	if opts.Full {
-		dur = 8 * time.Second
+// stops being link-limited — one trial per cost point.
+func ablationFastPath() Experiment {
+	costList := []time.Duration{0, 1200 * time.Nanosecond, 5 * time.Microsecond,
+		11200 * time.Nanosecond, 20 * time.Microsecond, 35 * time.Microsecond}
+	return Experiment{
+		ID:    "ablation-fastpath",
+		Title: "Ablation: fast-path cost sweep on GW-U throughput",
+		Trials: func(opts Options) []Trial {
+			dur := 3 * time.Second
+			if opts.Full {
+				dur = 8 * time.Second
+			}
+			trials := make([]Trial, 0, len(costList))
+			for _, cost := range costList {
+				cost := cost
+				trials = append(trials, Trial{
+					Key: fmt.Sprintf("cost=%gus", float64(cost)/float64(time.Microsecond)),
+					Run: func(seed uint64) any {
+						costs := sdn.PathCosts{FastPath: cost, SlowPath: 35 * time.Microsecond, FastPathEnabled: true}
+						series := measureGWThroughput(seed, costs, dur)
+						var sum float64
+						for _, x := range series {
+							sum += x
+						}
+						return sum / float64(len(series))
+					},
+				})
+			}
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			tbl := stats.NewTable("GW-U goodput vs per-packet fast-path cost (1 Gbps line)",
+				"cost (µs/pkt)", "goodput (Mbps)")
+			for i, cost := range costList {
+				tbl.AddRow(float64(cost)/float64(time.Microsecond), parts[i].(float64))
+			}
+			return &Result{ID: "ablation-fastpath", Title: Title("ablation-fastpath"), Tables: []*stats.Table{tbl},
+				Notes: []string{"1400-byte packets serialize in 11.2 µs at 1 Gbps: per-packet costs beyond that make the CPU the bottleneck"}}
+		},
 	}
-	tbl := stats.NewTable("GW-U goodput vs per-packet fast-path cost (1 Gbps line)",
-		"cost (µs/pkt)", "goodput (Mbps)")
-	for _, cost := range []time.Duration{0, 1200 * time.Nanosecond, 5 * time.Microsecond,
-		11200 * time.Nanosecond, 20 * time.Microsecond, 35 * time.Microsecond} {
-		costs := sdn.PathCosts{FastPath: cost, SlowPath: 35 * time.Microsecond, FastPathEnabled: true}
-		series := measureGWThroughput(opts, costs, dur)
-		var sum float64
-		for _, x := range series {
-			sum += x
-		}
-		tbl.AddRow(float64(cost)/float64(time.Microsecond), sum/float64(len(series)))
-	}
-	return &Result{ID: "ablation-fastpath", Title: Title("ablation-fastpath"), Tables: []*stats.Table{tbl},
-		Notes: []string{"1400-byte packets serialize in 11.2 µs at 1 Gbps: per-packet costs beyond that make the CPU the bottleneck"}}
 }
 
 // ablationBearer compares bearer-management strategies by daily control
 // traffic, using the measured per-cycle bytes.
-func ablationBearer(opts Options) *Result {
-	msgs, bytes := measureCycle(opts)
+func ablationBearer(opts Options, seed uint64) *Result {
+	msgs, bytes := measureCycle(opts, seed)
 	var totalBytes uint64
 	var totalMsgs uint64
 	for _, b := range bytes {
@@ -81,15 +101,10 @@ func ablationBearer(opts Options) *Result {
 		Notes: []string{"context-triggered on-demand bearers cut dedicated-bearer signaling by orders of magnitude"}}
 }
 
-// ablationStages runs the real vision pipeline with stages toggled.
-func ablationStages(opts Options) *Result {
-	rng := sim.NewRNG(opts.seed())
-	floor := geo.RetailFloor()
-	db := vision.BuildRetailDB(floor, 64)
-	frames := 20
-	if opts.Full {
-		frames = 60
-	}
+// ablationStages runs the real vision pipeline with stages toggled — one
+// trial per stage set. Every trial scores the identical frame stream (the
+// frame seed depends only on the frame index), so the comparison is paired.
+func ablationStages() Experiment {
 	stageSets := []struct {
 		name   string
 		stages vision.Stage
@@ -98,130 +113,224 @@ func ablationStages(opts Options) *Result {
 		{"ratio+symmetry", vision.StageRatio | vision.StageSymmetry},
 		{"full (ratio+symmetry+RANSAC)", vision.StageAll},
 	}
-	tbl := stats.NewTable("Matching pipeline stages on real synthetic frames",
-		"stages", "true positives", "false matches", "mean MACs/frame")
-	for _, sc := range stageSets {
-		m := vision.NewMatcher(vision.MatcherConfig{Stages: sc.stages}, rng.Fork(sc.name))
-		tp, fp := 0, 0
-		var macs stats.Sample
-		for i := 0; i < frames; i++ {
-			target := db.Objects[(i*11)%db.Len()]
-			frame := vision.GenerateFrame(target.Features, vision.DefaultFrameParams(96), rng.Fork(fmt.Sprint(sc.name, i)))
-			res := db.Search(frame, []int{target.Subsection}, m)
-			macs.Add(res.MACs)
-			switch {
-			case res.Best == target:
-				tp++
-			case res.Best != nil:
-				fp++
+	return Experiment{
+		ID:    "ablation-stages",
+		Title: "Ablation: matching pipeline stages vs accuracy and work",
+		Trials: func(opts Options) []Trial {
+			frames := 20
+			if opts.Full {
+				frames = 60
 			}
-		}
-		tbl.AddRow(sc.name, tp, fp, macs.Mean())
+			base := opts.BaseSeed()
+			trials := make([]Trial, 0, len(stageSets))
+			for _, sc := range stageSets {
+				sc := sc
+				trials = append(trials, Trial{
+					Key: "stages=" + sc.name,
+					Run: func(seed uint64) any {
+						floor := geo.RetailFloor()
+						db := vision.BuildRetailDB(floor, 64)
+						m := vision.NewMatcher(vision.MatcherConfig{Stages: sc.stages}, sim.NewRNG(seed))
+						tp, fp := 0, 0
+						var macs stats.Sample
+						for i := 0; i < frames; i++ {
+							target := db.Objects[(i*11)%db.Len()]
+							frameRNG := sim.NewRNG(subSeed(base, "ablation-stages", "frame", fmt.Sprint(i)))
+							frame := vision.GenerateFrame(target.Features, vision.DefaultFrameParams(96), frameRNG)
+							res := db.Search(frame, []int{target.Subsection}, m)
+							macs.Add(res.MACs)
+							switch {
+							case res.Best == target:
+								tp++
+							case res.Best != nil:
+								fp++
+							}
+						}
+						return []any{sc.name, tp, fp, macs.Mean()}
+					},
+				})
+			}
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			tbl := stats.NewTable("Matching pipeline stages on real synthetic frames",
+				"stages", "true positives", "false matches", "mean MACs/frame")
+			for _, p := range parts {
+				tbl.AddRow(p.([]any)...)
+			}
+			return &Result{ID: "ablation-stages", Title: Title("ablation-stages"), Tables: []*stats.Table{tbl},
+				Notes: []string{"the paper's back-end keeps all stages: they raise accuracy at extra runtime (§6.3)"}}
+		},
 	}
-	return &Result{ID: "ablation-stages", Title: Title("ablation-stages"), Tables: []*stats.Table{tbl},
-		Notes: []string{"the paper's back-end keeps all stages: they raise accuracy at extra runtime (§6.3)"}}
 }
 
-// ablationRadius sweeps ACACIA's pruning radius.
-func ablationRadius(opts Options) *Result {
-	floor := geo.RetailFloor()
-	// Single-sample campaign: the full ~3 m localization error reaches the
-	// pruning decision, so small radii visibly lose coverage.
-	readings := trace.Campaign(floor, opts.seed(), 1)
-	grouped := trace.ByCheckpoint(readings)
-	fit := core.CalibrateFromChannel(d2d.DefaultPathLoss, nil)
-
-	tbl := stats.NewTable("Pruning radius vs search cost and coverage",
-		"radius (m)", "mean candidates", "coverage (%)", "mean match ms (i7x8, 720x480)")
-	res := compute.Resolution{W: 720, H: 480}
-	for _, radius := range []float64{2, 4, 6, 9, 12, 21} {
-		var cand stats.Sample
-		covered := 0
-		for _, cp := range floor.Checkpoints {
-			var ms []localization.Measurement
-			for _, r := range grouped[cp.Name] {
-				lm := floor.Landmark(r.Landmark)
-				ms = append(ms, localization.Measurement{Landmark: lm.Pos, Distance: fit.Distance(r.RxPower)})
-			}
-			est, err := localization.Trilaterate(ms)
-			if err != nil {
-				continue
-			}
-			est = floor.Bounds.Clamp(est)
-			cells := floor.SubsectionsNear(est, radius)
-			cand.Add(float64(len(cells) * 5))
-			trueCell := floor.SubsectionAt(cp.Pos)
-			for _, id := range cells {
-				if trueCell != nil && id == trueCell.ID {
-					covered++
-					break
-				}
-			}
-		}
-		match := compute.I7x8.MatchTime(matchMACs(res, core.DBObjectFeatures, int(cand.Mean()))).Seconds() * 1000
-		tbl.AddRow(radius, cand.Mean(), 100*float64(covered)/float64(len(floor.Checkpoints)), match)
-	}
-	return &Result{ID: "ablation-radius", Title: Title("ablation-radius"), Tables: []*stats.Table{tbl},
-		Notes: []string{"small radii miss the true cell under ~3 m localization error; ACACIA's 7.5 m default keeps coverage high at a fraction of the full-search cost"}}
+// ablationCampaignSeed is the shared single-sample campaign behind the
+// radius and solver ablations: every trial rebuilds the identical readings,
+// so the sweeps compare pruning/solving on the same measured data.
+func ablationCampaignSeed(opts Options, exp string) uint64 {
+	return subSeed(opts.BaseSeed(), exp, "campaign")
 }
 
-// ablationSolver compares the Gauss-Newton and linearized trilateration
-// solvers on the same campaign data.
-func ablationSolver(opts Options) *Result {
-	floor := geo.RetailFloor()
-	readings := trace.Campaign(floor, opts.seed(), 1)
-	grouped := trace.ByCheckpoint(readings)
-	fit := core.CalibrateFromChannel(d2d.DefaultPathLoss, nil)
-
-	var gn, wgn, lin stats.Sample
-	for _, cp := range floor.Checkpoints {
-		var ms []localization.Measurement
-		for _, r := range grouped[cp.Name] {
-			lm := floor.Landmark(r.Landmark)
-			ms = append(ms, localization.Measurement{Landmark: lm.Pos, Distance: fit.Distance(r.RxPower)})
-		}
-		if g, err := localization.Trilaterate(ms); err == nil {
-			gn.Add(floor.Bounds.Clamp(g).Dist(cp.Pos))
-		}
-		if w, err := localization.TrilaterateWeighted(ms); err == nil {
-			wgn.Add(floor.Bounds.Clamp(w).Dist(cp.Pos))
-		}
-		if l, err := localization.TrilaterateLinear(ms); err == nil {
-			lin.Add(floor.Bounds.Clamp(l).Dist(cp.Pos))
-		}
+// checkpointMeasurements converts one checkpoint's campaign readings into
+// ranging measurements.
+func checkpointMeasurements(floor *geo.Floor, rs []trace.CheckpointReading, fit localization.PathLossFit) []localization.Measurement {
+	var ms []localization.Measurement
+	for _, r := range rs {
+		lm := floor.Landmark(r.Landmark)
+		ms = append(ms, localization.Measurement{Landmark: lm.Pos, Distance: fit.Distance(r.RxPower)})
 	}
-	tbl := stats.NewTable("Trilateration solver accuracy (m) over 24 checkpoints, 7 landmarks",
-		"solver", "mean", "p95", "max")
-	tbl.AddRow("Gauss-Newton (ACACIA)", gn.Mean(), gn.Percentile(95), gn.Max())
-	tbl.AddRow("weighted Gauss-Newton (1/d)", wgn.Mean(), wgn.Percentile(95), wgn.Max())
-	tbl.AddRow("linearized closed form", lin.Mean(), lin.Percentile(95), lin.Max())
-	return &Result{ID: "ablation-solver", Title: Title("ablation-solver"), Tables: []*stats.Table{tbl},
-		Notes: []string{"nonlinear least squares tolerates ranging noise better, at negligible cost for 7 landmarks"}}
+	return ms
 }
 
-func init() {
-	register("ablation-qci", "Ablation: QCI priority under radio congestion", ablationQCI)
+// ablationRadius sweeps ACACIA's pruning radius — one trial per radius over
+// the shared campaign.
+func ablationRadius() Experiment {
+	radii := []float64{2, 4, 6, 9, 12, 21}
+	return Experiment{
+		ID:    "ablation-radius",
+		Title: "Ablation: pruning granularity vs search cost and coverage",
+		Trials: func(opts Options) []Trial {
+			// Single-sample campaign: the full ~3 m localization error reaches
+			// the pruning decision, so small radii visibly lose coverage.
+			campaign := ablationCampaignSeed(opts, "ablation-radius")
+			res := compute.Resolution{W: 720, H: 480}
+			trials := make([]Trial, 0, len(radii))
+			for _, radius := range radii {
+				radius := radius
+				trials = append(trials, Trial{
+					Key: fmt.Sprintf("radius=%gm", radius),
+					Run: func(uint64) any {
+						floor := geo.RetailFloor()
+						grouped := trace.ByCheckpoint(trace.Campaign(floor, campaign, 1))
+						fit := core.CalibrateFromChannel(d2d.DefaultPathLoss, nil)
+						var cand stats.Sample
+						covered := 0
+						for _, cp := range floor.Checkpoints {
+							ms := checkpointMeasurements(floor, grouped[cp.Name], fit)
+							est, err := localization.Trilaterate(ms)
+							if err != nil {
+								continue
+							}
+							est = floor.Bounds.Clamp(est)
+							cells := floor.SubsectionsNear(est, radius)
+							cand.Add(float64(len(cells) * 5))
+							trueCell := floor.SubsectionAt(cp.Pos)
+							for _, id := range cells {
+								if trueCell != nil && id == trueCell.ID {
+									covered++
+									break
+								}
+							}
+						}
+						match := compute.I7x8.MatchTime(matchMACs(res, core.DBObjectFeatures, int(cand.Mean()))).Seconds() * 1000
+						return []any{radius, cand.Mean(), 100 * float64(covered) / float64(len(floor.Checkpoints)), match}
+					},
+				})
+			}
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			tbl := stats.NewTable("Pruning radius vs search cost and coverage",
+				"radius (m)", "mean candidates", "coverage (%)", "mean match ms (i7x8, 720x480)")
+			for _, p := range parts {
+				tbl.AddRow(p.([]any)...)
+			}
+			return &Result{ID: "ablation-radius", Title: Title("ablation-radius"), Tables: []*stats.Table{tbl},
+				Notes: []string{"small radii miss the true cell under ~3 m localization error; ACACIA's 7.5 m default keeps coverage high at a fraction of the full-search cost"}}
+		},
+	}
+}
+
+// ablationSolver compares the trilateration solvers — one trial per solver,
+// all three ranging over the identical shared campaign.
+func ablationSolver() Experiment {
+	solvers := []struct {
+		name  string
+		solve func([]localization.Measurement) (geo.Point, error)
+	}{
+		{"Gauss-Newton (ACACIA)", localization.Trilaterate},
+		{"weighted Gauss-Newton (1/d)", localization.TrilaterateWeighted},
+		{"linearized closed form", localization.TrilaterateLinear},
+	}
+	return Experiment{
+		ID:    "ablation-solver",
+		Title: "Ablation: trilateration solver choice",
+		Trials: func(opts Options) []Trial {
+			campaign := ablationCampaignSeed(opts, "ablation-solver")
+			trials := make([]Trial, 0, len(solvers))
+			for _, sv := range solvers {
+				sv := sv
+				trials = append(trials, Trial{
+					Key: "solver=" + sv.name,
+					Run: func(uint64) any {
+						floor := geo.RetailFloor()
+						grouped := trace.ByCheckpoint(trace.Campaign(floor, campaign, 1))
+						fit := core.CalibrateFromChannel(d2d.DefaultPathLoss, nil)
+						var errs stats.Sample
+						for _, cp := range floor.Checkpoints {
+							ms := checkpointMeasurements(floor, grouped[cp.Name], fit)
+							if p, err := sv.solve(ms); err == nil {
+								errs.Add(floor.Bounds.Clamp(p).Dist(cp.Pos))
+							}
+						}
+						return []any{sv.name, errs.Mean(), errs.Percentile(95), errs.Max()}
+					},
+				})
+			}
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			tbl := stats.NewTable("Trilateration solver accuracy (m) over 24 checkpoints, 7 landmarks",
+				"solver", "mean", "p95", "max")
+			for _, p := range parts {
+				tbl.AddRow(p.([]any)...)
+			}
+			return &Result{ID: "ablation-solver", Title: Title("ablation-solver"), Tables: []*stats.Table{tbl},
+				Notes: []string{"nonlinear least squares tolerates ranging noise better, at negligible cost for 7 landmarks"}}
+		},
+	}
 }
 
 // ablationQCI loads the downlink radio past capacity with default-bearer
 // (QCI 9) bulk traffic and probes the CI server over dedicated bearers of
 // different QCIs: the priority radio scheduler lets QCI 5 probes overtake
 // the bulk queue. (Fig. 10(a) measured an unloaded edge, where QCI makes
-// no difference; this ablation shows where it does.)
-func ablationQCI(opts Options) *Result {
-	tbl := stats.NewTable("CI-server RTT (ms) by dedicated-bearer QCI under 45 Mbps DL bulk load (40 Mbps radio)",
-		"QCI", "median", "p95")
-	for _, qci := range []pkt.QCI{5, 7, 9} {
-		med, p95 := measureQCIUnderLoad(opts, qci)
-		tbl.AddRow(fmt.Sprintf("QCI %d", qci), med, p95)
+// no difference; this ablation shows where it does.) One trial per QCI,
+// each on its own loaded testbed.
+func ablationQCI() Experiment {
+	qcis := []pkt.QCI{5, 7, 9}
+	return Experiment{
+		ID:    "ablation-qci",
+		Title: "Ablation: QCI priority under radio congestion",
+		Trials: func(opts Options) []Trial {
+			trials := make([]Trial, 0, len(qcis))
+			for _, qci := range qcis {
+				qci := qci
+				trials = append(trials, Trial{
+					Key: fmt.Sprintf("qci=%d", qci),
+					Run: func(seed uint64) any {
+						med, p95 := measureQCIUnderLoad(opts, seed, qci)
+						return []any{fmt.Sprintf("QCI %d", qci), med, p95}
+					},
+				})
+			}
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			tbl := stats.NewTable("CI-server RTT (ms) by dedicated-bearer QCI under 45 Mbps DL bulk load (40 Mbps radio)",
+				"QCI", "median", "p95")
+			for _, p := range parts {
+				tbl.AddRow(p.([]any)...)
+			}
+			return &Result{ID: "ablation-qci", Title: Title("ablation-qci"), Tables: []*stats.Table{tbl},
+				Notes: []string{"the MEC bearer's high-priority QCI keeps CI latency flat when lower-priority traffic saturates the radio"}}
+		},
 	}
-	return &Result{ID: "ablation-qci", Title: Title("ablation-qci"), Tables: []*stats.Table{tbl},
-		Notes: []string{"the MEC bearer's high-priority QCI keeps CI latency flat when lower-priority traffic saturates the radio"}}
 }
 
-func measureQCIUnderLoad(opts Options, qci pkt.QCI) (median, p95 float64) {
+func measureQCIUnderLoad(opts Options, seed uint64, qci pkt.QCI) (median, p95 float64) {
 	tb := core.NewTestbed(core.TestbedConfig{
-		Seed:        opts.seed(),
+		Seed:        seed,
 		IdleTimeout: time.Hour,
 		RadioJitter: 1,
 	})
@@ -261,65 +370,81 @@ func measureQCIUnderLoad(opts Options, qci pkt.QCI) (median, p95 float64) {
 	return pg.RTTs.Median(), pg.RTTs.Percentile(95)
 }
 
-func init() {
-	register("ablation-index", "Ablation: LSH prefilter vs brute-force and geo-pruned search", ablationIndex)
-}
-
 // ablationIndex runs the *real* vision pipeline (no latency model) over the
 // retail database and compares search strategies by measured descriptor
-// work and recall: brute force, geo-pruning (ACACIA's context), LSH
-// prefiltering, and the two combined.
-func ablationIndex(opts Options) *Result {
-	rng := sim.NewRNG(opts.seed())
-	floor := geo.RetailFloor()
-	db := vision.BuildRetailDB(floor, 64)
-	ix := vision.BuildIndex(db, vision.IndexConfig{}, rng.Fork("lsh"))
-	m := vision.NewMatcher(vision.MatcherConfig{}, rng.Fork("matcher"))
-
-	frames := 10
-	if opts.Full {
-		frames = 30
-	}
-	type strategy struct {
+// work and recall — one trial per strategy. The LSH index seed and the
+// per-frame seeds are shared across trials, so every strategy searches the
+// same index for the same query frames.
+func ablationIndex() Experiment {
+	type searchFn func(db *vision.DB, floor *geo.Floor, ix *vision.Index, m *vision.Matcher, q *vision.FeatureSet, target *vision.Object) vision.SearchResult
+	strategies := []struct {
 		name   string
-		search func(q *vision.FeatureSet, target *vision.Object) vision.SearchResult
-	}
-	strategies := []strategy{
-		{"brute force (Naive)", func(q *vision.FeatureSet, _ *vision.Object) vision.SearchResult {
+		search searchFn
+	}{
+		{"brute force (Naive)", func(db *vision.DB, _ *geo.Floor, _ *vision.Index, m *vision.Matcher, q *vision.FeatureSet, _ *vision.Object) vision.SearchResult {
 			return db.Search(q, nil, m)
 		}},
-		{"geo-pruned (ACACIA)", func(q *vision.FeatureSet, target *vision.Object) vision.SearchResult {
+		{"geo-pruned (ACACIA)", func(db *vision.DB, floor *geo.Floor, _ *vision.Index, m *vision.Matcher, q *vision.FeatureSet, target *vision.Object) vision.SearchResult {
 			cells := floor.SubsectionsNear(db.Objects[indexOf(db, target)].Pos, core.PruneRadius)
 			return db.Search(q, cells, m)
 		}},
-		{"LSH top-5", func(q *vision.FeatureSet, _ *vision.Object) vision.SearchResult {
+		{"LSH top-5", func(db *vision.DB, _ *geo.Floor, ix *vision.Index, m *vision.Matcher, q *vision.FeatureSet, _ *vision.Object) vision.SearchResult {
 			return db.SearchWithIndex(q, ix, 5, m)
 		}},
-		{"LSH top-1", func(q *vision.FeatureSet, _ *vision.Object) vision.SearchResult {
+		{"LSH top-1", func(db *vision.DB, _ *geo.Floor, ix *vision.Index, m *vision.Matcher, q *vision.FeatureSet, _ *vision.Object) vision.SearchResult {
 			return db.SearchWithIndex(q, ix, 1, m)
 		}},
 	}
-	tbl := stats.NewTable("Search strategy vs work and recall (real matching pipeline)",
-		"strategy", "recall (%)", "mean MACs/frame", "mean candidates")
-	for _, st := range strategies {
-		found := 0
-		var macs, cands stats.Sample
-		for i := 0; i < frames; i++ {
-			target := db.Objects[(i*17)%db.Len()]
-			q := vision.GenerateFrame(target.Features, vision.DefaultFrameParams(96), rng.Fork(fmt.Sprint(st.name, i)))
-			res := st.search(q, target)
-			macs.Add(res.MACs)
-			cands.Add(float64(res.Candidates))
-			if res.Best == target {
-				found++
+	return Experiment{
+		ID:    "ablation-index",
+		Title: "Ablation: LSH prefilter vs brute-force and geo-pruned search",
+		Trials: func(opts Options) []Trial {
+			frames := 10
+			if opts.Full {
+				frames = 30
 			}
-		}
-		tbl.AddRow(st.name, 100*float64(found)/float64(frames), macs.Mean(), cands.Mean())
+			base := opts.BaseSeed()
+			trials := make([]Trial, 0, len(strategies))
+			for _, st := range strategies {
+				st := st
+				trials = append(trials, Trial{
+					Key: "strategy=" + st.name,
+					Run: func(seed uint64) any {
+						floor := geo.RetailFloor()
+						db := vision.BuildRetailDB(floor, 64)
+						ix := vision.BuildIndex(db, vision.IndexConfig{}, sim.NewRNG(subSeed(base, "ablation-index", "lsh")))
+						m := vision.NewMatcher(vision.MatcherConfig{}, sim.NewRNG(seed))
+						found := 0
+						var macs, cands stats.Sample
+						for i := 0; i < frames; i++ {
+							target := db.Objects[(i*17)%db.Len()]
+							frameRNG := sim.NewRNG(subSeed(base, "ablation-index", "frame", fmt.Sprint(i)))
+							q := vision.GenerateFrame(target.Features, vision.DefaultFrameParams(96), frameRNG)
+							res := st.search(db, floor, ix, m, q, target)
+							macs.Add(res.MACs)
+							cands.Add(float64(res.Candidates))
+							if res.Best == target {
+								found++
+							}
+						}
+						return []any{st.name, 100 * float64(found) / float64(frames), macs.Mean(), cands.Mean()}
+					},
+				})
+			}
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			tbl := stats.NewTable("Search strategy vs work and recall (real matching pipeline)",
+				"strategy", "recall (%)", "mean MACs/frame", "mean candidates")
+			for _, p := range parts {
+				tbl.AddRow(p.([]any)...)
+			}
+			return &Result{ID: "ablation-index", Title: Title("ablation-index"), Tables: []*stats.Table{tbl},
+				Notes: []string{
+					"geo-pruning uses user context (free at query time); LSH trades a small hashing cost for content-based pruning that works without location",
+				}}
+		},
 	}
-	return &Result{ID: "ablation-index", Title: Title("ablation-index"), Tables: []*stats.Table{tbl},
-		Notes: []string{
-			"geo-pruning uses user context (free at query time); LSH trades a small hashing cost for content-based pruning that works without location",
-		}}
 }
 
 func indexOf(db *vision.DB, target *vision.Object) int {

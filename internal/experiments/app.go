@@ -10,19 +10,20 @@ import (
 	"acacia/internal/geo"
 	"acacia/internal/localization"
 	"acacia/internal/media"
+	"acacia/internal/sim"
 	"acacia/internal/stats"
 	"acacia/internal/trace"
 )
 
 func init() {
-	register("compression", "AR front-end compression time and ratio (§7.3)", compressionTable)
-	register("11a", "Match runtime by search-space scheme (Fig. 11(a))", fig11a)
-	register("11b", "Match runtime distribution at 960x720 (Fig. 11(b))", fig11b)
-	register("12", "Match runtime vs number of clients (Fig. 12)", fig12)
-	register("13", "End-to-end latency decomposition (Fig. 13)", fig13)
+	registerSolo("compression", "AR front-end compression time and ratio (§7.3)", compressionTable)
+	register(fig11a())
+	register(fig11b())
+	register(fig12())
+	register(fig13())
 }
 
-func compressionTable(opts Options) *Result {
+func compressionTable(opts Options, seed uint64) *Result {
 	tbl := stats.NewTable("JPEG 90 grayscale compression on the One+ One",
 		"resolution", "encode (ms)", "ratio", "paper ms", "paper ratio")
 	for _, c := range media.AppCompressionTable() {
@@ -33,7 +34,7 @@ func compressionTable(opts Options) *Result {
 	// per quality setting.
 	codec := stats.NewTable("Block-DCT codec on a synthetic 512x384 frame",
 		"quality", "bytes", "ratio", "PSNR (dB)")
-	frame := media.SyntheticFrame(512, 384, opts.seed())
+	frame := media.SyntheticFrame(512, 384, seed)
 	raw := float64(len(frame.Pix))
 	for _, q := range []int{50, 80, 90, 100} {
 		data, err := media.Compress(frame, q)
@@ -59,11 +60,17 @@ type searchSpace struct {
 	covered    map[core.Scheme]bool
 }
 
+// searchSpacesSeed derives the campaign seed behind buildSearchSpaces. It
+// deliberately ignores the experiment id: Figs. 11(a), 11(b) and 12 all
+// evaluate the same measured search spaces, as in the paper.
+func searchSpacesSeed(opts Options) uint64 { return subSeed(opts.BaseSeed(), "search-spaces") }
+
 // buildSearchSpaces runs the localization pipeline offline over the
-// campaign readings at every checkpoint.
-func buildSearchSpaces(opts Options) []searchSpace {
+// campaign readings at every checkpoint. It is a pure function of the seed,
+// so concurrent trials rebuild identical spaces.
+func buildSearchSpaces(campaignSeed uint64) []searchSpace {
 	floor := geo.RetailFloor()
-	readings := trace.Campaign(floor, opts.seed(), 5)
+	readings := trace.Campaign(floor, campaignSeed, 5)
 	grouped := trace.ByCheckpoint(readings)
 	fit := core.CalibrateFromChannel(d2d.DefaultPathLoss, nil)
 
@@ -142,85 +149,168 @@ func matchTimesMS(spaces []searchSpace, scheme core.Scheme, dev compute.Device, 
 	return out
 }
 
-func fig11a(opts Options) *Result {
-	spaces := buildSearchSpaces(opts)
+// fig11a declares one trial per (resolution, machine) timing cell plus an
+// accuracy trial; every trial rebuilds the shared search spaces from the
+// same sub-seed.
+func fig11a() Experiment {
 	devices := []compute.Device{compute.I7x8, compute.Xeon32}
-	tbl := stats.NewTable("Mean match time (ms) by scheme",
-		"machine (resolution)", "ACACIA", "rxPower", "Naive", "speedup vs Naive")
-	for _, res := range compute.AppResolutions {
-		for _, dev := range devices {
-			var means [3]float64
-			for i, scheme := range fig11Schemes {
-				var s stats.Sample
-				s.AddAll(matchTimesMS(spaces, scheme, dev, res)...)
-				means[i] = s.Mean()
+	return Experiment{
+		ID:    "11a",
+		Title: "Match runtime by search-space scheme (Fig. 11(a))",
+		Trials: func(opts Options) []Trial {
+			campaign := searchSpacesSeed(opts)
+			var trials []Trial
+			for _, res := range compute.AppResolutions {
+				for _, dev := range devices {
+					res, dev := res, dev
+					trials = append(trials, Trial{
+						Key: fmt.Sprintf("res=%s/dev=%s", res, dev.Name),
+						Run: func(uint64) any {
+							spaces := buildSearchSpaces(campaign)
+							var means [3]float64
+							for i, scheme := range fig11Schemes {
+								var s stats.Sample
+								s.AddAll(matchTimesMS(spaces, scheme, dev, res)...)
+								means[i] = s.Mean()
+							}
+							return []any{fmt.Sprintf("%s (%s)", dev.Name, res),
+								means[0], means[1], means[2], stats.Ratio(means[2], means[0])}
+						},
+					})
+				}
 			}
-			tbl.AddRow(fmt.Sprintf("%s (%s)", dev.Name, res), means[0], means[1], means[2],
-				stats.Ratio(means[2], means[0]))
-		}
-	}
-	// Accuracy: false negatives per scheme across checkpoints.
-	acc := stats.NewTable("Search accuracy across the 24 checkpoints",
-		"scheme", "covered", "false negatives")
-	for _, scheme := range fig11Schemes {
-		covered := 0
-		for _, ss := range spaces {
-			if ss.covered[scheme] {
-				covered++
+			trials = append(trials, Trial{
+				Key: "accuracy",
+				Run: func(uint64) any {
+					spaces := buildSearchSpaces(campaign)
+					var rows [][]any
+					for _, scheme := range fig11Schemes {
+						covered := 0
+						for _, ss := range spaces {
+							if ss.covered[scheme] {
+								covered++
+							}
+						}
+						rows = append(rows, []any{scheme.String(), covered, len(spaces) - covered})
+					}
+					return rows
+				},
+			})
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			tbl := stats.NewTable("Mean match time (ms) by scheme",
+				"machine (resolution)", "ACACIA", "rxPower", "Naive", "speedup vs Naive")
+			for _, p := range parts[:len(parts)-1] {
+				tbl.AddRow(p.([]any)...)
 			}
-		}
-		acc.AddRow(scheme.String(), covered, len(spaces)-covered)
+			acc := stats.NewTable("Search accuracy across the 24 checkpoints",
+				"scheme", "covered", "false negatives")
+			for _, row := range parts[len(parts)-1].([][]any) {
+				acc.AddRow(row...)
+			}
+			return &Result{ID: "11a", Title: Title("11a"), Tables: []*stats.Table{tbl, acc},
+				Notes: []string{
+					"paper: up to 5.02x mean reduction vs Naive and 1.93x vs rxPower",
+					"paper: rxPower suffers one boundary false negative (C13); ACACIA and Naive find every object",
+				}}
+		},
 	}
-	return &Result{ID: "11a", Title: Title("11a"), Tables: []*stats.Table{tbl, acc},
-		Notes: []string{
-			"paper: up to 5.02x mean reduction vs Naive and 1.93x vs rxPower",
-			"paper: rxPower suffers one boundary false negative (C13); ACACIA and Naive find every object",
-		}}
 }
 
-func fig11b(opts Options) *Result {
-	spaces := buildSearchSpaces(opts)
+// fig11b declares one trial per (scheme, machine) distribution row at
+// 960x720, over the shared search spaces.
+func fig11b() Experiment {
 	res := compute.Resolution{W: 960, H: 720}
-	tbl := stats.NewTable("Match runtime (ms) distribution at 960x720",
-		"scheme (machine)", "p25", "median", "p75", "p95", "max")
-	for _, scheme := range fig11Schemes {
-		for _, dev := range []compute.Device{compute.Xeon32, compute.I7x8} {
-			var s stats.Sample
-			s.AddAll(matchTimesMS(spaces, scheme, dev, res)...)
-			tbl.AddRow(fmt.Sprintf("%s (%s)", scheme, dev.Name),
-				s.Percentile(25), s.Median(), s.Percentile(75), s.Percentile(95), s.Max())
-		}
-	}
-	return &Result{ID: "11b", Title: Title("11b"), Tables: []*stats.Table{tbl},
-		Notes: []string{"paper: without location pruning some frames exceed 1 s on the i7"}}
-}
-
-// fig12 runs N concurrent clients against a processor-sharing server.
-func fig12(opts Options) *Result {
-	spaces := buildSearchSpaces(opts)
-	res := compute.Resolution{W: 960, H: 720}
-	clientCounts := []int{1, 2, 4, 8}
-	var tables []*stats.Table
-	for _, dev := range []compute.Device{compute.Xeon32, compute.I7x8} {
-		tbl := stats.NewTable(fmt.Sprintf("Match time (ms) vs clients on %s", dev.Name),
-			"clients", "ACACIA", "rxPower", "Naive")
-		for _, n := range clientCounts {
-			row := []any{n}
+	devices := []compute.Device{compute.Xeon32, compute.I7x8}
+	return Experiment{
+		ID:    "11b",
+		Title: "Match runtime distribution at 960x720 (Fig. 11(b))",
+		Trials: func(opts Options) []Trial {
+			campaign := searchSpacesSeed(opts)
+			var trials []Trial
 			for _, scheme := range fig11Schemes {
-				row = append(row, multiClientMatchMS(opts, spaces, scheme, dev, res, n))
+				for _, dev := range devices {
+					scheme, dev := scheme, dev
+					trials = append(trials, Trial{
+						Key: fmt.Sprintf("scheme=%s/dev=%s", scheme, dev.Name),
+						Run: func(uint64) any {
+							spaces := buildSearchSpaces(campaign)
+							var s stats.Sample
+							s.AddAll(matchTimesMS(spaces, scheme, dev, res)...)
+							return []any{fmt.Sprintf("%s (%s)", scheme, dev.Name),
+								s.Percentile(25), s.Median(), s.Percentile(75), s.Percentile(95), s.Max()}
+						},
+					})
+				}
 			}
-			tbl.AddRow(row...)
-		}
-		tables = append(tables, tbl)
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			tbl := stats.NewTable("Match runtime (ms) distribution at 960x720",
+				"scheme (machine)", "p25", "median", "p75", "p95", "max")
+			for _, p := range parts {
+				tbl.AddRow(p.([]any)...)
+			}
+			return &Result{ID: "11b", Title: Title("11b"), Tables: []*stats.Table{tbl},
+				Notes: []string{"paper: without location pruning some frames exceed 1 s on the i7"}}
+		},
 	}
-	return &Result{ID: "12", Title: Title("12"), Tables: tables,
-		Notes: []string{"paper: runtime roughly doubles with each doubling of concurrent clients (processor sharing)"}}
+}
+
+// fig12 declares one trial per (machine, client count): each runs N
+// concurrent closed-loop clients against its own processor-sharing server.
+func fig12() Experiment {
+	res := compute.Resolution{W: 960, H: 720}
+	devices := []compute.Device{compute.Xeon32, compute.I7x8}
+	clientCounts := []int{1, 2, 4, 8}
+	return Experiment{
+		ID:    "12",
+		Title: "Match runtime vs number of clients (Fig. 12)",
+		Trials: func(opts Options) []Trial {
+			campaign := searchSpacesSeed(opts)
+			var trials []Trial
+			for _, dev := range devices {
+				for _, n := range clientCounts {
+					dev, n := dev, n
+					trials = append(trials, Trial{
+						Key: fmt.Sprintf("dev=%s/clients=%d", dev.Name, n),
+						Run: func(seed uint64) any {
+							spaces := buildSearchSpaces(campaign)
+							row := make([]float64, 0, len(fig11Schemes))
+							for _, scheme := range fig11Schemes {
+								row = append(row, multiClientMatchMS(seed, spaces, scheme, dev, res, n))
+							}
+							return row
+						},
+					})
+				}
+			}
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			var tables []*stats.Table
+			i := 0
+			for _, dev := range devices {
+				tbl := stats.NewTable(fmt.Sprintf("Match time (ms) vs clients on %s", dev.Name),
+					"clients", "ACACIA", "rxPower", "Naive")
+				for _, n := range clientCounts {
+					vals := parts[i].([]float64)
+					i++
+					tbl.AddRow(n, vals[0], vals[1], vals[2])
+				}
+				tables = append(tables, tbl)
+			}
+			return &Result{ID: "12", Title: Title("12"), Tables: tables,
+				Notes: []string{"paper: runtime roughly doubles with each doubling of concurrent clients (processor sharing)"}}
+		},
+	}
 }
 
 // multiClientMatchMS submits each client's closed-loop match jobs to one
 // processor-sharing server and reports the mean per-job time.
-func multiClientMatchMS(opts Options, spaces []searchSpace, scheme core.Scheme, dev compute.Device, res compute.Resolution, clients int) float64 {
-	eng := newEngine(opts)
+func multiClientMatchMS(seed uint64, spaces []searchSpace, scheme core.Scheme, dev compute.Device, res compute.Resolution, clients int) float64 {
+	eng := sim.NewEngine(seed)
 	srv := compute.NewServer(eng, dev)
 	var sample stats.Sample
 	rounds := 6
@@ -243,71 +333,85 @@ func multiClientMatchMS(opts Options, spaces []searchSpace, scheme core.Scheme, 
 	return sample.Mean()
 }
 
-// fig13 runs the full end-to-end comparison on the testbed.
-func fig13(opts Options) *Result {
-	dur := 40 * time.Second
-	if opts.Full {
-		dur = 120 * time.Second
-	}
+// fig13Means is one deployment's per-frame latency decomposition.
+type fig13Means struct {
+	match, compute, network, total float64
+}
+
+// fig13 declares one trial per deployment (ACACIA, MEC, CLOUD): each runs
+// the full end-to-end pipeline on its own testbed.
+func fig13() Experiment {
 	type config struct {
-		name string
-		run  func() *core.ARFrontend
-	}
-	runACACIA := func(scheme core.Scheme, cloud bool) *core.ARFrontend {
-		tb := core.NewTestbed(core.TestbedConfig{
-			Seed:        opts.seed(),
-			IdleTimeout: time.Hour,
-			Scheme:      scheme,
-		})
-		b := tb.UEs[0]
-		tb.MoveUE(b, retailSpot)
-		if err := tb.Attach(b); err != nil {
-			panic(err)
-		}
-		if cloud {
-			// CLOUD baseline: conventional EPC, AR server in the cloud,
-			// default bearer, Naive search.
-			b.Frontend.Start(tb.CloudHosts["california"].Node.Addr())
-			tb.Run(dur)
-			return b.Frontend
-		}
-		if err := tb.StartRetailApp(b, "electronics"); err != nil {
-			panic(err)
-		}
-		tb.Run(dur)
-		return b.Frontend
+		name   string
+		scheme core.Scheme
+		cloud  bool
 	}
 	configs := []config{
-		{"ACACIA", func() *core.ARFrontend { return runACACIA(core.SchemeACACIA, false) }},
-		{"MEC", func() *core.ARFrontend { return runACACIA(core.SchemeNaive, false) }},
-		{"CLOUD", func() *core.ARFrontend { return runACACIA(core.SchemeNaive, true) }},
+		{"ACACIA", core.SchemeACACIA, false},
+		{"MEC", core.SchemeNaive, false},
+		{"CLOUD", core.SchemeNaive, true},
 	}
-	tbl := stats.NewTable("End-to-end per-frame latency decomposition (ms) at 720x480",
-		"component", "ACACIA", "MEC", "CLOUD")
-	var fes []*core.ARFrontend
-	for _, c := range configs {
-		fes = append(fes, c.run())
+	return Experiment{
+		ID:    "13",
+		Title: "End-to-end latency decomposition (Fig. 13)",
+		Trials: func(opts Options) []Trial {
+			dur := 40 * time.Second
+			if opts.Full {
+				dur = 120 * time.Second
+			}
+			trials := make([]Trial, 0, len(configs))
+			for _, c := range configs {
+				c := c
+				trials = append(trials, Trial{
+					Key: "deployment=" + c.name,
+					Run: func(seed uint64) any {
+						tb := core.NewTestbed(core.TestbedConfig{
+							Seed:        seed,
+							IdleTimeout: time.Hour,
+							Scheme:      c.scheme,
+						})
+						b := tb.UEs[0]
+						tb.MoveUE(b, retailSpot)
+						if err := tb.Attach(b); err != nil {
+							panic(err)
+						}
+						if c.cloud {
+							// CLOUD baseline: conventional EPC, AR server in the
+							// cloud, default bearer, Naive search.
+							b.Frontend.Start(tb.CloudHosts["california"].Node.Addr())
+						} else if err := tb.StartRetailApp(b, "electronics"); err != nil {
+							panic(err)
+						}
+						tb.Run(dur)
+						st := &b.Frontend.Stats
+						return fig13Means{
+							match:   st.Match.Mean(),
+							compute: st.Compute.Mean(),
+							network: st.Network.Mean(),
+							total:   st.Total.Mean(),
+						}
+					},
+				})
+			}
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			acacia := parts[0].(fig13Means)
+			mec := parts[1].(fig13Means)
+			cloud := parts[2].(fig13Means)
+			tbl := stats.NewTable("End-to-end per-frame latency decomposition (ms) at 720x480",
+				"component", "ACACIA", "MEC", "CLOUD")
+			tbl.AddRow("Match", acacia.match, mec.match, cloud.match)
+			tbl.AddRow("Compute", acacia.compute, mec.compute, cloud.compute)
+			tbl.AddRow("Network", acacia.network, mec.network, cloud.network)
+			tbl.AddRow("Total", acacia.total, mec.total, cloud.total)
+			red := stats.NewTable("Total latency reductions", "comparison", "measured", "paper")
+			red.AddRow("ACACIA vs CLOUD", fmt.Sprintf("%.0f%%", 100*(1-acacia.total/cloud.total)), "70%")
+			red.AddRow("ACACIA vs MEC", fmt.Sprintf("%.0f%%", 100*(1-acacia.total/mec.total)), "60%")
+			red.AddRow("MEC vs CLOUD", fmt.Sprintf("%.0f%%", 100*(1-mec.total/cloud.total)), "25%")
+			red.AddRow("Match reduction (ACACIA)", fmt.Sprintf("%.1fx", mec.match/acacia.match), "7.7x")
+			red.AddRow("Network reduction vs CLOUD", fmt.Sprintf("%.2fx", cloud.network/acacia.network), "3.15x")
+			return &Result{ID: "13", Title: Title("13"), Tables: []*stats.Table{tbl, red}}
+		},
 	}
-	rows := []struct {
-		name string
-		get  func(*core.FrameStats) float64
-	}{
-		{"Match", func(s *core.FrameStats) float64 { return s.Match.Mean() }},
-		{"Compute", func(s *core.FrameStats) float64 { return s.Compute.Mean() }},
-		{"Network", func(s *core.FrameStats) float64 { return s.Network.Mean() }},
-		{"Total", func(s *core.FrameStats) float64 { return s.Total.Mean() }},
-	}
-	for _, r := range rows {
-		tbl.AddRow(r.name, r.get(&fes[0].Stats), r.get(&fes[1].Stats), r.get(&fes[2].Stats))
-	}
-	red := stats.NewTable("Total latency reductions", "comparison", "measured", "paper")
-	acacia := fes[0].Stats.Total.Mean()
-	mec := fes[1].Stats.Total.Mean()
-	cloud := fes[2].Stats.Total.Mean()
-	red.AddRow("ACACIA vs CLOUD", fmt.Sprintf("%.0f%%", 100*(1-acacia/cloud)), "70%")
-	red.AddRow("ACACIA vs MEC", fmt.Sprintf("%.0f%%", 100*(1-acacia/mec)), "60%")
-	red.AddRow("MEC vs CLOUD", fmt.Sprintf("%.0f%%", 100*(1-mec/cloud)), "25%")
-	red.AddRow("Match reduction (ACACIA)", fmt.Sprintf("%.1fx", fes[1].Stats.Match.Mean()/fes[0].Stats.Match.Mean()), "7.7x")
-	red.AddRow("Network reduction vs CLOUD", fmt.Sprintf("%.2fx", fes[2].Stats.Network.Mean()/fes[0].Stats.Network.Mean()), "3.15x")
-	return &Result{ID: "13", Title: Title("13"), Tables: []*stats.Table{tbl, red}}
 }

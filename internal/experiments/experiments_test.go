@@ -164,7 +164,7 @@ func TestOverheadMatchesPaperCounts(t *testing.T) {
 }
 
 func TestMeasureCycleMatchesEPCBudget(t *testing.T) {
-	msgs, bytes := measureCycle(Options{})
+	msgs, bytes := measureCycle(Options{}, DefaultSeed)
 	if msgs[epc.ProtoS1AP] != 7 || msgs[epc.ProtoGTPv2] != 4 || msgs[epc.ProtoOpenFlow] != 4 {
 		t.Errorf("cycle messages = %v", msgs)
 	}

@@ -18,22 +18,22 @@ import (
 )
 
 func init() {
-	register("6", "LTE-direct walking trace: SNR vs rxPower (Fig. 6)", fig6)
-	register("8", "GW-U data plane throughput (Fig. 8)", fig8)
-	register("9", "LTE-direct localization accuracy vs landmark count (Fig. 9)", fig9)
-	register("10a", "Dedicated-bearer RTT by QCI (Fig. 10(a))", fig10a)
-	register("10b", "Latency isolation under background load (Fig. 10(b))", fig10b)
+	registerSolo("6", "LTE-direct walking trace: SNR vs rxPower (Fig. 6)", fig6)
+	register(fig8())
+	register(fig9())
+	register(fig10a())
+	register(fig10b())
 }
 
 func geoPoint(x, y float64) geo.Point { return geo.Point{X: x, Y: y} }
 
-func fig6(opts Options) *Result {
+func fig6(opts Options, seed uint64) *Result {
 	floor := geo.ThreeLandmarkFloor()
 	samples := trace.Walk(floor, trace.WalkConfig{
 		Path:   geo.Fig6WalkPath(),
 		Speed:  0.1, // 50 m in 500 s, the paper's time axis
 		Period: 5 * time.Second,
-		Seed:   opts.seed(),
+		Seed:   seed,
 	})
 	// Bucket the walk into 25 s windows and report each landmark's mean
 	// rxPower and SNR per window — the Fig. 6(b)/(c) series.
@@ -85,13 +85,9 @@ func fig6(opts Options) *Result {
 		}}
 }
 
-// fig8 measures goodput through the GW-U chain for the three data-plane
-// variants.
-func fig8(opts Options) *Result {
-	dur := 5 * time.Second
-	if opts.Full {
-		dur = 20 * time.Second
-	}
+// fig8 declares one trial per data-plane variant; each measures goodput
+// through its own GW-U chain.
+func fig8() Experiment {
 	variants := []struct {
 		name  string
 		costs sdn.PathCosts
@@ -100,30 +96,53 @@ func fig8(opts Options) *Result {
 		{"ACACIA", sdn.ACACIAGWCosts},
 		{"IDEAL", sdn.IdealGWCosts},
 	}
-	series := make([][]float64, len(variants))
-	for vi, v := range variants {
-		series[vi] = measureGWThroughput(opts, v.costs, dur)
+	return Experiment{
+		ID:    "8",
+		Title: "GW-U data plane throughput (Fig. 8)",
+		Trials: func(opts Options) []Trial {
+			dur := 5 * time.Second
+			if opts.Full {
+				dur = 20 * time.Second
+			}
+			trials := make([]Trial, 0, len(variants))
+			for _, v := range variants {
+				v := v
+				trials = append(trials, Trial{
+					Key: "variant=" + v.name,
+					Run: func(seed uint64) any {
+						return measureGWThroughput(seed, v.costs, dur)
+					},
+				})
+			}
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			series := make([][]float64, len(parts))
+			for i, p := range parts {
+				series[i] = p.([]float64)
+			}
+			tbl := stats.NewTable("Data plane goodput (Mbps) over time", "time (s)", "OpenEPC", "ACACIA", "IDEAL")
+			for i := range series[0] {
+				tbl.AddRow(i+1, series[0][i], series[1][i], series[2][i])
+			}
+			avg := stats.NewTable("Average goodput (Mbps)", "variant", "Mbps")
+			for vi, v := range variants {
+				var sum float64
+				for _, x := range series[vi] {
+					sum += x
+				}
+				avg.AddRow(v.name, sum/float64(len(series[vi])))
+			}
+			return &Result{ID: "8", Title: Title("8"), Tables: []*stats.Table{tbl, avg},
+				Notes: []string{"paper: the user-space OpenEPC GW caps well below the split ACACIA GW-U, which tracks the ideal line"}}
+		},
 	}
-	tbl := stats.NewTable("Data plane goodput (Mbps) over time", "time (s)", "OpenEPC", "ACACIA", "IDEAL")
-	for i := range series[0] {
-		tbl.AddRow(i+1, series[0][i], series[1][i], series[2][i])
-	}
-	avg := stats.NewTable("Average goodput (Mbps)", "variant", "Mbps")
-	for vi, v := range variants {
-		var sum float64
-		for _, x := range series[vi] {
-			sum += x
-		}
-		avg.AddRow(v.name, sum/float64(len(series[vi])))
-	}
-	return &Result{ID: "8", Title: Title("8"), Tables: []*stats.Table{tbl, avg},
-		Notes: []string{"paper: the user-space OpenEPC GW caps well below the split ACACIA GW-U, which tracks the ideal line"}}
 }
 
 // measureGWThroughput saturates a 1 Gbps GTP chain and returns per-second
 // goodput.
-func measureGWThroughput(opts Options, costs sdn.PathCosts, dur time.Duration) []float64 {
-	eng := sim.NewEngine(opts.seed())
+func measureGWThroughput(seed uint64, costs sdn.PathCosts, dur time.Duration) []float64 {
+	eng := sim.NewEngine(seed)
 	nw := netsim.New(eng)
 	srcN := nw.AddNode("src", pkt.AddrFrom(10, 0, 0, 1))
 	sgwN := nw.AddNode("sgw-u", pkt.AddrFrom(10, 0, 0, 2))
@@ -186,123 +205,227 @@ func measureGWThroughput(opts Options, costs sdn.PathCosts, dur time.Duration) [
 	return out
 }
 
-// fig9 evaluates localization error across landmark-subset sizes.
-func fig9(opts Options) *Result {
+// fig9 evaluates localization error across landmark-subset sizes. It
+// declares one trial per (landmark count, combination batch): every trial
+// rebuilds the same measurement campaign from a shared sub-seed (so all
+// subsets are scored on identical readings, as in the paper), scores its
+// batch of landmark combinations, and returns a partial stats.Sample that
+// Assemble merges per landmark count.
+func fig9() Experiment {
+	const (
+		id        = "9"
+		batchSize = 12 // combinations per trial: C(7,3)=35 → 3 batches
+		minK      = 3
+	)
+	return Experiment{
+		ID:    id,
+		Title: "LTE-direct localization accuracy vs landmark count (Fig. 9)",
+		Trials: func(opts Options) []Trial {
+			campaignSeed := subSeed(opts.BaseSeed(), id, "campaign")
+			floor := geo.RetailFloor()
+			var trials []Trial
+			for k := minK; k <= len(floor.Landmarks); k++ {
+				combos := localization.Combinations(len(floor.Landmarks), k)
+				for lo := 0; lo < len(combos); lo += batchSize {
+					hi := lo + batchSize
+					if hi > len(combos) {
+						hi = len(combos)
+					}
+					k, lo, hi := k, lo, hi
+					trials = append(trials, Trial{
+						Key: fmt.Sprintf("k=%d/combos=%d-%d", k, lo, hi-1),
+						Run: func(uint64) any {
+							return fig9Batch(campaignSeed, k, lo, hi)
+						},
+					})
+				}
+			}
+			return trials
+		},
+		Assemble: func(opts Options, parts []any) *Result {
+			floor := geo.RetailFloor()
+			// Re-derive the (k, batch) layout and merge each k's partials.
+			perK := map[int]*stats.Sample{}
+			i := 0
+			for k := minK; k <= len(floor.Landmarks); k++ {
+				combos := localization.Combinations(len(floor.Landmarks), k)
+				merged := &stats.Sample{}
+				for lo := 0; lo < len(combos); lo += batchSize {
+					merged.Merge(parts[i].(*stats.Sample))
+					i++
+				}
+				perK[k] = merged
+			}
+			tbl := stats.NewTable("Localization error (m) vs number of landmarks",
+				"landmarks", "best", "mean", "worst")
+			for k := minK; k <= len(floor.Landmarks); k++ {
+				s := perK[k]
+				tbl.AddRow(k, s.Min(), s.Mean(), s.Max())
+			}
+			return &Result{ID: id, Title: Title(id), Tables: []*stats.Table{tbl},
+				Notes: []string{
+					"paper: accuracy improves with landmark count; best/worst gap shrinks as placement matters less",
+					"with all 7 landmarks the mean error is ≈3 m — sufficient for subsection-level pruning",
+				}}
+		},
+	}
+}
+
+// fig9Batch scores landmark combinations [lo, hi) of size k against the
+// shared campaign and returns one mean-error observation per combination.
+func fig9Batch(campaignSeed uint64, k, lo, hi int) *stats.Sample {
 	floor := geo.RetailFloor()
 	// Single rxPower samples per (checkpoint, landmark): the shadowed
 	// channel's full error reaches the solver, as in the paper's traces.
-	readings := trace.Campaign(floor, opts.seed(), 1)
+	readings := trace.Campaign(floor, campaignSeed, 1)
 	grouped := trace.ByCheckpoint(readings)
 	fit := core.CalibrateFromChannel(d2d.DefaultPathLoss, nil)
+	combos := localization.Combinations(len(floor.Landmarks), k)
 
-	tbl := stats.NewTable("Localization error (m) vs number of landmarks",
-		"landmarks", "best", "mean", "worst")
-	for k := 3; k <= len(floor.Landmarks); k++ {
-		combos := localization.Combinations(len(floor.Landmarks), k)
-		var comboErr stats.Sample
-		for _, combo := range combos {
-			want := map[string]bool{}
-			for _, idx := range combo {
-				want[floor.Landmarks[idx].Name] = true
-			}
-			var errSum float64
-			n := 0
-			for _, cp := range floor.Checkpoints {
-				var ms []localization.Measurement
-				for _, r := range grouped[cp.Name] {
-					if !want[r.Landmark] {
-						continue
-					}
-					lm := floor.Landmark(r.Landmark)
-					ms = append(ms, localization.Measurement{
-						Landmark: lm.Pos,
-						Distance: fit.Distance(r.RxPower),
-					})
-				}
-				if len(ms) < 3 {
+	comboErr := &stats.Sample{}
+	for _, combo := range combos[lo:hi] {
+		want := map[string]bool{}
+		for _, idx := range combo {
+			want[floor.Landmarks[idx].Name] = true
+		}
+		var errSum float64
+		n := 0
+		for _, cp := range floor.Checkpoints {
+			var ms []localization.Measurement
+			for _, r := range grouped[cp.Name] {
+				if !want[r.Landmark] {
 					continue
 				}
-				est, err := localization.Trilaterate(ms)
-				if err != nil {
-					continue
-				}
-				est = floor.Bounds.Clamp(est)
-				errSum += est.Dist(cp.Pos)
-				n++
+				lm := floor.Landmark(r.Landmark)
+				ms = append(ms, localization.Measurement{
+					Landmark: lm.Pos,
+					Distance: fit.Distance(r.RxPower),
+				})
 			}
-			if n > 0 {
-				comboErr.Add(errSum / float64(n))
+			if len(ms) < 3 {
+				continue
 			}
+			est, err := localization.Trilaterate(ms)
+			if err != nil {
+				continue
+			}
+			est = floor.Bounds.Clamp(est)
+			errSum += est.Dist(cp.Pos)
+			n++
 		}
-		tbl.AddRow(k, comboErr.Min(), comboErr.Mean(), comboErr.Max())
+		if n > 0 {
+			comboErr.Add(errSum / float64(n))
+		}
 	}
-	return &Result{ID: "9", Title: Title("9"), Tables: []*stats.Table{tbl},
-		Notes: []string{
-			"paper: accuracy improves with landmark count; best/worst gap shrinks as placement matters less",
-			"with all 7 landmarks the mean error is ≈3 m — sufficient for subsection-level pruning",
-		}}
+	return comboErr
 }
 
-func fig10a(opts Options) *Result {
-	probes := 100
+// fig10a declares one trial per QCI: each re-provisions its own testbed's
+// retail policy at that QCI and probes the CI server.
+func fig10a() Experiment {
+	qcis := []pkt.QCI{5, 6, 7, 8, 9}
+	return Experiment{
+		ID:    "10a",
+		Title: "Dedicated-bearer RTT by QCI (Fig. 10(a))",
+		Trials: func(opts Options) []Trial {
+			probes := 100
+			if opts.Full {
+				probes = 300
+			}
+			trials := make([]Trial, 0, len(qcis))
+			for _, qci := range qcis {
+				qci := qci
+				trials = append(trials, Trial{
+					Key: fmt.Sprintf("qci=%d", qci),
+					Run: func(seed uint64) any {
+						tb := core.NewTestbed(core.TestbedConfig{
+							Seed:        seed,
+							IdleTimeout: time.Hour,
+							RadioJitter: time.Millisecond,
+						})
+						// Re-provision the retail policy with this QCI.
+						tb.EPC.PCRF.AddRule(epc.PolicyRule{ServiceID: core.RetailPolicyID, QCI: qci, ARP: 2, Precedence: 10})
+						b := tb.UEs[0]
+						tb.MoveUE(b, retailSpot)
+						if err := tb.Attach(b); err != nil {
+							panic(err)
+						}
+						if err := tb.StartRetailApp(b, "electronics"); err != nil {
+							panic(err)
+						}
+						tb.Run(5 * time.Second)
+						b.Frontend.Stop()
+						tb.Run(time.Second)
+						pg := netsim.NewPinger(b.UE.Host, tb.CIServer.Node.Addr(), 64, 7500)
+						for i := 0; i < probes; i++ {
+							pg.SendOne()
+							tb.Run(30 * time.Millisecond)
+						}
+						tb.Run(time.Second)
+						return []any{fmt.Sprintf("QCI %d", qci),
+							pg.RTTs.Median(), pg.RTTs.Percentile(95), pg.RTTs.Percentile(99)}
+					},
+				})
+			}
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			tbl := stats.NewTable("UE to MEC server RTT (ms) by dedicated-bearer QCI",
+				"QCI", "median", "p95", "p99")
+			for _, p := range parts {
+				tbl.AddRow(p.([]any)...)
+			}
+			return &Result{ID: "10a", Title: Title("10a"), Tables: []*stats.Table{tbl},
+				Notes: []string{"paper: 95% of RTTs within 15 ms regardless of QCI on an unloaded edge; eNB-MEC leg ≈1.6 ms"}}
+		},
+	}
+}
+
+// fig10b declares one trial per background-load point, comparing latency
+// isolation across the three architectures on that trial's testbed.
+func fig10b() Experiment {
+	return Experiment{
+		ID:    "10b",
+		Title: "Latency isolation under background load (Fig. 10(b))",
+		Trials: func(opts Options) []Trial {
+			loads := fig10bLoads(opts)
+			trials := make([]Trial, 0, len(loads))
+			for _, load := range loads {
+				load := load
+				trials = append(trials, Trial{
+					Key: fmt.Sprintf("bg=%gMbps", load/1e6),
+					Run: func(seed uint64) any {
+						conv, mec, acacia := measureIsolation(opts, seed, load)
+						return []any{load / 1e6, conv, mec, acacia}
+					},
+				})
+			}
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			tbl := stats.NewTable("Latency (ms) vs background traffic by architecture",
+				"bg (Mbps)", "Conventional EPC", "EPC with MEC", "ACACIA")
+			for _, p := range parts {
+				tbl.AddRow(p.([]any)...)
+			}
+			return &Result{ID: "10b", Title: Title("10b"), Tables: []*stats.Table{tbl},
+				Notes: []string{
+					"below saturation the MEC server's proximity dominates; past ≈90 Mbps the shared core's queue grows while ACACIA's isolated edge path stays flat",
+				}}
+		},
+	}
+}
+
+func fig10bLoads(opts Options) []float64 {
 	if opts.Full {
-		probes = 300
+		return []float64{0, 10e6, 20e6, 30e6, 40e6, 50e6, 60e6, 70e6, 80e6, 90e6, 100e6}
 	}
-	tbl := stats.NewTable("UE to MEC server RTT (ms) by dedicated-bearer QCI",
-		"QCI", "median", "p95", "p99")
-	for _, qci := range []pkt.QCI{5, 6, 7, 8, 9} {
-		tb := core.NewTestbed(core.TestbedConfig{
-			Seed:        opts.seed(),
-			IdleTimeout: time.Hour,
-			RadioJitter: time.Millisecond,
-		})
-		// Re-provision the retail policy with this QCI.
-		tb.EPC.PCRF.AddRule(epc.PolicyRule{ServiceID: core.RetailPolicyID, QCI: qci, ARP: 2, Precedence: 10})
-		b := tb.UEs[0]
-		tb.MoveUE(b, retailSpot)
-		if err := tb.Attach(b); err != nil {
-			panic(err)
-		}
-		if err := tb.StartRetailApp(b, "electronics"); err != nil {
-			panic(err)
-		}
-		tb.Run(5 * time.Second)
-		b.Frontend.Stop()
-		tb.Run(time.Second)
-		pg := netsim.NewPinger(b.UE.Host, tb.CIServer.Node.Addr(), 64, 7500)
-		for i := 0; i < probes; i++ {
-			pg.SendOne()
-			tb.Run(30 * time.Millisecond)
-		}
-		tb.Run(time.Second)
-		tbl.AddRow(fmt.Sprintf("QCI %d", qci), pg.RTTs.Median(), pg.RTTs.Percentile(95), pg.RTTs.Percentile(99))
-	}
-	return &Result{ID: "10a", Title: Title("10a"), Tables: []*stats.Table{tbl},
-		Notes: []string{"paper: 95% of RTTs within 15 ms regardless of QCI on an unloaded edge; eNB-MEC leg ≈1.6 ms"}}
+	return []float64{0, 20e6, 40e6, 60e6, 80e6, 90e6, 100e6}
 }
 
-// fig10b compares latency under background load for the three
-// architectures.
-func fig10b(opts Options) *Result {
-	loads := []float64{0, 20e6, 40e6, 60e6, 80e6, 90e6, 100e6}
-	if opts.Full {
-		loads = []float64{0, 10e6, 20e6, 30e6, 40e6, 50e6, 60e6, 70e6, 80e6, 90e6, 100e6}
-	}
-	tbl := stats.NewTable("Latency (ms) vs background traffic by architecture",
-		"bg (Mbps)", "Conventional EPC", "EPC with MEC", "ACACIA")
-	for _, load := range loads {
-		conv, mec, acacia := measureIsolation(opts, load)
-		tbl.AddRow(load/1e6, conv, mec, acacia)
-	}
-	return &Result{ID: "10b", Title: Title("10b"), Tables: []*stats.Table{tbl},
-		Notes: []string{
-			"below saturation the MEC server's proximity dominates; past ≈90 Mbps the shared core's queue grows while ACACIA's isolated edge path stays flat",
-		}}
-}
-
-func measureIsolation(opts Options, bgBps float64) (conv, mec, acacia float64) {
+func measureIsolation(opts Options, seed uint64, bgBps float64) (conv, mec, acacia float64) {
 	tb := core.NewTestbed(core.TestbedConfig{
-		Seed:        opts.seed(),
+		Seed:        seed,
 		IdleTimeout: time.Hour,
 		RadioJitter: 1,
 	})

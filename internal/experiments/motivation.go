@@ -12,16 +12,19 @@ import (
 	"acacia/internal/stats"
 )
 
+// ec2Regions is the paper's measurement order (closest first).
+var ec2Regions = []string{"california", "oregon", "virginia"}
+
 func init() {
-	register("3a", "SURF detect+describe runtime vs resolution and device (Fig. 3(a))", fig3a)
-	register("3b", "Object matching runtime vs resolution and device (Fig. 3(b))", fig3b)
-	register("3c", "LTE RTT to EC2 regions (Fig. 3(c))", fig3c)
-	register("3d", "LTE uplink bandwidth by signal quality (Fig. 3(d))", fig3d)
-	register("3e", "Camera preview FPS vs resolution (Fig. 3(e))", fig3e)
-	register("3f", "Upload FPS vs uplink capacity and compression (Fig. 3(f))", fig3f)
-	register("3g", "Network latency vs competing background traffic (Fig. 3(g))", fig3g)
-	register("3h", "Matching runtime vs database size (Fig. 3(h))", fig3h)
-	register("overhead", "Bearer release/re-establish control overhead (§4)", overheadTable)
+	registerSolo("3a", "SURF detect+describe runtime vs resolution and device (Fig. 3(a))", fig3a)
+	registerSolo("3b", "Object matching runtime vs resolution and device (Fig. 3(b))", fig3b)
+	register(fig3c())
+	register(fig3d())
+	registerSolo("3e", "Camera preview FPS vs resolution (Fig. 3(e))", fig3e)
+	registerSolo("3f", "Upload FPS vs uplink capacity and compression (Fig. 3(f))", fig3f)
+	register(fig3g())
+	registerSolo("3h", "Matching runtime vs database size (Fig. 3(h))", fig3h)
+	registerSolo("overhead", "Bearer release/re-establish control overhead (§4)", overheadTable)
 }
 
 // matchMACs is the descriptor workload of matching a query frame against n
@@ -30,7 +33,7 @@ func matchMACs(res compute.Resolution, objFeatures float64, n int) float64 {
 	return res.Features() * objFeatures * 64 * 2 * float64(n)
 }
 
-func fig3a(opts Options) *Result {
+func fig3a(opts Options, seed uint64) *Result {
 	devices := []compute.Device{compute.OnePlusOne, compute.I7x1, compute.I7x8, compute.GPU}
 	tbl := stats.NewTable("SURF runtime (sec) by resolution (avg features)", "resolution", "features", "One+", "i7(1)", "i7(8)", "GPU")
 	for _, res := range compute.EvalResolutions {
@@ -49,7 +52,7 @@ func fig3a(opts Options) *Result {
 		Notes: []string{"anchored at the paper's 2 s phone runtime for 320x240; speedups match by calibration"}}
 }
 
-func fig3b(opts Options) *Result {
+func fig3b(opts Options, seed uint64) *Result {
 	devices := []compute.Device{compute.OnePlusOne, compute.I7x1, compute.I7x8, compute.GPU}
 	tbl := stats.NewTable("Brute-force match runtime vs one object (sec)", "resolution", "One+", "i7(1)", "i7(8)", "GPU")
 	for _, res := range compute.EvalResolutions {
@@ -67,81 +70,120 @@ func fig3b(opts Options) *Result {
 	return &Result{ID: "3b", Title: Title("3b"), Tables: []*stats.Table{tbl, speed}}
 }
 
-func fig3c(opts Options) *Result {
-	tb := core.NewTestbed(core.TestbedConfig{
-		Seed:        opts.seed(),
-		IdleTimeout: time.Hour,
-		RadioJitter: 3 * time.Millisecond, // commercial-network scheduling spread
-	})
-	b := tb.UEs[0]
-	if err := tb.Attach(b); err != nil {
-		panic(err)
+// fig3c declares one trial per EC2 region: each builds its own testbed and
+// pings that region's host over the simulated LTE+WAN path.
+func fig3c() Experiment {
+	return Experiment{
+		ID:    "3c",
+		Title: "LTE RTT to EC2 regions (Fig. 3(c))",
+		Trials: func(opts Options) []Trial {
+			probes := 100
+			if opts.Full {
+				probes = 400
+			}
+			trials := make([]Trial, 0, len(ec2Regions))
+			for _, region := range ec2Regions {
+				region := region
+				trials = append(trials, Trial{
+					Key: "region=" + region,
+					Run: func(seed uint64) any {
+						tb := core.NewTestbed(core.TestbedConfig{
+							Seed:        seed,
+							IdleTimeout: time.Hour,
+							RadioJitter: 3 * time.Millisecond, // commercial-network scheduling spread
+						})
+						b := tb.UEs[0]
+						if err := tb.Attach(b); err != nil {
+							panic(err)
+						}
+						host := tb.CloudHosts[region]
+						pg := netsim.NewPinger(b.UE.Host, host.Node.Addr(), 64, uint16(7100))
+						for i := 0; i < probes; i++ {
+							pg.SendOne()
+							tb.Run(50 * time.Millisecond)
+						}
+						tb.Run(time.Second)
+						pg.Stop()
+						return []any{region,
+							pg.RTTs.Percentile(10), pg.RTTs.Percentile(25), pg.RTTs.Median(),
+							pg.RTTs.Percentile(75), pg.RTTs.Percentile(90), pg.RTTs.Percentile(95)}
+					},
+				})
+			}
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			tbl := stats.NewTable("RTT (ms) from UE to EC2 regions over LTE",
+				"region", "p10", "p25", "median", "p75", "p90", "p95")
+			for _, p := range parts {
+				tbl.AddRow(p.([]any)...)
+			}
+			return &Result{ID: "3c", Title: Title("3c"), Tables: []*stats.Table{tbl},
+				Notes: []string{"paper: California shortest at ≈70 ms median; ordering CA < OR < VA reproduced"}}
+		},
 	}
-	probes := 100
-	if opts.Full {
-		probes = 400
-	}
-	tbl := stats.NewTable("RTT (ms) from UE to EC2 regions over LTE",
-		"region", "p10", "p25", "median", "p75", "p90", "p95")
-	for _, region := range []string{"california", "oregon", "virginia"} {
-		host := tb.CloudHosts[region]
-		pg := netsim.NewPinger(b.UE.Host, host.Node.Addr(), 64, uint16(7100))
-		for i := 0; i < probes; i++ {
-			pg.SendOne()
-			tb.Run(50 * time.Millisecond)
-		}
-		tb.Run(time.Second)
-		pg.Stop()
-		tbl.AddRow(region,
-			pg.RTTs.Percentile(10), pg.RTTs.Percentile(25), pg.RTTs.Median(),
-			pg.RTTs.Percentile(75), pg.RTTs.Percentile(90), pg.RTTs.Percentile(95))
-	}
-	return &Result{ID: "3c", Title: Title("3c"), Tables: []*stats.Table{tbl},
-		Notes: []string{"paper: California shortest at ≈70 ms median; ordering CA < OR < VA reproduced"}}
 }
 
-func fig3d(opts Options) *Result {
-	dur := 8 * time.Second
-	if opts.Full {
-		dur = 20 * time.Second
-	}
-	tbl := stats.NewTable("Uplink bandwidth (Mbps) to EC2 regions by signal quality",
-		"region", "excellent (4/4 bars)", "fair (2/4 bars)")
+// fig3d declares one trial per (signal quality, region) cell: each builds a
+// testbed with that uplink capacity and runs a greedy flow to the region.
+func fig3d() Experiment {
 	type signal struct {
 		name string
 		bps  float64
 	}
 	signals := []signal{{"excellent", 12e6}, {"fair", 5.5e6}}
-	rows := map[string][]float64{}
-	for _, sig := range signals {
-		tb := core.NewTestbed(core.TestbedConfig{
-			Seed:        opts.seed(),
-			IdleTimeout: time.Hour,
-			RadioULBps:  sig.bps,
-		})
-		b := tb.UEs[0]
-		if err := tb.Attach(b); err != nil {
-			panic(err)
-		}
-		for _, region := range []string{"california", "oregon", "virginia"} {
-			host := tb.CloudHosts[region]
-			sink := netsim.NewGreedyReceiver(host, 7200)
-			g := netsim.NewGreedyFlow(b.UE.Host, host.Node.Addr(), 7200, 47000, 1400)
-			g.Start()
-			tb.Run(dur)
-			g.Stop()
-			tb.Run(500 * time.Millisecond)
-			rows[region] = append(rows[region], sink.ThroughputBps()/1e6)
-		}
+	return Experiment{
+		ID:    "3d",
+		Title: "LTE uplink bandwidth by signal quality (Fig. 3(d))",
+		Trials: func(opts Options) []Trial {
+			dur := 8 * time.Second
+			if opts.Full {
+				dur = 20 * time.Second
+			}
+			var trials []Trial
+			for _, sig := range signals {
+				for _, region := range ec2Regions {
+					sig, region := sig, region
+					trials = append(trials, Trial{
+						Key: fmt.Sprintf("signal=%s/region=%s", sig.name, region),
+						Run: func(seed uint64) any {
+							tb := core.NewTestbed(core.TestbedConfig{
+								Seed:        seed,
+								IdleTimeout: time.Hour,
+								RadioULBps:  sig.bps,
+							})
+							b := tb.UEs[0]
+							if err := tb.Attach(b); err != nil {
+								panic(err)
+							}
+							host := tb.CloudHosts[region]
+							sink := netsim.NewGreedyReceiver(host, 7200)
+							g := netsim.NewGreedyFlow(b.UE.Host, host.Node.Addr(), 7200, 47000, 1400)
+							g.Start()
+							tb.Run(dur)
+							g.Stop()
+							tb.Run(500 * time.Millisecond)
+							return sink.ThroughputBps() / 1e6
+						},
+					})
+				}
+			}
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			tbl := stats.NewTable("Uplink bandwidth (Mbps) to EC2 regions by signal quality",
+				"region", "excellent (4/4 bars)", "fair (2/4 bars)")
+			// parts is signals-major: excellent regions first, then fair.
+			for ri, region := range ec2Regions {
+				tbl.AddRow(region, parts[ri].(float64), parts[len(ec2Regions)+ri].(float64))
+			}
+			return &Result{ID: "3d", Title: Title("3d"), Tables: []*stats.Table{tbl},
+				Notes: []string{"paper: ≈12 Mbps best case to California, lower on weak signal"}}
+		},
 	}
-	for _, region := range []string{"california", "oregon", "virginia"} {
-		tbl.AddRow(region, rows[region][0], rows[region][1])
-	}
-	return &Result{ID: "3d", Title: Title("3d"), Tables: []*stats.Table{tbl},
-		Notes: []string{"paper: ≈12 Mbps best case to California, lower on weak signal"}}
 }
 
-func fig3e(opts Options) *Result {
+func fig3e(opts Options, seed uint64) *Result {
 	tbl := stats.NewTable("Camera preview FPS by resolution (One+ One)", "resolution", "fps")
 	for _, res := range []compute.Resolution{
 		{W: 320, H: 240}, {W: 640, H: 480}, {W: 720, H: 480},
@@ -152,7 +194,7 @@ func fig3e(opts Options) *Result {
 	return &Result{ID: "3e", Title: Title("3e"), Tables: []*stats.Table{tbl}}
 }
 
-func fig3f(opts Options) *Result {
+func fig3f(opts Options, seed uint64) *Result {
 	hd := compute.Resolution{W: 1920, H: 1080}
 	tbl := stats.NewTable("Achievable upload FPS at HD grayscale by encoding",
 		"encoding", "5.5 Mbps", "10 Mbps", "12 Mbps")
@@ -164,13 +206,9 @@ func fig3f(opts Options) *Result {
 		Notes: []string{"paper: raw grayscale cannot reach 1 FPS even at 12 Mbps; JPEG 90 reaches ≈8 FPS"}}
 }
 
-// fig3g measures end-to-end latency against background load through one
-// shared S/P-GW for three emulated base RTTs.
-func fig3g(opts Options) *Result {
-	loads := []float64{0, 20e6, 40e6, 60e6, 80e6, 90e6, 100e6}
-	if opts.Full {
-		loads = []float64{0, 10e6, 20e6, 30e6, 40e6, 50e6, 60e6, 70e6, 80e6, 90e6, 100e6}
-	}
+// fig3g declares one trial per (base RTT, background load) grid cell; each
+// runs an AR-like flow plus background CBR through its own shared core.
+func fig3g() Experiment {
 	rttConfigs := []struct {
 		label     string
 		coreDelay time.Duration
@@ -179,34 +217,59 @@ func fig3g(opts Options) *Result {
 		{"18 ms", 5 * time.Millisecond},
 		{"70 ms", 31 * time.Millisecond},
 	}
-	tbl := stats.NewTable("Network latency (ms) vs background traffic through one S/P-GW",
-		"bg (Mbps)", "RTT 8 ms", "RTT 18 ms", "RTT 70 ms")
-	cells := make([][]float64, len(loads))
-	for ci, rc := range rttConfigs {
-		for li, load := range loads {
-			lat := measureSharedCoreLatency(opts, rc.coreDelay, load)
-			if cells[li] == nil {
-				cells[li] = make([]float64, len(rttConfigs))
+	return Experiment{
+		ID:    "3g",
+		Title: "Network latency vs competing background traffic (Fig. 3(g))",
+		Trials: func(opts Options) []Trial {
+			loads := fig3gLoads(opts)
+			var trials []Trial
+			for _, rc := range rttConfigs {
+				for _, load := range loads {
+					rc, load := rc, load
+					trials = append(trials, Trial{
+						Key: fmt.Sprintf("rtt=%s/bg=%gMbps", rc.label, load/1e6),
+						Run: func(seed uint64) any {
+							return measureSharedCoreLatency(opts, seed, rc.coreDelay, load)
+						},
+					})
+				}
 			}
-			cells[li][ci] = lat
-		}
+			return trials
+		},
+		Assemble: func(opts Options, parts []any) *Result {
+			loads := fig3gLoads(opts)
+			tbl := stats.NewTable("Network latency (ms) vs background traffic through one S/P-GW",
+				"bg (Mbps)", "RTT 8 ms", "RTT 18 ms", "RTT 70 ms")
+			// parts is rttConfigs-major; transpose into one row per load.
+			for li, load := range loads {
+				row := []any{load / 1e6}
+				for ci := range rttConfigs {
+					row = append(row, parts[ci*len(loads)+li].(float64))
+				}
+				tbl.AddRow(row...)
+			}
+			return &Result{ID: "3g", Title: Title("3g"), Tables: []*stats.Table{tbl},
+				Notes: []string{
+					"AR flow (≈12 Mbps) shares the 100 Mbps core with the background; saturation near 90 Mbps blows latency up to seconds",
+					"paper: ≈800 ms at 90 Mbps background; location of the server dominates below saturation",
+				}}
+		},
 	}
-	for li, load := range loads {
-		tbl.AddRow(load/1e6, cells[li][0], cells[li][1], cells[li][2])
+}
+
+func fig3gLoads(opts Options) []float64 {
+	if opts.Full {
+		return []float64{0, 10e6, 20e6, 30e6, 40e6, 50e6, 60e6, 70e6, 80e6, 90e6, 100e6}
 	}
-	return &Result{ID: "3g", Title: Title("3g"), Tables: []*stats.Table{tbl},
-		Notes: []string{
-			"AR flow (≈12 Mbps) shares the 100 Mbps core with the background; saturation near 90 Mbps blows latency up to seconds",
-			"paper: ≈800 ms at 90 Mbps background; location of the server dominates below saturation",
-		}}
+	return []float64{0, 20e6, 40e6, 60e6, 80e6, 90e6, 100e6}
 }
 
 // measureSharedCoreLatency runs an AR-like 5 Mbps flow plus background CBR
 // through the shared core and reports the mean probe RTT over the final
 // portion of the run.
-func measureSharedCoreLatency(opts Options, coreDelay time.Duration, bgBps float64) float64 {
+func measureSharedCoreLatency(opts Options, seed uint64, coreDelay time.Duration, bgBps float64) float64 {
 	tb := core.NewTestbed(core.TestbedConfig{
-		Seed:        opts.seed(),
+		Seed:        seed,
 		IdleTimeout: time.Hour,
 		RadioDelay:  time.Millisecond,
 		RadioJitter: 1, // effectively zero but non-default
@@ -245,7 +308,7 @@ func measureSharedCoreLatency(opts Options, coreDelay time.Duration, bgBps float
 	return pg.RTTs.Percentile(75)
 }
 
-func fig3h(opts Options) *Result {
+func fig3h(opts Options, seed uint64) *Result {
 	dbSizes := []int{1, 5, 10, 25, 50}
 	tbl := stats.NewTable("Match runtime (sec) vs database size on i7 (8 cores)",
 		"resolution", "1 obj", "5", "10", "25", "50")
@@ -262,8 +325,8 @@ func fig3h(opts Options) *Result {
 
 // overheadTable reproduces the §4 control-overhead analysis from a measured
 // release/re-establish cycle.
-func overheadTable(opts Options) *Result {
-	msgs, bytes := measureCycle(opts)
+func overheadTable(opts Options, seed uint64) *Result {
+	msgs, bytes := measureCycle(opts, seed)
 	tbl := stats.NewTable("Control messages per bearer release + re-establish cycle",
 		"protocol", "messages", "bytes", "paper msgs", "paper bytes")
 	tbl.AddRow("SCTP/S1AP", msgs[epc.ProtoS1AP], bytes[epc.ProtoS1AP], 7, 1138)
@@ -288,9 +351,9 @@ func overheadTable(opts Options) *Result {
 // measureCycle builds a testbed, runs one idle/promotion cycle and returns
 // per-protocol message/byte counts (OpenFlow folded in from the SDN
 // controller).
-func measureCycle(opts Options) (msgs, bytes map[epc.Protocol]uint64) {
+func measureCycle(opts Options, seed uint64) (msgs, bytes map[epc.Protocol]uint64) {
 	tb := core.NewTestbed(core.TestbedConfig{
-		Seed:        opts.seed(),
+		Seed:        seed,
 		IdleTimeout: 3 * time.Second,
 	})
 	b := tb.UEs[0]
@@ -334,5 +397,3 @@ func measureCycle(opts Options) (msgs, bytes map[epc.Protocol]uint64) {
 
 // retailSpot is the default user position (electronics section).
 var retailSpot = geoPoint(21, 15)
-
-func fmtMbps(bps float64) string { return fmt.Sprintf("%.1f", bps/1e6) }

@@ -32,9 +32,21 @@ func (s *Sample) AddAll(xs ...float64) {
 // N reports the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 
-// Values returns a copy of the observations in insertion order is not
-// guaranteed once percentile queries have run; callers should treat the
-// result as an unordered multiset.
+// Merge appends all of other's observations to s, leaving other unchanged.
+// It lets concurrent trials accumulate partial samples that are combined
+// deterministically afterwards.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil || len(other.xs) == 0 {
+		return
+	}
+	s.xs = append(s.xs, other.xs...)
+	s.sorted = false
+}
+
+// Values returns a copy of the observations. The copy is in insertion order
+// until the first order-dependent query (Min, Max, Median, Percentile, CDF,
+// FractionBelow) sorts the sample in place, after which it is ascending;
+// callers should treat the result as an unordered multiset.
 func (s *Sample) Values() []float64 {
 	out := make([]float64, len(s.xs))
 	copy(out, s.xs)

@@ -28,6 +28,54 @@ func TestSampleBasics(t *testing.T) {
 	}
 }
 
+func TestMerge(t *testing.T) {
+	var a, b Sample
+	a.AddAll(5, 1)
+	b.AddAll(3, 9)
+	a.Merge(&b)
+	if a.N() != 4 || a.Mean() != 4.5 || a.Min() != 1 || a.Max() != 9 {
+		t.Errorf("merged sample: N=%d mean=%v min=%v max=%v", a.N(), a.Mean(), a.Min(), a.Max())
+	}
+	// The source is untouched, even after the destination sorts.
+	if b.N() != 2 || b.Values()[0] != 3 || b.Values()[1] != 9 {
+		t.Errorf("source mutated by Merge: %v", b.Values())
+	}
+	a.Merge(nil)
+	a.Merge(&Sample{})
+	if a.N() != 4 {
+		t.Errorf("nil/empty merge changed N to %d", a.N())
+	}
+	// Merging after a sort invalidates the cached order.
+	var c Sample
+	c.AddAll(10, 20)
+	_ = c.Max()
+	var d Sample
+	d.Add(1)
+	c.Merge(&d)
+	if c.Min() != 1 {
+		t.Errorf("Min after post-sort merge = %v, want 1", c.Min())
+	}
+}
+
+// TestMergeMatchesSequential checks that splitting a stream into partial
+// samples and merging reproduces the single-sample statistics — the
+// property per-trial partial results rely on.
+func TestMergeMatchesSequential(t *testing.T) {
+	xs := []float64{7, 3, 3, 11, 0.5, 2, 9, 4}
+	var whole Sample
+	whole.AddAll(xs...)
+	var merged Sample
+	for i := 0; i < len(xs); i += 3 {
+		part := &Sample{}
+		part.AddAll(xs[i:min(i+3, len(xs))]...)
+		merged.Merge(part)
+	}
+	if merged.N() != whole.N() || merged.Mean() != whole.Mean() ||
+		merged.Median() != whole.Median() || merged.Percentile(95) != whole.Percentile(95) {
+		t.Errorf("merged stats diverge: %s vs %s", merged.Summarize(), whole.Summarize())
+	}
+}
+
 func TestStdDev(t *testing.T) {
 	var s Sample
 	s.AddAll(2, 4, 4, 4, 5, 5, 7, 9)
