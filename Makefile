@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fmt-check bench results results-csv examples clean
+.PHONY: all build vet test race cover fmt-check bench results results-csv examples clean
 
 all: build vet test
 
@@ -19,6 +19,13 @@ test:
 # no-shared-mutable-state contract between trials.
 race:
 	$(GO) test -race ./...
+
+# Coverage in atomic mode (trials run on multiple goroutines), with a
+# per-package and total summary.
+cover:
+	$(GO) test -covermode=atomic -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -50,4 +57,4 @@ bench_output.txt:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt coverage.out

@@ -36,6 +36,7 @@ package acacia
 import (
 	"acacia/internal/core"
 	"acacia/internal/experiments"
+	"acacia/internal/telemetry"
 )
 
 // Testbed is the fully wired ACACIA environment: UEs with LTE-direct
@@ -92,6 +93,19 @@ func NewTestbed(cfg TestbedConfig) *Testbed { return core.NewTestbed(cfg) }
 
 // ExperimentResult is one experiment's rendered tables and notes.
 type ExperimentResult = experiments.Result
+
+// MetricsSnapshot is a deterministic point-in-time view of an engine's
+// telemetry registry: metrics sorted by scoped name plus the timeline of
+// emitted events in virtual-time order. ExperimentResult.Metrics holds the
+// per-trial snapshots merged in trial declaration order.
+type MetricsSnapshot = telemetry.Snapshot
+
+// MergeMetrics combines snapshots into one fleet-wide view: counters and
+// gauges sum, histogram bounds combine, and timelines interleave by virtual
+// time. Nil snapshots are skipped.
+func MergeMetrics(snaps ...*MetricsSnapshot) *MetricsSnapshot {
+	return telemetry.MergeSnapshots(snaps...)
+}
 
 // ExperimentOptions tunes experiment execution: Full selects
 // publication-length runs, Seed/SeedSet pick the base simulation seed, and

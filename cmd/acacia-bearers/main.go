@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"acacia"
@@ -17,6 +18,7 @@ import (
 
 func main() {
 	idle := flag.Duration("idle", 3*time.Second, "LTE inactivity timeout (paper: 11.576s)")
+	csv := flag.Bool("csv", false, "emit the per-message trace as CSV on stdout (banners and summary go to stderr)")
 	flag.Parse()
 
 	tb := acacia.NewTestbed(acacia.TestbedConfig{Seed: 7, IdleTimeout: *idle})
@@ -24,7 +26,18 @@ func main() {
 	b := tb.UEs[0]
 	tb.MoveUE(b, geo.Point{X: 21, Y: 15})
 
-	fmt.Println("== attach ==")
+	// Snapshot the accounting before any traffic: DiffLog against it yields
+	// exactly the records this run appended.
+	start := tb.EPC.Acct.Snapshot()
+
+	// In CSV mode only the trace rows go to stdout; narration moves to
+	// stderr so the output stays machine-readable.
+	text := os.Stdout
+	if *csv {
+		text = os.Stderr
+	}
+
+	fmt.Fprintln(text, "== attach ==")
 	if err := tb.Attach(b); err != nil {
 		panic(err)
 	}
@@ -33,46 +46,48 @@ func main() {
 	}
 	tb.Run(3 * time.Second)
 
-	fmt.Println("== quiesce; waiting for the inactivity timer ==")
+	fmt.Fprintln(text, "== quiesce; waiting for the inactivity timer ==")
 	b.Frontend.Stop()
 	b.D2D.SetPos(geo.Point{X: 5000, Y: 5000})
 	tb.Run(*idle + 3*time.Second)
 
-	fmt.Println("== uplink data: promotion ==")
+	fmt.Fprintln(text, "== uplink data: promotion ==")
 	pg := netsim.NewPinger(b.UE.Host, tb.CloudHosts["california"].Node.Addr(), 64, 7400)
 	pg.SendOne()
 	tb.Run(3 * time.Second)
 
-	fmt.Println("== S1 handover to a neighbour cell ==")
+	fmt.Fprintln(text, "== S1 handover to a neighbour cell ==")
 	east := tb.AddNeighborENB("enb-east")
 	if err := tb.Handover(b, east); err != nil {
 		panic(err)
 	}
 	tb.Run(time.Second)
 
-	fmt.Println("== UE-initiated detach ==")
+	fmt.Fprintln(text, "== UE-initiated detach ==")
 	if err := b.UE.Detach(nil); err != nil {
 		panic(err)
 	}
 	tb.Run(time.Second)
 
-	fmt.Println("\ntime        protocol    message                          bytes")
-	var total, s1apB, gtpB uint64
-	var s1apN, gtpN uint64
-	for _, rec := range tb.EPC.Acct.Log {
-		fmt.Printf("%9.3fs  %-10s  %-32s %5d\n", rec.At.Seconds(), rec.Proto, rec.Name, rec.Bytes)
-		total += uint64(rec.Bytes)
-		switch rec.Proto.String() {
-		case "SCTP/S1AP":
-			s1apN++
-			s1apB += uint64(rec.Bytes)
-		case "GTPv2":
-			gtpN++
-			gtpB += uint64(rec.Bytes)
+	if *csv {
+		fmt.Println("t_s,protocol,message,bytes")
+	} else {
+		fmt.Println("\ntime        protocol    message                          bytes")
+	}
+	for _, rec := range tb.EPC.Acct.DiffLog(start) {
+		if *csv {
+			fmt.Printf("%.3f,%s,%s,%d\n", rec.At.Seconds(), rec.Proto, rec.Name, rec.Bytes)
+		} else {
+			fmt.Printf("%9.3fs  %-10s  %-32s %5d\n", rec.At.Seconds(), rec.Proto, rec.Name, rec.Bytes)
 		}
 	}
-	of := tb.Ctl.Stats()
-	fmt.Printf("\nsummary: S1AP %d msgs / %d B; GTPv2 %d msgs / %d B; OpenFlow %d msgs / %d B\n",
-		s1apN, s1apB, gtpN, gtpB, of.Sent, of.SentBytes)
-	fmt.Printf("paper §4 per release/re-establish cycle: SCTP 7 (1138 B), GTPv2 4 (352 B), OpenFlow 4 (1424 B)\n")
+
+	// The summary comes from the telemetry registry — the same counters
+	// the overhead experiment reads — not from re-tallying the trace.
+	snap := tb.Eng.Metrics().Snapshot()
+	fmt.Fprintf(text, "\nsummary: S1AP %d msgs / %d B; GTPv2 %d msgs / %d B; OpenFlow %d msgs / %d B\n",
+		snap.CounterValue("epc/s1ap/msgs"), snap.CounterValue("epc/s1ap/bytes"),
+		snap.CounterValue("epc/gtpv2/msgs"), snap.CounterValue("epc/gtpv2/bytes"),
+		snap.CounterValue("sdn/controller/sent"), snap.CounterValue("sdn/controller/sent_bytes"))
+	fmt.Fprintf(text, "paper §4 per release/re-establish cycle: SCTP 7 (1138 B), GTPv2 4 (352 B), OpenFlow 4 (1424 B)\n")
 }

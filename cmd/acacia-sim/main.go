@@ -7,9 +7,13 @@
 //	acacia-sim -fig 13
 //	acacia-sim -fig 3a,3b,overhead
 //	acacia-sim -all [-full] [-seed N] [-parallel N] [-progress]
+//	acacia-sim -fig overhead -metrics -timeline overhead.json
 //
 // Trials run concurrently on up to -parallel workers; output on stdout is
 // byte-identical for every -parallel setting (and to -parallel 1).
+// -metrics appends each experiment's merged telemetry snapshot to its
+// tables; -timeline writes the combined event log, ordered by virtual
+// time, as JSON to the named file.
 package main
 
 import (
@@ -31,6 +35,8 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent trials (0 = GOMAXPROCS)")
 		progress = flag.Bool("progress", false, "report per-trial completion on stderr")
 		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		metrics  = flag.Bool("metrics", false, "print each experiment's merged telemetry snapshot")
+		timeline = flag.String("timeline", "", "write the combined event timeline as JSON to this file")
 	)
 	flag.Parse()
 
@@ -44,14 +50,42 @@ func main() {
 			fmt.Fprintf(os.Stderr, "acacia-sim: [%d/%d] %s\n", done, total, trial)
 		}
 	}
+	var snaps []*acacia.MetricsSnapshot
 	print := func(r *acacia.ExperimentResult) {
-		if !*csv {
+		if r.Metrics != nil {
+			snaps = append(snaps, r.Metrics)
+		}
+		if *csv {
+			fmt.Printf("## %s: %s\n", r.ID, r.Title)
+			for _, t := range r.Tables {
+				fmt.Println(t.CSV())
+			}
+		} else {
 			fmt.Println(r)
+		}
+		if *metrics && r.Metrics != nil {
+			fmt.Print(r.Metrics)
+		}
+	}
+	writeTimeline := func() {
+		if *timeline == "" {
 			return
 		}
-		fmt.Printf("## %s: %s\n", r.ID, r.Title)
-		for _, t := range r.Tables {
-			fmt.Println(t.CSV())
+		merged := acacia.MergeMetrics(snaps...)
+		if merged == nil {
+			merged = &acacia.MetricsSnapshot{}
+		}
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acacia-sim:", err)
+			os.Exit(1)
+		}
+		if err := merged.WriteTimelineJSON(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acacia-sim:", err)
+			os.Exit(1)
 		}
 	}
 
@@ -65,6 +99,7 @@ func main() {
 		for _, r := range results {
 			print(r)
 		}
+		writeTimeline()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "acacia-sim:", err)
 			os.Exit(1)
@@ -78,6 +113,7 @@ func main() {
 			}
 			print(r)
 		}
+		writeTimeline()
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -10,6 +10,7 @@ import (
 	"acacia/internal/pkt"
 	"acacia/internal/sim"
 	"acacia/internal/stats"
+	"acacia/internal/telemetry"
 	"acacia/internal/vision"
 )
 
@@ -105,6 +106,9 @@ type ARBackend struct {
 	Frames, Misses uint64
 	// CandidateStats samples the per-frame candidate-object counts.
 	CandidateStats stats.Sample
+
+	// Registry mirrors under core/backend/<host>/.
+	framesCtr, missesCtr *telemetry.Counter
 }
 
 // NewARBackend attaches an AR back-end to host, computing on dev under the
@@ -115,6 +119,9 @@ func NewARBackend(host *netsim.Host, dev compute.Device, scheme Scheme, floor *g
 		srv:    compute.NewServer(host.Engine(), dev),
 		scheme: scheme, floor: floor, db: db, lm: lm,
 	}
+	scope := host.Engine().Metrics().Scope("core/backend").Scope(host.Node.Name())
+	b.framesCtr = scope.Counter("frames")
+	b.missesCtr = scope.Counter("misses")
 	host.Listen(ARPort, netsim.AppFunc(b.onFrame))
 	host.Listen(LocPort, netsim.AppFunc(b.onLocReport))
 	return b
@@ -167,6 +174,7 @@ func (b *ARBackend) onFrame(_ *netsim.Host, p *netsim.Packet) {
 		return
 	}
 	b.Frames++
+	b.framesCtr.Inc()
 
 	// Stage 1: decode + SURF on the server.
 	pixels := req.res.Pixels()
@@ -205,6 +213,7 @@ func (b *ARBackend) onFrame(_ *netsim.Host, p *netsim.Packet) {
 	}
 	if !found {
 		b.Misses++
+		b.missesCtr.Inc()
 	}
 
 	reply := p.Flow.Reverse()
@@ -263,6 +272,11 @@ type ARFrontend struct {
 	Responses, Found, Timeouts uint64
 	// OnResponse, when set, observes every result.
 	OnResponse func(arFrameResp)
+
+	// Per-stage latency histograms, shared across all frontends of the
+	// engine under core/session/stage/ (the Fig. 13 decomposition as
+	// always-on telemetry).
+	matchHist, computeHist, networkHist, totalHist *telemetry.Histogram
 }
 
 type frameTiming struct {
@@ -281,6 +295,11 @@ func NewARFrontend(ue *netsim.Host, user string, res compute.Resolution, pos geo
 		pending:      make(map[int]frameTiming),
 		FrameTimeout: 2 * time.Second,
 	}
+	stage := ue.Engine().Metrics().Scope("core/session/stage")
+	f.matchHist = stage.Histogram("match_ms")
+	f.computeHist = stage.Histogram("compute_ms")
+	f.networkHist = stage.Histogram("network_ms")
+	f.totalHist = stage.Histogram("total_ms")
 	ue.Listen(ARPort, netsim.AppFunc(f.onResponse))
 	return f
 }
@@ -367,6 +386,10 @@ func (f *ARFrontend) onResponse(_ *netsim.Host, p *netsim.Packet) {
 	f.Stats.Compute.Add(computeMS)
 	f.Stats.Network.Add(networkMS)
 	f.Stats.Total.Add(timing.compressMS + rtMS)
+	f.matchHist.Observe(resp.matchMS)
+	f.computeHist.Observe(computeMS)
+	f.networkHist.Observe(networkMS)
+	f.totalHist.Observe(timing.compressMS + rtMS)
 	if f.OnResponse != nil {
 		f.OnResponse(resp)
 	}

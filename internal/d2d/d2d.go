@@ -18,6 +18,7 @@ import (
 
 	"acacia/internal/geo"
 	"acacia/internal/sim"
+	"acacia/internal/telemetry"
 )
 
 // PathLossModel is a log-distance path loss with log-normal shadowing:
@@ -147,6 +148,7 @@ func (p *Publication) Stop() {
 	if p.ticker != nil {
 		p.ticker.Stop()
 		p.ticker = nil
+		p.dev.env.pubStopped()
 	}
 }
 
@@ -195,6 +197,7 @@ func (d *Device) Publish(service string, code uint64, payload string, period tim
 	pub := &Publication{Service: service, Code: code, Payload: payload, Period: period, dev: d}
 	pub.ticker = sim.NewTicker(d.env.eng, period, func() { d.env.broadcast(pub) })
 	d.pubs = append(d.pubs, pub)
+	d.env.pubStarted(period)
 	return pub
 }
 
@@ -215,16 +218,52 @@ type Env struct {
 	devices     []*Device
 	// Broadcasts counts all transmissions in the environment.
 	Broadcasts uint64
+
+	// Environment-wide discovery counters, registered under d2d/ in the
+	// engine's telemetry registry. The public fields above and on
+	// Device/Subscription remain the per-entity views; these aggregate
+	// across the environment.
+	broadcasts    *telemetry.Counter
+	decodes       *telemetry.Counter
+	filteredModem *telemetry.Counter
+	matched       *telemetry.Counter
+	rbUsed        *telemetry.Counter
+	ulUtilization *telemetry.Gauge
+
+	// activePubs tracks live publications for the utilization gauge; the
+	// period of the most recent Publish is used as the allocation period.
+	activePubs int
+	lastPeriod time.Duration
 }
 
 // NewEnv creates a radio environment on eng with the default (LTE-direct)
 // channel. Use a Technology's Apply method to switch radios.
 func NewEnv(eng *sim.Engine) *Env {
+	scope := eng.Metrics().Scope("d2d")
 	return &Env{
 		eng: eng, rng: eng.RNG().Fork("d2d"),
-		PathLoss:    DefaultPathLoss,
-		sensitivity: SensitivityDBm,
+		PathLoss:      DefaultPathLoss,
+		sensitivity:   SensitivityDBm,
+		broadcasts:    scope.Counter("broadcasts"),
+		decodes:       scope.Counter("decodes"),
+		filteredModem: scope.Counter("filtered_modem"),
+		matched:       scope.Counter("matched"),
+		rbUsed:        scope.Counter("rb_used"),
+		ulUtilization: scope.Gauge("uplink_rb_utilization"),
 	}
+}
+
+// pubStarted/pubStopped keep the uplink-utilization gauge current as
+// publications come and go.
+func (e *Env) pubStarted(period time.Duration) {
+	e.activePubs++
+	e.lastPeriod = period
+	e.ulUtilization.Set(UplinkUtilization(e.activePubs, period))
+}
+
+func (e *Env) pubStopped() {
+	e.activePubs--
+	e.ulUtilization.Set(UplinkUtilization(e.activePubs, e.lastPeriod))
 }
 
 // Sensitivity reports the environment's decode threshold in dBm.
@@ -250,6 +289,8 @@ func (e *Env) Devices() []*Device { return e.devices }
 func (e *Env) broadcast(pub *Publication) {
 	pub.Broadcasts++
 	e.Broadcasts++
+	e.broadcasts.Inc()
+	e.rbUsed.Add(RBsPerMessage)
 	src := pub.dev
 	for _, dst := range e.devices {
 		if dst == src {
@@ -261,6 +302,7 @@ func (e *Env) broadcast(pub *Publication) {
 			continue
 		}
 		dst.Received++
+		e.decodes.Inc()
 		msg := DiscoveryMessage{
 			Service:    pub.Service,
 			Code:       pub.Code,
@@ -282,12 +324,14 @@ func (e *Env) broadcast(pub *Publication) {
 			if sub.Expr.Matches(pub.Code) {
 				matched = true
 				sub.Matched++
+				e.matched.Inc()
 				sub.Deliver(msg)
 			}
 		}
 		dst.subs = kept
 		if !matched {
 			dst.FilteredInModem++
+			e.filteredModem.Inc()
 		}
 	}
 }

@@ -52,7 +52,7 @@ func NewCore(cfg Config) *Core {
 		cfg:      cfg,
 		Eng:      cfg.Eng,
 		Ctl:      cfg.Ctl,
-		Acct:     &Accounting{},
+		Acct:     NewAccounting(cfg.Eng.Metrics()),
 		sessions: make(map[string]*Session),
 		byIP:     make(map[pkt.Addr]*Session),
 	}
@@ -186,9 +186,13 @@ func (s *Session) DedicatedBearers() []*Bearer {
 	return out
 }
 
+// setState transitions the session and records the transition on the
+// engine's telemetry timeline (epc/session/<IMSI> state events), giving
+// -timeline exports the full RRC/S1 state history of every UE.
 func (s *Session) setState(eng *sim.Engine, st SessionState) {
 	s.State = st
 	s.LastStateAt = eng.Now()
+	eng.Metrics().Scope("epc/session").Scope(s.IMSI).Emit("state", st.String())
 	if st == StateConnected {
 		cbs := s.onConnected
 		s.onConnected = nil

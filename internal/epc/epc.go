@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"acacia/internal/sim"
+	"acacia/internal/telemetry"
 )
 
 // IdleTimeout is the LTE RRC inactivity timeout after which the network
@@ -56,6 +57,20 @@ func (p Protocol) String() string {
 	}
 }
 
+// slug is the metric-name form of the protocol (epc/<slug>/msgs).
+func (p Protocol) slug() string {
+	switch p {
+	case ProtoS1AP:
+		return "s1ap"
+	case ProtoGTPv2:
+		return "gtpv2"
+	case ProtoOpenFlow:
+		return "openflow"
+	default:
+		return fmt.Sprintf("proto%d", uint8(p))
+	}
+}
+
 // MsgRecord is one logged control message.
 type MsgRecord struct {
 	At    sim.Time
@@ -66,27 +81,60 @@ type MsgRecord struct {
 
 // Accounting tallies control-plane messages by protocol. The §4 experiment
 // snapshots it around a release/re-establish cycle.
+//
+// The arrays remain the canonical store (a zero-value Accounting works
+// standalone); when constructed with NewAccounting, every Record also
+// mirrors into per-protocol telemetry counters (epc/<proto>/msgs and
+// epc/<proto>/bytes) so the engine-wide registry snapshot carries the same
+// totals.
 type Accounting struct {
 	Msgs  [protoCount]uint64
 	Bytes [protoCount]uint64
 	// Log holds individual records when Trace is enabled.
 	Trace bool
 	Log   []MsgRecord
+
+	// Registry mirrors, nil when the Accounting is unbound.
+	msgCtr  [protoCount]*telemetry.Counter
+	byteCtr [protoCount]*telemetry.Counter
+	// logLen is the Log length at the time this value was produced by
+	// Snapshot; DiffLog slices the live log from it.
+	logLen int
+}
+
+// NewAccounting returns an Accounting whose counters mirror into reg under
+// epc/<proto>/msgs and epc/<proto>/bytes (proto in s1ap, gtpv2, openflow).
+func NewAccounting(reg *telemetry.Registry) *Accounting {
+	a := &Accounting{}
+	scope := reg.Scope("epc")
+	for p := Protocol(0); p < protoCount; p++ {
+		ps := scope.Scope(p.slug())
+		a.msgCtr[p] = ps.Counter("msgs")
+		a.byteCtr[p] = ps.Counter("bytes")
+	}
+	return a
 }
 
 // Record adds one message.
 func (a *Accounting) Record(at sim.Time, proto Protocol, name string, bytes int) {
 	a.Msgs[proto]++
 	a.Bytes[proto] += uint64(bytes)
+	if a.msgCtr[proto] != nil {
+		a.msgCtr[proto].Inc()
+		a.byteCtr[proto].Add(uint64(bytes))
+	}
 	if a.Trace {
 		a.Log = append(a.Log, MsgRecord{At: at, Proto: proto, Name: name, Bytes: bytes})
 	}
 }
 
-// Snapshot returns a copy of current counters (log excluded).
+// Snapshot returns a copy of the current counters. The copy deliberately
+// carries neither Trace nor Log: tracing stays with the live Accounting, and
+// copying a growing log into every snapshot would be quadratic. Instead the
+// snapshot remembers the log position, so DiffLog can later return exactly
+// the records that arrived after it.
 func (a *Accounting) Snapshot() Accounting {
-	cp := Accounting{Msgs: a.Msgs, Bytes: a.Bytes}
-	return cp
+	return Accounting{Msgs: a.Msgs, Bytes: a.Bytes, logLen: len(a.Log)}
 }
 
 // Diff reports counters accumulated since an earlier snapshot.
@@ -97,6 +145,16 @@ func (a *Accounting) Diff(since Accounting) Accounting {
 		d.Bytes[i] = a.Bytes[i] - since.Bytes[i]
 	}
 	return d
+}
+
+// DiffLog returns the trace records appended to the live log since the given
+// Snapshot was taken. It requires Trace to have been enabled over the
+// interval; with tracing off it returns nil.
+func (a *Accounting) DiffLog(since Accounting) []MsgRecord {
+	if since.logLen >= len(a.Log) {
+		return nil
+	}
+	return a.Log[since.logLen:]
 }
 
 // TotalMsgs sums message counts across protocols.

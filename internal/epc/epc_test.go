@@ -477,6 +477,33 @@ func TestAccountingDiff(t *testing.T) {
 	}
 }
 
+// TestAccountingDiffLog checks the trace counterpart of Diff: DiffLog
+// returns exactly the records appended after the snapshot, and Snapshot
+// itself stays a counters-only copy (no Trace/Log aliasing).
+func TestAccountingDiffLog(t *testing.T) {
+	var a Accounting
+	a.Trace = true
+	a.Record(0, ProtoS1AP, "before", 100)
+	snap := a.Snapshot()
+	if snap.Trace || snap.Log != nil {
+		t.Errorf("Snapshot copied trace state: Trace=%v Log=%v", snap.Trace, snap.Log)
+	}
+	if got := a.DiffLog(snap); got != nil {
+		t.Errorf("DiffLog with no new records = %v, want nil", got)
+	}
+	a.Record(sim.Time(time.Second), ProtoGTPv2, "after-1", 50)
+	a.Record(sim.Time(2*time.Second), ProtoS1AP, "after-2", 30)
+	got := a.DiffLog(snap)
+	if len(got) != 2 || got[0].Name != "after-1" || got[1].Name != "after-2" {
+		t.Fatalf("DiffLog = %+v, want the two post-snapshot records", got)
+	}
+	// A stale snapshot (taken before records the log no longer knows
+	// about, e.g. from another Accounting) must not panic.
+	if got := a.DiffLog(Accounting{logLen: 99}); got != nil {
+		t.Errorf("DiffLog past the log end = %v, want nil", got)
+	}
+}
+
 func TestGBRAdmissionControl(t *testing.T) {
 	tb := buildTestbed(t, time.Hour)
 	// Constrain the edge PGW-U to 10 Mbps of guaranteed rate and define a

@@ -49,12 +49,12 @@ func ablationFastPath() Experiment {
 					Key: fmt.Sprintf("cost=%gus", float64(cost)/float64(time.Microsecond)),
 					Run: func(seed uint64) any {
 						costs := sdn.PathCosts{FastPath: cost, SlowPath: 35 * time.Microsecond, FastPathEnabled: true}
-						series := measureGWThroughput(seed, costs, dur)
+						series, snap := measureGWThroughput(seed, costs, dur)
 						var sum float64
 						for _, x := range series {
 							sum += x
 						}
-						return sum / float64(len(series))
+						return Metered{Part: sum / float64(len(series)), Snap: snap}
 					},
 				})
 			}
@@ -75,7 +75,7 @@ func ablationFastPath() Experiment {
 // ablationBearer compares bearer-management strategies by daily control
 // traffic, using the measured per-cycle bytes.
 func ablationBearer(opts Options, seed uint64) *Result {
-	msgs, bytes := measureCycle(opts, seed)
+	msgs, bytes, _ := measureCycle(opts, seed)
 	var totalBytes uint64
 	var totalMsgs uint64
 	for _, b := range bytes {

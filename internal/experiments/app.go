@@ -384,12 +384,12 @@ func fig13() Experiment {
 						}
 						tb.Run(dur)
 						st := &b.Frontend.Stats
-						return fig13Means{
+						return metered(fig13Means{
 							match:   st.Match.Mean(),
 							compute: st.Compute.Mean(),
 							network: st.Network.Mean(),
 							total:   st.Total.Mean(),
-						}
+						}, tb.Eng)
 					},
 				})
 			}

@@ -24,6 +24,7 @@ import (
 
 	"acacia/internal/exec"
 	"acacia/internal/stats"
+	"acacia/internal/telemetry"
 )
 
 // Result is one experiment's output.
@@ -33,6 +34,11 @@ type Result struct {
 	Tables []*stats.Table
 	// Notes carry paper-vs-measured commentary.
 	Notes []string
+	// Metrics is the merged telemetry snapshot of the experiment's trials
+	// (nil when no trial captured one). Per-trial snapshots are merged in
+	// declaration order, so this field is byte-identical between parallel
+	// and sequential runs.
+	Metrics *telemetry.Snapshot
 }
 
 // String renders the full result.
@@ -47,6 +53,23 @@ func (r *Result) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// Metered wraps a trial's partial result together with the telemetry
+// snapshot of the engine that produced it. runExperiments unwraps it before
+// Assemble sees the parts and merges the snapshots (in trial declaration
+// order) into Result.Metrics — the plain-data hand-off that carries
+// per-trial telemetry across the worker-pool boundary.
+type Metered struct {
+	Part any
+	Snap *telemetry.Snapshot
+}
+
+// metered wraps part with a final snapshot of eng's registry.
+func metered(part any, eng interface {
+	Metrics() *telemetry.Registry
+}) Metered {
+	return Metered{Part: part, Snap: eng.Metrics().Snapshot()}
 }
 
 // DefaultSeed is the base seed selected when Options leaves Seed unset.
@@ -284,11 +307,22 @@ func runExperiments(opts Options, exps []*Experiment) ([]*Result, error) {
 	)
 	for _, sp := range spans {
 		parts := make([]any, len(sp.trials))
+		snaps := make([]*telemetry.Snapshot, 0, len(sp.trials))
 		var expErrs []error
 		for i := range sp.trials {
 			o := outs[sp.lo+i]
 			if o.Err != nil {
 				expErrs = append(expErrs, o.Err)
+				continue
+			}
+			// Unwrap Metered trial results: Assemble sees the bare part,
+			// while the snapshots merge (in declaration order) into
+			// Result.Metrics below.
+			if m, ok := o.Value.(Metered); ok {
+				parts[i] = m.Part
+				if m.Snap != nil {
+					snaps = append(snaps, m.Snap)
+				}
 				continue
 			}
 			parts[i] = o.Value
@@ -301,6 +335,14 @@ func runExperiments(opts Options, exps []*Experiment) ([]*Result, error) {
 		if err != nil {
 			errs = append(errs, err)
 			continue
+		}
+		if r != nil && len(snaps) > 0 {
+			if r.Metrics != nil {
+				// Assemble set its own snapshot (e.g. a registry delta);
+				// fold the trial snapshots in after it.
+				snaps = append([]*telemetry.Snapshot{r.Metrics}, snaps...)
+			}
+			r.Metrics = telemetry.MergeSnapshots(snaps...)
 		}
 		results = append(results, r)
 	}

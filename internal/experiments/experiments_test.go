@@ -164,7 +164,7 @@ func TestOverheadMatchesPaperCounts(t *testing.T) {
 }
 
 func TestMeasureCycleMatchesEPCBudget(t *testing.T) {
-	msgs, bytes := measureCycle(Options{}, DefaultSeed)
+	msgs, bytes, delta := measureCycle(Options{}, DefaultSeed)
 	if msgs[epc.ProtoS1AP] != 7 || msgs[epc.ProtoGTPv2] != 4 || msgs[epc.ProtoOpenFlow] != 4 {
 		t.Errorf("cycle messages = %v", msgs)
 	}
@@ -174,6 +174,32 @@ func TestMeasureCycleMatchesEPCBudget(t *testing.T) {
 	}
 	if total < 900 || total > 4500 {
 		t.Errorf("cycle bytes = %d", total)
+	}
+	// The counts are read from the unified registry delta; cross-check the
+	// paper's §4 message counts directly against the snapshot, and confirm
+	// the cycle left its state transitions on the timeline.
+	if delta == nil {
+		t.Fatal("measureCycle returned no registry delta")
+	}
+	if got := delta.CounterValue("epc/s1ap/msgs"); got != 7 {
+		t.Errorf("registry epc/s1ap/msgs delta = %d, want 7", got)
+	}
+	if got := delta.CounterValue("epc/gtpv2/msgs"); got != 4 {
+		t.Errorf("registry epc/gtpv2/msgs delta = %d, want 4", got)
+	}
+	if got := delta.CounterValue("sdn/controller/sent"); got != 4 {
+		t.Errorf("registry sdn/controller/sent delta = %d, want 4", got)
+	}
+	states := map[string]bool{}
+	for _, e := range delta.Events {
+		if e.Name == "state" {
+			states[e.Detail] = true
+		}
+	}
+	for _, want := range []string{"idle", "promoting", "connected"} {
+		if !states[want] {
+			t.Errorf("timeline lacks a %q session-state event over the cycle (got %v)", want, states)
+		}
 	}
 }
 

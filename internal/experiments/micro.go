@@ -14,6 +14,7 @@ import (
 	"acacia/internal/sdn"
 	"acacia/internal/sim"
 	"acacia/internal/stats"
+	"acacia/internal/telemetry"
 	"acacia/internal/trace"
 )
 
@@ -110,7 +111,8 @@ func fig8() Experiment {
 				trials = append(trials, Trial{
 					Key: "variant=" + v.name,
 					Run: func(seed uint64) any {
-						return measureGWThroughput(seed, v.costs, dur)
+						series, snap := measureGWThroughput(seed, v.costs, dur)
+						return Metered{Part: series, Snap: snap}
 					},
 				})
 			}
@@ -140,8 +142,9 @@ func fig8() Experiment {
 }
 
 // measureGWThroughput saturates a 1 Gbps GTP chain and returns per-second
-// goodput.
-func measureGWThroughput(seed uint64, costs sdn.PathCosts, dur time.Duration) []float64 {
+// goodput plus a final snapshot of the chain's telemetry registry (link and
+// switch counters for the whole run).
+func measureGWThroughput(seed uint64, costs sdn.PathCosts, dur time.Duration) ([]float64, *telemetry.Snapshot) {
 	eng := sim.NewEngine(seed)
 	nw := netsim.New(eng)
 	srcN := nw.AddNode("src", pkt.AddrFrom(10, 0, 0, 1))
@@ -202,7 +205,7 @@ func measureGWThroughput(seed uint64, costs sdn.PathCosts, dur time.Duration) []
 		out = append(out, float64(bucketBytes*8)/1e6)
 	}
 	tick.Stop()
-	return out
+	return out, eng.Metrics().Snapshot()
 }
 
 // fig9 evaluates localization error across landmark-subset sizes. It
@@ -362,8 +365,8 @@ func fig10a() Experiment {
 							tb.Run(30 * time.Millisecond)
 						}
 						tb.Run(time.Second)
-						return []any{fmt.Sprintf("QCI %d", qci),
-							pg.RTTs.Median(), pg.RTTs.Percentile(95), pg.RTTs.Percentile(99)}
+						return metered([]any{fmt.Sprintf("QCI %d", qci),
+							pg.RTTs.Median(), pg.RTTs.Percentile(95), pg.RTTs.Percentile(99)}, tb.Eng)
 					},
 				})
 			}

@@ -10,6 +10,7 @@ import (
 	"acacia/internal/media"
 	"acacia/internal/netsim"
 	"acacia/internal/stats"
+	"acacia/internal/telemetry"
 )
 
 // ec2Regions is the paper's measurement order (closest first).
@@ -104,9 +105,9 @@ func fig3c() Experiment {
 						}
 						tb.Run(time.Second)
 						pg.Stop()
-						return []any{region,
+						return metered([]any{region,
 							pg.RTTs.Percentile(10), pg.RTTs.Percentile(25), pg.RTTs.Median(),
-							pg.RTTs.Percentile(75), pg.RTTs.Percentile(90), pg.RTTs.Percentile(95)}
+							pg.RTTs.Percentile(75), pg.RTTs.Percentile(90), pg.RTTs.Percentile(95)}, tb.Eng)
 					},
 				})
 			}
@@ -163,7 +164,7 @@ func fig3d() Experiment {
 							tb.Run(dur)
 							g.Stop()
 							tb.Run(500 * time.Millisecond)
-							return sink.ThroughputBps() / 1e6
+							return metered(sink.ThroughputBps()/1e6, tb.Eng)
 						},
 					})
 				}
@@ -324,9 +325,11 @@ func fig3h(opts Options, seed uint64) *Result {
 }
 
 // overheadTable reproduces the §4 control-overhead analysis from a measured
-// release/re-establish cycle.
+// release/re-establish cycle. The table rows are read from the telemetry
+// registry's delta snapshot over the cycle, which also becomes the result's
+// Metrics (so `acacia-sim -fig overhead -metrics` prints the same totals).
 func overheadTable(opts Options, seed uint64) *Result {
-	msgs, bytes := measureCycle(opts, seed)
+	msgs, bytes, delta := measureCycle(opts, seed)
 	tbl := stats.NewTable("Control messages per bearer release + re-establish cycle",
 		"protocol", "messages", "bytes", "paper msgs", "paper bytes")
 	tbl.AddRow("SCTP/S1AP", msgs[epc.ProtoS1AP], bytes[epc.ProtoS1AP], 7, 1138)
@@ -342,6 +345,7 @@ func overheadTable(opts Options, seed uint64) *Result {
 	daily.AddRow("app-driven bearer creation", 929, perCycle*929/1e6, 2.58)
 	daily.AddRow("every radio promotion (upper bound)", 7200, perCycle*7200/1e6, 20.0)
 	return &Result{ID: "overhead", Title: Title("overhead"), Tables: []*stats.Table{tbl, daily},
+		Metrics: delta,
 		Notes: []string{
 			"message counts match the paper exactly (7 S1AP, 4 GTPv2, 4 OpenFlow)",
 			"byte totals are smaller: these encodings omit ASN.1 PER padding, optional IEs and SCTP SACKs present in the testbed capture",
@@ -350,8 +354,9 @@ func overheadTable(opts Options, seed uint64) *Result {
 
 // measureCycle builds a testbed, runs one idle/promotion cycle and returns
 // per-protocol message/byte counts (OpenFlow folded in from the SDN
-// controller).
-func measureCycle(opts Options, seed uint64) (msgs, bytes map[epc.Protocol]uint64) {
+// controller) plus the telemetry-registry delta over the cycle the counts
+// were read from.
+func measureCycle(opts Options, seed uint64) (msgs, bytes map[epc.Protocol]uint64, delta *telemetry.Snapshot) {
 	tb := core.NewTestbed(core.TestbedConfig{
 		Seed:        seed,
 		IdleTimeout: 3 * time.Second,
@@ -372,27 +377,28 @@ func measureCycle(opts Options, seed uint64) (msgs, bytes map[epc.Protocol]uint6
 	b.D2D.SetPos(geoPoint(5000, 5000))
 	tb.Run(100 * time.Millisecond)
 
-	before := tb.EPC.Acct.Snapshot()
-	ofBefore := tb.Ctl.Stats()
+	regBefore := tb.Eng.Metrics().Snapshot()
 	tb.Run(8 * time.Second) // idle release fires
 	// Uplink data promotes the session.
 	pg := netsim.NewPinger(b.UE.Host, tb.CloudHosts["california"].Node.Addr(), 64, 7400)
 	pg.SendOne()
 	tb.Run(3 * time.Second)
 
-	d := tb.EPC.Acct.Diff(before)
-	ofAfter := tb.Ctl.Stats()
+	// The per-protocol counts come from the unified registry delta over the
+	// cycle: the epc layer mirrors its accounting into epc/<proto>/msgs|bytes
+	// and the SDN controller registers sdn/controller/sent|sent_bytes.
+	delta = tb.Eng.Metrics().Snapshot().Delta(regBefore)
 	msgs = map[epc.Protocol]uint64{
-		epc.ProtoS1AP:     d.Msgs[epc.ProtoS1AP],
-		epc.ProtoGTPv2:    d.Msgs[epc.ProtoGTPv2],
-		epc.ProtoOpenFlow: ofAfter.Sent - ofBefore.Sent,
+		epc.ProtoS1AP:     delta.CounterValue("epc/s1ap/msgs"),
+		epc.ProtoGTPv2:    delta.CounterValue("epc/gtpv2/msgs"),
+		epc.ProtoOpenFlow: delta.CounterValue("sdn/controller/sent"),
 	}
 	bytes = map[epc.Protocol]uint64{
-		epc.ProtoS1AP:     d.Bytes[epc.ProtoS1AP],
-		epc.ProtoGTPv2:    d.Bytes[epc.ProtoGTPv2],
-		epc.ProtoOpenFlow: ofAfter.SentBytes - ofBefore.SentBytes,
+		epc.ProtoS1AP:     delta.CounterValue("epc/s1ap/bytes"),
+		epc.ProtoGTPv2:    delta.CounterValue("epc/gtpv2/bytes"),
+		epc.ProtoOpenFlow: delta.CounterValue("sdn/controller/sent_bytes"),
 	}
-	return msgs, bytes
+	return msgs, bytes, delta
 }
 
 // retailSpot is the default user position (electronics section).

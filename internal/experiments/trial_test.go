@@ -31,6 +31,14 @@ func renderSubset(t *testing.T, opts Options) string {
 	var b strings.Builder
 	for _, r := range results {
 		b.WriteString(r.String())
+		// Include the merged telemetry snapshot (and its timeline) so the
+		// determinism tests below cover the -metrics/-timeline output too.
+		if r.Metrics != nil {
+			b.WriteString(r.Metrics.String())
+			if err := r.Metrics.WriteTimelineJSON(&b); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
 	return b.String()
 }

@@ -3,6 +3,8 @@ package netsim
 import (
 	"container/heap"
 	"time"
+
+	"acacia/internal/telemetry"
 )
 
 // LinkConfig describes one direction of a link.
@@ -28,7 +30,9 @@ type LinkConfig struct {
 // leaves QueueBytes zero.
 const DefaultQueueBytes = 256 << 10
 
-// LinkStats counts per-direction link activity.
+// LinkStats counts per-direction link activity. It is a point-in-time view
+// assembled from the link's telemetry counters (the authoritative store in
+// the engine's metrics registry).
 type LinkStats struct {
 	Sent      uint64
 	Delivered uint64
@@ -37,7 +41,8 @@ type LinkStats struct {
 }
 
 // linkDir is one direction of a link: a single transmitter serving a bounded
-// queue, followed by a propagation delay line.
+// queue, followed by a propagation delay line. Its activity counters live in
+// the engine's telemetry registry under netsim/link/<n>/<src>-><dst>/.
 type linkDir struct {
 	net    *Network
 	cfg    LinkConfig
@@ -46,35 +51,58 @@ type linkDir struct {
 	qBytes int
 	busy   bool
 	down   bool
-	stats  LinkStats
 	seq    uint64 // FIFO tie-break within a priority level
+
+	sent      *telemetry.Counter
+	delivered *telemetry.Counter
+	dropped   *telemetry.Counter
+	bytes     *telemetry.Counter
+	queueLen  *telemetry.Gauge // queued bytes awaiting transmission
 }
 
-func newLinkDir(net *Network, cfg LinkConfig, dst *Port) *linkDir {
+func newLinkDir(net *Network, cfg LinkConfig, dst *Port, scope telemetry.Scope) *linkDir {
 	if cfg.QueueBytes == 0 {
 		cfg.QueueBytes = DefaultQueueBytes
 	}
-	return &linkDir{net: net, cfg: cfg, dst: dst}
+	return &linkDir{
+		net: net, cfg: cfg, dst: dst,
+		sent:      scope.Counter("sent"),
+		delivered: scope.Counter("delivered"),
+		dropped:   scope.Counter("dropped"),
+		bytes:     scope.Counter("bytes"),
+		queueLen:  scope.Gauge("queue_bytes"),
+	}
+}
+
+// stats assembles the compatibility counter view from the registry counters.
+func (d *linkDir) statsView() LinkStats {
+	return LinkStats{
+		Sent:      d.sent.Value(),
+		Delivered: d.delivered.Value(),
+		Dropped:   d.dropped.Value(),
+		Bytes:     d.bytes.Value(),
+	}
 }
 
 // send enqueues p for transmission, dropping it if the queue is full.
 func (d *linkDir) send(p *Packet) {
-	d.stats.Sent++
+	d.sent.Inc()
 	if d.down {
-		d.stats.Dropped++
+		d.dropped.Inc()
 		return
 	}
 	if d.cfg.BitsPerSecond == 0 {
 		// Pure delay line: no serialization, no queueing.
-		d.stats.Bytes += uint64(p.Size)
+		d.bytes.Add(uint64(p.Size))
 		d.deliverAfter(p, d.cfg.Propagation)
 		return
 	}
 	if d.qBytes+p.Size > d.cfg.QueueBytes {
-		d.stats.Dropped++
+		d.dropped.Inc()
 		return
 	}
 	d.qBytes += p.Size
+	d.queueLen.Set(float64(d.qBytes))
 	item := &queuedPacket{p: p, seq: d.seq}
 	d.seq++
 	if !d.cfg.Prioritized {
@@ -98,9 +126,10 @@ func (d *linkDir) transmitNext() {
 	item := heap.Pop(&d.queue).(*queuedPacket)
 	p := item.p
 	d.qBytes -= p.Size
+	d.queueLen.Set(float64(d.qBytes))
 	txTime := time.Duration(float64(p.Size*8) / d.cfg.BitsPerSecond * float64(time.Second))
 	d.net.eng.Schedule(txTime, func() {
-		d.stats.Bytes += uint64(p.Size)
+		d.bytes.Add(uint64(p.Size))
 		d.deliverAfter(p, d.cfg.Propagation)
 		d.transmitNext()
 	})
@@ -111,7 +140,7 @@ func (d *linkDir) deliverAfter(p *Packet, delay time.Duration) {
 		delay += time.Duration(d.net.eng.RNG().ExpFloat64() * float64(d.cfg.Jitter))
 	}
 	d.net.eng.Schedule(delay, func() {
-		d.stats.Delivered++
+		d.delivered.Inc()
 		d.dst.deliver(p)
 	})
 }
@@ -152,11 +181,12 @@ type Link struct {
 	ab, ba *linkDir
 }
 
-// StatsAB reports counters for the A->B direction.
-func (l *Link) StatsAB() LinkStats { return l.ab.stats }
+// StatsAB reports counters for the A->B direction, read from the telemetry
+// registry the direction registers into.
+func (l *Link) StatsAB() LinkStats { return l.ab.statsView() }
 
 // StatsBA reports counters for the B->A direction.
-func (l *Link) StatsBA() LinkStats { return l.ba.stats }
+func (l *Link) StatsBA() LinkStats { return l.ba.statsView() }
 
 // BacklogAB reports queued bytes in the A->B direction.
 func (l *Link) BacklogAB() int { return l.ab.Backlog() }

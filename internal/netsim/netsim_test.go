@@ -78,6 +78,36 @@ func TestDropTailQueue(t *testing.T) {
 	}
 }
 
+// TestDropTailBoundary pins the drop-tail comparison at the exact queue
+// boundary: a packet that fills QueueBytes to the byte is accepted, one
+// more byte is dropped, and the telemetry counter agrees with LinkStats.
+func TestDropTailBoundary(t *testing.T) {
+	eng, ha, hb, l := twoHosts(t, LinkConfig{BitsPerSecond: 1e6, QueueBytes: 1000})
+	var got int
+	hb.Listen(80, AppFunc(func(_ *Host, p *Packet) { got++ }))
+	// First packet goes straight into service (it never occupies the
+	// queue); the second fills the queue exactly; the third is one byte
+	// over and must be the only drop.
+	ha.Send(hb.Node.Addr(), 1, 80, pkt.ProtoUDP, 100, nil)
+	ha.Send(hb.Node.Addr(), 1, 80, pkt.ProtoUDP, 1000, nil)
+	ha.Send(hb.Node.Addr(), 1, 80, pkt.ProtoUDP, 1, nil)
+	eng.Run()
+	if got != 2 {
+		t.Errorf("delivered %d, want 2 (exact fill accepted)", got)
+	}
+	st := l.StatsAB()
+	if st.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1 (one byte over the bound)", st.Dropped)
+	}
+	snap := eng.Metrics().Snapshot()
+	if v := snap.CounterValue("netsim/link/0/a->b/dropped"); v != st.Dropped {
+		t.Errorf("telemetry dropped = %d, LinkStats.Dropped = %d; must agree", v, st.Dropped)
+	}
+	if v := snap.CounterValue("netsim/link/0/a->b/sent"); v != st.Sent {
+		t.Errorf("telemetry sent = %d, LinkStats.Sent = %d; must agree", v, st.Sent)
+	}
+}
+
 func TestPriorityScheduling(t *testing.T) {
 	// A low-priority burst followed by one high-priority packet on a
 	// prioritized link: the high-priority packet overtakes the queue.

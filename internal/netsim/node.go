@@ -204,15 +204,18 @@ func (nw *Network) NodeByAddr(a pkt.Addr) *Node { return nw.byAddr[a] }
 
 // Connect joins two nodes with a link configured independently per
 // direction (ab: a->b, ba: b->a) and returns it. New ports are appended to
-// each node.
+// each node. Each direction registers its counters in the engine's
+// telemetry registry under netsim/link/<index>/<src>-><dst>/ (the creation
+// index disambiguates parallel links between the same node pair).
 func (nw *Network) Connect(a, b *Node, ab, ba LinkConfig) *Link {
 	pa := &Port{Node: a, ID: len(a.ports)}
 	pb := &Port{Node: b, ID: len(b.ports)}
 	a.ports = append(a.ports, pa)
 	b.ports = append(b.ports, pb)
 	l := &Link{A: pa, B: pb}
-	l.ab = newLinkDir(nw, ab, pb)
-	l.ba = newLinkDir(nw, ba, pa)
+	scope := nw.eng.Metrics().Scope("netsim").Scope("link").Scope(fmt.Sprintf("%d", len(nw.links)))
+	l.ab = newLinkDir(nw, ab, pb, scope.Scope(a.name+"->"+b.name))
+	l.ba = newLinkDir(nw, ba, pa, scope.Scope(b.name+"->"+a.name))
 	pa.link, pb.link = l, l
 	pa.out, pb.out = l.ab, l.ba
 	nw.links = append(nw.links, l)

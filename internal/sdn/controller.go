@@ -7,10 +7,13 @@ import (
 	"acacia/internal/netsim"
 	"acacia/internal/pkt"
 	"acacia/internal/sim"
+	"acacia/internal/telemetry"
 )
 
 // MsgStats accounts controller-channel traffic by direction: message counts
 // and serialized byte totals. These feed the §4 control-overhead numbers.
+// It is a point-in-time view of the counters the controller registers under
+// sdn/controller/ in the engine's telemetry registry.
 type MsgStats struct {
 	Sent      uint64
 	SentBytes uint64
@@ -41,22 +44,40 @@ type Controller struct {
 	// OnPacketIn handles reactive flow setup.
 	OnPacketIn PacketInHandler
 
-	stats MsgStats
+	// Channel counters, registered under sdn/controller/ in the engine's
+	// telemetry registry. Stats() assembles the MsgStats compat view.
+	sent      *telemetry.Counter
+	sentBytes *telemetry.Counter
+	recv      *telemetry.Counter
+	recvBytes *telemetry.Counter
+
 	// ByType counts messages per OpenFlow message type.
 	ByType map[pkt.OFMsgType]uint64
 }
 
 // NewController creates a controller on eng.
 func NewController(eng *sim.Engine) *Controller {
+	scope := eng.Metrics().Scope("sdn").Scope("controller")
 	return &Controller{
-		eng:      eng,
-		switches: make(map[uint64]*Switch),
-		ByType:   make(map[pkt.OFMsgType]uint64),
+		eng:       eng,
+		switches:  make(map[uint64]*Switch),
+		ByType:    make(map[pkt.OFMsgType]uint64),
+		sent:      scope.Counter("sent"),
+		sentBytes: scope.Counter("sent_bytes"),
+		recv:      scope.Counter("received"),
+		recvBytes: scope.Counter("recv_bytes"),
 	}
 }
 
-// Stats reports channel counters.
-func (c *Controller) Stats() MsgStats { return c.stats }
+// Stats reports channel counters, read back from the telemetry registry.
+func (c *Controller) Stats() MsgStats {
+	return MsgStats{
+		Sent:      c.sent.Value(),
+		SentBytes: c.sentBytes.Value(),
+		Received:  c.recv.Value(),
+		RecvBytes: c.recvBytes.Value(),
+	}
+}
 
 // AddSwitch connects a switch to the controller (the OpenFlow Hello
 // exchange).
@@ -81,16 +102,16 @@ func (c *Controller) nextXID() uint32 {
 
 func (c *Controller) accountSent(m *pkt.OFMsg) int {
 	b := m.Encode(nil)
-	c.stats.Sent++
-	c.stats.SentBytes += uint64(len(b))
+	c.sent.Inc()
+	c.sentBytes.Add(uint64(len(b)))
 	c.ByType[m.Type]++
 	return len(b)
 }
 
 func (c *Controller) accountReceived(m *pkt.OFMsg) int {
 	b := m.Encode(nil)
-	c.stats.Received++
-	c.stats.RecvBytes += uint64(len(b))
+	c.recv.Inc()
+	c.recvBytes.Add(uint64(len(b)))
 	c.ByType[m.Type]++
 	return len(b)
 }
@@ -136,7 +157,7 @@ func (c *Controller) packetIn(sw *Switch, inPort uint32, p *netsim.Packet, tunne
 	}
 	c.accountReceived(msg)
 	if c.OnPacketIn == nil {
-		sw.stats.Dropped++
+		sw.dropped.Inc()
 		return
 	}
 	c.eng.Schedule(c.RTT, func() { c.OnPacketIn(sw, inPort, p, tunnelID) })

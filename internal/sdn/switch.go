@@ -20,6 +20,7 @@ import (
 	"acacia/internal/netsim"
 	"acacia/internal/pkt"
 	"acacia/internal/sim"
+	"acacia/internal/telemetry"
 )
 
 // FlowEntry is one OpenFlow table entry.
@@ -91,7 +92,9 @@ type cacheKey struct {
 	teid   uint64
 }
 
-// SwitchStats counts switch activity.
+// SwitchStats counts switch activity. It is a point-in-time view assembled
+// from the switch's telemetry counters, which live in the engine's metrics
+// registry under sdn/<node>/ (e.g. sdn/gw-u/fastpath/hits).
 type SwitchStats struct {
 	FastPathHits uint64
 	SlowPathHits uint64
@@ -100,6 +103,7 @@ type SwitchStats struct {
 	Encapsulated uint64
 	Decapsulated uint64
 	FlowsExpired uint64
+	MeterDrops   uint64 // packets policed away by per-entry meters
 }
 
 // Switch is a GW-U: an OpenFlow switch with GTP logical-port semantics.
@@ -121,7 +125,18 @@ type Switch struct {
 	busy     bool
 	cpuQueue []pendingPacket
 
-	stats SwitchStats
+	// Activity counters, registered under sdn/<node>/ in the engine's
+	// telemetry registry. Stats() assembles the SwitchStats compat view.
+	fastHits     *telemetry.Counter
+	slowHits     *telemetry.Counter
+	tableMisses  *telemetry.Counter
+	dropped      *telemetry.Counter
+	encapsulated *telemetry.Counter
+	decapsulated *telemetry.Counter
+	flowsExpired *telemetry.Counter
+	meterDrops   *telemetry.Counter
+	occupancy    *telemetry.Gauge // megaflow cache entries currently live
+
 	// tunnel metadata staged by SetTunnel between actions, per packet
 	// (processing is serialized, one packet at a time).
 	stagedTEID uint64
@@ -143,6 +158,16 @@ func NewSwitch(dpid uint64, node *netsim.Node, costs PathCosts) *Switch {
 		costs:   costs,
 		gtpPort: make(map[int]bool),
 	}
+	scope := node.Engine().Metrics().Scope("sdn").Scope(node.Name())
+	sw.fastHits = scope.Counter("fastpath/hits")
+	sw.slowHits = scope.Counter("slowpath/hits")
+	sw.tableMisses = scope.Counter("table_misses")
+	sw.dropped = scope.Counter("dropped")
+	sw.encapsulated = scope.Counter("encapsulated")
+	sw.decapsulated = scope.Counter("decapsulated")
+	sw.flowsExpired = scope.Counter("flows_expired")
+	sw.meterDrops = scope.Counter("meter_drops")
+	sw.occupancy = scope.Gauge("megaflow/occupancy")
 	node.SetHandler(sw.receive)
 	return sw
 }
@@ -150,8 +175,20 @@ func NewSwitch(dpid uint64, node *netsim.Node, costs PathCosts) *Switch {
 // Node returns the underlying network node.
 func (sw *Switch) Node() *netsim.Node { return sw.node }
 
-// Stats returns activity counters.
-func (sw *Switch) Stats() SwitchStats { return sw.stats }
+// Stats returns activity counters, read back from the telemetry registry
+// the switch registers into.
+func (sw *Switch) Stats() SwitchStats {
+	return SwitchStats{
+		FastPathHits: sw.fastHits.Value(),
+		SlowPathHits: sw.slowHits.Value(),
+		TableMisses:  sw.tableMisses.Value(),
+		Dropped:      sw.dropped.Value(),
+		Encapsulated: sw.encapsulated.Value(),
+		Decapsulated: sw.decapsulated.Value(),
+		FlowsExpired: sw.flowsExpired.Value(),
+		MeterDrops:   sw.meterDrops.Value(),
+	}
+}
 
 // FlowCount reports installed flow entries.
 func (sw *Switch) FlowCount() int { return len(sw.table) }
@@ -226,7 +263,7 @@ func (sw *Switch) process(ingress *netsim.Port, p *netsim.Packet) {
 	tunnelMeta := uint64(0)
 	if p.Tunneled() && p.TunnelDst == sw.node.Addr() {
 		tunnelMeta = uint64(p.Decapsulate())
-		sw.stats.Decapsulated++
+		sw.decapsulated.Inc()
 	}
 
 	inPort := key.inPort
@@ -235,29 +272,31 @@ func (sw *Switch) process(ingress *netsim.Port, p *netsim.Packet) {
 		if idx, ok := sw.cache[key]; ok && idx < len(sw.table) {
 			e := &sw.table[idx]
 			if e.Match.Matches(inPort, p.Flow, tunnelMeta) {
-				sw.stats.FastPathHits++
+				sw.fastHits.Inc()
 				sw.apply(e, p)
 				return
 			}
 			// Stale cache entry (table changed): fall through to slow path.
 			delete(sw.cache, key)
+			sw.occupancy.Set(float64(len(sw.cache)))
 		}
 	}
 
 	// Slow path: linear table scan in priority order.
 	idx := sw.lookup(inPort, p.Flow, tunnelMeta)
 	if idx < 0 {
-		sw.stats.TableMisses++
+		sw.tableMisses.Inc()
 		if sw.controller != nil {
 			sw.controller.packetIn(sw, inPort, p, tunnelMeta)
 		} else {
-			sw.stats.Dropped++
+			sw.dropped.Inc()
 		}
 		return
 	}
-	sw.stats.SlowPathHits++
+	sw.slowHits.Inc()
 	if sw.costs.FastPathEnabled {
 		sw.cache[key] = idx
+		sw.occupancy.Set(float64(len(sw.cache)))
 	}
 	sw.apply(&sw.table[idx], p)
 }
@@ -307,6 +346,7 @@ func (e *FlowEntry) meterAllows(now sim.Time, size int) bool {
 func (sw *Switch) apply(e *FlowEntry, p *netsim.Packet) {
 	e.lastUsed = sw.eng.Now()
 	if !e.meterAllows(sw.eng.Now(), p.Size) {
+		sw.meterDrops.Inc()
 		return
 	}
 	e.Packets++
@@ -330,12 +370,12 @@ func (sw *Switch) apply(e *FlowEntry, p *netsim.Packet) {
 
 func (sw *Switch) output(portID int, p *netsim.Packet) {
 	if portID < 0 || portID >= len(sw.node.Ports()) {
-		sw.stats.Dropped++
+		sw.dropped.Inc()
 		return
 	}
 	if sw.gtpPort[portID] && sw.stagedTEID != 0 {
 		p.Encapsulate(sw.node.Addr(), sw.stagedDst, uint32(sw.stagedTEID))
-		sw.stats.Encapsulated++
+		sw.encapsulated.Inc()
 	}
 	sw.node.Port(portID).Send(p)
 }
@@ -391,6 +431,7 @@ func (sw *Switch) invalidateCache() {
 	for k := range sw.cache {
 		delete(sw.cache, k)
 	}
+	sw.occupancy.Set(0)
 }
 
 // ExpireIdleFlows removes entries idle past their timeout, as the periodic
@@ -402,7 +443,7 @@ func (sw *Switch) ExpireIdleFlows() int {
 	for _, e := range sw.table {
 		if e.IdleTimeout > 0 && now.Sub(e.lastUsed) >= e.IdleTimeout {
 			removed++
-			sw.stats.FlowsExpired++
+			sw.flowsExpired.Inc()
 			if sw.controller != nil {
 				sw.controller.flowRemoved(sw, &e)
 			}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"acacia/internal/telemetry"
 )
 
 // Time is a point in virtual time, measured as a duration since the start of
@@ -118,16 +120,27 @@ type Engine struct {
 	// Limit, when non-zero, aborts Run after this many events as a runaway
 	// guard. Runs that legitimately need more should raise it.
 	Limit uint64
+	// metrics is the engine-scoped telemetry registry every layer built on
+	// this engine registers into.
+	metrics *telemetry.Registry
 }
 
 // NewEngine returns an engine with its clock at the epoch and a deterministic
 // random source derived from seed.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{rng: NewRNG(seed), Limit: 500_000_000}
+	e := &Engine{rng: NewRNG(seed), Limit: 500_000_000, metrics: telemetry.New()}
+	e.metrics.SetClock(func() time.Duration { return time.Duration(e.now) })
+	return e
 }
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Metrics returns the engine's telemetry registry: the single namespace all
+// layers (netsim, sdn, epc, d2d, core) register their counters, gauges,
+// histograms and timeline events into. Snapshots of it are the "everything
+// that happened this run" view the experiments export.
+func (e *Engine) Metrics() *telemetry.Registry { return e.metrics }
 
 // RNG returns the engine's deterministic random source.
 func (e *Engine) RNG() *RNG { return e.rng }

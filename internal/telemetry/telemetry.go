@@ -1,0 +1,258 @@
+// Package telemetry is the testbed's unified metrics spine: an
+// engine-scoped registry of named counters, gauges, histograms and a
+// virtual-time event timeline that every simulation layer (netsim, sdn,
+// epc, d2d, core) registers into.
+//
+// Names are hierarchical slash-separated paths — "epc/s1ap/bytes",
+// "sdn/edge-sgw-u/fastpath/hits", "core/session/stage/match_ms" — so one
+// Snapshot of the registry answers "what happened this session" across all
+// layers at once, where the pre-spine code kept four incompatible ad-hoc
+// counter structs.
+//
+// Determinism contract: a Snapshot lists metrics in sorted name order and
+// timeline events in emission order (which, under the single-threaded sim
+// engine, is virtual-time order). Two runs with the same seed therefore
+// render byte-identical snapshots, and snapshots of independent trials
+// merge deterministically regardless of scheduling (see MergeSnapshots).
+//
+// Hot-path contract: Counter.Inc/Add, Gauge.Set and Histogram.Observe on
+// an already-registered metric perform no allocation and no map lookup —
+// layers resolve *Counter handles once at construction and increment
+// through the pointer. Registration (Registry.Counter etc.) is the only
+// allocating step and happens at topology-build time.
+//
+// The registry is deliberately single-threaded, like the sim engine that
+// owns it: each trial builds its own engine and therefore its own registry,
+// so no synchronization is needed (the race detector guards this contract
+// at the trial-scheduler level).
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind discriminates metric types in snapshots.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Counter is a monotonically increasing uint64. The zero value is usable
+// (a registry-less counter still counts); registered counters are created
+// by Registry.Counter.
+type Counter struct{ n uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Gauge is a last-observed value (queue depth, cache occupancy).
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add shifts the value by delta.
+func (g *Gauge) Add(delta float64) { g.v += delta }
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram summarizes a stream of observations with count, sum, min and
+// max — enough for deterministic mean/extent reporting without storing
+// samples (experiments needing percentiles keep using stats.Sample; the
+// registry histogram is the always-on observability view).
+type Histogram struct {
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	if h.count == 0 || x < h.min {
+		h.min = x
+	}
+	if h.count == 0 || x > h.max {
+		h.max = x
+	}
+	h.count++
+	h.sum += x
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum reports the observation total.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean reports the observation mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min reports the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max reports the largest observation (0 when empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Event is one timeline entry: something that happened at a point in
+// virtual time (a session state change, a bearer activation, a handover).
+type Event struct {
+	// At is the virtual time of the event, as a duration since the
+	// simulation epoch (sim.Time and time.Duration are interconvertible).
+	At time.Duration
+	// Scope locates the emitter ("epc/session/<imsi>").
+	Scope string
+	// Name is the event kind ("state", "bearer", "handover").
+	Name string
+	// Detail is free-form annotation ("connected", "ebi=6 qci=3").
+	Detail string
+}
+
+// Registry is one engine's metric namespace. The zero value is not usable;
+// call New. sim.NewEngine creates one per engine and wires its clock, so
+// layers reach it through Engine.Metrics().
+type Registry struct {
+	now      func() time.Duration
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	// kinds records every registered name for cross-kind collision checks.
+	kinds  map[string]Kind
+	events []Event
+}
+
+// New returns an empty registry with a zero clock (SetClock installs the
+// engine's virtual clock).
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		kinds:    make(map[string]Kind),
+	}
+}
+
+// SetClock installs the virtual-time source used to stamp timeline events
+// and snapshots.
+func (r *Registry) SetClock(now func() time.Duration) { r.now = now }
+
+func (r *Registry) clock() time.Duration {
+	if r.now == nil {
+		return 0
+	}
+	return r.now()
+}
+
+func (r *Registry) checkKind(name string, k Kind) {
+	if name == "" {
+		panic("telemetry: empty metric name")
+	}
+	if prev, ok := r.kinds[name]; ok && prev != k {
+		panic(fmt.Sprintf("telemetry: %q already registered as %v, requested %v", name, prev, k))
+	}
+	r.kinds[name] = k
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Registering the same name twice returns the same counter, so
+// independent entities may share a metric (all UEs' frontends observe into
+// one stage histogram, for example).
+func (r *Registry) Counter(name string) *Counter {
+	r.checkKind(name, KindCounter)
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.checkKind(name, KindGauge)
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.checkKind(name, KindHistogram)
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Emit appends a timeline event stamped with the current virtual time.
+func (r *Registry) Emit(scope, name, detail string) {
+	r.events = append(r.events, Event{At: r.clock(), Scope: scope, Name: name, Detail: detail})
+}
+
+// Events returns the timeline in emission (= virtual-time) order. The
+// slice is the registry's own backing store; callers must not mutate it.
+func (r *Registry) Events() []Event { return r.events }
+
+// Scope is a name-prefix view of a registry: Scope("epc").Counter("s1ap/msgs")
+// registers "epc/s1ap/msgs". Scopes nest.
+type Scope struct {
+	r      *Registry
+	prefix string
+}
+
+// Scope roots a naming prefix on the registry.
+func (r *Registry) Scope(name string) Scope { return Scope{r: r, prefix: name + "/"} }
+
+// Scope nests a further prefix.
+func (s Scope) Scope(name string) Scope { return Scope{r: s.r, prefix: s.prefix + name + "/"} }
+
+// Counter registers a counter under the scope.
+func (s Scope) Counter(name string) *Counter { return s.r.Counter(s.prefix + name) }
+
+// Gauge registers a gauge under the scope.
+func (s Scope) Gauge(name string) *Gauge { return s.r.Gauge(s.prefix + name) }
+
+// Histogram registers a histogram under the scope.
+func (s Scope) Histogram(name string) *Histogram { return s.r.Histogram(s.prefix + name) }
+
+// Emit appends a timeline event with the scope's prefix (sans trailing
+// slash) as the event scope.
+func (s Scope) Emit(name, detail string) {
+	s.r.Emit(s.prefix[:len(s.prefix)-1], name, detail)
+}
