@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fmt-check bench results results-csv examples clean
+.PHONY: all build vet test race cover fmt-check bench bench-json results results-csv examples clean
 
 all: build vet test
 
@@ -42,6 +42,21 @@ results-csv:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Machine-readable benchmark record: every Benchmark* line as a JSON array in
+# BENCH_control.json (name, iterations, ns/op, B/op, allocs/op).
+bench-json:
+	@$(GO) test -bench=. -benchmem ./... | awk ' \
+		BEGIN { print "["; n = 0 } \
+		$$1 ~ /^Benchmark/ && $$4 == "ns/op" { \
+			if (n++) printf ",\n"; \
+			bytes = ($$6 == "B/op") ? $$5 : "null"; \
+			allocs = ($$8 == "allocs/op") ? $$7 : "null"; \
+			printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+				$$1, $$2, $$3, bytes, allocs \
+		} \
+		END { print "\n]" }' > BENCH_control.json
+	@echo "wrote BENCH_control.json ($$(grep -c '\"name\"' BENCH_control.json) benchmarks)"
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/retail
@@ -57,4 +72,4 @@ bench_output.txt:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt coverage.out
+	rm -f test_output.txt bench_output.txt coverage.out BENCH_control.json

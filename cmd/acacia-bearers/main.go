@@ -69,16 +69,26 @@ func main() {
 	}
 	tb.Run(time.Second)
 
+	// Transport columns: seq is the per-peer transaction sequence number,
+	// path/link the endpoints and wire the message crossed, queue_us the
+	// transmit-queue wait of the delivered attempt, retrans how many
+	// retransmissions the exchange needed (0 on healthy links). OpenFlow
+	// rows leave them blank: the SDN controller accounts its channel
+	// separately.
 	if *csv {
-		fmt.Println("t_s,protocol,message,bytes")
+		fmt.Println("t_s,protocol,message,bytes,seq,path,link,queue_us,retrans")
 	} else {
-		fmt.Println("\ntime        protocol    message                          bytes")
+		fmt.Println("\ntime        protocol    message                          bytes  seq  path              queue_us  retrans")
 	}
 	for _, rec := range tb.EPC.Acct.DiffLog(start) {
 		if *csv {
-			fmt.Printf("%.3f,%s,%s,%d\n", rec.At.Seconds(), rec.Proto, rec.Name, rec.Bytes)
+			fmt.Printf("%.3f,%s,%s,%d,%d,%s,%s,%d,%d\n",
+				rec.At.Seconds(), rec.Proto, rec.Name, rec.Bytes,
+				rec.Seq, rec.Path, rec.Link, rec.QueueWait.Microseconds(), rec.Retrans)
 		} else {
-			fmt.Printf("%9.3fs  %-10s  %-32s %5d\n", rec.At.Seconds(), rec.Proto, rec.Name, rec.Bytes)
+			fmt.Printf("%9.3fs  %-10s  %-32s %5d %4d  %-16s %9d %8d\n",
+				rec.At.Seconds(), rec.Proto, rec.Name, rec.Bytes,
+				rec.Seq, rec.Path, rec.QueueWait.Microseconds(), rec.Retrans)
 		}
 	}
 

@@ -1,0 +1,323 @@
+// Package ctl is the control-plane transport of the testbed: it carries
+// S1AP, GTPv2-C and OpenFlow exchanges as real packets over netsim links
+// between control endpoints (eNB, MME, SGW-C/PGW-C, SDN controller), with a
+// transaction layer on top — per-peer sequence allocation, a pending table
+// keyed by (peer, seq), retransmission timers with a bounded retry budget
+// (the GTPv2 T3/N3 timers; an SCTP-like reliable channel for S1AP), and
+// duplicate suppression so re-delivered requests stay idempotent.
+//
+// Control-plane latency is therefore emergent — propagation plus queueing
+// plus retransmission on the links the messages actually traverse — instead
+// of a configured constant, and injected link loss exercises the recovery
+// machinery end to end. A procedure that exhausts its retries fails loudly
+// through its OnFail callback rather than hanging.
+//
+// Byte accounting note: callers account a message once when they first
+// offer it to the transport (the §4 methodology counts protocol exchanges,
+// not channel effects), so retransmissions and the small transport-level
+// acks do not inflate the paper's message/byte tables. Ack frames still
+// occupy link bandwidth like any other packet.
+package ctl
+
+import (
+	"fmt"
+	"time"
+
+	"acacia/internal/netsim"
+	"acacia/internal/pkt"
+	"acacia/internal/sim"
+	"acacia/internal/telemetry"
+)
+
+// Transport defaults: T3 is the retransmission timeout, N3 the retry budget
+// (TS 29.274 §7.6 uses T3-RESPONSE/N3-REQUESTS; 3 s / 3 tries on real
+// hardware — the testbed uses a shorter timer scaled to its link delays).
+const (
+	DefaultT3 = 100 * time.Millisecond
+	DefaultN3 = 3
+)
+
+// AckBytes is the wire size of a transport-level ack frame (an SCTP SACK
+// chunk / GTPv2 triggered response is this order of magnitude). Acks are
+// not protocol messages and are deliberately absent from the §4 accounting.
+const AckBytes = 28
+
+// TxInfo reports how one transaction fared on the wire, observed at ack
+// time: the link the (finally delivered) request traversed, the queueing
+// delay it accumulated, how many retransmissions the exchange needed, and
+// the request->ack round-trip time.
+type TxInfo struct {
+	Link      string
+	QueueWait time.Duration
+	Retrans   int
+	RTT       time.Duration
+}
+
+// Transport owns the transaction machinery shared by every control
+// endpoint of one engine: timers, retry budget and the epc/txn/* telemetry
+// scope (sent/retransmissions/timeouts/acks/duplicates counters and the
+// transaction-latency histogram).
+type Transport struct {
+	eng *sim.Engine
+	// T3 is the per-attempt retransmission timeout; N3 bounds the number
+	// of retransmissions before the transaction fails terminally.
+	T3 time.Duration
+	N3 int
+
+	sent     *telemetry.Counter
+	retrans  *telemetry.Counter
+	timeouts *telemetry.Counter
+	acks     *telemetry.Counter
+	dups     *telemetry.Counter
+	latency  *telemetry.Histogram
+}
+
+// NewTransport creates the engine's control transport with default timers.
+func NewTransport(eng *sim.Engine) *Transport {
+	scope := eng.Metrics().Scope("epc").Scope("txn")
+	return &Transport{
+		eng:      eng,
+		T3:       DefaultT3,
+		N3:       DefaultN3,
+		sent:     scope.Counter("sent"),
+		retrans:  scope.Counter("retransmissions"),
+		timeouts: scope.Counter("timeouts"),
+		acks:     scope.Counter("acks"),
+		dups:     scope.Counter("duplicates"),
+		latency:  scope.Histogram("latency_ms"),
+	}
+}
+
+// Engine returns the driving simulation engine.
+func (t *Transport) Engine() *sim.Engine { return t.eng }
+
+// Retransmissions reports the total retransmission count.
+func (t *Transport) Retransmissions() uint64 { return t.retrans.Value() }
+
+// Timeouts reports the number of transactions that exhausted their retries.
+func (t *Transport) Timeouts() uint64 { return t.timeouts.Value() }
+
+// Duplicates reports how many re-delivered requests were suppressed.
+func (t *Transport) Duplicates() uint64 { return t.dups.Value() }
+
+// txnKey identifies a transaction: initiating peer address + sequence
+// number from that peer's allocator.
+type txnKey struct {
+	peer pkt.Addr
+	seq  uint32
+}
+
+// txn is one pending request awaiting its ack.
+type txn struct {
+	peer    pkt.Addr
+	seq     uint32
+	name    string
+	tpl     *netsim.Packet // pristine template; each attempt sends a Clone
+	retries int
+	start   sim.Time
+	timer   *sim.Event
+	onFail  func(error)
+	onDone  func(TxInfo)
+}
+
+// Frame is the transport PDU riding netsim packets between endpoints. Data
+// frames carry the receiver-side continuation (the simulation's stand-in
+// for dispatching a decoded message); ack frames echo the transport
+// conditions the receiver observed so the sender can attribute them to the
+// transaction. The type is opaque outside this package: shared-node
+// handlers detect control traffic with FrameOf and hand it to Receive.
+type Frame struct {
+	ack     bool
+	seq     uint32
+	name    string
+	deliver func()
+	// Ack-side observations.
+	queueWait time.Duration
+	linkName  string
+}
+
+// FrameOf returns the control frame carried by p, or nil for data-plane
+// packets. Nodes that carry both planes (eNB, switches) call this first and
+// divert control frames to their endpoint's Receive.
+func FrameOf(p *netsim.Packet) *Frame {
+	f, _ := p.Payload.(*Frame)
+	return f
+}
+
+// Endpoint is one control-plane attachment: a node plus per-peer routing,
+// sequence allocation, the pending-transaction table and the duplicate
+// filter. Endpoints on dedicated control nodes own the node handler; on
+// shared nodes the owning layer intercepts frames and forwards them.
+type Endpoint struct {
+	tr      *Transport
+	node    *netsim.Node
+	routes  map[pkt.Addr]*netsim.Port
+	nextSeq map[pkt.Addr]uint32
+	pending map[txnKey]*txn
+	seen    map[txnKey]bool
+}
+
+// Endpoint attaches the transport to a node. When own is true the endpoint
+// installs itself as the node's packet handler (dedicated control nodes:
+// MME, gateway control planes, the SDN controller); shared nodes pass
+// false and forward frames explicitly.
+func (t *Transport) Endpoint(node *netsim.Node, own bool) *Endpoint {
+	ep := &Endpoint{
+		tr:      t,
+		node:    node,
+		routes:  make(map[pkt.Addr]*netsim.Port),
+		nextSeq: make(map[pkt.Addr]uint32),
+		pending: make(map[txnKey]*txn),
+		seen:    make(map[txnKey]bool),
+	}
+	if own {
+		node.SetHandler(ep.handleNode)
+	}
+	return ep
+}
+
+// Addr returns the endpoint's network address (its transaction identity).
+func (ep *Endpoint) Addr() pkt.Addr { return ep.node.Addr() }
+
+// Name returns the endpoint's node name.
+func (ep *Endpoint) Name() string { return ep.node.Name() }
+
+// Node returns the underlying network node.
+func (ep *Endpoint) Node() *netsim.Node { return ep.node }
+
+// Connect joins two endpoints with a dedicated control link (cfg applies in
+// both directions) and installs the mutual routes.
+func Connect(a, b *Endpoint, cfg netsim.LinkConfig) *netsim.Link {
+	l := a.node.Network().ConnectSymmetric(a.node, b.node, cfg)
+	a.routes[b.Addr()] = l.A
+	b.routes[a.Addr()] = l.B
+	return l
+}
+
+// NextSeq allocates the next sequence number toward peer. Sequences are
+// strictly monotonic per (endpoint, peer) pair — the allocator that
+// replaces the old hardcoded Seq constants.
+func (ep *Endpoint) NextSeq(peer pkt.Addr) uint32 {
+	ep.nextSeq[peer]++
+	return ep.nextSeq[peer]
+}
+
+// Send opens a transaction toward peer: a data frame of the given wire
+// size is transmitted on the route's link, retransmitted every T3 until
+// acked, and failed terminally after N3 retransmissions. deliver runs
+// exactly once at the receiver (duplicates are suppressed there); onFail
+// (may be nil) receives the terminal timeout error; onDone (may be nil)
+// receives the transaction's transport observations at ack time.
+//
+// seq must come from NextSeq for this peer — passing it in (rather than
+// allocating here) lets callers stamp the same value into the protocol
+// encoding (GTPv2 Seq, SCTP TSN) before computing the wire size.
+func (ep *Endpoint) Send(peer pkt.Addr, seq uint32, name string, size int, deliver func(), onFail func(error), onDone func(TxInfo)) {
+	if ep.routes[peer] == nil {
+		panic(fmt.Sprintf("ctl: endpoint %s has no route to %v", ep.Name(), peer))
+	}
+	f := &Frame{seq: seq, name: name, deliver: deliver}
+	tpl := &netsim.Packet{
+		Flow:    pkt.FiveTuple{Src: ep.Addr(), Dst: peer},
+		Size:    size,
+		Payload: f,
+	}
+	tx := &txn{
+		peer: peer, seq: seq, name: name, tpl: tpl,
+		start: ep.tr.eng.Now(), onFail: onFail, onDone: onDone,
+	}
+	ep.pending[txnKey{peer, seq}] = tx
+	ep.tr.sent.Inc()
+	ep.transmit(tx)
+}
+
+// transmit sends one attempt (a clone of the pristine template, so per-hop
+// state like queue wait restarts per attempt) and arms the T3 timer.
+func (ep *Endpoint) transmit(tx *txn) {
+	p := tx.tpl.Clone()
+	p.CreatedAt = ep.tr.eng.Now()
+	ep.routes[tx.peer].Send(p)
+	tx.timer = ep.tr.eng.Schedule(ep.tr.T3, func() { ep.expire(tx) })
+}
+
+// expire fires when T3 elapses without an ack: retransmit, or fail the
+// transaction once the retry budget is spent.
+func (ep *Endpoint) expire(tx *txn) {
+	key := txnKey{tx.peer, tx.seq}
+	if ep.pending[key] != tx {
+		return // acked in the meantime
+	}
+	if tx.retries >= ep.tr.N3 {
+		delete(ep.pending, key)
+		ep.tr.timeouts.Inc()
+		ep.tr.eng.Metrics().Scope("epc/txn").Emit("timeout",
+			fmt.Sprintf("%s seq=%d %s->%v", tx.name, tx.seq, ep.Name(), tx.peer))
+		if tx.onFail != nil {
+			tx.onFail(fmt.Errorf("ctl: %s (seq %d) from %s to %v timed out after %d retransmissions",
+				tx.name, tx.seq, ep.Name(), tx.peer, tx.retries))
+		}
+		return
+	}
+	tx.retries++
+	ep.tr.retrans.Inc()
+	ep.transmit(tx)
+}
+
+// handleNode is the packet handler installed on dedicated control nodes.
+// Anything that is not a control frame is dropped: these nodes carry no
+// data plane.
+func (ep *Endpoint) handleNode(ingress *netsim.Port, p *netsim.Packet) {
+	if f := FrameOf(p); f != nil {
+		ep.Receive(ingress, p, f)
+	}
+}
+
+// Receive processes one arriving control frame: data frames are acked
+// (always — a retransmitted request re-acks) and delivered once; ack
+// frames retire the pending transaction and report its transport
+// observations.
+func (ep *Endpoint) Receive(ingress *netsim.Port, p *netsim.Packet, f *Frame) {
+	peer := p.Flow.Src
+	key := txnKey{peer, f.seq}
+	if f.ack {
+		tx := ep.pending[key]
+		if tx == nil {
+			return // duplicate ack; transaction already retired
+		}
+		delete(ep.pending, key)
+		if tx.timer != nil {
+			tx.timer.Cancel()
+		}
+		ep.tr.acks.Inc()
+		rtt := ep.tr.eng.Now().Sub(tx.start)
+		ep.tr.latency.Observe(float64(rtt) / float64(time.Millisecond))
+		if tx.onDone != nil {
+			tx.onDone(TxInfo{Link: f.linkName, QueueWait: f.queueWait, Retrans: tx.retries, RTT: rtt})
+		}
+		return
+	}
+	// Data frame: ack unconditionally so a lost ack is repaired by the
+	// retransmitted request, echoing what this attempt experienced.
+	if back := ep.routes[peer]; back != nil {
+		linkName := ""
+		if ingress != nil && ingress.Peer() != nil {
+			linkName = ingress.Peer().Node.Name() + "->" + ingress.Node.Name()
+		}
+		ack := &Frame{ack: true, seq: f.seq, name: f.name, queueWait: p.QueueWait, linkName: linkName}
+		ap := &netsim.Packet{
+			Flow:      pkt.FiveTuple{Src: ep.Addr(), Dst: peer},
+			Size:      AckBytes,
+			Payload:   ack,
+			CreatedAt: ep.tr.eng.Now(),
+		}
+		back.Send(ap)
+	}
+	if ep.seen[key] {
+		ep.tr.dups.Inc()
+		return
+	}
+	ep.seen[key] = true
+	if f.deliver != nil {
+		f.deliver()
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"time"
 
+	"acacia/internal/ctl"
 	"acacia/internal/netsim"
 	"acacia/internal/pkt"
 	"acacia/internal/sdn"
 	"acacia/internal/sim"
+	"acacia/internal/telemetry"
 )
 
 // Config wires a Core into its simulation substrate.
@@ -15,22 +17,39 @@ type Config struct {
 	Eng *sim.Engine
 	Net *netsim.Network
 	Ctl *sdn.Controller
-	// S1APDelay is the one-way eNB<->MME control latency.
+	// S1APDelay is the one-way eNB<->MME control latency: the propagation
+	// delay of each eNB's S1-MME control link.
 	S1APDelay time.Duration
-	// GTPv2Delay is the one-way latency between core control entities.
+	// GTPv2Delay is the one-way latency between core control entities: the
+	// propagation delay of the S11 and S5 control links.
 	GTPv2Delay time.Duration
 	// IdleTimeout overrides the LTE inactivity timeout (tests shorten it);
 	// zero selects the standard 11.576 s.
 	IdleTimeout time.Duration
 }
 
+// ctlLinkBps is the serialization rate of every control-plane link.
+// Control messages are small, so serialization adds microseconds on top of
+// the configured propagation delays.
+const ctlLinkBps = 1e9
+
 // Core is the evolved packet core control plane: one MME, HSS and PCRF,
 // plus split gateway control planes managing any number of user planes.
+//
+// The control entities are real network endpoints: NewCore places MME,
+// SGW-C and PGW-C nodes on the network and joins them (and the SDN
+// controller, and each eNB as it is created) with control links. Every
+// S1AP/GTPv2 message is a transaction on the ctl transport — delivered as
+// an encoded packet, retransmitted on loss, failed terminally when the
+// retry budget is exhausted.
 type Core struct {
 	cfg  Config
 	Eng  *sim.Engine
 	Ctl  *sdn.Controller
 	Acct *Accounting
+	// Txn is the control-plane transaction transport shared by every
+	// control endpoint (including the SDN controller channel).
+	Txn *ctl.Transport
 
 	HSS  *HSS
 	PCRF *PCRF
@@ -38,15 +57,23 @@ type Core struct {
 	SGWC *SGWC
 	PGWC *PGWC
 
+	mmeEP, sgwEP, pgwEP *ctl.Endpoint
+	s11Link, s5Link     *netsim.Link
+
+	unmatchedPktIn *telemetry.Counter
+
 	sessions map[string]*Session // by IMSI
 	byIP     map[pkt.Addr]*Session
 	nextUEID uint32
 }
 
-// NewCore builds an empty core.
+// NewCore builds an empty core and places its control plane on the network.
 func NewCore(cfg Config) *Core {
 	if cfg.IdleTimeout == 0 {
 		cfg.IdleTimeout = IdleTimeout
+	}
+	if cfg.Net == nil {
+		panic("epc: Config.Net is required — the control plane runs over the network")
 	}
 	c := &Core{
 		cfg:      cfg,
@@ -61,11 +88,36 @@ func NewCore(cfg Config) *Core {
 	c.MME = &MME{core: c}
 	c.SGWC = &SGWC{core: c, planes: make(map[string]*UserPlane)}
 	c.PGWC = &PGWC{core: c, planes: make(map[string]*UserPlane)}
+
+	c.Txn = ctl.NewTransport(cfg.Eng)
+	mmeN := cfg.Net.AddNode("mme", pkt.AddrFrom(10, 255, 0, 1))
+	sgwN := cfg.Net.AddNode("sgw-c", pkt.AddrFrom(10, 255, 0, 2))
+	pgwN := cfg.Net.AddNode("pgw-c", pkt.AddrFrom(10, 255, 0, 3))
+	c.mmeEP = c.Txn.Endpoint(mmeN, true)
+	c.sgwEP = c.Txn.Endpoint(sgwN, true)
+	c.pgwEP = c.Txn.Endpoint(pgwN, true)
+	coreCfg := netsim.LinkConfig{BitsPerSecond: ctlLinkBps, Propagation: cfg.GTPv2Delay}
+	c.s11Link = ctl.Connect(c.mmeEP, c.sgwEP, coreCfg)
+	c.s5Link = ctl.Connect(c.sgwEP, c.pgwEP, coreCfg)
+
+	c.unmatchedPktIn = cfg.Eng.Metrics().Scope("epc").Scope("packet-in").Counter("unmatched")
+
 	if cfg.Ctl != nil {
 		cfg.Ctl.OnPacketIn = c.onPacketIn
+		ofN := cfg.Net.AddNode("sdn-ctl", pkt.AddrFrom(10, 255, 0, 10))
+		cfg.Ctl.EnableTransport(c.Txn, ofN)
 	}
 	return c
 }
+
+// S11Link returns the MME<->SGW-C control link (fault-injection handle).
+func (c *Core) S11Link() *netsim.Link { return c.s11Link }
+
+// S5Link returns the SGW-C<->PGW-C control link.
+func (c *Core) S5Link() *netsim.Link { return c.s5Link }
+
+// Transport returns the control-plane transaction transport.
+func (c *Core) Transport() *ctl.Transport { return c.Txn }
 
 // IdleTimeout reports the configured inactivity timeout.
 func (c *Core) IdleTimeout() time.Duration { return c.cfg.IdleTimeout }
@@ -76,18 +128,86 @@ func (c *Core) Session(imsi string) *Session { return c.sessions[imsi] }
 // SessionByIP returns the session owning a UE IP, or nil.
 func (c *Core) SessionByIP(ip pkt.Addr) *Session { return c.byIP[ip] }
 
-// sendS1AP serializes, accounts and delivers an eNB<->MME message.
-func (c *Core) sendS1AP(m *pkt.S1APMsg, deliver func()) {
-	b := m.Encode(nil)
-	c.Acct.Record(c.Eng.Now(), ProtoS1AP, m.Procedure.String(), len(b))
-	c.Eng.Schedule(c.cfg.S1APDelay, deliver)
+// proc coordinates one multi-message control procedure over the lossy
+// transport: continuation steps run only while the procedure is live, the
+// terminal callback fires exactly once, and error-path cleanups
+// (registered as the procedure acquires resources) run in reverse order
+// when it fails.
+type proc struct {
+	finished bool
+	end      func(error)
+	errFns   []func()
 }
 
-// sendGTPv2 serializes, accounts and delivers a core control message.
-func (c *Core) sendGTPv2(m *pkt.GTPv2Msg, deliver func()) {
+func newProc(end func(error)) *proc { return &proc{end: end} }
+
+// step wraps a continuation so it is skipped once the procedure reached a
+// terminal outcome (e.g. an earlier leg already timed out).
+func (pr *proc) step(f func()) func() {
+	return func() {
+		if pr.finished {
+			return
+		}
+		f()
+	}
+}
+
+// onError registers a cleanup to run if the procedure fails.
+func (pr *proc) onError(fn func()) { pr.errFns = append(pr.errFns, fn) }
+
+// finish concludes the procedure exactly once. On error the registered
+// cleanups unwind in reverse order before the terminal callback runs.
+func (pr *proc) finish(err error) {
+	if pr.finished {
+		return
+	}
+	pr.finished = true
+	if err != nil {
+		for i := len(pr.errFns) - 1; i >= 0; i-- {
+			pr.errFns[i]()
+		}
+	}
+	if pr.end != nil {
+		pr.end(err)
+	}
+}
+
+// fail is finish shaped as the transport's failure callback.
+func (pr *proc) fail(err error) { pr.finish(err) }
+
+// noteTx builds the transport-observation callback that back-fills a traced
+// record's wire fields, or nil when the message is not traced.
+func (c *Core) noteTx(idx int) func(ctl.TxInfo) {
+	if idx < 0 {
+		return nil
+	}
+	return func(info ctl.TxInfo) {
+		c.Acct.NoteTransport(idx, info.Link, info.QueueWait, info.Retrans)
+	}
+}
+
+// sendS1AP stamps the next per-peer sequence into the message's TSN,
+// serializes and accounts it, and opens a transport transaction from
+// endpoint from to endpoint to. deliver runs at the receiver (unless the
+// procedure already failed); a terminal transport timeout fails pr.
+func (c *Core) sendS1AP(pr *proc, from, to *ctl.Endpoint, m *pkt.S1APMsg, deliver func()) {
+	seq := from.NextSeq(to.Addr())
+	m.TSN = seq
 	b := m.Encode(nil)
-	c.Acct.Record(c.Eng.Now(), ProtoGTPv2, m.Type.String(), len(b))
-	c.Eng.Schedule(c.cfg.GTPv2Delay, deliver)
+	name := m.Procedure.String()
+	idx := c.Acct.RecordTx(c.Eng.Now(), ProtoS1AP, name, len(b), seq, from.Name()+"->"+to.Name())
+	from.Send(to.Addr(), seq, name, len(b), pr.step(deliver), pr.fail, c.noteTx(idx))
+}
+
+// sendGTPv2 is sendS1AP for GTPv2-C: the allocated sequence becomes the
+// message's 24-bit Seq field.
+func (c *Core) sendGTPv2(pr *proc, from, to *ctl.Endpoint, m *pkt.GTPv2Msg, deliver func()) {
+	seq := from.NextSeq(to.Addr())
+	m.Seq = seq
+	b := m.Encode(nil)
+	name := m.Type.String()
+	idx := c.Acct.RecordTx(c.Eng.Now(), ProtoGTPv2, name, len(b), seq, from.Name()+"->"+to.Name())
+	from.Send(to.Addr(), seq, name, len(b), pr.step(deliver), pr.fail, c.noteTx(idx))
 }
 
 // onPacketIn handles GW-U table misses. The only expected miss is downlink
@@ -96,9 +216,36 @@ func (c *Core) onPacketIn(sw *sdn.Switch, inPort uint32, p *netsim.Packet, tunne
 	// Identify the UE by inner destination (downlink view).
 	sess := c.byIP[p.Flow.Dst]
 	if sess == nil {
-		return // not ours; drop
+		// Not ours: count and log the drop instead of failing silently.
+		c.unmatchedPktIn.Inc()
+		c.Eng.Metrics().Scope("epc/packet-in").Emit("unmatched",
+			fmt.Sprintf("%s port %d dst %v teid %d", sw.Node().Name(), inPort, p.Flow.Dst, tunnelID))
+		return
 	}
 	c.SGWC.bufferAndPage(sess, sw, p, tunnelID)
+}
+
+// releaseSessionResources removes every bearer's user-plane state and
+// returns its GBR reservation. Clearing the bearer map afterwards makes the
+// teardown idempotent — a timeout-recovery path may run it again.
+func (c *Core) releaseSessionResources(sess *Session) {
+	for _, b := range sess.Bearers {
+		c.removeBearerFlows(sess, b)
+		c.PGWC.planes[b.PGWPlane].releaseGBR(b.QoS.GuaranteedUL + b.QoS.GuaranteedDL)
+	}
+	sess.Bearers = make(map[uint8]*Bearer)
+}
+
+// forceDetach tears a session down locally after a detach procedure lost
+// its signaling: resources are reclaimed and the UE unbound even though the
+// protocol exchange never concluded.
+func (c *Core) forceDetach(sess *Session) {
+	c.releaseSessionResources(sess)
+	sess.ENB.releaseContext(sess)
+	sess.setState(c.Eng, StateDetached)
+	delete(c.sessions, sess.IMSI)
+	delete(c.byIP, sess.UEIP)
+	sess.UE.completeDetach()
 }
 
 // SessionState is the RRC/S1 state of a UE session.

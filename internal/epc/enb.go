@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"acacia/internal/ctl"
 	"acacia/internal/netsim"
 	"acacia/internal/pkt"
 	"acacia/internal/sim"
@@ -18,6 +19,12 @@ import (
 type ENB struct {
 	core *Core
 	node *netsim.Node
+
+	// ep is the eNB's control endpoint; s1Link is its S1-MME link to the
+	// MME. The eNB node carries both planes, so the packet handler diverts
+	// control frames to the endpoint before data-plane dispatch.
+	ep     *ctl.Endpoint
+	s1Link *netsim.Link
 
 	// RACHDelay models the radio-side latency of paging response and
 	// service-request ramp-up (RACH + RRC connection establishment).
@@ -65,9 +72,15 @@ func NewENB(core *Core, node *netsim.Node) *ENB {
 		byDLTEID:  make(map[uint32]dlKey),
 	}
 	node.SetHandler(e.handle)
+	e.ep = core.Txn.Endpoint(node, false)
+	e.s1Link = ctl.Connect(e.ep, core.mmeEP,
+		netsim.LinkConfig{BitsPerSecond: ctlLinkBps, Propagation: core.cfg.S1APDelay})
 	e.ticker = sim.NewTicker(core.Eng, 500*time.Millisecond, e.checkIdle)
 	return e
 }
+
+// S1Link returns the eNB's S1-MME control link (fault-injection handle).
+func (e *ENB) S1Link() *netsim.Link { return e.s1Link }
 
 // Addr returns the eNB's S1-U endpoint address.
 func (e *ENB) Addr() pkt.Addr { return e.node.Addr() }
@@ -100,6 +113,12 @@ func (e *ENB) Name() string { return e.node.Name() }
 // handle is the netsim packet handler.
 func (e *ENB) handle(ingress *netsim.Port, p *netsim.Packet) {
 	if ingress == nil {
+		return
+	}
+	// S1-MME control frames arrive on the eNB's control port; everything
+	// else is data plane.
+	if f := ctl.FrameOf(p); f != nil {
+		e.ep.Receive(ingress, p, f)
 		return
 	}
 	if ingress.ID == 0 {
@@ -262,7 +281,15 @@ func (e *ENB) sendServiceRequest(sess *Session) {
 		}
 		// The MME sees the session as idle until it processes the request.
 		sess.setState(e.core.Eng, StateIdle)
-		e.core.sendS1AP(msg, func() { e.core.MME.onServiceRequest(sess) })
+		pr := newProc(nil)
+		pr.onError(func() {
+			if sess.State == StatePromoting {
+				sess.setState(e.core.Eng, StateIdle)
+			}
+		})
+		e.core.sendS1AP(pr, e.ep, e.core.mmeEP, msg, func() {
+			e.core.MME.onServiceRequest(pr, sess)
+		})
 	})
 }
 
@@ -288,8 +315,9 @@ func (e *ENB) sendInitialAttach(ue *UE, sgwPlane, pgwPlane string, done func(err
 		ENBUEID:   1,
 		NAS:       nas,
 	}
-	e.core.sendS1AP(msg, func() {
-		e.core.MME.onInitialAttach(e, ue, sgwPlane, pgwPlane, done)
+	pr := newProc(done)
+	e.core.sendS1AP(pr, e.ep, e.core.mmeEP, msg, func() {
+		e.core.MME.onInitialAttach(pr, e, ue, sgwPlane, pgwPlane)
 	})
 }
 
@@ -314,5 +342,8 @@ func (e *ENB) requestRelease(sess *Session) {
 		Procedure: pkt.S1APUEContextReleaseRequest,
 		ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID, Cause: 20,
 	}
-	e.core.sendS1AP(msg, func() { e.core.MME.onReleaseRequest(sess) })
+	pr := newProc(nil)
+	e.core.sendS1AP(pr, e.ep, e.core.mmeEP, msg, func() {
+		e.core.MME.onReleaseRequest(pr, sess)
+	})
 }

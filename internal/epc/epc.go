@@ -71,12 +71,26 @@ func (p Protocol) slug() string {
 	}
 }
 
-// MsgRecord is one logged control message.
+// MsgRecord is one logged control message. The transport fields are filled
+// in two phases: Seq and Path at send time, and the wire observations
+// (Link, QueueWait, Retrans) when the transport ack reports how the
+// exchange actually fared.
 type MsgRecord struct {
 	At    sim.Time
 	Proto Protocol
 	Name  string
 	Bytes int
+
+	// Seq is the per-peer transport sequence number (GTPv2 Seq/SCTP TSN).
+	Seq uint32
+	// Path names the sending and receiving endpoints ("mme->sgw-c").
+	Path string
+	// Link names the link the delivered attempt traversed.
+	Link string
+	// QueueWait is the transmit-queue delay of the delivered attempt.
+	QueueWait time.Duration
+	// Retrans counts retransmissions the exchange needed.
+	Retrans int
 }
 
 // Accounting tallies control-plane messages by protocol. The §4 experiment
@@ -117,6 +131,14 @@ func NewAccounting(reg *telemetry.Registry) *Accounting {
 
 // Record adds one message.
 func (a *Accounting) Record(at sim.Time, proto Protocol, name string, bytes int) {
+	a.RecordTx(at, proto, name, bytes, 0, "")
+}
+
+// RecordTx adds one message with its transport identity (sequence number
+// and endpoint path). It returns the record's index in the trace log so the
+// caller can attach wire observations later via NoteTransport, or -1 when
+// tracing is off.
+func (a *Accounting) RecordTx(at sim.Time, proto Protocol, name string, bytes int, seq uint32, path string) int {
 	a.Msgs[proto]++
 	a.Bytes[proto] += uint64(bytes)
 	if a.msgCtr[proto] != nil {
@@ -124,8 +146,23 @@ func (a *Accounting) Record(at sim.Time, proto Protocol, name string, bytes int)
 		a.byteCtr[proto].Add(uint64(bytes))
 	}
 	if a.Trace {
-		a.Log = append(a.Log, MsgRecord{At: at, Proto: proto, Name: name, Bytes: bytes})
+		a.Log = append(a.Log, MsgRecord{At: at, Proto: proto, Name: name, Bytes: bytes, Seq: seq, Path: path})
+		return len(a.Log) - 1
 	}
+	return -1
+}
+
+// NoteTransport back-fills the wire observations of a traced message once
+// its transport transaction concludes. idx is RecordTx's return value; -1
+// is ignored.
+func (a *Accounting) NoteTransport(idx int, link string, queueWait time.Duration, retrans int) {
+	if idx < 0 || idx >= len(a.Log) {
+		return
+	}
+	r := &a.Log[idx]
+	r.Link = link
+	r.QueueWait = queueWait
+	r.Retrans = retrans
 }
 
 // Snapshot returns a copy of the current counters. The copy deliberately

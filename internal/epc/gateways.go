@@ -385,23 +385,37 @@ func (p *PGWC) activateDedicatedBearer(sess *Session, rule PolicyRule, ciServer 
 		S5UL:     p.teids.alloc(),
 	}
 
+	// One procedure spans the whole activation chain; any failure — a
+	// protocol denial answered down the chain or a transport timeout on any
+	// leg — returns the GBR reservation exactly once.
+	pr := newProc(func(err error) {
+		if err != nil {
+			fail(done, err)
+			return
+		}
+		if done != nil {
+			done(b.EBI, nil)
+		}
+	})
+	pr.onError(func() { plane.releaseGBR(gbr) })
+
 	// PGW-C -> SGW-C: Create Bearer Request (S5), carrying the PGW-side
 	// F-TEID. The SGW-C fills in its own TEIDs and forwards upstream.
 	req := &pkt.GTPv2Msg{
 		Type: pkt.GTPv2CreateBearerRequest,
-		TEID: 1, Seq: uint32(ebi),
+		TEID: 1,
 		Bearers: []pkt.BearerContext{{
 			EBI: ebi, TFT: b.TFT, QoS: &b.QoS,
 			FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS5PGW, TEID: b.S5UL, Addr: p.planes[pgwPlane].Addr()}},
 		}},
 	}
-	p.core.sendGTPv2(req, func() {
-		p.core.SGWC.onCreateBearerRequest(sess, b, done)
+	p.core.sendGTPv2(pr, p.core.pgwEP, p.core.sgwEP, req, func() {
+		p.core.SGWC.onCreateBearerRequest(pr, sess, b)
 	})
 }
 
 // onCreateBearerRequest is the SGW-C half of dedicated bearer activation.
-func (s *SGWC) onCreateBearerRequest(sess *Session, b *Bearer, done func(uint8, error)) {
+func (s *SGWC) onCreateBearerRequest(pr *proc, sess *Session, b *Bearer) {
 	b.S1UL = s.teids.alloc()
 	b.S5DL = s.teids.alloc()
 	// SGW-C -> MME: Create Bearer Request (S11) with the *local* SGW-U
@@ -409,22 +423,23 @@ func (s *SGWC) onCreateBearerRequest(sess *Session, b *Bearer, done func(uint8, 
 	// tunnel to the edge.
 	req := &pkt.GTPv2Msg{
 		Type: pkt.GTPv2CreateBearerRequest,
-		TEID: 2, Seq: uint32(b.EBI),
+		TEID: 2,
 		Bearers: []pkt.BearerContext{{
 			EBI: b.EBI, TFT: b.TFT, QoS: &b.QoS,
 			FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: s.planes[b.SGWPlane].Addr()}},
 		}},
 	}
-	s.core.sendGTPv2(req, func() {
-		s.core.MME.onCreateBearerRequest(sess, b, func(err error) {
-			s.finishCreateBearer(sess, b, err, done)
+	s.core.sendGTPv2(pr, s.core.sgwEP, s.core.mmeEP, req, func() {
+		s.core.MME.onCreateBearerRequest(pr, sess, b, func(err error) {
+			s.finishCreateBearer(pr, sess, b, err)
 		})
 	})
 }
 
-// finishCreateBearer sends the Create Bearer Responses back down the chain
-// and programs the user planes.
-func (s *SGWC) finishCreateBearer(sess *Session, b *Bearer, err error, done func(uint8, error)) {
+// finishCreateBearer sends the Create Bearer Response back down the chain
+// and programs the user planes. A denial concludes the procedure with its
+// error, which unwinds the GBR reservation made at admission.
+func (s *SGWC) finishCreateBearer(pr *proc, sess *Session, b *Bearer, err error) {
 	cause := uint8(pkt.GTPv2CauseAccepted)
 	if err != nil {
 		cause = pkt.GTPv2CauseDenied
@@ -432,24 +447,20 @@ func (s *SGWC) finishCreateBearer(sess *Session, b *Bearer, err error, done func
 	// SGW-C -> PGW-C response (S5), then PGW-C concludes.
 	resp := &pkt.GTPv2Msg{
 		Type: pkt.GTPv2CreateBearerResponse,
-		TEID: 1, Seq: uint32(b.EBI), Cause: cause,
+		TEID: 1, Cause: cause,
 		Bearers: []pkt.BearerContext{{
 			EBI: b.EBI, Cause: cause,
 			FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS5SGW, TEID: b.S5DL, Addr: s.planes[b.SGWPlane].Addr()}},
 		}},
 	}
-	s.core.sendGTPv2(resp, func() {
+	s.core.sendGTPv2(pr, s.core.sgwEP, s.core.pgwEP, resp, func() {
 		if err != nil {
-			// Return any GBR reservation made at admission.
-			s.core.PGWC.planes[b.PGWPlane].releaseGBR(b.QoS.GuaranteedUL + b.QoS.GuaranteedDL)
-			fail(done, err)
+			pr.finish(err)
 			return
 		}
 		sess.Bearers[b.EBI] = b
 		s.core.installBearerFlows(sess, b)
-		if done != nil {
-			done(b.EBI, nil)
-		}
+		pr.finish(nil)
 	})
 }
 
@@ -468,32 +479,31 @@ func (p *PGWC) deactivateDedicatedBearer(sess *Session, ciServer pkt.Addr, done 
 		}
 		return
 	}
+	pr := newProc(done)
 	req := &pkt.GTPv2Msg{
-		Type: pkt.GTPv2DeleteBearerRequest,
-		TEID: 1, Seq: uint32(b.EBI),
+		Type:    pkt.GTPv2DeleteBearerRequest,
+		TEID:    1,
 		Bearers: []pkt.BearerContext{{EBI: b.EBI}},
 	}
-	p.core.sendGTPv2(req, func() {
+	p.core.sendGTPv2(pr, p.core.pgwEP, p.core.sgwEP, req, func() {
 		// SGW-C forwards to the MME, which releases the radio side.
 		fwd := &pkt.GTPv2Msg{
-			Type: pkt.GTPv2DeleteBearerRequest,
-			TEID: 2, Seq: uint32(b.EBI),
+			Type:    pkt.GTPv2DeleteBearerRequest,
+			TEID:    2,
 			Bearers: []pkt.BearerContext{{EBI: b.EBI}},
 		}
-		p.core.sendGTPv2(fwd, func() {
-			p.core.MME.onDeleteBearerRequest(sess, b, func() {
+		p.core.sendGTPv2(pr, p.core.sgwEP, p.core.mmeEP, fwd, func() {
+			p.core.MME.onDeleteBearerRequest(pr, sess, b, func() {
 				resp := &pkt.GTPv2Msg{
 					Type: pkt.GTPv2DeleteBearerResponse,
-					TEID: 1, Seq: uint32(b.EBI), Cause: pkt.GTPv2CauseAccepted,
+					TEID: 1, Cause: pkt.GTPv2CauseAccepted,
 					Bearers: []pkt.BearerContext{{EBI: b.EBI, Cause: pkt.GTPv2CauseAccepted}},
 				}
-				p.core.sendGTPv2(resp, func() {
+				p.core.sendGTPv2(pr, p.core.sgwEP, p.core.pgwEP, resp, func() {
 					p.core.removeBearerFlows(sess, b)
 					delete(sess.Bearers, b.EBI)
 					p.planes[b.PGWPlane].releaseGBR(b.QoS.GuaranteedUL + b.QoS.GuaranteedDL)
-					if done != nil {
-						done(nil)
-					}
+					pr.finish(nil)
 				})
 			})
 		})

@@ -45,12 +45,13 @@ func (m *MME) Handover(sess *Session, target *ENB, done func(error)) {
 		return
 	}
 
+	pr := newProc(done)
 	// 1. Source eNB -> MME: Handover Required.
 	required := &pkt.S1APMsg{
 		Procedure: pkt.S1APHandoverRequired,
 		ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID, Cause: 2, // radio reasons
 	}
-	c.sendS1AP(required, func() {
+	c.sendS1AP(pr, source.ep, c.mmeEP, required, func() {
 		// 2. MME -> target eNB: Handover Request carrying every E-RAB.
 		var erabs []pkt.ERABItem
 		for _, b := range sess.Bearers {
@@ -65,7 +66,7 @@ func (m *MME) Handover(sess *Session, target *ENB, done func(error)) {
 			ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 			ERABs: erabs,
 		}
-		c.sendS1AP(hoReq, func() {
+		c.sendS1AP(pr, c.mmeEP, target.ep, hoReq, func() {
 			// Target admits the bearers: new downlink TEIDs.
 			var ackItems []pkt.ERABItem
 			for _, b := range sess.Bearers {
@@ -81,7 +82,7 @@ func (m *MME) Handover(sess *Session, target *ENB, done func(error)) {
 				ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 				ERABs: ackItems,
 			}
-			c.sendS1AP(ack, func() {
+			c.sendS1AP(pr, target.ep, c.mmeEP, ack, func() {
 				// 4. MME -> source eNB: Handover Command; the source tells
 				// the UE to retune (RRC reconfiguration with mobility).
 				// The Target-to-Source transparent container carries the
@@ -91,9 +92,9 @@ func (m *MME) Handover(sess *Session, target *ENB, done func(error)) {
 					ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 					NAS: make([]byte, 90),
 				}
-				c.sendS1AP(cmd, func() {
+				c.sendS1AP(pr, c.mmeEP, source.ep, cmd, func() {
 					source.releaseContext(sess)
-					c.Eng.Schedule(handoverInterruption, func() {
+					c.Eng.Schedule(handoverInterruption, pr.step(func() {
 						sess.UE.switchRadio(target, tctx.uePort)
 						sess.ENB = target
 						// 5. Target -> MME: Handover Notify.
@@ -101,10 +102,10 @@ func (m *MME) Handover(sess *Session, target *ENB, done func(error)) {
 							Procedure: pkt.S1APHandoverNotify,
 							ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 						}
-						c.sendS1AP(notify, func() {
-							m.pathSwitch(sess, done)
+						c.sendS1AP(pr, target.ep, c.mmeEP, notify, func() {
+							m.pathSwitch(pr, sess)
 						})
-					})
+					}))
 				})
 			})
 		})
@@ -113,7 +114,7 @@ func (m *MME) Handover(sess *Session, target *ENB, done func(error)) {
 
 // pathSwitch repoints the SGW-U downlink rules at the new eNB (Modify
 // Bearer Request/Response on S11).
-func (m *MME) pathSwitch(sess *Session, done func(error)) {
+func (m *MME) pathSwitch(pr *proc, sess *Session) {
 	c := m.core
 	var items []pkt.BearerContext
 	for _, b := range sess.Bearers {
@@ -122,17 +123,15 @@ func (m *MME) pathSwitch(sess *Session, done func(error)) {
 			FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1UeNodeB, TEID: b.S1DL, Addr: sess.ENB.Addr()}},
 		})
 	}
-	req := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerRequest, Seq: 8, IMSI: sess.IMSI, Bearers: items}
-	c.sendGTPv2(req, func() {
+	req := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerRequest, IMSI: sess.IMSI, Bearers: items}
+	c.sendGTPv2(pr, c.mmeEP, c.sgwEP, req, func() {
 		for _, b := range sess.Bearers {
 			c.installSGWDownlink(sess, b)
 		}
-		resp := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerResponse, Seq: 8, Cause: pkt.GTPv2CauseAccepted}
-		c.sendGTPv2(resp, func() {
+		resp := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerResponse, Cause: pkt.GTPv2CauseAccepted}
+		c.sendGTPv2(pr, c.sgwEP, c.mmeEP, resp, func() {
 			m.Handovers++
-			if done != nil {
-				done(nil)
-			}
+			pr.finish(nil)
 		})
 	})
 }

@@ -1,0 +1,141 @@
+package epc
+
+import (
+	"testing"
+	"time"
+
+	"acacia/internal/netsim"
+)
+
+// Control-plane robustness: the transactional transport must carry EPC
+// procedures to completion across a lossy control link, and fail loudly —
+// exactly once, with cleaned-up state — when the link is unusable.
+
+func TestAttachSurvivesLossyS11(t *testing.T) {
+	tb := buildTestbed(t, IdleTimeout)
+	tb.core.S11Link().SetLoss(0.1)
+	tb.attach(t)
+	tb.dedicate(t)
+
+	tr := tb.core.Transport()
+	if tr.Timeouts() != 0 {
+		t.Fatalf("%d transactions timed out at 10%% S11 loss", tr.Timeouts())
+	}
+	if tr.Retransmissions() == 0 {
+		t.Fatal("no retransmissions despite S11 loss — recovery path untested")
+	}
+	// Only S11 is lossy, so every retransmission is attributable to a drop
+	// there: a lost request or a lost ack each cost exactly one retry.
+	s11 := tb.core.S11Link()
+	drops := s11.StatsAB().Dropped + s11.StatsBA().Dropped
+	if tr.Retransmissions() != drops {
+		t.Errorf("retransmissions=%d, S11 drops=%d: should match with zero timeouts",
+			tr.Retransmissions(), drops)
+	}
+	// A lost ack means the retransmitted request arrives twice.
+	if drops > 0 && tr.Duplicates() == 0 && tr.Retransmissions() > s11.StatsAB().Dropped+s11.StatsBA().Dropped {
+		t.Error("ack losses occurred but no duplicates were suppressed")
+	}
+}
+
+func TestAttachFailsCleanlyOnDeadS11(t *testing.T) {
+	tb := buildTestbed(t, IdleTimeout)
+	tb.core.S11Link().SetLoss(1.0)
+
+	var attachErr error
+	doneCalls := 0
+	tb.ue.Attach("core-sgw", "core-pgw", func(err error) {
+		attachErr = err
+		doneCalls++
+	})
+	tb.eng.RunFor(5 * time.Second) // no hang: bounded retries terminate
+
+	if doneCalls != 1 {
+		t.Fatalf("attach callback fired %d times, want exactly once", doneCalls)
+	}
+	if attachErr == nil {
+		t.Fatal("attach succeeded over a dead S11 link")
+	}
+	if tb.core.Transport().Timeouts() == 0 {
+		t.Error("no timeout recorded for the failed transaction")
+	}
+	if tb.ue.Attached() {
+		t.Error("UE reports attached after a failed attach")
+	}
+	if tb.core.Session(tb.ue.IMSI) != nil {
+		t.Error("failed attach left a session behind")
+	}
+}
+
+func TestDedicatedBearerFailureReleasesResources(t *testing.T) {
+	tb := buildTestbed(t, IdleTimeout)
+	tb.attach(t)
+
+	// Kill S11: the Create Bearer Request from the SGW-C cannot reach the
+	// MME, so the activation must fail terminally and release the admitted
+	// GBR capacity.
+	tb.core.S11Link().SetLoss(1.0)
+	var derr error
+	doneCalls := 0
+	tb.core.PCRF.RequestDedicatedBearer("retail-ar", tb.ue.Addr(), tb.ciHost.Node.Addr(),
+		"edge-sgw", "edge-pgw", func(e uint8, err error) {
+			derr = err
+			doneCalls++
+		})
+	tb.eng.RunFor(5 * time.Second)
+	if doneCalls != 1 {
+		t.Fatalf("bearer callback fired %d times, want exactly once", doneCalls)
+	}
+	if derr == nil {
+		t.Fatal("dedicated bearer activation succeeded over a dead S11 link")
+	}
+	if got := len(tb.ue.Session().DedicatedBearers()); got != 0 {
+		t.Fatalf("%d dedicated bearers exist after failed activation", got)
+	}
+
+	// Heal the link: a retry must succeed, proving the failed attempt
+	// leaked neither GBR budget nor session state.
+	tb.core.S11Link().SetLoss(0)
+	tb.dedicate(t)
+}
+
+func TestTraceSeqsMonotonicPerPath(t *testing.T) {
+	tb := buildTestbed(t, 500*time.Millisecond)
+	tb.core.Acct.Trace = true
+	tb.attach(t)
+	tb.dedicate(t)
+	// Idle release + promotion adds more signalling on the same paths.
+	tb.eng.RunFor(2 * time.Second)
+	netsim.NewPinger(tb.ue.Host, tb.inetHost.Node.Addr(), 64, 5300).SendOne()
+	tb.eng.RunFor(2 * time.Second)
+
+	last := map[string]uint32{} // "proto|path" -> last seq
+	n := 0
+	for _, r := range tb.core.Acct.Log {
+		if r.Proto != ProtoS1AP && r.Proto != ProtoGTPv2 {
+			continue
+		}
+		if r.Path == "" {
+			t.Fatalf("traced %s %s has no transport path", r.Proto, r.Name)
+		}
+		if r.Seq == 0 {
+			t.Fatalf("traced %s %s on %s has seq 0 — not allocator-issued", r.Proto, r.Name, r.Path)
+		}
+		key := r.Proto.String() + "|" + r.Path
+		if r.Seq <= last[key] {
+			t.Fatalf("%s on %s: seq %d after %d — per-peer sequences must be strictly monotonic",
+				r.Name, r.Path, r.Seq, last[key])
+		}
+		last[key] = r.Seq
+		n++
+	}
+	if n == 0 {
+		t.Fatal("trace captured no control messages")
+	}
+	// Loss-free runs traverse their link on the first attempt.
+	for _, r := range tb.core.Acct.Log {
+		if r.Retrans != 0 {
+			t.Errorf("%s on %s reports %d retransmissions on a loss-free run", r.Name, r.Path, r.Retrans)
+		}
+	}
+}

@@ -22,25 +22,21 @@ type MME struct {
 
 // onInitialAttach handles an InitialUEMessage carrying an attach request.
 // defaultPlanes name the (central) user planes serving the default bearer.
-func (m *MME) onInitialAttach(enb *ENB, ue *UE, sgwPlane, pgwPlane string, done func(error)) {
+// pr is the attach procedure opened at the eNB; it concludes when the
+// attach completes or any leg fails terminally.
+func (m *MME) onInitialAttach(pr *proc, enb *ENB, ue *UE, sgwPlane, pgwPlane string) {
 	c := m.core
 	sub, ok := c.HSS.Lookup(ue.IMSI)
 	if !ok {
-		if done != nil {
-			done(fmt.Errorf("epc: IMSI %s unknown to HSS", ue.IMSI))
-		}
+		pr.finish(fmt.Errorf("epc: IMSI %s unknown to HSS", ue.IMSI))
 		return
 	}
 	if c.sessions[ue.IMSI] != nil {
-		if done != nil {
-			done(fmt.Errorf("epc: IMSI %s already attached", ue.IMSI))
-		}
+		pr.finish(fmt.Errorf("epc: IMSI %s already attached", ue.IMSI))
 		return
 	}
 	if c.SGWC.planes[sgwPlane] == nil || c.PGWC.planes[pgwPlane] == nil {
-		if done != nil {
-			done(fmt.Errorf("epc: unknown default planes %q/%q", sgwPlane, pgwPlane))
-		}
+		pr.finish(fmt.Errorf("epc: unknown default planes %q/%q", sgwPlane, pgwPlane))
 		return
 	}
 	m.Attaches++
@@ -56,49 +52,58 @@ func (m *MME) onInitialAttach(enb *ENB, ue *UE, sgwPlane, pgwPlane string, done 
 	}
 	sess.setState(c.Eng, StateConnecting)
 	c.sessions[ue.IMSI] = sess
+	// If any leg of the attach times out, unwind the half-built session so
+	// the UE can retry from scratch.
+	pr.onError(func() {
+		delete(c.sessions, ue.IMSI)
+		if !sess.UEIP.IsZero() {
+			delete(c.byIP, sess.UEIP)
+		}
+		sess.setState(c.Eng, StateDetached)
+	})
 
 	// MME -> SGW-C: Create Session Request (S11).
 	b := &Bearer{EBI: EBIDefault, QoS: sub.DefaultQoS, SGWPlane: sgwPlane, PGWPlane: pgwPlane}
 	csReq := &pkt.GTPv2Msg{
-		Type: pkt.GTPv2CreateSessionRequest,
-		IMSI: ue.IMSI, Seq: 1,
+		Type:    pkt.GTPv2CreateSessionRequest,
+		IMSI:    ue.IMSI,
 		Bearers: []pkt.BearerContext{{EBI: b.EBI, QoS: &b.QoS}},
 	}
-	c.sendGTPv2(csReq, func() {
+	c.sendGTPv2(pr, c.mmeEP, c.sgwEP, csReq, func() {
 		// SGW-C allocates its TEIDs, forwards Create Session to the PGW-C.
 		b.S1UL = c.SGWC.teids.alloc()
 		b.S5DL = c.SGWC.teids.alloc()
 		fwd := &pkt.GTPv2Msg{
-			Type: pkt.GTPv2CreateSessionRequest,
-			IMSI: ue.IMSI, Seq: 1,
+			Type:        pkt.GTPv2CreateSessionRequest,
+			IMSI:        ue.IMSI,
 			SenderFTEID: &pkt.FTEID{IfaceType: pkt.FTEIDIfaceS5SGW, TEID: b.S5DL, Addr: c.SGWC.planes[sgwPlane].Addr()},
 			Bearers:     []pkt.BearerContext{{EBI: b.EBI, QoS: &b.QoS}},
 		}
-		c.sendGTPv2(fwd, func() {
+		c.sendGTPv2(pr, c.sgwEP, c.pgwEP, fwd, func() {
 			// PGW-C (PCEF): confirm the UE's statically bound address (the
 			// PAA) and allocate the S5 TEID.
 			sess.UEIP = sess.UE.Addr()
 			c.byIP[sess.UEIP] = sess
 			b.S5UL = c.PGWC.teids.alloc()
 			resp := &pkt.GTPv2Msg{
-				Type: pkt.GTPv2CreateSessionResponse,
-				Seq:  1, Cause: pkt.GTPv2CauseAccepted, PAA: sess.UEIP,
+				Type:  pkt.GTPv2CreateSessionResponse,
+				Cause: pkt.GTPv2CauseAccepted, PAA: sess.UEIP,
 				SenderFTEID: &pkt.FTEID{IfaceType: pkt.FTEIDIfaceS5PGW, TEID: b.S5UL, Addr: c.PGWC.planes[pgwPlane].Addr()},
 				Bearers:     []pkt.BearerContext{{EBI: b.EBI, Cause: pkt.GTPv2CauseAccepted}},
 			}
-			c.sendGTPv2(resp, func() {
+			c.sendGTPv2(pr, c.pgwEP, c.sgwEP, resp, func() {
 				// SGW-C -> MME: Create Session Response with the S1-U
 				// F-TEID the eNB must send uplink to.
 				resp2 := &pkt.GTPv2Msg{
-					Type: pkt.GTPv2CreateSessionResponse,
-					Seq:  1, Cause: pkt.GTPv2CauseAccepted, PAA: sess.UEIP,
+					Type:  pkt.GTPv2CreateSessionResponse,
+					Cause: pkt.GTPv2CauseAccepted, PAA: sess.UEIP,
 					Bearers: []pkt.BearerContext{{
 						EBI: b.EBI, Cause: pkt.GTPv2CauseAccepted,
 						FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: c.SGWC.planes[sgwPlane].Addr()}},
 					}},
 				}
-				c.sendGTPv2(resp2, func() {
-					m.setupInitialContext(sess, b, done)
+				c.sendGTPv2(pr, c.sgwEP, c.mmeEP, resp2, func() {
+					m.setupInitialContext(pr, sess, b)
 				})
 			})
 		})
@@ -107,7 +112,7 @@ func (m *MME) onInitialAttach(enb *ENB, ue *UE, sgwPlane, pgwPlane string, done 
 
 // setupInitialContext runs the S1AP Initial Context Setup exchange with the
 // eNB and the follow-up Modify Bearer toward the SGW-C.
-func (m *MME) setupInitialContext(sess *Session, b *Bearer, done func(error)) {
+func (m *MME) setupInitialContext(pr *proc, sess *Session, b *Bearer) {
 	c := m.core
 	sgw := c.SGWC.planes[b.SGWPlane]
 	acceptNAS := (&pkt.NASMsg{
@@ -126,7 +131,7 @@ func (m *MME) setupInitialContext(sess *Session, b *Bearer, done func(error)) {
 			Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: sgw.Addr()},
 		}},
 	}
-	c.sendS1AP(icsReq, func() {
+	c.sendS1AP(pr, c.mmeEP, sess.ENB.ep, icsReq, func() {
 		// eNB allocates its downlink TEID and attaches the radio bearer.
 		b.S1DL = sess.ENB.attachBearer(sess, b)
 		icsResp := &pkt.S1APMsg{
@@ -137,21 +142,21 @@ func (m *MME) setupInitialContext(sess *Session, b *Bearer, done func(error)) {
 				Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1UeNodeB, TEID: b.S1DL, Addr: sess.ENB.Addr()},
 			}},
 		}
-		c.sendS1AP(icsResp, func() {
+		c.sendS1AP(pr, sess.ENB.ep, c.mmeEP, icsResp, func() {
 			// MME -> SGW-C: Modify Bearer with the eNB F-TEID.
 			mbReq := &pkt.GTPv2Msg{
-				Type: pkt.GTPv2ModifyBearerRequest, Seq: 2, IMSI: sess.IMSI,
+				Type: pkt.GTPv2ModifyBearerRequest, IMSI: sess.IMSI,
 				Bearers: []pkt.BearerContext{{
 					EBI:    b.EBI,
 					FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1UeNodeB, TEID: b.S1DL, Addr: sess.ENB.Addr()}},
 				}},
 			}
-			c.sendGTPv2(mbReq, func() {
+			c.sendGTPv2(pr, c.mmeEP, c.sgwEP, mbReq, func() {
 				mbResp := &pkt.GTPv2Msg{
-					Type: pkt.GTPv2ModifyBearerResponse, Seq: 2, Cause: pkt.GTPv2CauseAccepted,
+					Type: pkt.GTPv2ModifyBearerResponse, Cause: pkt.GTPv2CauseAccepted,
 					Bearers: []pkt.BearerContext{{EBI: b.EBI, Cause: pkt.GTPv2CauseAccepted}},
 				}
-				c.sendGTPv2(mbResp, func() {
+				c.sendGTPv2(pr, c.sgwEP, c.mmeEP, mbResp, func() {
 					sess.Bearers[b.EBI] = b
 					c.installBearerFlows(sess, b)
 					// UE -> MME attach complete.
@@ -160,12 +165,10 @@ func (m *MME) setupInitialContext(sess *Session, b *Bearer, done func(error)) {
 						ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 						NAS: (&pkt.NASMsg{Type: pkt.NASAttachComplete}).Encode(nil),
 					}
-					c.sendS1AP(complete, func() {
+					c.sendS1AP(pr, sess.ENB.ep, c.mmeEP, complete, func() {
 						sess.UE.completeAttach(sess)
 						sess.setState(c.Eng, StateConnected)
-						if done != nil {
-							done(nil)
-						}
+						pr.finish(nil)
 					})
 				})
 			})
@@ -178,39 +181,34 @@ func (m *MME) setupInitialContext(sess *Session, b *Bearer, done func(error)) {
 // onDetach handles a UE-initiated detach: tear down every bearer's user
 // plane, delete the session at the gateways (Delete Session Request on S11
 // and S5), and release the radio context.
-func (m *MME) onDetach(sess *Session, done func()) {
+func (m *MME) onDetach(pr *proc, sess *Session) {
 	c := m.core
-	req := &pkt.GTPv2Msg{Type: pkt.GTPv2DeleteSessionRequest, Seq: 9, IMSI: sess.IMSI}
-	c.sendGTPv2(req, func() {
-		fwd := &pkt.GTPv2Msg{Type: pkt.GTPv2DeleteSessionRequest, Seq: 9, IMSI: sess.IMSI}
-		c.sendGTPv2(fwd, func() {
+	req := &pkt.GTPv2Msg{Type: pkt.GTPv2DeleteSessionRequest, IMSI: sess.IMSI}
+	c.sendGTPv2(pr, c.mmeEP, c.sgwEP, req, func() {
+		fwd := &pkt.GTPv2Msg{Type: pkt.GTPv2DeleteSessionRequest, IMSI: sess.IMSI}
+		c.sendGTPv2(pr, c.sgwEP, c.pgwEP, fwd, func() {
 			// PGW-C: drop flows, return GBR reservations.
-			for _, b := range sess.Bearers {
-				c.removeBearerFlows(sess, b)
-				c.PGWC.planes[b.PGWPlane].releaseGBR(b.QoS.GuaranteedUL + b.QoS.GuaranteedDL)
-			}
-			resp := &pkt.GTPv2Msg{Type: pkt.GTPv2DeleteSessionResponse, Seq: 9, Cause: pkt.GTPv2CauseAccepted}
-			c.sendGTPv2(resp, func() {
-				resp2 := &pkt.GTPv2Msg{Type: pkt.GTPv2DeleteSessionResponse, Seq: 9, Cause: pkt.GTPv2CauseAccepted}
-				c.sendGTPv2(resp2, func() {
+			c.releaseSessionResources(sess)
+			resp := &pkt.GTPv2Msg{Type: pkt.GTPv2DeleteSessionResponse, Cause: pkt.GTPv2CauseAccepted}
+			c.sendGTPv2(pr, c.pgwEP, c.sgwEP, resp, func() {
+				resp2 := &pkt.GTPv2Msg{Type: pkt.GTPv2DeleteSessionResponse, Cause: pkt.GTPv2CauseAccepted}
+				c.sendGTPv2(pr, c.sgwEP, c.mmeEP, resp2, func() {
 					cmd := &pkt.S1APMsg{
 						Procedure: pkt.S1APUEContextReleaseCommand,
 						ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID, Cause: 3, // detach
 					}
-					c.sendS1AP(cmd, func() {
+					c.sendS1AP(pr, c.mmeEP, sess.ENB.ep, cmd, func() {
 						sess.ENB.releaseContext(sess)
 						complete := &pkt.S1APMsg{
 							Procedure: pkt.S1APUEContextReleaseComplete,
 							ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 						}
-						c.sendS1AP(complete, func() {
+						c.sendS1AP(pr, sess.ENB.ep, c.mmeEP, complete, func() {
 							sess.setState(c.Eng, StateDetached)
 							delete(c.sessions, sess.IMSI)
 							delete(c.byIP, sess.UEIP)
 							sess.UE.completeDetach()
-							if done != nil {
-								done()
-							}
+							pr.finish(nil)
 						})
 					})
 				})
@@ -223,34 +221,35 @@ func (m *MME) onDetach(sess *Session, done func()) {
 
 // onReleaseRequest handles the eNB's UE Context Release Request after the
 // inactivity timer fires.
-func (m *MME) onReleaseRequest(sess *Session) {
+func (m *MME) onReleaseRequest(pr *proc, sess *Session) {
 	c := m.core
 	if sess.State != StateConnected {
+		pr.finish(nil)
 		return
 	}
 	m.Releases++
 	sess.setState(c.Eng, StateIdle)
 	// MME -> SGW-C: Release Access Bearers (drops eNB-facing state).
-	raReq := &pkt.GTPv2Msg{Type: pkt.GTPv2ReleaseAccessBearersRequest, Seq: 3, IMSI: sess.IMSI}
-	c.sendGTPv2(raReq, func() {
+	raReq := &pkt.GTPv2Msg{Type: pkt.GTPv2ReleaseAccessBearersRequest, IMSI: sess.IMSI}
+	c.sendGTPv2(pr, c.mmeEP, c.sgwEP, raReq, func() {
 		// SGW-C deletes the SGW-U downlink rules: later downlink traffic
 		// misses and triggers paging.
 		for _, b := range sess.Bearers {
 			c.removeSGWDownlink(sess, b)
 		}
-		raResp := &pkt.GTPv2Msg{Type: pkt.GTPv2ReleaseAccessBearersResponse, Seq: 3, Cause: pkt.GTPv2CauseAccepted}
-		c.sendGTPv2(raResp, func() {
+		raResp := &pkt.GTPv2Msg{Type: pkt.GTPv2ReleaseAccessBearersResponse, Cause: pkt.GTPv2CauseAccepted}
+		c.sendGTPv2(pr, c.sgwEP, c.mmeEP, raResp, func() {
 			cmd := &pkt.S1APMsg{
 				Procedure: pkt.S1APUEContextReleaseCommand,
 				ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID, Cause: 20, // user-inactivity
 			}
-			c.sendS1AP(cmd, func() {
+			c.sendS1AP(pr, c.mmeEP, sess.ENB.ep, cmd, func() {
 				sess.ENB.releaseContext(sess)
 				complete := &pkt.S1APMsg{
 					Procedure: pkt.S1APUEContextReleaseComplete,
 					ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 				}
-				c.sendS1AP(complete, func() {})
+				c.sendS1AP(pr, sess.ENB.ep, c.mmeEP, complete, func() { pr.finish(nil) })
 			})
 		})
 	})
@@ -260,9 +259,10 @@ func (m *MME) onReleaseRequest(sess *Session) {
 
 // onServiceRequest handles the eNB's InitialUEMessage{Service Request} when
 // an idle UE has data to send (or responds to paging).
-func (m *MME) onServiceRequest(sess *Session) {
+func (m *MME) onServiceRequest(pr *proc, sess *Session) {
 	c := m.core
 	if sess.State != StateIdle {
+		pr.finish(nil)
 		return
 	}
 	m.Promotions++
@@ -283,7 +283,7 @@ func (m *MME) onServiceRequest(sess *Session) {
 		ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 		ERABs: erabs,
 	}
-	c.sendS1AP(icsReq, func() {
+	c.sendS1AP(pr, c.mmeEP, sess.ENB.ep, icsReq, func() {
 		var respItems []pkt.ERABItem
 		for _, b := range sess.Bearers {
 			b.S1DL = sess.ENB.attachBearer(sess, b)
@@ -297,7 +297,7 @@ func (m *MME) onServiceRequest(sess *Session) {
 			ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 			ERABs: respItems,
 		}
-		c.sendS1AP(icsResp, func() {
+		c.sendS1AP(pr, sess.ENB.ep, c.mmeEP, icsResp, func() {
 			var mbItems []pkt.BearerContext
 			for _, b := range sess.Bearers {
 				mbItems = append(mbItems, pkt.BearerContext{
@@ -305,24 +305,25 @@ func (m *MME) onServiceRequest(sess *Session) {
 					FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1UeNodeB, TEID: b.S1DL, Addr: sess.ENB.Addr()}},
 				})
 			}
-			mbReq := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerRequest, Seq: 4, IMSI: sess.IMSI, Bearers: mbItems}
-			c.sendGTPv2(mbReq, func() {
+			mbReq := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerRequest, IMSI: sess.IMSI, Bearers: mbItems}
+			c.sendGTPv2(pr, c.mmeEP, c.sgwEP, mbReq, func() {
 				// SGW-C reinstalls the SGW-U downlink rules toward the new
 				// eNB TEIDs (PGW-U state is unchanged).
 				for _, b := range sess.Bearers {
 					c.installSGWDownlink(sess, b)
 				}
-				mbResp := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerResponse, Seq: 4, Cause: pkt.GTPv2CauseAccepted}
-				c.sendGTPv2(mbResp, func() {
+				mbResp := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerResponse, Cause: pkt.GTPv2CauseAccepted}
+				c.sendGTPv2(pr, c.sgwEP, c.mmeEP, mbResp, func() {
 					// NAS service accept closes the promotion exchange.
 					accept := &pkt.S1APMsg{
 						Procedure: pkt.S1APDownlinkNASTransport,
 						ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 						NAS: (&pkt.NASMsg{Type: pkt.NASServiceAccept}).Encode(nil),
 					}
-					c.sendS1AP(accept, func() {
+					c.sendS1AP(pr, c.mmeEP, sess.ENB.ep, accept, func() {
 						sess.setState(c.Eng, StateConnected)
 						sess.ENB.flushUplink(sess)
+						pr.finish(nil)
 					})
 				})
 			})
@@ -338,9 +339,11 @@ func (m *MME) page(sess *Session) {
 		return
 	}
 	m.Pagings++
+	pr := newProc(nil)
 	msg := &pkt.S1APMsg{Procedure: pkt.S1APPaging, MMEUEID: sess.MMEUEID}
-	c.sendS1AP(msg, func() {
+	c.sendS1AP(pr, c.mmeEP, sess.ENB.ep, msg, func() {
 		sess.ENB.pageUE(sess)
+		pr.finish(nil)
 	})
 }
 
@@ -348,8 +351,10 @@ func (m *MME) page(sess *Session) {
 
 // onCreateBearerRequest is the MME's role in dedicated bearer activation:
 // run the E-RAB Setup exchange with the eNB (which delivers the TFT to the
-// UE in the RRC reconfiguration) and report back to the SGW-C.
-func (m *MME) onCreateBearerRequest(sess *Session, b *Bearer, done func(error)) {
+// UE in the RRC reconfiguration) and report back to the SGW-C. done carries
+// the protocol-level outcome (acceptance or denial); transport failures
+// conclude pr directly.
+func (m *MME) onCreateBearerRequest(pr *proc, sess *Session, b *Bearer, done func(error)) {
 	c := m.core
 	doSetup := func() {
 		sgw := c.SGWC.planes[b.SGWPlane]
@@ -372,7 +377,7 @@ func (m *MME) onCreateBearerRequest(sess *Session, b *Bearer, done func(error)) 
 				TFT:       b.TFT,
 			}},
 		}
-		c.sendS1AP(req, func() {
+		c.sendS1AP(pr, c.mmeEP, sess.ENB.ep, req, func() {
 			b.S1DL = sess.ENB.attachBearer(sess, b)
 			if err := sess.UE.installTFTFromNAS(activateNAS); err != nil {
 				panic("epc: NAS bearer activation round trip failed: " + err.Error())
@@ -385,10 +390,8 @@ func (m *MME) onCreateBearerRequest(sess *Session, b *Bearer, done func(error)) 
 					Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1UeNodeB, TEID: b.S1DL, Addr: sess.ENB.Addr()},
 				}},
 			}
-			c.sendS1AP(resp, func() {
-				if done != nil {
-					done(nil)
-				}
+			c.sendS1AP(pr, sess.ENB.ep, c.mmeEP, resp, func() {
+				done(nil)
 			})
 		})
 	}
@@ -397,32 +400,30 @@ func (m *MME) onCreateBearerRequest(sess *Session, b *Bearer, done func(error)) 
 		doSetup()
 	case StateIdle:
 		// Wake the UE first; bearer setup rides after promotion.
-		sess.whenConnected(doSetup)
+		sess.whenConnected(pr.step(doSetup))
 		m.page(sess)
 	case StatePromoting, StateConnecting:
-		sess.whenConnected(doSetup)
+		sess.whenConnected(pr.step(doSetup))
 	default:
-		if done != nil {
-			done(fmt.Errorf("epc: UE %s in state %v", sess.IMSI, sess.State))
-		}
+		done(fmt.Errorf("epc: UE %s in state %v", sess.IMSI, sess.State))
 	}
 }
 
 // onDeleteBearerRequest releases the radio leg of a dedicated bearer.
-func (m *MME) onDeleteBearerRequest(sess *Session, b *Bearer, done func()) {
+func (m *MME) onDeleteBearerRequest(pr *proc, sess *Session, b *Bearer, done func()) {
 	c := m.core
 	cmd := &pkt.S1APMsg{
 		Procedure: pkt.S1APERABReleaseCommand,
 		ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 		ERABs: []pkt.ERABItem{{ERABID: b.EBI}},
 	}
-	c.sendS1AP(cmd, func() {
+	c.sendS1AP(pr, c.mmeEP, sess.ENB.ep, cmd, func() {
 		sess.ENB.detachBearer(sess, b.EBI)
 		sess.UE.removeTFT(b.EBI)
 		resp := &pkt.S1APMsg{
 			Procedure: pkt.S1APERABReleaseResponse,
 			ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 		}
-		c.sendS1AP(resp, done)
+		c.sendS1AP(pr, sess.ENB.ep, c.mmeEP, resp, done)
 	})
 }

@@ -97,7 +97,17 @@ func (u *UE) Detach(done func()) error {
 		ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 		NAS: nas,
 	}
-	core.sendS1AP(msg, func() { core.MME.onDetach(sess, done) })
+	pr := newProc(func(err error) {
+		if err != nil {
+			// The detach signalling failed mid-flight; force-release the
+			// session locally so the UE does not stay half-attached.
+			core.forceDetach(sess)
+		}
+		if done != nil {
+			done()
+		}
+	})
+	core.sendS1AP(pr, u.enb.ep, core.mmeEP, msg, func() { core.MME.onDetach(pr, sess) })
 	return nil
 }
 

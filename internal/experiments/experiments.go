@@ -171,7 +171,7 @@ var (
 // presentation is the paper's order; registration order (Go init order
 // across files) is alphabetical by file and not meaningful.
 var presentation = []string{
-	"3a", "3b", "3c", "3d", "3e", "3f", "3g", "3h", "overhead",
+	"3a", "3b", "3c", "3d", "3e", "3f", "3g", "3h", "overhead", "control-loss",
 	"6", "8", "9", "10a", "10b",
 	"compression", "11a", "11b", "12", "13",
 	"ablation-fastpath", "ablation-bearer", "ablation-stages",

@@ -10,7 +10,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"3a", "3b", "3c", "3d", "3e", "3f", "3g", "3h", "overhead",
+		"3a", "3b", "3c", "3d", "3e", "3f", "3g", "3h", "overhead", "control-loss",
 		"6", "8", "9", "10a", "10b",
 		"compression", "11a", "11b", "12", "13",
 		"ablation-fastpath", "ablation-bearer", "ablation-stages", "ablation-radius", "ablation-solver", "ablation-qci", "ablation-index",
@@ -160,6 +160,44 @@ func TestOverheadMatchesPaperCounts(t *testing.T) {
 		if got != want {
 			t.Errorf("%s messages = %v, want %v", tb.Rows[i][0], got, want)
 		}
+	}
+}
+
+func TestControlLossShape(t *testing.T) {
+	r, err := Run("control-loss", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := r.Tables[0]
+	if len(tb.Rows) != 5 {
+		t.Fatalf("control-loss has %d rows, want 5 loss rates", len(tb.Rows))
+	}
+	// Loss-free baseline: both procedures complete without retransmissions.
+	if tb.Rows[0][1] != "ok" || tb.Rows[0][2] != "ok" {
+		t.Errorf("loss-free row = %v, want attach/bearer ok", tb.Rows[0])
+	}
+	if got := cell(t, r, 0, 0, 3); got != 0 {
+		t.Errorf("loss-free retransmissions = %v, want 0", got)
+	}
+	// Injected loss must exercise the recovery machinery somewhere.
+	var retrans float64
+	for i := 1; i < len(tb.Rows); i++ {
+		retrans += cell(t, r, 0, i, 3)
+	}
+	if retrans == 0 {
+		t.Error("no retransmissions across any lossy trial")
+	}
+	// Every row terminated: no procedure may hang regardless of loss.
+	for i, row := range tb.Rows {
+		if row[2] == "HUNG" {
+			t.Errorf("row %d: bearer activation hung under loss", i)
+		}
+	}
+	if r.Metrics == nil {
+		t.Fatal("control-loss carries no metrics snapshot")
+	}
+	if _, ok := r.Metrics.Get("epc/txn/sent"); !ok {
+		t.Error("metrics lack the epc/txn/sent counter")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"time"
 
+	"acacia/internal/sim"
 	"acacia/internal/telemetry"
 )
 
@@ -24,6 +25,11 @@ type LinkConfig struct {
 	// Prioritized selects QCI-priority scheduling instead of FIFO. The
 	// eNodeB radio scheduler uses this; wired links are FIFO.
 	Prioritized bool
+	// LossProb drops each offered packet independently with this
+	// probability, before queueing. Zero (the default) draws no random
+	// numbers, so loss-free runs stay byte-identical with or without the
+	// field. Loss-injection for robustness experiments.
+	LossProb float64
 }
 
 // DefaultQueueBytes is the transmit queue bound applied when a LinkConfig
@@ -91,6 +97,10 @@ func (d *linkDir) send(p *Packet) {
 		d.dropped.Inc()
 		return
 	}
+	if d.cfg.LossProb > 0 && d.net.eng.RNG().Float64() < d.cfg.LossProb {
+		d.dropped.Inc()
+		return
+	}
 	if d.cfg.BitsPerSecond == 0 {
 		// Pure delay line: no serialization, no queueing.
 		d.bytes.Add(uint64(p.Size))
@@ -103,7 +113,7 @@ func (d *linkDir) send(p *Packet) {
 	}
 	d.qBytes += p.Size
 	d.queueLen.Set(float64(d.qBytes))
-	item := &queuedPacket{p: p, seq: d.seq}
+	item := &queuedPacket{p: p, seq: d.seq, enq: d.net.eng.Now()}
 	d.seq++
 	if !d.cfg.Prioritized {
 		// FIFO: priority field ignored by giving every packet priority 0.
@@ -125,6 +135,7 @@ func (d *linkDir) transmitNext() {
 	d.busy = true
 	item := heap.Pop(&d.queue).(*queuedPacket)
 	p := item.p
+	p.QueueWait += d.net.eng.Now().Sub(item.enq)
 	d.qBytes -= p.Size
 	d.queueLen.Set(float64(d.qBytes))
 	txTime := time.Duration(float64(p.Size*8) / d.cfg.BitsPerSecond * float64(time.Second))
@@ -152,6 +163,7 @@ type queuedPacket struct {
 	p    *Packet
 	prio int
 	seq  uint64
+	enq  sim.Time
 }
 
 type pktHeap []*queuedPacket
@@ -219,6 +231,13 @@ func (l *Link) SetDown(down bool) {
 
 // Down reports whether the link is currently failed.
 func (l *Link) Down() bool { return l.ab.down }
+
+// SetLoss injects independent per-packet loss with probability p in both
+// directions. Zero restores lossless operation.
+func (l *Link) SetLoss(p float64) {
+	l.ab.cfg.LossProb = p
+	l.ba.cfg.LossProb = p
+}
 
 // Port is one attachment point of a link on a node.
 type Port struct {

@@ -10,6 +10,8 @@
 package netsim
 
 import (
+	"time"
+
 	"acacia/internal/pkt"
 	"acacia/internal/sim"
 )
@@ -43,6 +45,9 @@ type Packet struct {
 
 	// CreatedAt is when the packet entered the network.
 	CreatedAt sim.Time
+	// QueueWait accumulates the time spent waiting in link transmit queues
+	// across every hop so far.
+	QueueWait time.Duration
 	// Hops counts forwarding operations, a loop guard.
 	Hops int
 }

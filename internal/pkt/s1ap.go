@@ -85,8 +85,11 @@ type ERABItem struct {
 // S1APMsg is one eNB<->MME control message.
 type S1APMsg struct {
 	Procedure S1APProcedure
-	ENBUEID   uint32 // eNB UE S1AP ID
-	MMEUEID   uint32 // MME UE S1AP ID
+	// TSN is the SCTP DATA-chunk transmission sequence number stamped by
+	// the control transport's per-peer allocator.
+	TSN     uint32
+	ENBUEID uint32 // eNB UE S1AP ID
+	MMEUEID uint32 // MME UE S1AP ID
 	// NAS is the carried NAS PDU (attach, service request, ESM bearer
 	// activation — see the nas.go encodings), or an opaque transparent
 	// container for handover messages.
@@ -116,10 +119,10 @@ func (m *S1APMsg) Encode(b []byte) []byte {
 	// DATA chunk: type, flags, length, TSN, stream id, stream seq, ppid.
 	b = append(b, 0, 0x03) // DATA, unfragmented
 	b = putU16(b, uint16(SCTPDataChunkLen+len(payload)))
-	b = putU32(b, 0)  // TSN (filled by transport in a real stack)
-	b = putU16(b, 0)  // stream id
-	b = putU16(b, 0)  // stream seq
-	b = putU32(b, 18) // PPID 18 = S1AP
+	b = putU32(b, m.TSN) // TSN, from the transport's per-peer allocator
+	b = putU16(b, 0)     // stream id
+	b = putU16(b, 0)     // stream seq
+	b = putU32(b, 18)    // PPID 18 = S1AP
 	return append(b, payload...)
 }
 
@@ -225,9 +228,11 @@ func (m *S1APMsg) Decode(b []byte) (int, error) {
 	if chunkLen < SCTPDataChunkLen {
 		return 0, fmt.Errorf("pkt: SCTP chunk length %d too short", chunkLen)
 	}
-	if _, err := r.bytes(12); err != nil { // TSN, stream, ppid
+	chunkRest, err := r.bytes(12) // TSN, stream, ppid
+	if err != nil {
 		return 0, err
 	}
+	m.TSN = be.Uint32(chunkRest)
 	payload, err := r.bytes(chunkLen - SCTPDataChunkLen)
 	if err != nil {
 		return 0, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"acacia/internal/ctl"
 	"acacia/internal/netsim"
 	"acacia/internal/pkt"
 	"acacia/internal/sim"
@@ -39,7 +40,17 @@ type Controller struct {
 	RTT time.Duration
 
 	switches map[uint64]*Switch
-	xid      uint32
+	// order remembers switch registration order: control-channel links are
+	// wired from it so link creation (and with it metric naming and RNG
+	// consumption) is deterministic, which map iteration would not be.
+	order []*Switch
+	xid   uint32
+
+	// Transactional control channel, enabled by EnableTransport. When nil,
+	// control messages fall back to fixed-RTT scheduling (standalone
+	// controllers without a network, e.g. microbenchmarks).
+	tr *ctl.Transport
+	ep *ctl.Endpoint
 
 	// OnPacketIn handles reactive flow setup.
 	OnPacketIn PacketInHandler
@@ -86,10 +97,63 @@ func (c *Controller) AddSwitch(sw *Switch) {
 		panic(fmt.Sprintf("sdn: duplicate dpid %d", sw.DPID))
 	}
 	c.switches[sw.DPID] = sw
+	c.order = append(c.order, sw)
 	sw.controller = c
+	if c.tr != nil {
+		c.wireSwitch(sw)
+	}
+	// The Hello exchange happens while the channel comes up, before the
+	// transport exists; it stays accounting-only.
 	hello := &pkt.OFMsg{Type: pkt.OFHello, XID: c.nextXID()}
 	c.accountSent(hello)
 	c.accountReceived(hello) // symmetric hello from the switch
+}
+
+// EnableTransport moves the controller's OpenFlow channel onto the network:
+// node becomes the controller's control endpoint and every registered (and
+// future) switch gets a dedicated control link with transactional delivery
+// (retransmission on loss, duplicate suppression). Without it the controller
+// keeps the legacy fixed-RTT model.
+func (c *Controller) EnableTransport(tr *ctl.Transport, node *netsim.Node) {
+	c.tr = tr
+	c.ep = tr.Endpoint(node, true)
+	for _, sw := range c.order {
+		c.wireSwitch(sw)
+	}
+}
+
+// wireSwitch creates the switch's control endpoint and its link to the
+// controller. The RTT config becomes the link's propagation delay, so the
+// old fixed latency is now an emergent property of the wire.
+func (c *Controller) wireSwitch(sw *Switch) {
+	if sw.ctlEP != nil {
+		return
+	}
+	ep := c.tr.Endpoint(sw.node, false)
+	ctl.Connect(c.ep, ep, netsim.LinkConfig{BitsPerSecond: 1e9, Propagation: c.RTT})
+	sw.ctlEP = ep
+}
+
+// toSwitch delivers a controller-to-switch message: over the transactional
+// transport when the switch has a control link, otherwise after the legacy
+// fixed RTT.
+func (c *Controller) toSwitch(sw *Switch, name string, size int, fn func()) {
+	if c.ep != nil && sw.ctlEP != nil {
+		seq := c.ep.NextSeq(sw.ctlEP.Addr())
+		c.ep.Send(sw.ctlEP.Addr(), seq, name, size, fn, nil, nil)
+		return
+	}
+	c.eng.Schedule(c.RTT, fn)
+}
+
+// toController delivers a switch-to-controller message symmetrically.
+func (c *Controller) toController(sw *Switch, name string, size int, fn func()) {
+	if c.ep != nil && sw.ctlEP != nil {
+		seq := sw.ctlEP.NextSeq(c.ep.Addr())
+		sw.ctlEP.Send(c.ep.Addr(), seq, name, size, fn, nil, nil)
+		return
+	}
+	c.eng.Schedule(c.RTT, fn)
 }
 
 // Switch returns the connected switch with the given datapath id, or nil.
@@ -130,7 +194,7 @@ func (c *Controller) InstallFlow(sw *Switch, e FlowEntry) int {
 		Actions:     e.Actions,
 	}
 	n := c.accountSent(msg)
-	c.eng.Schedule(c.RTT, func() { sw.installFlow(e) })
+	c.toSwitch(sw, "FlowMod", n, func() { sw.installFlow(e) })
 	return n
 }
 
@@ -143,7 +207,7 @@ func (c *Controller) RemoveFlows(sw *Switch, cookie uint64) int {
 		Cookie:  cookie,
 	}
 	n := c.accountSent(msg)
-	c.eng.Schedule(c.RTT, func() { sw.removeFlows(cookie) })
+	c.toSwitch(sw, "FlowMod", n, func() { sw.removeFlows(cookie) })
 	return n
 }
 
@@ -155,12 +219,12 @@ func (c *Controller) packetIn(sw *Switch, inPort uint32, p *netsim.Packet, tunne
 		DataLen:  uint16(clampLen(p.Size, 128)), // truncated packet copy
 		Match:    pkt.Match{InPort: pkt.U32(inPort), TunnelID: pkt.U64(tunnelID)},
 	}
-	c.accountReceived(msg)
+	n := c.accountReceived(msg)
 	if c.OnPacketIn == nil {
 		sw.dropped.Inc()
 		return
 	}
-	c.eng.Schedule(c.RTT, func() { c.OnPacketIn(sw, inPort, p, tunnelID) })
+	c.toController(sw, "PacketIn", n, func() { c.OnPacketIn(sw, inPort, p, tunnelID) })
 }
 
 // flowRemoved is called by a switch when an idle entry expires.
@@ -169,7 +233,12 @@ func (c *Controller) flowRemoved(sw *Switch, e *FlowEntry) {
 		Type: pkt.OFFlowRemoved, XID: c.nextXID(),
 		Cookie: e.Cookie, Priority: e.Priority, Match: e.Match,
 	}
-	c.accountReceived(msg)
+	n := c.accountReceived(msg)
+	if c.ep != nil && sw.ctlEP != nil {
+		// The notification still rides the wire even though the controller
+		// has no handler beyond accounting.
+		c.toController(sw, "FlowRemoved", n, func() {})
+	}
 }
 
 func clampLen(v, lim int) int {

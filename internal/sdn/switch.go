@@ -17,6 +17,7 @@ import (
 	"sort"
 	"time"
 
+	"acacia/internal/ctl"
 	"acacia/internal/netsim"
 	"acacia/internal/pkt"
 	"acacia/internal/sim"
@@ -119,7 +120,10 @@ type Switch struct {
 	gtpPort map[int]bool // ports with GTP logical-port semantics
 
 	controller *Controller
-	pathMon    *PathMonitor
+	// ctlEP is the switch's OpenFlow control endpoint, set when the
+	// controller runs with a networked transport (EnableTransport).
+	ctlEP   *ctl.Endpoint
+	pathMon *PathMonitor
 
 	// Single-server CPU for per-packet processing costs.
 	busy     bool
@@ -200,8 +204,15 @@ func (sw *Switch) FlowCount() int { return len(sw.table) }
 func (sw *Switch) MarkGTPPort(portID int) { sw.gtpPort[portID] = true }
 
 // receive is the netsim handler: queue the packet for the (serialized)
-// switch CPU.
+// switch CPU. OpenFlow control frames bypass the data-plane CPU queue and
+// go straight to the control endpoint.
 func (sw *Switch) receive(ingress *netsim.Port, p *netsim.Packet) {
+	if sw.ctlEP != nil {
+		if f := ctl.FrameOf(p); f != nil {
+			sw.ctlEP.Receive(ingress, p, f)
+			return
+		}
+	}
 	sw.cpuQueue = append(sw.cpuQueue, pendingPacket{ingress, p})
 	if !sw.busy {
 		sw.serveNext()
