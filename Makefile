@@ -9,8 +9,12 @@ all: build vet test
 build:
 	$(GO) build ./...
 
+# go vet for generic mistakes, acacia-vet for the repo's own contracts
+# (virtual time, seeded randomness, sorted map output, metric grammar,
+# exec-only goroutines). See DESIGN.md §3d.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/acacia-vet ./...
 
 test:
 	$(GO) test ./...
@@ -43,9 +47,15 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark record: every Benchmark* line as a JSON array in
-# BENCH_control.json (name, iterations, ns/op, B/op, allocs/op).
+# BENCH_control.json (name, iterations, ns/op, B/op, allocs/op). A failed or
+# benchmark-free run still writes valid JSON ([]) but exits nonzero, so
+# downstream tooling never parses a half-written file.
 bench-json:
-	@$(GO) test -bench=. -benchmem ./... | awk ' \
+	@if ! $(GO) test -bench=. -benchmem ./... > bench_raw.tmp 2>&1; then \
+		echo "[]" > BENCH_control.json; \
+		echo "bench-json: go test -bench failed; BENCH_control.json reset to []" >&2; \
+		cat bench_raw.tmp >&2; rm -f bench_raw.tmp; exit 1; fi
+	@awk ' \
 		BEGIN { print "["; n = 0 } \
 		$$1 ~ /^Benchmark/ && $$4 == "ns/op" { \
 			if (n++) printf ",\n"; \
@@ -54,8 +64,14 @@ bench-json:
 			printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
 				$$1, $$2, $$3, bytes, allocs \
 		} \
-		END { print "\n]" }' > BENCH_control.json
-	@echo "wrote BENCH_control.json ($$(grep -c '\"name\"' BENCH_control.json) benchmarks)"
+		END { print "\n]" }' bench_raw.tmp > BENCH_control.json
+	@rm -f bench_raw.tmp
+	@count=$$(grep -c '"name"' BENCH_control.json || true); \
+	if [ "$$count" -eq 0 ]; then \
+		echo "[]" > BENCH_control.json; \
+		echo "bench-json: no benchmarks in output; BENCH_control.json reset to []" >&2; \
+		exit 1; fi; \
+	echo "wrote BENCH_control.json ($$count benchmarks)"
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -72,4 +88,4 @@ bench_output.txt:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt coverage.out BENCH_control.json
+	rm -f test_output.txt bench_output.txt coverage.out BENCH_control.json bench_raw.tmp

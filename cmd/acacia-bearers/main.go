@@ -98,6 +98,6 @@ func main() {
 	fmt.Fprintf(text, "\nsummary: S1AP %d msgs / %d B; GTPv2 %d msgs / %d B; OpenFlow %d msgs / %d B\n",
 		snap.CounterValue("epc/s1ap/msgs"), snap.CounterValue("epc/s1ap/bytes"),
 		snap.CounterValue("epc/gtpv2/msgs"), snap.CounterValue("epc/gtpv2/bytes"),
-		snap.CounterValue("sdn/controller/sent"), snap.CounterValue("sdn/controller/sent_bytes"))
+		snap.CounterValue("sdn/controller/sent"), snap.CounterValue("sdn/controller/sent-bytes"))
 	fmt.Fprintf(text, "paper §4 per release/re-establish cycle: SCTP 7 (1138 B), GTPv2 4 (352 B), OpenFlow 4 (1424 B)\n")
 }

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantPattern matches golden expectations in testdata comments:
+//
+//	// want "regexp"        — a diagnostic on this line matching regexp
+//	// want:-2 "regexp"     — same, but two lines up (for lines whose
+//	//                        comment slot is taken by a directive)
+var wantPattern = regexp.MustCompile(`want(?::([+-][0-9]+))?\s+"([^"]+)"`)
+
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// readExpectations scans every .go file in dir for want comments.
+func readExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exps []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantPattern.FindAllStringSubmatch(line, -1) {
+				offset := 0
+				if m[1] != "" {
+					fmt.Sscanf(m[1], "%d", &offset)
+				}
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, m[2], err)
+				}
+				exps = append(exps, &expectation{file: e.Name(), line: i + 1 + offset, re: re})
+			}
+		}
+	}
+	return exps
+}
+
+// checkGolden loads one testdata package under the given import path, runs
+// every rule, and compares the surviving diagnostics against the want
+// comments in its sources.
+func checkGolden(t *testing.T, dirName, importPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", dirName)
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errs {
+			t.Errorf("type error in %s: %v", pkg.Path, e)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	diags := Run(pkgs, AllRules())
+	exps := readExpectations(t, dir)
+
+	for _, d := range diags {
+		base := filepath.Base(d.File)
+		matched := false
+		for _, e := range exps {
+			if !e.used && e.file == base && e.line == d.Line && e.re.MatchString(d.Message) {
+				e.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range exps {
+		if !e.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+func TestWallClockGolden(t *testing.T)  { checkGolden(t, "wallclock", "acacia/internal/wallclock") }
+func TestGoroutineGolden(t *testing.T)  { checkGolden(t, "goroutine", "acacia/internal/goroutine") }
+func TestGlobalRandGolden(t *testing.T) { checkGolden(t, "globalrand", "acacia/internal/globalrand") }
+func TestMapRangeGolden(t *testing.T)   { checkGolden(t, "maprange", "acacia/internal/maprange") }
+func TestMetricNameGolden(t *testing.T) { checkGolden(t, "metricname", "acacia/internal/metricname") }
+func TestDirectivesGolden(t *testing.T) { checkGolden(t, "directives", "acacia/internal/directives") }
+
+// TestExecExempt checks the internal/exec carve-out: real goroutines and
+// wall-clock waits are legal in the worker pool package.
+func TestExecExempt(t *testing.T) { checkGolden(t, "exempt", "acacia/internal/exec") }
+
+// TestNonInternalExempt checks wallclock only governs internal/ code.
+func TestNonInternalExempt(t *testing.T) { checkGolden(t, "nonsim", "acacia/cmd/nonsim") }
+
+// TestRepoIsClean is the contract the other tests exist to protect: the
+// repo's own code must produce zero diagnostics under every rule.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repo from source")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load(l.ModuleRoot + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errs {
+			t.Errorf("type error in %s: %v", pkg.Path, e)
+		}
+	}
+	for _, d := range Run(pkgs, AllRules()) {
+		t.Errorf("repo not vet-clean: %s", d)
+	}
+}
+
+func TestSelectRules(t *testing.T) {
+	all, err := SelectRules("")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("empty selection = %d rules, err %v; want all 5", len(all), err)
+	}
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Name < all[j].Name }) {
+		t.Error("AllRules not in name order")
+	}
+	picked, err := SelectRules("wallclock, maprange, wallclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(RuleNames(picked), ","); got != "wallclock,maprange" {
+		t.Errorf("selection = %s, want wallclock,maprange (order kept, dups dropped)", got)
+	}
+	if _, err := SelectRules("nosuchrule"); err == nil {
+		t.Error("unknown rule accepted")
+	}
+	if _, err := SelectRules(" , "); err == nil {
+		t.Error("blank selection accepted")
+	}
+}
+
+func TestValidMetricName(t *testing.T) {
+	valid := []string{"epc", "epc/s1ap/latency-ms", "a1/b-2"}
+	invalid := []string{"", "/", "epc/", "/epc", "Epc", "epc/latency_ms", "epc//x", "epc/läge"}
+	for _, n := range valid {
+		if !validMetricName(n) {
+			t.Errorf("validMetricName(%q) = false, want true", n)
+		}
+	}
+	for _, n := range invalid {
+		if validMetricName(n) {
+			t.Errorf("validMetricName(%q) = true, want false", n)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randSourcePkgs are the import paths the rule polices.
+var randSourcePkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// randConstructors are the math/rand functions that do not draw from the
+// process-global source. rand.New is also here but gets its own check:
+// its Source argument must be constructed in place so the seed's
+// provenance is visible at the call site.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// GlobalRandRule enforces the seeding contract: randomness must derive
+// from sim/trial seeds (sim.NewRNG, RNG.Fork), never from math/rand's
+// process-global source — global draws depend on whatever else ran first,
+// which breaks same-seed reproducibility and the parallel==sequential
+// guarantee.
+func GlobalRandRule() *Rule {
+	return &Rule{
+		Name: "globalrand",
+		Doc:  "no global math/rand draws or opaquely-seeded rand.New; derive RNGs from sim/trial seeds",
+		Run:  runGlobalRand,
+	}
+}
+
+func runGlobalRand(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(p.Info, n)
+				if fn == nil || fn.Pkg() == nil || !randSourcePkgs[fn.Pkg().Path()] || fn.Name() != "New" {
+					return true
+				}
+				if len(n.Args) >= 1 && isRandSourceCall(p, n.Args[0]) {
+					return true
+				}
+				p.Reportf(n.Pos(),
+					"rand.New without a visible seed; construct the source in place from a sim/trial seed (prefer sim.NewRNG / RNG.Fork)")
+			case *ast.SelectorExpr:
+				fn, ok := p.Info.Uses[n.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || !randSourcePkgs[fn.Pkg().Path()] || randConstructors[fn.Name()] {
+					return true
+				}
+				// Methods on *rand.Rand values are fine — the rule is
+				// about the package-level (global-source) functions.
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					return true
+				}
+				p.Reportf(n.Pos(),
+					"math/rand.%s draws from process-global state; derive randomness from sim/trial seeds (sim.NewRNG, RNG.Fork)",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// isRandSourceCall reports whether expr constructs a math/rand source in
+// place (rand.NewSource / NewPCG / NewChaCha8), making the seed visible.
+func isRandSourceCall(p *Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(p.Info, call)
+	return fn != nil && fn.Pkg() != nil && randSourcePkgs[fn.Pkg().Path()] && fn.Name() != "New" && randConstructors[fn.Name()]
+}

@@ -1,0 +1,32 @@
+package analysis
+
+import "go/ast"
+
+// GoroutineRule enforces the concurrency contract: the sim engine and
+// every layer on it are single-threaded by design, and the only sanctioned
+// parallelism is the bounded worker pool in internal/exec (which schedules
+// whole trials and reassembles outcomes deterministically). A stray go
+// statement anywhere else introduces scheduling nondeterminism the
+// byte-identical-output contract cannot survive.
+func GoroutineRule() *Rule {
+	return &Rule{
+		Name: "goroutine",
+		Doc:  "no go statements outside internal/exec; use the bounded worker pool",
+		Run:  runGoroutine,
+	}
+}
+
+func runGoroutine(p *Pass) {
+	if isExecPkg(p.BasePath()) {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(),
+					"go statement outside internal/exec: route concurrency through the bounded worker pool (exec.Run)")
+			}
+			return true
+		})
+	}
+}

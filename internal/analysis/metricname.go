@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MetricNameRule enforces the telemetry naming grammar from DESIGN.md §3b:
+// registered names are layer[/sub]/name paths whose segments are lowercase
+// [a-z0-9-], joined by "/". The rule checks every compile-time-constant
+// string handed to telemetry registration and emission (Registry/Scope
+// Counter, Gauge, Histogram, Scope, and the scope/name arguments of Emit);
+// dynamically built names are a runtime concern the snapshot tests cover.
+func MetricNameRule() *Rule {
+	return &Rule{
+		Name: "metricname",
+		Doc:  "telemetry names must match the layer[/sub]/name lowercase [a-z0-9-] grammar",
+		Run:  runMetricName,
+	}
+}
+
+func runMetricName(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/telemetry") || !isMethod(fn) {
+				return true
+			}
+			var nameArgs []int
+			switch fn.Name() {
+			case "Counter", "Gauge", "Histogram", "Scope":
+				nameArgs = []int{0}
+			case "Emit":
+				// Registry.Emit(scope, name, detail) — scope and name are
+				// grammar-bound, detail is free-form annotation.
+				// Scope.Emit(name, detail) — name only.
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Params().Len() == 3 {
+					nameArgs = []int{0, 1}
+				} else {
+					nameArgs = []int{0}
+				}
+			default:
+				return true
+			}
+			for _, i := range nameArgs {
+				if i >= len(call.Args) {
+					continue
+				}
+				name, ok := stringConstant(p.Info, call.Args[i])
+				if !ok {
+					continue
+				}
+				if !validMetricName(name) {
+					p.Reportf(call.Args[i].Pos(),
+						"telemetry name %q breaks the layer[/sub]/name grammar (lowercase [a-z0-9-] segments joined by \"/\")",
+						name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// validMetricName reports whether every "/"-separated segment of name is
+// a nonempty run of lowercase [a-z0-9-].
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for _, seg := range strings.Split(name, "/") {
+		if seg == "" {
+			return false
+		}
+		for i := 0; i < len(seg); i++ {
+			c := seg[i]
+			if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Shared helpers for the rule implementations.
+
+// isInternalPkg reports whether path names a package under internal/ —
+// the simulation code the determinism contracts govern.
+func isInternalPkg(path string) bool {
+	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
+}
+
+// isExecPkg reports whether path is internal/exec, the one package allowed
+// to use real concurrency and wall-clock waits (it hosts the worker pool
+// the rest of the repo must go through).
+func isExecPkg(path string) bool {
+	return path == "internal/exec" || strings.HasSuffix(path, "/internal/exec")
+}
+
+// calleeFunc resolves a call's callee to the *types.Func it invokes, or
+// nil when the callee is not a resolved function or method.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// stringConstant returns the compile-time string value of expr, if it has
+// one (a literal or a named string constant).
+func stringConstant(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// objectOf resolves an expression used as an assignment target to the
+// object it denotes: an identifier's object, or nil for anything whose
+// storage we cannot track (selectors, index expressions).
+func objectOf(info *types.Info, expr ast.Expr) types.Object {
+	if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			return obj
+		}
+		return info.Defs[id]
+	}
+	return nil
+}

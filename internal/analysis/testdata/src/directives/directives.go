@@ -1,0 +1,24 @@
+// Fixture for the //acacia:allow directive machinery itself: malformed
+// directives must be reported and must not suppress anything.
+package directives
+
+import "time"
+
+const tick = 10 * time.Millisecond
+
+func missingReason() time.Time {
+	return time.Now() //acacia:allow wallclock
+	// want:-1 "time.Now is wall-clock"
+	// want:-2 "needs a reason"
+}
+
+func unknownRule() time.Duration {
+	//acacia:allow nosuchrule the rule name is a typo
+	// want:-1 "unknown rule"
+	return tick
+}
+
+func wellFormed() time.Time {
+	//acacia:allow wallclock fixture wants one honoured directive too
+	return time.Now()
+}

@@ -1,0 +1,14 @@
+// Fixture loaded under the import path acacia/internal/exec: the worker
+// pool owns real goroutines and real waits, so both the wallclock and the
+// goroutine rule must stay silent here. No findings expected.
+package exempt
+
+import "time"
+
+func pump(ch chan struct{}) {
+	go func() {
+		time.Sleep(time.Millisecond)
+		ch <- struct{}{}
+	}()
+	_ = time.Now()
+}

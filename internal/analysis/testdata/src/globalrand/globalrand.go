@@ -1,0 +1,25 @@
+// Fixture for the globalrand rule.
+package globalrand
+
+import "math/rand"
+
+func globalDraws() {
+	_ = rand.Intn(10)                  // want "math/rand.Intn draws from process-global state"
+	_ = rand.Float64()                 // want "math/rand.Float64 draws from process-global state"
+	rand.Shuffle(3, func(i, j int) {}) // want "math/rand.Shuffle draws from process-global state"
+}
+
+func opaqueSeed(src rand.Source) {
+	_ = rand.New(src) // want "rand.New without a visible seed"
+}
+
+func visiblySeeded(seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	_ = r.Intn(10)                  // methods on a seeded *rand.Rand are fine
+	_ = rand.NewZipf(r, 1.1, 1, 10) // constructors do not draw from global state
+}
+
+func suppressed() int {
+	//acacia:allow globalrand fixture exercises the suppression path
+	return rand.Int()
+}

@@ -1,0 +1,19 @@
+// Fixture for the goroutine rule, loaded under the import path
+// acacia/internal/goroutine (anything but internal/exec).
+package goroutine
+
+func fanOut(work []func()) {
+	for _, w := range work {
+		go w() // want "go statement outside internal/exec"
+	}
+	done := make(chan struct{})
+	go func() { // want "go statement outside internal/exec"
+		close(done)
+	}()
+	<-done
+}
+
+func suppressed(f func()) {
+	//acacia:allow goroutine fixture exercises the suppression path
+	go f()
+}

@@ -1,0 +1,64 @@
+// Fixture for the maprange rule.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+
+	"acacia/internal/telemetry"
+)
+
+func printsInMapOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside range over map"
+	}
+}
+
+func appendsInMapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside range over map"
+	}
+	return out
+}
+
+// collectThenSort is the prescribed idiom: the append target is sorted
+// after the loop, so the rule must stay silent.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// loopLocalAccumulator appends to a slice declared inside the loop body:
+// it resets every iteration and cannot leak the key order.
+func loopLocalAccumulator(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+func observesInMapOrder(reg *telemetry.Registry, m map[string]float64) {
+	g := reg.Gauge("app/last-sample")
+	for _, v := range m {
+		g.Set(v) // want "telemetry Set inside range over map"
+	}
+}
+
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//acacia:allow maprange caller re-sorts before rendering
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+// In-package test fixture: the loader folds _test.go files into the
+// analyzed package, so t.Errorf in map order is caught here too.
+package maprange
+
+import "testing"
+
+func TestReportsInMapOrder(t *testing.T) {
+	m := map[string]int{"a": 1, "b": 2}
+	for k, v := range m {
+		if v < 0 {
+			t.Errorf("negative %s", k) // want "t.Errorf inside range over map"
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Fixture for the metricname rule.
+package metricname
+
+import "acacia/internal/telemetry"
+
+func register(reg *telemetry.Registry, dynamic string) {
+	reg.Counter("epc/s1ap/attach-accept")
+	reg.Counter("epc/Signaling")  // want "breaks the layer"
+	reg.Gauge("net/queue_bytes")  // want "breaks the layer"
+	reg.Histogram("app/match-ms") // legal: the grammar the repo uses
+
+	// Registry.Emit checks scope and name; the detail is free-form.
+	reg.Emit("epc", "handover-start", "UE 7 -> eNB 2")
+	reg.Emit("EPC", "handover-start", "x") // want "breaks the layer"
+
+	sc := reg.Scope("app")
+	sc.Counter("frames")
+	sc.Counter("Frames") // want "breaks the layer"
+	sc.Emit("match-done", "Frame #12 matched")
+
+	// Dynamically built names are a runtime concern, not a static one.
+	reg.Counter(dynamic)
+}
+
+func suppressed(reg *telemetry.Registry) {
+	//acacia:allow metricname legacy dashboards expect this exact name
+	reg.Counter("app/LegacyName")
+}

@@ -1,0 +1,8 @@
+// Fixture loaded under the import path acacia/cmd/nonsim: wall-clock
+// reads are fine outside internal/ — drivers report real elapsed time.
+// No findings expected.
+package nonsim
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

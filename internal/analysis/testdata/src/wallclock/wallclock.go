@@ -1,0 +1,34 @@
+// Fixture for the wallclock rule, loaded under the import path
+// acacia/internal/wallclock so the internal/ gate applies.
+package wallclock
+
+import "time"
+
+// Duration arithmetic and formatting stay legal: the contract bans clock
+// reads, not the time package.
+const frame = 33 * time.Millisecond
+
+func bad() {
+	_ = time.Now()              // want "time.Now is wall-clock"
+	time.Sleep(frame)           // want "time.Sleep is wall-clock"
+	_ = time.Since(time.Time{}) // want "time.Since is wall-clock"
+	_ = time.After(frame)       // want "time.After is wall-clock"
+	_ = time.NewTimer(frame)    // want "time.NewTimer is wall-clock"
+	_ = time.NewTicker(frame)   // want "time.NewTicker is wall-clock"
+}
+
+func legal() {
+	d := 2 * frame
+	_ = d.Seconds()
+	_ = time.Duration(5).String()
+	_ = time.Time{}.Add(frame)
+}
+
+func suppressed() {
+	//acacia:allow wallclock fixture exercises the suppression path
+	_ = time.Now()
+}
+
+func suppressedSameLine() {
+	_ = time.Now() //acacia:allow wallclock same-line directives also count
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the time-package functions that observe or wait on
+// the wall clock. Duration arithmetic and formatting stay legal: sim code
+// measures in time.Duration, it just never asks the host what time it is.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WallClockRule enforces the virtual-time contract: simulation code under
+// internal/ must not read or wait on the wall clock — same-seed runs stay
+// byte-identical only because every timestamp comes from sim.Engine's
+// virtual clock. internal/exec is exempt: the worker pool runs on real
+// goroutines and may legitimately block in real time.
+func WallClockRule() *Rule {
+	return &Rule{
+		Name: "wallclock",
+		Doc:  "internal/ sim code must use the virtual clock, not time.Now/Sleep/After/...",
+		Run:  runWallClock,
+	}
+}
+
+func runWallClock(p *Pass) {
+	path := p.BasePath()
+	if !isInternalPkg(path) || isExecPkg(path) {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"time.%s is wall-clock; sim code runs in virtual time (use sim.Engine Now/Schedule or sim.NewTicker)",
+				fn.Name())
+			return true
+		})
+	}
+}

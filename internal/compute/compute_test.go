@@ -2,6 +2,7 @@ package compute
 
 import (
 	"math"
+	"sort"
 	"testing"
 	"time"
 
@@ -80,8 +81,13 @@ func TestJPEGTimesMatchPaperScale(t *testing.T) {
 }
 
 func TestFrameFeaturesTable(t *testing.T) {
-	for res, want := range FrameFeatures {
-		if got := res.Features(); got != want {
+	resolutions := make([]Resolution, 0, len(FrameFeatures))
+	for res := range FrameFeatures {
+		resolutions = append(resolutions, res)
+	}
+	sort.Slice(resolutions, func(i, j int) bool { return resolutions[i].Pixels() < resolutions[j].Pixels() })
+	for _, res := range resolutions {
+		if got, want := res.Features(), FrameFeatures[res]; got != want {
 			t.Errorf("Features(%v) = %v, want table value %v", res, got, want)
 		}
 	}

@@ -296,10 +296,10 @@ func NewARFrontend(ue *netsim.Host, user string, res compute.Resolution, pos geo
 		FrameTimeout: 2 * time.Second,
 	}
 	stage := ue.Engine().Metrics().Scope("core/session/stage")
-	f.matchHist = stage.Histogram("match_ms")
-	f.computeHist = stage.Histogram("compute_ms")
-	f.networkHist = stage.Histogram("network_ms")
-	f.totalHist = stage.Histogram("total_ms")
+	f.matchHist = stage.Histogram("match-ms")
+	f.computeHist = stage.Histogram("compute-ms")
+	f.networkHist = stage.Histogram("network-ms")
+	f.totalHist = stage.Histogram("total-ms")
 	ue.Listen(ARPort, netsim.AppFunc(f.onResponse))
 	return f
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"acacia/internal/d2d"
 	"acacia/internal/geo"
 	"acacia/internal/localization"
@@ -57,6 +59,17 @@ func CalibrateFromChannel(m d2d.PathLossModel, rng interface{ NormFloat64() floa
 	return fit
 }
 
+// sortedLandmarkNames lists the track's landmark names in sorted order —
+// the deterministic iteration base for everything fed by the latest map.
+func sortedLandmarkNames(tr *userTrack) []string {
+	names := make([]string, 0, len(tr.latest))
+	for name := range tr.latest {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Report ingests one (landmark, rxPower) observation for a user and
 // refreshes the estimate when at least three landmarks are known.
 func (lm *LocalizationManager) Report(user, landmark string, rxPowerDBm float64) {
@@ -70,15 +83,19 @@ func (lm *LocalizationManager) Report(user, landmark string, rxPowerDBm float64)
 }
 
 func (lm *LocalizationManager) reestimate(tr *userTrack) {
+	// Gauss-Newton iterates over the measurements in order, so the float
+	// result depends on it: feed the solver landmarks in sorted-name order,
+	// not map order, to keep estimates identical across runs.
+	names := sortedLandmarkNames(tr)
 	var ms []localization.Measurement
-	for name, rx := range tr.latest {
+	for _, name := range names {
 		l := lm.floor.Landmark(name)
 		if l == nil {
 			continue
 		}
 		ms = append(ms, localization.Measurement{
 			Landmark: l.Pos,
-			Distance: lm.fit.Distance(rx),
+			Distance: lm.fit.Distance(tr.latest[name]),
 		})
 	}
 	if len(ms) < 3 {
@@ -111,27 +128,14 @@ func (lm *LocalizationManager) StrongestLandmarks(user string, n int) []string {
 	if tr == nil {
 		return nil
 	}
-	type lp struct {
-		name string
-		rx   float64
+	// Stable sort by descending power over a name-sorted base, so equal
+	// rxPower readings prune the same sections on every run.
+	names := sortedLandmarkNames(tr)
+	sort.SliceStable(names, func(i, j int) bool { return tr.latest[names[i]] > tr.latest[names[j]] })
+	if n > len(names) {
+		n = len(names)
 	}
-	var all []lp
-	for name, rx := range tr.latest {
-		all = append(all, lp{name, rx})
-	}
-	// Insertion sort by descending power (tiny n).
-	for i := 1; i < len(all); i++ {
-		for j := i; j > 0 && all[j].rx > all[j-1].rx; j-- {
-			all[j], all[j-1] = all[j-1], all[j]
-		}
-	}
-	if n > len(all) {
-		n = len(all)
-	}
-	out := make([]string, 0, n)
-	for _, e := range all[:n] {
-		out = append(out, e.name)
-	}
+	out := append([]string(nil), names[:n]...)
 	return out
 }
 

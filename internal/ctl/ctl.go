@@ -84,7 +84,7 @@ func NewTransport(eng *sim.Engine) *Transport {
 		timeouts: scope.Counter("timeouts"),
 		acks:     scope.Counter("acks"),
 		dups:     scope.Counter("duplicates"),
-		latency:  scope.Histogram("latency_ms"),
+		latency:  scope.Histogram("latency-ms"),
 	}
 }
 

@@ -1,6 +1,7 @@
 package ctl
 
 import (
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -94,8 +95,13 @@ func TestRetransmissionRecoversFromLoss(t *testing.T) {
 	if len(delivered) != n {
 		t.Fatalf("delivered %d distinct transactions, want %d", len(delivered), n)
 	}
-	for seq, count := range delivered {
-		if count != 1 {
+	seqs := make([]int, 0, len(delivered))
+	for seq := range delivered {
+		seqs = append(seqs, int(seq))
+	}
+	sort.Ints(seqs)
+	for _, seq := range seqs {
+		if count := delivered[uint32(seq)]; count != 1 {
 			t.Errorf("seq %d delivered %d times, want exactly once", seq, count)
 		}
 	}

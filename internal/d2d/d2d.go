@@ -246,10 +246,10 @@ func NewEnv(eng *sim.Engine) *Env {
 		sensitivity:   SensitivityDBm,
 		broadcasts:    scope.Counter("broadcasts"),
 		decodes:       scope.Counter("decodes"),
-		filteredModem: scope.Counter("filtered_modem"),
+		filteredModem: scope.Counter("filtered-modem"),
 		matched:       scope.Counter("matched"),
-		rbUsed:        scope.Counter("rb_used"),
-		ulUtilization: scope.Gauge("uplink_rb_utilization"),
+		rbUsed:        scope.Counter("rb-used"),
+		ulUtilization: scope.Gauge("uplink-rb-utilization"),
 	}
 }
 

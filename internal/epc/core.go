@@ -229,7 +229,7 @@ func (c *Core) onPacketIn(sw *sdn.Switch, inPort uint32, p *netsim.Packet, tunne
 // returns its GBR reservation. Clearing the bearer map afterwards makes the
 // teardown idempotent — a timeout-recovery path may run it again.
 func (c *Core) releaseSessionResources(sess *Session) {
-	for _, b := range sess.Bearers {
+	for _, b := range sess.OrderedBearers() {
 		c.removeBearerFlows(sess, b)
 		c.PGWC.planes[b.PGWPlane].releaseGBR(b.QoS.GuaranteedUL + b.QoS.GuaranteedDL)
 	}
@@ -326,6 +326,20 @@ func (s *Session) Bearer(ebi uint8) *Bearer { return s.Bearers[ebi] }
 func (s *Session) DedicatedBearers() []*Bearer {
 	var out []*Bearer
 	for ebi := uint8(EBIDedicated); ebi < 16; ebi++ {
+		if b, ok := s.Bearers[ebi]; ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// OrderedBearers lists every bearer of the session in EBI order. Control
+// procedures must iterate bearers through it, never over the Bearers map
+// directly: E-RAB and bearer-context lists built in map order would make
+// encoded messages — and the flow-install sequence — differ run to run.
+func (s *Session) OrderedBearers() []*Bearer {
+	var out []*Bearer
+	for ebi := uint8(0); ebi < 16; ebi++ {
 		if b, ok := s.Bearers[ebi]; ok {
 			out = append(out, b)
 		}

@@ -1,6 +1,7 @@
 package epc
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -633,11 +634,17 @@ func TestDetachTearsDownEverything(t *testing.T) {
 	if tb.core.SessionByIP(tb.ue.Addr()) != nil {
 		t.Error("IP binding survived detach")
 	}
-	for name, sw := range map[string]*sdn.Switch{
+	switches := map[string]*sdn.Switch{
 		"core-sgw": tb.coreSGW, "core-pgw": tb.corePGW,
 		"edge-sgw": tb.edgeSGW, "edge-pgw": tb.edgePGW,
-	} {
-		if sw.FlowCount() != 0 {
+	}
+	names := make([]string, 0, len(switches))
+	for name := range switches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if sw := switches[name]; sw.FlowCount() != 0 {
 			t.Errorf("%s still has %d flows", name, sw.FlowCount())
 		}
 	}

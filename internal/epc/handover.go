@@ -54,7 +54,7 @@ func (m *MME) Handover(sess *Session, target *ENB, done func(error)) {
 	c.sendS1AP(pr, source.ep, c.mmeEP, required, func() {
 		// 2. MME -> target eNB: Handover Request carrying every E-RAB.
 		var erabs []pkt.ERABItem
-		for _, b := range sess.Bearers {
+		for _, b := range sess.OrderedBearers() {
 			sgw := c.SGWC.planes[b.SGWPlane]
 			erabs = append(erabs, pkt.ERABItem{
 				ERABID: b.EBI, QoS: &b.QoS,
@@ -69,7 +69,7 @@ func (m *MME) Handover(sess *Session, target *ENB, done func(error)) {
 		c.sendS1AP(pr, c.mmeEP, target.ep, hoReq, func() {
 			// Target admits the bearers: new downlink TEIDs.
 			var ackItems []pkt.ERABItem
-			for _, b := range sess.Bearers {
+			for _, b := range sess.OrderedBearers() {
 				b.S1DL = target.attachBearer(sess, b)
 				ackItems = append(ackItems, pkt.ERABItem{
 					ERABID:    b.EBI,
@@ -117,7 +117,7 @@ func (m *MME) Handover(sess *Session, target *ENB, done func(error)) {
 func (m *MME) pathSwitch(pr *proc, sess *Session) {
 	c := m.core
 	var items []pkt.BearerContext
-	for _, b := range sess.Bearers {
+	for _, b := range sess.OrderedBearers() {
 		items = append(items, pkt.BearerContext{
 			EBI:    b.EBI,
 			FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1UeNodeB, TEID: b.S1DL, Addr: sess.ENB.Addr()}},
@@ -125,7 +125,7 @@ func (m *MME) pathSwitch(pr *proc, sess *Session) {
 	}
 	req := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerRequest, IMSI: sess.IMSI, Bearers: items}
 	c.sendGTPv2(pr, c.mmeEP, c.sgwEP, req, func() {
-		for _, b := range sess.Bearers {
+		for _, b := range sess.OrderedBearers() {
 			c.installSGWDownlink(sess, b)
 		}
 		resp := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerResponse, Cause: pkt.GTPv2CauseAccepted}

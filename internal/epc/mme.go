@@ -234,7 +234,7 @@ func (m *MME) onReleaseRequest(pr *proc, sess *Session) {
 	c.sendGTPv2(pr, c.mmeEP, c.sgwEP, raReq, func() {
 		// SGW-C deletes the SGW-U downlink rules: later downlink traffic
 		// misses and triggers paging.
-		for _, b := range sess.Bearers {
+		for _, b := range sess.OrderedBearers() {
 			c.removeSGWDownlink(sess, b)
 		}
 		raResp := &pkt.GTPv2Msg{Type: pkt.GTPv2ReleaseAccessBearersResponse, Cause: pkt.GTPv2CauseAccepted}
@@ -270,7 +270,7 @@ func (m *MME) onServiceRequest(pr *proc, sess *Session) {
 
 	// Rebuild the E-RAB list for every bearer of the session.
 	var erabs []pkt.ERABItem
-	for _, b := range sess.Bearers {
+	for _, b := range sess.OrderedBearers() {
 		sgw := c.SGWC.planes[b.SGWPlane]
 		erabs = append(erabs, pkt.ERABItem{
 			ERABID: b.EBI, QoS: &b.QoS,
@@ -285,7 +285,7 @@ func (m *MME) onServiceRequest(pr *proc, sess *Session) {
 	}
 	c.sendS1AP(pr, c.mmeEP, sess.ENB.ep, icsReq, func() {
 		var respItems []pkt.ERABItem
-		for _, b := range sess.Bearers {
+		for _, b := range sess.OrderedBearers() {
 			b.S1DL = sess.ENB.attachBearer(sess, b)
 			respItems = append(respItems, pkt.ERABItem{
 				ERABID:    b.EBI,
@@ -299,7 +299,7 @@ func (m *MME) onServiceRequest(pr *proc, sess *Session) {
 		}
 		c.sendS1AP(pr, sess.ENB.ep, c.mmeEP, icsResp, func() {
 			var mbItems []pkt.BearerContext
-			for _, b := range sess.Bearers {
+			for _, b := range sess.OrderedBearers() {
 				mbItems = append(mbItems, pkt.BearerContext{
 					EBI:    b.EBI,
 					FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1UeNodeB, TEID: b.S1DL, Addr: sess.ENB.Addr()}},
@@ -309,7 +309,7 @@ func (m *MME) onServiceRequest(pr *proc, sess *Session) {
 			c.sendGTPv2(pr, c.mmeEP, c.sgwEP, mbReq, func() {
 				// SGW-C reinstalls the SGW-U downlink rules toward the new
 				// eNB TEIDs (PGW-U state is unchanged).
-				for _, b := range sess.Bearers {
+				for _, b := range sess.OrderedBearers() {
 					c.installSGWDownlink(sess, b)
 				}
 				mbResp := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerResponse, Cause: pkt.GTPv2CauseAccepted}

@@ -386,7 +386,7 @@ func measureCycle(opts Options, seed uint64) (msgs, bytes map[epc.Protocol]uint6
 
 	// The per-protocol counts come from the unified registry delta over the
 	// cycle: the epc layer mirrors its accounting into epc/<proto>/msgs|bytes
-	// and the SDN controller registers sdn/controller/sent|sent_bytes.
+	// and the SDN controller registers sdn/controller/sent|sent-bytes.
 	delta = tb.Eng.Metrics().Snapshot().Delta(regBefore)
 	msgs = map[epc.Protocol]uint64{
 		epc.ProtoS1AP:     delta.CounterValue("epc/s1ap/msgs"),
@@ -396,7 +396,7 @@ func measureCycle(opts Options, seed uint64) (msgs, bytes map[epc.Protocol]uint6
 	bytes = map[epc.Protocol]uint64{
 		epc.ProtoS1AP:     delta.CounterValue("epc/s1ap/bytes"),
 		epc.ProtoGTPv2:    delta.CounterValue("epc/gtpv2/bytes"),
-		epc.ProtoOpenFlow: delta.CounterValue("sdn/controller/sent_bytes"),
+		epc.ProtoOpenFlow: delta.CounterValue("sdn/controller/sent-bytes"),
 	}
 	return msgs, bytes, delta
 }

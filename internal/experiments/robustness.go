@@ -86,7 +86,7 @@ func runControlLossTrial(seed uint64, loss float64) Metered {
 	tr := tb.EPC.Transport()
 	snap := tb.Eng.Metrics().Snapshot()
 	meanRTT := 0.0
-	if m, ok := snap.Get("epc/txn/latency_ms"); ok && m.Count > 0 {
+	if m, ok := snap.Get("epc/txn/latency-ms"); ok && m.Count > 0 {
 		meanRTT = m.Value / float64(m.Count)
 	}
 	row := []any{fmt.Sprintf("%g%%", loss*100), attachOK, bearerOK,

@@ -3,6 +3,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -197,7 +198,12 @@ func TestProgressReportsEveryTrial(t *testing.T) {
 	if len(seen) == 0 || last != total || len(seen) != total {
 		t.Errorf("progress saw %d trials, last done %d/%d", len(seen), last, total)
 	}
+	trials := make([]string, 0, len(seen))
 	for trial := range seen {
+		trials = append(trials, trial)
+	}
+	sort.Strings(trials)
+	for _, trial := range trials {
 		if !strings.HasPrefix(trial, "10a/") {
 			t.Errorf("trial name %q lacks experiment prefix", trial)
 		}

@@ -76,7 +76,7 @@ func newLinkDir(net *Network, cfg LinkConfig, dst *Port, scope telemetry.Scope) 
 		delivered: scope.Counter("delivered"),
 		dropped:   scope.Counter("dropped"),
 		bytes:     scope.Counter("bytes"),
-		queueLen:  scope.Gauge("queue_bytes"),
+		queueLen:  scope.Gauge("queue-bytes"),
 	}
 }
 

@@ -74,9 +74,9 @@ func NewController(eng *sim.Engine) *Controller {
 		switches:  make(map[uint64]*Switch),
 		ByType:    make(map[pkt.OFMsgType]uint64),
 		sent:      scope.Counter("sent"),
-		sentBytes: scope.Counter("sent_bytes"),
+		sentBytes: scope.Counter("sent-bytes"),
 		recv:      scope.Counter("received"),
-		recvBytes: scope.Counter("recv_bytes"),
+		recvBytes: scope.Counter("recv-bytes"),
 	}
 }
 

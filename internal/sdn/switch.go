@@ -165,12 +165,12 @@ func NewSwitch(dpid uint64, node *netsim.Node, costs PathCosts) *Switch {
 	scope := node.Engine().Metrics().Scope("sdn").Scope(node.Name())
 	sw.fastHits = scope.Counter("fastpath/hits")
 	sw.slowHits = scope.Counter("slowpath/hits")
-	sw.tableMisses = scope.Counter("table_misses")
+	sw.tableMisses = scope.Counter("table-misses")
 	sw.dropped = scope.Counter("dropped")
 	sw.encapsulated = scope.Counter("encapsulated")
 	sw.decapsulated = scope.Counter("decapsulated")
-	sw.flowsExpired = scope.Counter("flows_expired")
-	sw.meterDrops = scope.Counter("meter_drops")
+	sw.flowsExpired = scope.Counter("flows-expired")
+	sw.meterDrops = scope.Counter("meter-drops")
 	sw.occupancy = scope.Gauge("megaflow/occupancy")
 	node.SetHandler(sw.receive)
 	return sw

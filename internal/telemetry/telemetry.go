@@ -4,7 +4,7 @@
 // epc, d2d, core) registers into.
 //
 // Names are hierarchical slash-separated paths — "epc/s1ap/bytes",
-// "sdn/edge-sgw-u/fastpath/hits", "core/session/stage/match_ms" — so one
+// "sdn/edge-sgw-u/fastpath/hits", "core/session/stage/match-ms" — so one
 // Snapshot of the registry answers "what happened this session" across all
 // layers at once, where the pre-spine code kept four incompatible ad-hoc
 // counter structs.

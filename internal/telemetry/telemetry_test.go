@@ -25,7 +25,7 @@ func TestCounterGaugeHistogram(t *testing.T) {
 		t.Errorf("gauge = %g, want 5", g.Value())
 	}
 
-	h := r.Histogram("lat_ms")
+	h := r.Histogram("lat-ms")
 	for _, x := range []float64{3, 1, 2} {
 		h.Observe(x)
 	}

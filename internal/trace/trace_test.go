@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -104,8 +105,13 @@ func TestCampaignCoversAllCheckpoints(t *testing.T) {
 	if len(grouped) != len(floor.Checkpoints) {
 		t.Fatalf("checkpoints with readings = %d, want %d", len(grouped), len(floor.Checkpoints))
 	}
-	for cp, rs := range grouped {
-		if len(rs) < 3 {
+	cps := make([]string, 0, len(grouped))
+	for cp := range grouped {
+		cps = append(cps, cp)
+	}
+	sort.Strings(cps)
+	for _, cp := range cps {
+		if rs := grouped[cp]; len(rs) < 3 {
 			t.Errorf("checkpoint %s hears only %d landmarks", cp, len(rs))
 		}
 	}

@@ -1,6 +1,7 @@
 package vision
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -182,8 +183,13 @@ func TestBuildRetailDB(t *testing.T) {
 	if len(perCell) != 21 {
 		t.Errorf("cells populated = %d, want 21", len(perCell))
 	}
-	for cell, n := range perCell {
-		if n != ObjectsPerRetailSubsection {
+	cells := make([]int, 0, len(perCell))
+	for cell := range perCell {
+		cells = append(cells, cell)
+	}
+	sort.Ints(cells)
+	for _, cell := range cells {
+		if n := perCell[cell]; n != ObjectsPerRetailSubsection {
 			t.Errorf("cell %d has %d objects", cell, n)
 		}
 	}
