@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fmt-check bench bench-json results results-csv examples clean
+.PHONY: all build vet test race cover fmt-check bench bench-json bench-robustness results results-csv examples clean
 
 all: build vet test
 
@@ -46,14 +46,14 @@ results-csv:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable benchmark record: every Benchmark* line as a JSON array in
-# BENCH_control.json (name, iterations, ns/op, B/op, allocs/op). A failed or
-# benchmark-free run still writes valid JSON ([]) but exits nonzero, so
-# downstream tooling never parses a half-written file.
-bench-json:
-	@if ! $(GO) test -bench=. -benchmem ./... > bench_raw.tmp 2>&1; then \
-		echo "[]" > BENCH_control.json; \
-		echo "bench-json: go test -bench failed; BENCH_control.json reset to []" >&2; \
+# bench_to_json runs `go test -bench=$(1)` and records every Benchmark*
+# line as a JSON array in $(2) (name, iterations, ns/op, B/op, allocs/op).
+# A failed or benchmark-free run still writes valid JSON ([]) but exits
+# nonzero, so downstream tooling never parses a half-written file.
+define bench_to_json
+	@if ! $(GO) test -bench='$(1)' -benchmem ./... > bench_raw.tmp 2>&1; then \
+		echo "[]" > $(2); \
+		echo "bench-json: go test -bench failed; $(2) reset to []" >&2; \
 		cat bench_raw.tmp >&2; rm -f bench_raw.tmp; exit 1; fi
 	@awk ' \
 		BEGIN { print "["; n = 0 } \
@@ -64,14 +64,22 @@ bench-json:
 			printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
 				$$1, $$2, $$3, bytes, allocs \
 		} \
-		END { print "\n]" }' bench_raw.tmp > BENCH_control.json
+		END { print "\n]" }' bench_raw.tmp > $(2)
 	@rm -f bench_raw.tmp
-	@count=$$(grep -c '"name"' BENCH_control.json || true); \
+	@count=$$(grep -c '"name"' $(2) || true); \
 	if [ "$$count" -eq 0 ]; then \
-		echo "[]" > BENCH_control.json; \
-		echo "bench-json: no benchmarks in output; BENCH_control.json reset to []" >&2; \
+		echo "[]" > $(2); \
+		echo "bench-json: no benchmarks in output; $(2) reset to []" >&2; \
 		exit 1; fi; \
-	echo "wrote BENCH_control.json ($$count benchmarks)"
+	echo "wrote $(2) ($$count benchmarks)"
+endef
+
+bench-json:
+	$(call bench_to_json,.,BENCH_control.json)
+
+# Robustness subset: the fault-injection and failover-recovery benchmarks.
+bench-robustness:
+	$(call bench_to_json,Failover|Fault,BENCH_robustness.json)
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -88,4 +96,4 @@ bench_output.txt:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt coverage.out BENCH_control.json bench_raw.tmp
+	rm -f test_output.txt bench_output.txt coverage.out BENCH_control.json BENCH_robustness.json bench_raw.tmp

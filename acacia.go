@@ -36,6 +36,7 @@ package acacia
 import (
 	"acacia/internal/core"
 	"acacia/internal/experiments"
+	"acacia/internal/fault"
 	"acacia/internal/telemetry"
 )
 
@@ -90,6 +91,30 @@ const RetailServiceName = core.RetailServiceName
 // NewTestbed builds the standard topology. See core.TestbedConfig for every
 // knob; the zero value reproduces the paper's calibrated environment.
 func NewTestbed(cfg TestbedConfig) *Testbed { return core.NewTestbed(cfg) }
+
+// EdgeSiteBundle groups one edge site's pieces (user-plane switches, CI
+// server, AR backend). Testbed.AddEdgeSite deploys additional sites as
+// failover candidates; Testbed.EnableFailover arms GTP-U path supervision
+// and MRS-driven recovery across all of them.
+type EdgeSiteBundle = core.SiteBundle
+
+// FaultInjector applies deterministic fault plans to a testbed's
+// registered links, nodes and edge sites (Testbed.Faults).
+type FaultInjector = fault.Injector
+
+// FaultPlan is a declarative, virtual-clock-driven fault schedule.
+type FaultPlan = fault.Plan
+
+// FaultEvent is one scheduled fault of a FaultPlan.
+type FaultEvent = fault.Event
+
+// Fault kinds a FaultPlan can schedule.
+const (
+	FaultLinkDown  = fault.LinkDown
+	FaultLinkLoss  = fault.LinkLoss
+	FaultNodeCrash = fault.NodeCrash
+	FaultSiteCrash = fault.SiteCrash
+)
 
 // ExperimentResult is one experiment's rendered tables and notes.
 type ExperimentResult = experiments.Result

@@ -12,11 +12,14 @@ package acacia
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"acacia/internal/compute"
+	"acacia/internal/fault"
 	"acacia/internal/geo"
 	"acacia/internal/localization"
 	"acacia/internal/media"
+	"acacia/internal/netsim"
 	"acacia/internal/pkt"
 	"acacia/internal/sim"
 	"acacia/internal/vision"
@@ -222,6 +225,64 @@ func BenchmarkTestbedAttach(b *testing.B) {
 		if err := tb.Attach(tb.UEs[0]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFailoverRecovery runs the full MEC recovery pipeline once per
+// iteration: establish the AR session, crash the serving edge site, and
+// wait for the session to resume on the survivor.
+func BenchmarkFailoverRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := NewTestbed(TestbedConfig{Seed: uint64(i) + 1, IdleTimeout: time.Hour})
+		tb.AddEdgeSite("edge-2")
+		tb.EnableFailover(100*time.Millisecond, 2)
+		ue := tb.UEs[0]
+		if err := tb.Attach(ue); err != nil {
+			b.Fatal(err)
+		}
+		if err := tb.StartRetailApp(ue, "electronics"); err != nil {
+			b.Fatal(err)
+		}
+		tb.Run(5 * time.Second)
+		if err := tb.Faults.Apply(FaultPlan{Name: "bench", Events: []FaultEvent{
+			{Kind: FaultSiteCrash, Target: "edge-1", At: time.Second},
+		}}); err != nil {
+			b.Fatal(err)
+		}
+		tb.Run(10 * time.Second)
+		if !ue.DM.Connected(RetailServiceName) {
+			b.Fatal("session did not recover")
+		}
+	}
+}
+
+// BenchmarkFaultPlanApply measures the injector machinery itself: a chain
+// of links absorbing a 256-event schedule of down windows.
+func BenchmarkFaultPlanApply(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(uint64(i) + 1)
+		nw := netsim.New(eng)
+		in := fault.NewInjector(eng)
+		prev := nw.AddNode("n0", pkt.AddrFrom(10, 0, 0, 1))
+		for j := 1; j <= 8; j++ {
+			n := nw.AddNode(fmt.Sprintf("n%d", j), pkt.AddrFrom(10, 0, 0, byte(1+j)))
+			l := nw.ConnectSymmetric(prev, n, netsim.LinkConfig{Propagation: time.Millisecond})
+			in.RegisterLink(fmt.Sprintf("l%d", j), l)
+			prev = n
+		}
+		evs := make([]fault.Event, 0, 256)
+		for j := 0; j < 256; j++ {
+			evs = append(evs, fault.Event{
+				Kind: fault.LinkDown, Target: fmt.Sprintf("l%d", 1+j%8),
+				At:       time.Duration(j) * 10 * time.Millisecond,
+				Duration: 5 * time.Millisecond,
+			})
+		}
+		if err := in.Apply(fault.Plan{Name: "bench", Events: evs}); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
 	}
 }
 

@@ -4,9 +4,16 @@
 // alive, exactly the anchor role the paper's background assigns the SGW.
 //
 //	go run ./examples/mobility
+//
+// With -faults the walk also survives an edge-site outage: a fault plan
+// crashes the serving edge site mid-session, GTP-U path supervision
+// detects it, and the MRS moves the AR session to a second site.
+//
+//	go run ./examples/mobility -faults
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
@@ -15,9 +22,16 @@ import (
 )
 
 func main() {
+	faults := flag.Bool("faults", false, "crash the serving edge site mid-session and show the recovery")
+	flag.Parse()
+
 	tb := acacia.NewTestbed(acacia.TestbedConfig{Seed: 7})
 	east := tb.AddNeighborENB("enb-east")
 	customer := tb.UEs[0]
+	if *faults {
+		tb.AddEdgeSite("edge-2")
+		tb.EnableFailover(100*time.Millisecond, 2)
+	}
 
 	tb.MoveUE(customer, geo.Point{X: 15, Y: 12}) // west side
 	if err := tb.Attach(customer); err != nil {
@@ -46,6 +60,20 @@ func main() {
 
 	tb.Run(15 * time.Second)
 	report("east cell:")
+
+	if *faults {
+		fmt.Println("\n-- edge-1 crashes; path supervision detects, MRS fails the session over --")
+		if err := tb.Faults.Apply(acacia.FaultPlan{Name: "edge-outage", Events: []acacia.FaultEvent{
+			{Kind: acacia.FaultSiteCrash, Target: "edge-1", At: time.Second},
+		}}); err != nil {
+			panic(err)
+		}
+		tb.Run(15 * time.Second)
+		report("after failover:")
+		if site := tb.MRS.Binding(customer.UE.Addr()); site != nil {
+			fmt.Printf("serving edge site now: %s (failovers: %d)\n", site.Name, tb.MRS.Failovers)
+		}
+	}
 
 	fe := customer.Frontend
 	fmt.Printf("\nsession stats: total %.1f ms/frame (match %.1f, compute %.1f, network %.1f)\n",

@@ -66,6 +66,19 @@ var telemetryObserveNames = map[string]bool{
 	"Inc": true, "Add": true, "Set": true, "Observe": true, "Emit": true,
 }
 
+// netsimSendNames transmit packets; enqueue order (and any jitter/loss RNG
+// draws downstream) following map order breaks byte-identical replays.
+var netsimSendNames = map[string]bool{
+	"Send": true, "Inject": true,
+}
+
+// rngDrawNames consume the engine's deterministic RNG stream; drawing in
+// map order permutes the stream for every consumer that follows.
+var rngDrawNames = map[string]bool{
+	"Uint64": true, "Float64": true, "Intn": true,
+	"NormFloat64": true, "ExpFloat64": true, "Perm": true, "Fork": true,
+}
+
 func checkMapRangeBody(p *Pass, file *ast.File, rng *ast.RangeStmt) {
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -96,6 +109,12 @@ func checkMapRangeCall(p *Pass, call *ast.CallExpr) {
 	case strings.HasSuffix(pkgPath, "internal/telemetry") && telemetryObserveNames[name] && isMethod(fn):
 		p.Reportf(call.Pos(),
 			"telemetry %s inside range over map observes in nondeterministic key order; sort the keys first", name)
+	case strings.HasSuffix(pkgPath, "internal/netsim") && netsimSendNames[name] && isMethod(fn):
+		p.Reportf(call.Pos(),
+			"netsim %s inside range over map transmits in nondeterministic key order; sort the keys first", name)
+	case strings.HasSuffix(pkgPath, "internal/sim") && rngDrawNames[name] && isMethod(fn):
+		p.Reportf(call.Pos(),
+			"engine RNG %s inside range over map draws in nondeterministic key order; sort the keys first", name)
 	case printMethodNames[name] && isMethod(fn):
 		p.Reportf(call.Pos(),
 			"%s inside range over map writes in nondeterministic key order; sort the keys first", name)

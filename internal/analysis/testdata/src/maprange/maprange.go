@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 
+	"acacia/internal/netsim"
+	"acacia/internal/sim"
 	"acacia/internal/telemetry"
 )
 
@@ -51,6 +53,40 @@ func observesInMapOrder(reg *telemetry.Registry, m map[string]float64) {
 	g := reg.Gauge("app/last-sample")
 	for _, v := range m {
 		g.Set(v) // want "telemetry Set inside range over map"
+	}
+}
+
+func transmitsInMapOrder(peers map[string]*netsim.Port, p *netsim.Packet) {
+	for _, pt := range peers {
+		pt.Send(p) // want "netsim Send inside range over map"
+	}
+}
+
+func injectsInMapOrder(nodes map[string]*netsim.Node, p *netsim.Packet) {
+	for _, n := range nodes {
+		n.Inject(p) // want "netsim Inject inside range over map"
+	}
+}
+
+func drawsRNGInMapOrder(eng *sim.Engine, m map[string]int) float64 {
+	total := 0.0
+	for range m {
+		total += eng.RNG().Float64() // want "engine RNG Float64 inside range over map"
+	}
+	return total
+}
+
+// sortedThenTransmit probes peers in sorted order: the prescribed idiom,
+// so the rule must stay silent even though Send appears downstream of a
+// map collection.
+func sortedThenTransmit(peers map[string]*netsim.Port, p *netsim.Packet) {
+	names := make([]string, 0, len(peers))
+	for name := range peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		peers[name].Send(p)
 	}
 }
 

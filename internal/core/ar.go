@@ -72,8 +72,9 @@ type arFrameReq struct {
 	compressMS float64
 }
 
-// arFrameResp is the downlink result payload.
-type arFrameResp struct {
+// ARFrameResult is the downlink result payload (exposed through
+// ARFrontend.OnResponse so experiments can observe per-frame outcomes).
+type ARFrameResult struct {
 	seq        int
 	found      bool
 	object     string
@@ -222,7 +223,7 @@ func (b *ARBackend) onFrame(_ *netsim.Host, p *netsim.Packet) {
 			b.Host.Node.Inject(&netsim.Packet{
 				Flow: reply,
 				Size: 300,
-				Payload: arFrameResp{
+				Payload: ARFrameResult{
 					seq: req.seq, found: found, object: object,
 					matchMS:    float64(matchElapsed) / float64(time.Millisecond),
 					serverMS:   float64(prepElapsed) / float64(time.Millisecond),
@@ -271,7 +272,7 @@ type ARFrontend struct {
 	// counts frames abandoned without a response.
 	Responses, Found, Timeouts uint64
 	// OnResponse, when set, observes every result.
-	OnResponse func(arFrameResp)
+	OnResponse func(ARFrameResult)
 
 	// Per-stage latency histograms, shared across all frontends of the
 	// engine under core/session/stage/ (the Fig. 13 decomposition as
@@ -361,7 +362,7 @@ func (f *ARFrontend) captureAndSend() {
 }
 
 func (f *ARFrontend) onResponse(_ *netsim.Host, p *netsim.Packet) {
-	resp, ok := p.Payload.(arFrameResp)
+	resp, ok := p.Payload.(ARFrameResult)
 	if !ok {
 		return
 	}

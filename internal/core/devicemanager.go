@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"acacia/internal/d2d"
 	"acacia/internal/epc"
@@ -70,7 +71,22 @@ type appState struct {
 	requested bool
 	connected bool
 	server    pkt.Addr
+	// attempts counts consecutive failed connectivity requests for the
+	// capped-backoff retry; retryPending guards against stacking timers.
+	attempts     int
+	retryPending bool
 }
+
+// Capped deterministic backoff for failed MRS requests: 500ms, 1s, 2s,
+// then 4s per attempt up to retryMaxAttempts, after which the device
+// manager gives up until the next discovery match or manual trigger. The
+// schedule is a pure function of the attempt count — no RNG — so retries
+// replay identically across runs.
+const (
+	retryBase        = 500 * time.Millisecond
+	retryCap         = 4 * time.Second
+	retryMaxAttempts = 8
+)
 
 // NewDeviceManager creates the daemon for a UE with its LTE-direct device.
 // enbName tells the MRS which base station the UE is served by (context the
@@ -119,6 +135,7 @@ func (dm *DeviceManager) Unregister(serviceName string) error {
 	if st.wideSub != nil {
 		st.wideSub.Cancel()
 	}
+	st.requested = false // disarm any pending backoff retry
 	delete(dm.apps, serviceName)
 	if st.connected {
 		dm.mrs.ReleaseConnectivity(dm.ue.Addr(), func(err error) {
@@ -139,15 +156,53 @@ func (dm *DeviceManager) onMatch(st *appState, msg d2d.DiscoveryMessage) {
 	// design point that avoids a second always-on bearer — the extra
 	// bearer exists only while a matching service is nearby and wanted.
 	st.requested = true
+	dm.requestConnectivity(st)
+}
+
+// requestConnectivity runs the MRS procedure for an application. The
+// callback outlives the call: the MRS re-invokes it when failover moves
+// the binding (new server, nil error) or fails (error), so it doubles as
+// the session-resume path — errors feed the capped-backoff retry instead
+// of abandoning the session.
+func (dm *DeviceManager) requestConnectivity(st *appState) {
 	dm.mrs.RequestConnectivity(st.info.ServiceName, dm.ue.Addr(), dm.enbName, func(server pkt.Addr, err error) {
 		if err != nil {
-			st.requested = false
+			st.connected = false
 			st.app.OnDisconnected(err)
+			dm.scheduleRetry(st)
 			return
 		}
+		st.attempts = 0
 		st.connected = true
 		st.server = server
 		st.app.OnConnected(server)
+	})
+}
+
+// scheduleRetry arms the next backoff attempt after a failed request.
+func (dm *DeviceManager) scheduleRetry(st *appState) {
+	if !st.requested || st.connected || st.retryPending {
+		return
+	}
+	if st.attempts >= retryMaxAttempts {
+		// Out of budget: drop the request so a later discovery match or
+		// manual trigger starts fresh.
+		st.requested = false
+		st.attempts = 0
+		return
+	}
+	delay := retryBase << st.attempts
+	if delay > retryCap {
+		delay = retryCap
+	}
+	st.attempts++
+	st.retryPending = true
+	dm.ue.Host.Node.Engine().Schedule(delay, func() {
+		st.retryPending = false
+		if !st.requested || st.connected {
+			return
+		}
+		dm.requestConnectivity(st)
 	})
 }
 
@@ -171,15 +226,6 @@ func (dm *DeviceManager) TriggerManually(serviceName string) error {
 		return nil // already triggered (by discovery or manually)
 	}
 	st.requested = true
-	dm.mrs.RequestConnectivity(st.info.ServiceName, dm.ue.Addr(), dm.enbName, func(server pkt.Addr, err error) {
-		if err != nil {
-			st.requested = false
-			st.app.OnDisconnected(err)
-			return
-		}
-		st.connected = true
-		st.server = server
-		st.app.OnConnected(server)
-	})
+	dm.requestConnectivity(st)
 	return nil
 }

@@ -7,9 +7,11 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"acacia/internal/epc"
 	"acacia/internal/pkt"
+	"acacia/internal/telemetry"
 )
 
 // EdgeSite is one mobile edge cloud instance: its CI server address and the
@@ -41,22 +43,39 @@ type MRS struct {
 	services map[string]*CIService
 	bindings map[pkt.Addr]*binding // by UE IP
 
-	// Requests/Deletes count connectivity operations.
-	Requests, Deletes uint64
+	// downSites marks edge sites (by name) whose GTP-U path is currently
+	// failed, as reported by HandlePathEvent. SiteFor skips them.
+	downSites map[string]bool
+
+	scope telemetry.Scope
+
+	// Requests/Deletes count connectivity operations; Failovers counts
+	// bindings moved off a failed site.
+	Requests, Deletes, Failovers uint64
 }
 
 type binding struct {
 	service *CIService
 	site    *EdgeSite
 	ebi     uint8
+	// enbName and notify replay the original connectivity request during
+	// failover: the MRS re-selects a site for the same eNB and tells the
+	// device manager's callback about the new CI server.
+	enbName string
+	notify  func(pkt.Addr, error)
+	// failing marks a binding mid-failover so a burst of path events does
+	// not re-enter the procedure.
+	failing bool
 }
 
 // NewMRS creates an MRS against the given EPC control plane.
 func NewMRS(core *epc.Core) *MRS {
 	return &MRS{
-		core:     core,
-		services: make(map[string]*CIService),
-		bindings: make(map[pkt.Addr]*binding),
+		core:      core,
+		services:  make(map[string]*CIService),
+		bindings:  make(map[pkt.Addr]*binding),
+		downSites: make(map[string]bool),
+		scope:     core.Eng.Metrics().Scope("core").Scope("mrs"),
 	}
 }
 
@@ -69,25 +88,39 @@ func (m *MRS) RegisterService(svc CIService) {
 // Service returns a registered service by name.
 func (m *MRS) Service(name string) *CIService { return m.services[name] }
 
-// SiteFor picks the edge site of a service local to the given eNB. It
-// falls back to the first site when no site lists the eNB.
+// SiteFor picks the edge site of a service local to the given eNB, skipping
+// sites currently marked down. It falls back to the first surviving site
+// when no live site lists the eNB.
 func (m *MRS) SiteFor(svc *CIService, enbName string) (*EdgeSite, error) {
 	if len(svc.Sites) == 0 {
 		return nil, fmt.Errorf("core: service %q has no edge sites", svc.Name)
 	}
 	for i := range svc.Sites {
+		if m.downSites[svc.Sites[i].Name] {
+			continue
+		}
 		for _, e := range svc.Sites[i].ENBs {
 			if e == enbName {
 				return &svc.Sites[i], nil
 			}
 		}
 	}
-	return &svc.Sites[0], nil
+	for i := range svc.Sites {
+		if !m.downSites[svc.Sites[i].Name] {
+			return &svc.Sites[i], nil
+		}
+	}
+	return nil, fmt.Errorf("core: service %q has no surviving edge sites", svc.Name)
 }
+
+// SiteDown reports whether the named site is currently marked failed.
+func (m *MRS) SiteDown(name string) bool { return m.downSites[name] }
 
 // RequestConnectivity handles a device manager's request: locate the
 // closest CI server for the service and have the PCRF activate a dedicated
-// bearer toward it. done receives the selected CI server address.
+// bearer toward it. done receives the selected CI server address. The MRS
+// keeps the request parameters with the binding so it can replay the
+// procedure against a surviving site when the serving site fails.
 func (m *MRS) RequestConnectivity(serviceName string, ueIP pkt.Addr, enbName string, done func(pkt.Addr, error)) {
 	m.Requests++
 	svc, ok := m.services[serviceName]
@@ -98,8 +131,11 @@ func (m *MRS) RequestConnectivity(serviceName string, ueIP pkt.Addr, enbName str
 		return
 	}
 	if b := m.bindings[ueIP]; b != nil {
-		// Idempotent: the bearer already exists.
+		// Idempotent: the bearer already exists. Adopt the caller's
+		// callback so failover notifications reach the latest requester.
+		b.enbName = enbName
 		if done != nil {
+			b.notify = done
 			done(b.site.CIServer, nil)
 		}
 		return
@@ -119,7 +155,10 @@ func (m *MRS) RequestConnectivity(serviceName string, ueIP pkt.Addr, enbName str
 				}
 				return
 			}
-			m.bindings[ueIP] = &binding{service: svc, site: site, ebi: ebi}
+			m.bindings[ueIP] = &binding{
+				service: svc, site: site, ebi: ebi,
+				enbName: enbName, notify: done,
+			}
 			if done != nil {
 				done(site.CIServer, nil)
 			}
@@ -152,4 +191,117 @@ func (m *MRS) Binding(ueIP pkt.Addr) *EdgeSite {
 		return b.site
 	}
 	return nil
+}
+
+// HandlePathEvent reacts to a GTP-U path supervision transition reported
+// through the SDN controller: peer is the supervised user-plane address.
+// On failure the MRS marks every site whose fabric owns that address down
+// and moves its bindings to surviving sites; on recovery it unmarks them
+// (existing bindings stay where failover put them — there is no automatic
+// failback).
+func (m *MRS) HandlePathEvent(peer pkt.Addr, down bool) {
+	for _, site := range m.sitesOfPeer(peer) {
+		if down {
+			if m.downSites[site.Name] {
+				continue
+			}
+			m.downSites[site.Name] = true
+			m.scope.Emit("site-down", site.Name)
+			m.failoverBindings(site.Name)
+		} else {
+			if !m.downSites[site.Name] {
+				continue
+			}
+			delete(m.downSites, site.Name)
+			m.scope.Emit("site-up", site.Name)
+		}
+	}
+}
+
+// sitesOfPeer resolves a supervised peer address to the edge sites whose
+// fabric (CI server, SGW-U or PGW-U plane) it belongs to, across services
+// in sorted name order for deterministic event sequencing.
+func (m *MRS) sitesOfPeer(peer pkt.Addr) []*EdgeSite {
+	names := make([]string, 0, len(m.services))
+	for name := range m.services {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []*EdgeSite
+	seen := make(map[string]bool)
+	for _, name := range names {
+		svc := m.services[name]
+		for i := range svc.Sites {
+			site := &svc.Sites[i]
+			if seen[site.Name] || !m.siteOwnsAddr(site, peer) {
+				continue
+			}
+			seen[site.Name] = true
+			out = append(out, site)
+		}
+	}
+	return out
+}
+
+// siteOwnsAddr reports whether addr is part of a site's user-plane fabric.
+func (m *MRS) siteOwnsAddr(site *EdgeSite, addr pkt.Addr) bool {
+	if site.CIServer == addr {
+		return true
+	}
+	if up := m.core.SGWC.Plane(site.SGWPlane); up != nil && up.SW.Node().Addr() == addr {
+		return true
+	}
+	if up := m.core.PGWC.Plane(site.PGWPlane); up != nil && up.SW.Node().Addr() == addr {
+		return true
+	}
+	return false
+}
+
+// failoverBindings moves every binding served by the failed site onto a
+// surviving one, in ascending UE-address order so the resulting signaling
+// sequence is deterministic.
+func (m *MRS) failoverBindings(siteName string) {
+	var ues []pkt.Addr
+	for ueIP, b := range m.bindings {
+		if b.site.Name == siteName && !b.failing {
+			ues = append(ues, ueIP)
+		}
+	}
+	sort.Slice(ues, func(i, j int) bool { return ues[i].Uint32() < ues[j].Uint32() })
+	for _, ueIP := range ues {
+		m.failover(ueIP)
+	}
+}
+
+// failover re-runs the dedicated-bearer procedure for one UE against a
+// surviving site: terminate the old bearer (the control plane is
+// centralized, so teardown signaling works even while the site's user
+// plane is dark), drop the binding, and replay the original connectivity
+// request. The stored notify callback tells the device manager about the
+// new CI server — or about the failure, whose capped-backoff retry then
+// keeps the session from hanging when no site survives.
+func (m *MRS) failover(ueIP pkt.Addr) {
+	b := m.bindings[ueIP]
+	if b == nil || b.failing {
+		return
+	}
+	b.failing = true
+	m.Failovers++
+	m.scope.Emit("failover-start", fmt.Sprintf("%v from %s", ueIP, b.site.Name))
+	m.core.PCRF.RequestBearerTermination(ueIP, b.site.CIServer, func(err error) {
+		// Teardown of a bearer toward a dark site may time out at the
+		// user-plane switches; the compensations in the coordinator have
+		// already released control-plane state, so proceed either way.
+		delete(m.bindings, ueIP)
+		m.RequestConnectivity(b.service.Name, ueIP, b.enbName, func(server pkt.Addr, err error) {
+			if err != nil {
+				m.scope.Emit("failover-failed", fmt.Sprintf("%v: %v", ueIP, err))
+			} else {
+				m.scope.Emit("failover-done", fmt.Sprintf("%v to %v", ueIP, server))
+			}
+			if b.notify != nil {
+				b.notify(server, err)
+			}
+		})
+	})
 }

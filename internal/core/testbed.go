@@ -7,6 +7,7 @@ import (
 	"acacia/internal/compute"
 	"acacia/internal/d2d"
 	"acacia/internal/epc"
+	"acacia/internal/fault"
 	"acacia/internal/geo"
 	"acacia/internal/netsim"
 	"acacia/internal/pkt"
@@ -129,6 +130,19 @@ const (
 	RetailPolicyID    = "retail-ar"
 )
 
+// SiteBundle groups the pieces of one edge site: the local user-plane
+// switches, the CI server with its AR backend, and the site's links (the
+// fault injector's crash target).
+type SiteBundle struct {
+	Name     string
+	SGW, PGW *sdn.Switch
+	CI       *netsim.Host
+	Backend  *ARBackend
+	SGWPlane string
+	PGWPlane string
+	links    []*netsim.Link
+}
+
 // UEBundle groups one customer device's pieces.
 type UEBundle struct {
 	UE       *epc.UE
@@ -172,6 +186,13 @@ type Testbed struct {
 	// SharedCoreLink is the 100 Mbps bottleneck all default-bearer traffic
 	// crosses (background traffic injection point for Fig. 3(g)/10(b)).
 	SharedCoreLink *netsim.Link
+
+	// Faults injects deterministic outages against registered targets:
+	// the control links ("s11", "s5"), "shared-core", and every edge site
+	// by name. Sites lists the edge sites in creation order ("edge-1"
+	// first); AddEdgeSite extends both.
+	Faults *fault.Injector
+	Sites  []*SiteBundle
 
 	// BGSource/BGSink generate and absorb background load through the
 	// shared core.
@@ -222,10 +243,10 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 		Propagation:   300 * time.Microsecond,
 		QueueBytes:    cfg.SharedCoreQueue,
 	})
-	nw.ConnectSymmetric(corePGWN, inetRtrN, gbit(2*time.Millisecond)) // pgw:1 (SGi)
-	nw.ConnectSymmetric(rtrN, edgeSGWN, gbit(cfg.EdgeDelay))          // rtr:2
-	nw.ConnectSymmetric(edgeSGWN, edgePGWN, gbit(cfg.EdgeDelay))
-	nw.ConnectSymmetric(edgePGWN, ciN, gbit(cfg.EdgeDelay))
+	nw.ConnectSymmetric(corePGWN, inetRtrN, gbit(2*time.Millisecond))       // pgw:1 (SGi)
+	edgeRtrLink := nw.ConnectSymmetric(rtrN, edgeSGWN, gbit(cfg.EdgeDelay)) // rtr:2
+	edgeFabricLink := nw.ConnectSymmetric(edgeSGWN, edgePGWN, gbit(cfg.EdgeDelay))
+	edgeCILink := nw.ConnectSymmetric(edgePGWN, ciN, gbit(cfg.EdgeDelay))
 	nw.ConnectSymmetric(rtrN, bgSrcN, gbit(100*time.Microsecond)) // rtr:3
 
 	rtr := netsim.NewRouter(rtrN)
@@ -346,11 +367,88 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 		}},
 	})
 
+	// Fault-injection targets: the named control/bottleneck links and the
+	// default edge site as a crash group.
+	tb.Faults = fault.NewInjector(eng)
+	tb.Faults.RegisterLink("s11", tb.EPC.S11Link())
+	tb.Faults.RegisterLink("s5", tb.EPC.S5Link())
+	tb.Faults.RegisterLink("shared-core", tb.SharedCoreLink)
+	site1 := &SiteBundle{
+		Name: "edge-1", SGW: tb.EdgeSGW, PGW: tb.EdgePGW,
+		CI: tb.CIServer, Backend: tb.EdgeBackend,
+		SGWPlane: "edge-sgw", PGWPlane: "edge-pgw",
+		links: []*netsim.Link{edgeRtrLink, edgeFabricLink, edgeCILink},
+	}
+	tb.Sites = []*SiteBundle{site1}
+	tb.Faults.RegisterSite(site1.Name, site1.links...)
+
 	// UEs.
 	for i := 0; i < cfg.NumUEs; i++ {
 		tb.AddUE(fmt.Sprintf("customer-%d", i+1), geo.Point{X: 21, Y: 15})
 	}
 	return tb
+}
+
+// AddEdgeSite deploys another edge cloud instance on the aggregation
+// router: its own SGW-U/PGW-U pair, CI server and AR backend, registered
+// with the retail service as a failover candidate (no eNB lists it, so the
+// MRS only selects it when sites local to the UE's eNB are down) and with
+// the fault injector as a crash group.
+func (tb *Testbed) AddEdgeSite(name string) *SiteBundle {
+	idx := len(tb.Sites)
+	base := byte(3 + idx)
+	gbit := netsim.LinkConfig{BitsPerSecond: 1e9, Propagation: tb.Cfg.EdgeDelay}
+	rtrN := tb.Net.Node("agg-router")
+	sgwN := tb.Net.AddNode(name+"-sgw-u", pkt.AddrFrom(10, base, 0, 1))
+	pgwN := tb.Net.AddNode(name+"-pgw-u", pkt.AddrFrom(10, base, 0, 2))
+	ciN := tb.Net.AddNode(name+"-ci", pkt.AddrFrom(10, base, 0, 10))
+
+	rtrLink := tb.Net.ConnectSymmetric(rtrN, sgwN, gbit)
+	tb.aggRouter.AddHostRoute(sgwN.Addr(), rtrN.Port(len(rtrN.Ports())-1))
+	fabricLink := tb.Net.ConnectSymmetric(sgwN, pgwN, gbit)
+	ciLink := tb.Net.ConnectSymmetric(pgwN, ciN, gbit)
+
+	// DPIDs continue the 3/4 = edge-1 pattern: site idx gets 3+2*idx and
+	// 4+2*idx (core switches hold 1/2).
+	sgw := sdn.NewSwitch(uint64(3+2*idx), sgwN, tb.Cfg.GWCosts)
+	pgw := sdn.NewSwitch(uint64(4+2*idx), pgwN, tb.Cfg.GWCosts)
+	tb.Ctl.AddSwitch(sgw)
+	tb.Ctl.AddSwitch(pgw)
+	tb.EPC.SGWC.AddUserPlane(name+"-sgw", sgw, 0, 1)
+	tb.EPC.PGWC.AddUserPlane(name+"-pgw", pgw, 0, 1)
+
+	ci := netsim.NewHost(ciN)
+	ci.Listen(netsim.PingPort, netsim.PingResponder{})
+	backend := NewARBackend(ci, tb.Cfg.EdgeDevice, tb.Cfg.Scheme, tb.Floor, tb.DB, tb.Loc)
+
+	s := &SiteBundle{
+		Name: name, SGW: sgw, PGW: pgw, CI: ci, Backend: backend,
+		SGWPlane: name + "-sgw", PGWPlane: name + "-pgw",
+		links: []*netsim.Link{rtrLink, fabricLink, ciLink},
+	}
+	tb.Sites = append(tb.Sites, s)
+	tb.Faults.RegisterSite(name, s.links...)
+	if svc := tb.MRS.Service(RetailServiceName); svc != nil {
+		svc.Sites = append(svc.Sites, EdgeSite{
+			Name: name, CIServer: ciN.Addr(),
+			SGWPlane: s.SGWPlane, PGWPlane: s.PGWPlane,
+		})
+	}
+	return s
+}
+
+// EnableFailover arms MEC failure recovery: every edge site's SGW-U runs a
+// GTP-U path monitor supervising the site's PGW-U (pinned with Supervise
+// so probing survives bearer teardown), and path transitions flow through
+// the SDN controller into the MRS, which moves bindings off failed sites.
+func (tb *Testbed) EnableFailover(period time.Duration, maxMisses int) {
+	for _, s := range tb.Sites {
+		mon := s.SGW.EnablePathMonitor(period, maxMisses)
+		mon.Supervise(s.PGW.Node().Addr(), 1)
+	}
+	tb.Ctl.OnPathEvent = func(_ *sdn.Switch, peer pkt.Addr, down bool) {
+		tb.MRS.HandlePathEvent(peer, down)
+	}
 }
 
 func sectionIndex(f *geo.Floor, section string) int {

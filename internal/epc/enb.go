@@ -7,6 +7,7 @@ import (
 	"acacia/internal/ctl"
 	"acacia/internal/netsim"
 	"acacia/internal/pkt"
+	"acacia/internal/sdn"
 	"acacia/internal/sim"
 )
 
@@ -122,6 +123,11 @@ func (e *ENB) handle(ingress *netsim.Port, p *netsim.Packet) {
 		return
 	}
 	if ingress.ID == 0 {
+		// The eNB is the SGW's GTP-U path-management peer on S1-U: answer
+		// echo supervision before downlink decapsulation would drop it.
+		if sdn.AnswerGTPEcho(e.node.Addr(), ingress, p) {
+			return
+		}
 		e.handleDownlink(p)
 		return
 	}

@@ -172,6 +172,7 @@ var (
 // across files) is alphabetical by file and not meaningful.
 var presentation = []string{
 	"3a", "3b", "3c", "3d", "3e", "3f", "3g", "3h", "overhead", "control-loss",
+	"robust-failover",
 	"6", "8", "9", "10a", "10b",
 	"compression", "11a", "11b", "12", "13",
 	"ablation-fastpath", "ablation-bearer", "ablation-stages",

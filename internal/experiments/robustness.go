@@ -5,11 +5,13 @@ import (
 	"time"
 
 	"acacia/internal/core"
+	"acacia/internal/fault"
 	"acacia/internal/stats"
 )
 
 func init() {
 	register(controlLoss())
+	register(robustFailover())
 }
 
 // controlLoss exercises the control-plane transport's loss tolerance: one
@@ -48,6 +50,151 @@ func controlLoss() Experiment {
 				}}
 		},
 	}
+}
+
+// failoverPoint is one cell of the robust-failover sweep.
+type failoverPoint struct {
+	failAt    time.Duration
+	period    time.Duration
+	maxMisses int
+}
+
+// robustFailover kills the serving edge site mid-AR-session across a sweep
+// of failure timing × path-supervision period × miss budget, and reports
+// the recovery pipeline's figures of merit: time-to-detect (GTP-U echo
+// supervision), time-to-repair (bearer re-establishment on the surviving
+// site), end-to-end session downtime as the AR front-end experiences it,
+// and frames lost to the outage. Each trial also feeds the per-trial
+// histograms under core/failover/ (rendered by -metrics).
+func robustFailover() Experiment {
+	return Experiment{
+		ID:    "robust-failover",
+		Title: "MEC failover: edge-site crash detection and session recovery",
+		Trials: func(opts Options) []Trial {
+			failAts := []time.Duration{time.Second, 3 * time.Second}
+			sups := []failoverPoint{
+				{period: 100 * time.Millisecond, maxMisses: 2},
+				{period: 250 * time.Millisecond, maxMisses: 3},
+			}
+			if opts.Full {
+				failAts = []time.Duration{time.Second, 2 * time.Second, 4 * time.Second}
+				sups = []failoverPoint{
+					{period: 50 * time.Millisecond, maxMisses: 2},
+					{period: 100 * time.Millisecond, maxMisses: 2},
+					{period: 100 * time.Millisecond, maxMisses: 3},
+					{period: 250 * time.Millisecond, maxMisses: 3},
+				}
+			}
+			var trials []Trial
+			for _, failAt := range failAts {
+				for _, s := range sups {
+					pt := failoverPoint{failAt: failAt, period: s.period, maxMisses: s.maxMisses}
+					trials = append(trials, Trial{
+						Key: fmt.Sprintf("fail=%v period=%v misses=%d", pt.failAt, pt.period, pt.maxMisses),
+						Run: func(seed uint64) any { return runFailoverTrial(seed, pt) },
+					})
+				}
+			}
+			return trials
+		},
+		Assemble: func(_ Options, parts []any) *Result {
+			tbl := stats.NewTable("Edge-site crash mid-session: detection and recovery",
+				"fail at", "probe period", "misses", "detect (ms)", "repair (ms)", "downtime (ms)", "frames lost", "recovered")
+			for _, p := range parts {
+				tbl.AddRow(p.([]any)...)
+			}
+			return &Result{ID: "robust-failover", Title: Title("robust-failover"), Tables: []*stats.Table{tbl},
+				Notes: []string{
+					"detect ≈ maxMisses×period (GTP-U echo supervision at the site SGW-U); repair is pure control-plane signalling",
+					"session downtime is bounded by detect + repair + the front-end's in-flight frame timeout",
+				}}
+		},
+	}
+}
+
+// runFailoverTrial crashes edge-1 at the configured time and measures the
+// recovery pipeline onto edge-2.
+func runFailoverTrial(seed uint64, pt failoverPoint) Metered {
+	tb := core.NewTestbed(core.TestbedConfig{
+		Seed:        seed,
+		IdleTimeout: time.Hour,
+	})
+	tb.AddEdgeSite("edge-2")
+	tb.EnableFailover(pt.period, pt.maxMisses)
+
+	// Register the result histograms up front so the snapshot layout does
+	// not depend on which trial observes first after merging.
+	scope := tb.Eng.Metrics().Scope("core").Scope("failover")
+	hDetect := scope.Histogram("detect-ms")
+	hRepair := scope.Histogram("repair-ms")
+	hDowntime := scope.Histogram("downtime-ms")
+	hLost := scope.Histogram("frames-lost")
+
+	b := tb.UEs[0]
+	row := func(vals ...any) Metered {
+		base := []any{fmt.Sprintf("%v", pt.failAt), fmt.Sprintf("%v", pt.period), pt.maxMisses}
+		return metered(append(base, vals...), tb.Eng)
+	}
+	if err := tb.Attach(b); err != nil {
+		return row("-", "-", "-", "-", "ATTACH FAILED")
+	}
+	if err := tb.StartRetailApp(b, "electronics"); err != nil {
+		return row("-", "-", "-", "-", "REGISTER FAILED")
+	}
+	tb.Run(5 * time.Second) // discovery, MRS round trip, session warm-up
+
+	var respTimes []time.Duration
+	b.Frontend.OnResponse = func(core.ARFrameResult) {
+		respTimes = append(respTimes, time.Duration(tb.Eng.Now()))
+	}
+	failWall := time.Duration(tb.Eng.Now()) + pt.failAt
+	if err := tb.Faults.Apply(fault.Plan{Name: "site-crash", Events: []fault.Event{
+		{Kind: fault.SiteCrash, Target: "edge-1", At: pt.failAt},
+	}}); err != nil {
+		return row("-", "-", "-", "-", "PLAN REJECTED")
+	}
+	lostBefore := b.Frontend.Timeouts
+	tb.Run(pt.failAt + 15*time.Second)
+
+	var detectAt, repairAt time.Duration
+	for _, ev := range tb.Eng.Metrics().Events() {
+		if ev.Scope != "core/mrs" {
+			continue
+		}
+		switch ev.Name {
+		case "site-down":
+			if detectAt == 0 {
+				detectAt = ev.At
+			}
+		case "failover-done":
+			if repairAt == 0 {
+				repairAt = ev.At
+			}
+		}
+	}
+	if detectAt == 0 || repairAt == 0 || !b.DM.Connected(core.RetailServiceName) {
+		return row("-", "-", "-", "-", "NOT RECOVERED")
+	}
+	var lastBefore, firstAfter time.Duration
+	for _, at := range respTimes {
+		if at < failWall {
+			lastBefore = at
+		} else if firstAfter == 0 {
+			firstAfter = at
+		}
+	}
+	downtime := firstAfter - lastBefore
+	lost := b.Frontend.Timeouts - lostBefore
+
+	detectMS := float64(detectAt-failWall) / float64(time.Millisecond)
+	repairMS := float64(repairAt-detectAt) / float64(time.Millisecond)
+	downtimeMS := float64(downtime) / float64(time.Millisecond)
+	hDetect.Observe(detectMS)
+	hRepair.Observe(repairMS)
+	hDowntime.Observe(downtimeMS)
+	hLost.Observe(float64(lost))
+	return row(fmt.Sprintf("%.1f", detectMS), fmt.Sprintf("%.1f", repairMS),
+		fmt.Sprintf("%.1f", downtimeMS), lost, "ok")
 }
 
 // runControlLossTrial runs one attach + dedicated-bearer activation with the

@@ -11,9 +11,12 @@ import (
 	"acacia/internal/exec"
 )
 
-// detSubset spans all four runner files (motivation, micro, app, ablation)
-// with multi-trial experiments, while staying affordable for CI.
-var detSubset = []string{"3c", "3d", "9", "10a", "13", "ablation-qci", "ablation-stages"}
+// detSubset spans all five runner files (motivation, micro, app,
+// robustness, ablation) with multi-trial experiments, while staying
+// affordable for CI. robust-failover keeps a fault plan active during the
+// parallel-vs-sequential comparison, so failure injection itself is under
+// the byte-identical contract.
+var detSubset = []string{"3c", "3d", "9", "10a", "13", "robust-failover", "ablation-qci", "ablation-stages"}
 
 func renderSubset(t *testing.T, opts Options) string {
 	t.Helper()

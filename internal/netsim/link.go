@@ -39,12 +39,23 @@ const DefaultQueueBytes = 256 << 10
 // LinkStats counts per-direction link activity. It is a point-in-time view
 // assembled from the link's telemetry counters (the authoritative store in
 // the engine's metrics registry).
+//
+// Counter semantics: Sent counts packets accepted for transmission (queued
+// behind the transmitter or put on the delay line); Dropped counts packets
+// refused at the transmitter (down direction, injected loss, full queue).
+// Every drop happens at offer time, so Sent + Dropped is the offered load
+// (see Offered) and Sent − Delivered is the number of packets currently
+// queued or in flight.
 type LinkStats struct {
 	Sent      uint64
 	Delivered uint64
 	Dropped   uint64
 	Bytes     uint64
 }
+
+// Offered reports the total load offered to the transmitter: packets
+// accepted (Sent) plus packets dropped at offer time (Dropped).
+func (s LinkStats) Offered() uint64 { return s.Sent + s.Dropped }
 
 // linkDir is one direction of a link: a single transmitter serving a bounded
 // queue, followed by a propagation delay line. Its activity counters live in
@@ -90,9 +101,11 @@ func (d *linkDir) statsView() LinkStats {
 	}
 }
 
-// send enqueues p for transmission, dropping it if the queue is full.
+// send offers p to the transmitter. All drops (down direction, injected
+// loss, full queue) happen here, before a packet counts as sent, keeping
+// the LinkStats identities Sent + Dropped = offered and Sent − Delivered =
+// queued + in flight.
 func (d *linkDir) send(p *Packet) {
-	d.sent.Inc()
 	if d.down {
 		d.dropped.Inc()
 		return
@@ -101,8 +114,12 @@ func (d *linkDir) send(p *Packet) {
 		d.dropped.Inc()
 		return
 	}
-	if d.cfg.BitsPerSecond == 0 {
-		// Pure delay line: no serialization, no queueing.
+	if d.cfg.BitsPerSecond == 0 && !d.busy {
+		// Pure delay line: no serialization, no queueing. The busy check
+		// keeps delivery in arrival order while packets queued under a
+		// previous finite-rate config are still draining (SetConfigAB
+		// mid-run); until the drain completes, new arrivals queue behind.
+		d.sent.Inc()
 		d.bytes.Add(uint64(p.Size))
 		d.deliverAfter(p, d.cfg.Propagation)
 		return
@@ -111,6 +128,7 @@ func (d *linkDir) send(p *Packet) {
 		d.dropped.Inc()
 		return
 	}
+	d.sent.Inc()
 	d.qBytes += p.Size
 	d.queueLen.Set(float64(d.qBytes))
 	item := &queuedPacket{p: p, seq: d.seq, enq: d.net.eng.Now()}
@@ -138,7 +156,15 @@ func (d *linkDir) transmitNext() {
 	p.QueueWait += d.net.eng.Now().Sub(item.enq)
 	d.qBytes -= p.Size
 	d.queueLen.Set(float64(d.qBytes))
-	txTime := time.Duration(float64(p.Size*8) / d.cfg.BitsPerSecond * float64(time.Second))
+	// Zero BitsPerSecond means infinite bandwidth. A direction can be
+	// reconfigured to it mid-run while packets queued under the previous
+	// finite rate still wait: those drain here in queue order with zero
+	// serialization time, instead of the +Inf division (and the garbage
+	// schedule time.Duration(+Inf) produces) the old code hit.
+	var txTime time.Duration
+	if d.cfg.BitsPerSecond > 0 {
+		txTime = time.Duration(float64(p.Size*8) / d.cfg.BitsPerSecond * float64(time.Second))
+	}
 	d.net.eng.Schedule(txTime, func() {
 		d.bytes.Add(uint64(p.Size))
 		d.deliverAfter(p, d.cfg.Propagation)
@@ -203,8 +229,12 @@ func (l *Link) StatsBA() LinkStats { return l.ba.statsView() }
 // BacklogAB reports queued bytes in the A->B direction.
 func (l *Link) BacklogAB() int { return l.ab.Backlog() }
 
-// SetConfigAB replaces the A->B direction configuration; queued packets are
-// unaffected. Used by experiments that vary emulated RTT mid-run.
+// SetConfigAB replaces the A->B direction configuration. Used by
+// experiments that vary emulated rate or RTT mid-run. Packets already
+// queued keep their place and serialize under the new rate as they reach
+// the transmitter; when the new rate is zero ("infinite"), they drain in
+// queue order with zero serialization time, and fresh arrivals bypass the
+// queue only once the drain has finished (arrival order is preserved).
 func (l *Link) SetConfigAB(cfg LinkConfig) {
 	if cfg.QueueBytes == 0 {
 		cfg.QueueBytes = DefaultQueueBytes

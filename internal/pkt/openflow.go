@@ -20,6 +20,7 @@ const (
 	OFEchoReply   OFMsgType = 3
 	OFPacketIn    OFMsgType = 10
 	OFFlowRemoved OFMsgType = 11
+	OFPortStatus  OFMsgType = 12
 	OFPacketOut   OFMsgType = 13
 	OFFlowMod     OFMsgType = 14
 	OFBarrier     OFMsgType = 20
@@ -38,6 +39,8 @@ func (t OFMsgType) String() string {
 		return "PacketIn"
 	case OFFlowRemoved:
 		return "FlowRemoved"
+	case OFPortStatus:
+		return "PortStatus"
 	case OFPacketOut:
 		return "PacketOut"
 	case OFFlowMod:
@@ -429,6 +432,12 @@ func (m *OFMsg) Encode(b []byte) []byte {
 		b = append(b, make([]byte, m.DataLen)...)
 	case OFHello, OFEchoRequest, OFEchoReply, OFBarrier:
 		// Header only.
+	case OFPortStatus:
+		// reason(1) + pad(7), then the affected path carried in the match
+		// (GTP path supervision identifies "ports" by peer address).
+		b = append(b, m.Reason)
+		b = append(b, make([]byte, 7)...)
+		b = m.Match.encode(b)
 	case OFFlowRemoved:
 		b = putU32(b, uint32(m.Cookie>>32))
 		b = putU32(b, uint32(m.Cookie))
@@ -588,6 +597,17 @@ func (m *OFMsg) Decode(b []byte) (int, error) {
 		}
 	case OFHello, OFEchoRequest, OFEchoReply, OFBarrier:
 		// Header only.
+	case OFPortStatus:
+		if m.Reason, err = r.u8(); err != nil {
+			return 0, err
+		}
+		if _, err := r.bytes(7); err != nil {
+			return 0, err
+		}
+		m.Match = Match{}
+		if err := m.Match.decode(r); err != nil {
+			return 0, err
+		}
 	case OFFlowRemoved:
 		hi, err := r.u32()
 		if err != nil {

@@ -55,6 +55,11 @@ type Controller struct {
 	// OnPacketIn handles reactive flow setup.
 	OnPacketIn PacketInHandler
 
+	// OnPathEvent observes GTP-U path supervision transitions reported by
+	// switches running a PathMonitor (down=true on failure, false on
+	// recovery). The MEC layer sets it to drive edge-site failover.
+	OnPathEvent func(sw *Switch, peer pkt.Addr, down bool)
+
 	// Channel counters, registered under sdn/controller/ in the engine's
 	// telemetry registry. Stats() assembles the MsgStats compat view.
 	sent      *telemetry.Counter
@@ -225,6 +230,27 @@ func (c *Controller) packetIn(sw *Switch, inPort uint32, p *netsim.Packet, tunne
 		return
 	}
 	c.toController(sw, "PacketIn", n, func() { c.OnPacketIn(sw, inPort, p, tunnelID) })
+}
+
+// pathStatus carries a switch's GTP path-state transition to the
+// controller as a PortStatus message over the control channel (path
+// supervision is port liveness in the GTP-tunnelled fabric).
+func (c *Controller) pathStatus(sw *Switch, peer pkt.Addr, down bool) {
+	reason := uint8(0) // up
+	if down {
+		reason = 1
+	}
+	msg := &pkt.OFMsg{
+		Type: pkt.OFPortStatus, XID: c.nextXID(),
+		Reason: reason,
+		Match:  pkt.Match{IPv4Src: pkt.AddrPtr(peer)},
+	}
+	n := c.accountReceived(msg)
+	c.toController(sw, "PortStatus", n, func() {
+		if c.OnPathEvent != nil {
+			c.OnPathEvent(sw, peer, down)
+		}
+	})
 }
 
 // flowRemoved is called by a switch when an idle entry expires.

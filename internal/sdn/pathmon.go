@@ -1,11 +1,13 @@
 package sdn
 
 import (
+	"sort"
 	"time"
 
 	"acacia/internal/netsim"
 	"acacia/internal/pkt"
 	"acacia/internal/sim"
+	"acacia/internal/telemetry"
 )
 
 // GTP-U path management (TS 29.281 §7.2): GTP peers exchange Echo
@@ -35,6 +37,9 @@ type PathState struct {
 	lastSentSeq    uint32
 	lastAckedSeq   uint32
 	misses         int
+	// static marks peers pinned with Supervise: they outlive flow-table
+	// refreshes, so supervision survives bearer teardown.
+	static bool
 }
 
 // PathMonitor supervises a switch's GTP peers.
@@ -43,8 +48,11 @@ type PathMonitor struct {
 	maxMisses int
 	peers     map[pkt.Addr]*PathState
 	ticker    *sim.Ticker
+	scope     telemetry.Scope
 
-	// OnPathDown/OnPathUp observe path state transitions.
+	// OnPathDown/OnPathUp observe path state transitions. Independently of
+	// these hooks, every transition is reported to the switch's controller
+	// as a PortStatus message over the control channel.
 	OnPathDown func(peer pkt.Addr)
 	OnPathUp   func(peer pkt.Addr)
 }
@@ -64,30 +72,63 @@ func (sw *Switch) EnablePathMonitor(period time.Duration, maxMisses int) *PathMo
 		sw:        sw,
 		maxMisses: maxMisses,
 		peers:     make(map[pkt.Addr]*PathState),
+		scope:     sw.eng.Metrics().Scope("sdn/pathmon").Scope(sw.node.Name()),
 	}
 	sw.pathMon = m
 	m.ticker = sim.NewTicker(sw.eng, period, m.tick)
 	return m
 }
 
-// Peers returns the supervised path states (live views).
+// Peers returns the supervised path states. The returned map is the
+// monitor's live working set — its iteration order is randomized like any
+// Go map, so deterministic consumers must use PeerList instead.
 func (m *PathMonitor) Peers() map[pkt.Addr]*PathState { return m.peers }
+
+// PeerList returns the supervised path states in ascending peer-address
+// order: the deterministic view of Peers.
+func (m *PathMonitor) PeerList() []*PathState { return m.sortedPeers() }
+
+// Supervise pins a peer into the supervision set regardless of the flow
+// table: probes go out the given port every tick even after the peer's
+// bearers (and with them its SetTunnel flows) are torn down. The MEC
+// failover path uses this to keep watching an edge site's user plane so a
+// repaired site is noticed.
+func (m *PathMonitor) Supervise(peer pkt.Addr, port int) {
+	if ps, ok := m.peers[peer]; ok {
+		ps.Port = port
+		ps.static = true
+		return
+	}
+	m.peers[peer] = &PathState{Peer: peer, Port: port, static: true}
+}
 
 // Stop halts supervision.
 func (m *PathMonitor) Stop() { m.ticker.Stop() }
 
-// tick refreshes peers from the table and probes each.
+// sortedPeers collects the peer set in ascending address order, pinning
+// probe order — and with it packet enqueue order and any jitter RNG draws
+// downstream — regardless of map layout.
+func (m *PathMonitor) sortedPeers() []*PathState {
+	out := make([]*PathState, 0, len(m.peers))
+	for _, ps := range m.peers {
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer.Uint32() < out[j].Peer.Uint32() })
+	return out
+}
+
+// tick refreshes peers from the table and probes each in sorted address
+// order (the byte-identical-output contract: map iteration order must
+// never reach the wire).
 func (m *PathMonitor) tick() {
 	m.refreshPeers()
-	for _, ps := range m.peers {
+	for _, ps := range m.sortedPeers() {
 		// Check the previous round's answer before probing again.
 		if ps.lastAckedSeq < ps.lastSentSeq {
 			ps.misses++
 			if !ps.Down && ps.misses >= m.maxMisses {
 				ps.Down = true
-				if m.OnPathDown != nil {
-					m.OnPathDown(ps.Peer)
-				}
+				m.notify(ps.Peer, true)
 			}
 		}
 		ps.lastSentSeq++
@@ -100,6 +141,25 @@ func (m *PathMonitor) tick() {
 			Size:    gtpEchoWireSize,
 			Payload: gtpEcho{req: true, seq: ps.lastSentSeq, from: m.sw.node.Addr()},
 		})
+	}
+}
+
+// notify records a path transition on the telemetry timeline, invokes the
+// user hooks, and reports the transition to the switch's controller.
+func (m *PathMonitor) notify(peer pkt.Addr, down bool) {
+	if down {
+		m.scope.Emit("down", peer.String())
+		if m.OnPathDown != nil {
+			m.OnPathDown(peer)
+		}
+	} else {
+		m.scope.Emit("up", peer.String())
+		if m.OnPathUp != nil {
+			m.OnPathUp(peer)
+		}
+	}
+	if m.sw.controller != nil {
+		m.sw.controller.pathStatus(m.sw, peer, down)
 	}
 }
 
@@ -128,12 +188,32 @@ func (m *PathMonitor) refreshPeers() {
 		}
 		m.peers[peer] = &PathState{Peer: peer, Port: port}
 	}
-	// Paths whose flows disappeared stop being probed.
-	for peer := range m.peers {
-		if _, still := seen[peer]; !still {
+	// Paths whose flows disappeared stop being probed; peers pinned with
+	// Supervise stay.
+	for peer, ps := range m.peers {
+		if _, still := seen[peer]; !still && !ps.static {
 			delete(m.peers, peer)
 		}
 	}
+}
+
+// AnswerGTPEcho lets a non-switch GTP node (the eNB end of S1-U paths)
+// participate in path supervision: it answers Echo Requests addressed to
+// self and swallows stray echo traffic. Returns true when the packet was a
+// GTP echo and has been consumed.
+func AnswerGTPEcho(self pkt.Addr, ingress *netsim.Port, p *netsim.Packet) bool {
+	echo, ok := p.Payload.(gtpEcho)
+	if !ok || p.Flow.Dst != self || p.Flow.DstPort != pkt.GTPUPort {
+		return false
+	}
+	if echo.req && ingress != nil {
+		ingress.Send(&netsim.Packet{
+			Flow:    p.Flow.Reverse(),
+			Size:    gtpEchoWireSize,
+			Payload: gtpEcho{req: false, seq: echo.seq, from: self},
+		})
+	}
+	return true
 }
 
 // handleEcho intercepts GTP echo messages before table lookup. Returns
@@ -172,8 +252,6 @@ func (m *PathMonitor) onResponse(echo gtpEcho) {
 	ps.misses = 0
 	if ps.Down {
 		ps.Down = false
-		if m.OnPathUp != nil {
-			m.OnPathUp(ps.Peer)
-		}
+		m.notify(ps.Peer, false)
 	}
 }
