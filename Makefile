@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fmt-check bench bench-json bench-robustness results results-csv examples clean
+.PHONY: all build vet test race cover fmt-check bench bench-json bench-robustness bench-alloc alloc-gate results results-csv examples clean
 
 all: build vet test
 
@@ -81,6 +81,16 @@ bench-json:
 bench-robustness:
 	$(call bench_to_json,Failover|Fault,BENCH_robustness.json)
 
+# Allocation subset: the BenchmarkAlloc* hot-path family (DESIGN.md §3f).
+bench-alloc:
+	$(call bench_to_json,^BenchmarkAlloc,BENCH_alloc.json)
+
+# Allocation-budget gate: re-measure and hold every BenchmarkAlloc* result
+# against the committed ceilings in ALLOC_BUDGET.json. Fails CI when a hot
+# path regresses past its budget.
+alloc-gate: bench-alloc
+	$(GO) run ./cmd/acacia-allocgate -bench BENCH_alloc.json -budget ALLOC_BUDGET.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/retail
@@ -96,4 +106,4 @@ bench_output.txt:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt coverage.out BENCH_control.json BENCH_robustness.json bench_raw.tmp
+	rm -f test_output.txt bench_output.txt coverage.out BENCH_control.json BENCH_robustness.json BENCH_alloc.json bench_raw.tmp

@@ -1,0 +1,191 @@
+package acacia
+
+// Allocation benchmarks and zero-alloc contract tests for the hot paths
+// covered by DESIGN.md §3f. The BenchmarkAlloc* family is what
+// `make bench-alloc` records into BENCH_alloc.json, and what
+// cmd/acacia-allocgate holds against the budgets in ALLOC_BUDGET.json.
+// The TestZeroAlloc* tests pin the strict 0 allocs/op contracts directly
+// with testing.AllocsPerRun so a regression fails `go test` even without
+// the benchmark gate.
+
+import (
+	"testing"
+	"time"
+
+	"acacia/internal/netsim"
+	"acacia/internal/pkt"
+	"acacia/internal/sim"
+	"acacia/internal/telemetry"
+)
+
+// BenchmarkAllocGTPUEncap measures the zero-alloc encap path: outer
+// IPv4+UDP+GTP-U headers appended to a reused scratch buffer.
+func BenchmarkAllocGTPUEncap(b *testing.B) {
+	src, dst := pkt.AddrFrom(10, 0, 0, 1), pkt.AddrFrom(10, 0, 0, 2)
+	buf := make([]byte, 0, pkt.GTPUOverhead)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = pkt.AppendGPDU(buf[:0], src, dst, 0xbeef, 1400)
+	}
+	if len(buf) != pkt.GTPUOverhead {
+		b.Fatalf("encap length %d, want %d", len(buf), pkt.GTPUOverhead)
+	}
+}
+
+// BenchmarkAllocGTPUEncapDecap round-trips a full tunneled packet through
+// encap and decap with every buffer reused across iterations.
+func BenchmarkAllocGTPUEncapDecap(b *testing.B) {
+	src, dst := pkt.AddrFrom(10, 0, 0, 1), pkt.AddrFrom(10, 0, 0, 2)
+	inner := make([]byte, 1400)
+	buf := make([]byte, 0, pkt.GTPUOverhead+len(inner))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = pkt.AppendGPDU(buf[:0], src, dst, 0xbeef, len(inner))
+		buf = append(buf, inner...)
+		teid, got, err := pkt.DecapsulateGPDU(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if teid != 0xbeef || len(got) != len(inner) {
+			b.Fatalf("decap teid %#x len %d", teid, len(got))
+		}
+	}
+}
+
+// BenchmarkAllocTelemetryInc measures a counter increment on an
+// already-registered metric — the per-event telemetry hot path.
+func BenchmarkAllocTelemetryInc(b *testing.B) {
+	reg := telemetry.New()
+	c := reg.Scope("bench").Counter("inc")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkAllocTelemetryObserve measures a histogram observation, the
+// per-sample latency-recording path.
+func BenchmarkAllocTelemetryObserve(b *testing.B) {
+	reg := telemetry.New()
+	h := reg.Scope("bench").Histogram("observe")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+// BenchmarkAllocTelemetryScope measures re-deriving an interned scope —
+// the path a handler takes when it scopes metrics per message rather than
+// caching the Scope value.
+func BenchmarkAllocTelemetryScope(b *testing.B) {
+	reg := telemetry.New()
+	reg.Scope("epc").Scope("s1ap") // warm the intern table
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = reg.Scope("epc").Scope("s1ap")
+	}
+}
+
+// BenchmarkAllocPacketPath measures the steady-state one-hop data path:
+// pooled packet out of the network free-list, link transit, sink release.
+func BenchmarkAllocPacketPath(b *testing.B) {
+	eng := sim.NewEngine(1)
+	nw := netsim.New(eng)
+	na := nw.AddNode("a", pkt.AddrFrom(10, 0, 0, 1))
+	nb := nw.AddNode("b", pkt.AddrFrom(10, 0, 0, 2))
+	ha := netsim.NewHost(na)
+	netsim.NewSink(netsim.NewHost(nb), 9000)
+	nw.ConnectSymmetric(na, nb, netsim.LinkConfig{BitsPerSecond: 1e9, Propagation: time.Millisecond})
+	// Warm the packet and event pools before measuring.
+	ha.Send(pkt.AddrFrom(10, 0, 0, 2), 30000, 9000, pkt.ProtoUDP, 1200, nil)
+	eng.Run()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ha.Send(pkt.AddrFrom(10, 0, 0, 2), 30000, 9000, pkt.ProtoUDP, 1200, nil)
+		eng.Run()
+	}
+}
+
+// BenchmarkAllocEngineAfter measures pooled event scheduling with a
+// pre-bound callback, the engine's per-event hot path.
+func BenchmarkAllocEngineAfter(b *testing.B) {
+	eng := sim.NewEngine(1)
+	nop := func() {}
+	// Warm the event pool.
+	eng.After(1, nop)
+	eng.Run()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng.After(1, nop)
+		eng.Run()
+	}
+}
+
+// BenchmarkAllocAttachCycle measures a full control-plane attach/detach
+// cycle on a live testbed: NAS + S1AP + GTPv2 signaling, bearer setup and
+// teardown, all encoding into core-owned scratch buffers.
+func BenchmarkAllocAttachCycle(b *testing.B) {
+	tb := NewTestbed(TestbedConfig{Seed: 1})
+	ue := tb.UEs[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := tb.Attach(ue); err != nil {
+			b.Fatal(err)
+		}
+		done := false
+		if err := ue.UE.Detach(func() { done = true }); err != nil {
+			b.Fatal(err)
+		}
+		tb.Run(time.Second)
+		if !done {
+			b.Fatal("detach did not complete")
+		}
+	}
+}
+
+// TestZeroAllocGTPUEncap pins the strict contract from ISSUE acceptance:
+// GTP-U encapsulation into a reused scratch buffer performs zero
+// allocations per packet.
+func TestZeroAllocGTPUEncap(t *testing.T) {
+	src, dst := pkt.AddrFrom(10, 0, 0, 1), pkt.AddrFrom(10, 0, 0, 2)
+	buf := make([]byte, 0, pkt.GTPUOverhead)
+	n := testing.AllocsPerRun(1000, func() {
+		buf = pkt.AppendGPDU(buf[:0], src, dst, 0xbeef, 1400)
+	})
+	if n != 0 {
+		t.Fatalf("GTP-U encap allocates %.1f times per packet, want 0", n)
+	}
+}
+
+// TestZeroAllocTelemetry pins zero allocations on counter increment,
+// gauge set and histogram observe for registered metrics.
+func TestZeroAllocTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	s := reg.Scope("zero")
+	c := s.Counter("c")
+	g := s.Gauge("g")
+	h := s.Histogram("h")
+	x := 0.0
+	n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(x)
+		h.Observe(x)
+		x++
+	})
+	if n != 0 {
+		t.Fatalf("telemetry observe path allocates %.1f times per event, want 0", n)
+	}
+}
+
+// TestZeroAllocInternedScope pins zero allocations when re-deriving a
+// scope whose prefix is already interned in the registry.
+func TestZeroAllocInternedScope(t *testing.T) {
+	reg := telemetry.New()
+	reg.Scope("epc").Scope("s1ap")
+	n := testing.AllocsPerRun(1000, func() {
+		_ = reg.Scope("epc").Scope("s1ap")
+	})
+	if n != 0 {
+		t.Fatalf("interned scope lookup allocates %.1f times, want 0", n)
+	}
+}

@@ -1,0 +1,122 @@
+// Command acacia-allocgate enforces the allocation budgets of DESIGN.md §3f:
+// it compares a benchmark run recorded by `make bench-alloc`
+// (BENCH_alloc.json) against the committed per-benchmark ceilings
+// (ALLOC_BUDGET.json) and fails when any hot-path benchmark allocates more
+// per operation than its budget allows.
+//
+// The budget file is a JSON object mapping benchmark names (without the
+// -GOMAXPROCS suffix) to the maximum tolerated allocs/op. Every budgeted
+// benchmark must appear in the measurement file — a renamed or deleted
+// benchmark fails the gate rather than silently escaping it.
+//
+//	acacia-allocgate [-bench BENCH_alloc.json] [-budget ALLOC_BUDGET.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// measurement is one entry of the bench_to_json output.
+type measurement struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	benchPath := flag.String("bench", "BENCH_alloc.json", "benchmark results (make bench-alloc output)")
+	budgetPath := flag.String("budget", "ALLOC_BUDGET.json", "allocation budgets (name -> max allocs/op)")
+	flag.Parse()
+
+	budgets, err := readBudgets(*budgetPath)
+	if err != nil {
+		fatal(err)
+	}
+	measured, err := readMeasurements(*benchPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failures := 0
+	for _, name := range names {
+		m, ok := measured[name]
+		switch {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "allocgate: FAIL %s: budgeted benchmark missing from %s (renamed or deleted?)\n", name, *benchPath)
+			failures++
+		case m.AllocsPerOp == nil:
+			fmt.Fprintf(os.Stderr, "allocgate: FAIL %s: no allocs/op recorded (benchmark must call b.ReportAllocs or run under -benchmem)\n", name)
+			failures++
+		case *m.AllocsPerOp > budgets[name]:
+			fmt.Fprintf(os.Stderr, "allocgate: FAIL %s: %.0f allocs/op exceeds budget %.0f\n", name, *m.AllocsPerOp, budgets[name])
+			failures++
+		default:
+			fmt.Printf("allocgate: ok   %s: %.0f allocs/op (budget %.0f)\n", name, *m.AllocsPerOp, budgets[name])
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "allocgate: %d budget violation(s); see DESIGN.md §3f for the memory discipline, ALLOC_BUDGET.json for the ceilings\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("allocgate: all %d budgets hold\n", len(names))
+}
+
+func readBudgets(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("allocgate: %w", err)
+	}
+	var budgets map[string]float64
+	if err := json.Unmarshal(data, &budgets); err != nil {
+		return nil, fmt.Errorf("allocgate: parse %s: %w", path, err)
+	}
+	if len(budgets) == 0 {
+		return nil, fmt.Errorf("allocgate: %s holds no budgets", path)
+	}
+	for name, max := range budgets {
+		if max < 0 {
+			return nil, fmt.Errorf("allocgate: %s: negative budget %g for %s", path, max, name)
+		}
+	}
+	return budgets, nil
+}
+
+func readMeasurements(path string) (map[string]measurement, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("allocgate: %w (run `make bench-alloc` first)", err)
+	}
+	var list []measurement
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("allocgate: parse %s: %w", path, err)
+	}
+	out := make(map[string]measurement, len(list))
+	for _, m := range list {
+		// Benchmark lines carry a -GOMAXPROCS suffix (BenchmarkX-8);
+		// budgets are keyed by the bare name.
+		name := m.Name
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i]
+		}
+		out[name] = m
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

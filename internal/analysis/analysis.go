@@ -93,6 +93,7 @@ func AllRules() []*Rule {
 	rules := []*Rule{
 		GoroutineRule(),
 		GlobalRandRule(),
+		HotAllocRule(),
 		MapRangeRule(),
 		MetricNameRule(),
 		WallClockRule(),

@@ -108,6 +108,7 @@ func TestGoroutineGolden(t *testing.T)  { checkGolden(t, "goroutine", "acacia/in
 func TestGlobalRandGolden(t *testing.T) { checkGolden(t, "globalrand", "acacia/internal/globalrand") }
 func TestMapRangeGolden(t *testing.T)   { checkGolden(t, "maprange", "acacia/internal/maprange") }
 func TestMetricNameGolden(t *testing.T) { checkGolden(t, "metricname", "acacia/internal/metricname") }
+func TestHotAllocGolden(t *testing.T)   { checkGolden(t, "hotalloc", "acacia/internal/hotalloc") }
 func TestDirectivesGolden(t *testing.T) { checkGolden(t, "directives", "acacia/internal/directives") }
 
 // TestExecExempt checks the internal/exec carve-out: real goroutines and
@@ -146,8 +147,8 @@ func TestRepoIsClean(t *testing.T) {
 
 func TestSelectRules(t *testing.T) {
 	all, err := SelectRules("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("empty selection = %d rules, err %v; want all 5", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("empty selection = %d rules, err %v; want all 6", len(all), err)
 	}
 	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Name < all[j].Name }) {
 		t.Error("AllRules not in name order")

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAllocRule enforces the memory-discipline contract from DESIGN.md §3f:
+// a function annotated with a //acacia:hotpath doc directive runs per
+// packet, per event or per control message, and must not allocate on the
+// steady-state path. The rule flags the allocating patterns that crept into
+// hot paths before the discipline existed:
+//
+//   - fmt.* calls (formatting always allocates; move it to a cold helper,
+//     as the sim package's badDelay/badTime panics do),
+//   - the make and new builtins (draw from an engine-owned pool or reuse a
+//     caller-provided scratch buffer instead),
+//   - non-constant string concatenation (intern the result, as the ctl
+//     endpoint's link-name table does),
+//   - function literals (a closure that escapes allocates; pre-bind a
+//     method value once at construction time, as Node.cpuDoneF does).
+//
+// The annotation is opt-in and the rule runs wherever it appears, so the
+// usual internal/-only package gating does not apply. append is
+// deliberately not flagged: appending to a reused pool or scratch slice is
+// amortized-free and is exactly the idiom the contract prescribes.
+func HotAllocRule() *Rule {
+	return &Rule{
+		Name: "hotalloc",
+		Doc:  "//acacia:hotpath functions must not allocate (fmt, make/new, string concat, closures)",
+		Run:  runHotAlloc,
+	}
+}
+
+func runHotAlloc(p *Pass) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotPath(fn.Doc) {
+				continue
+			}
+			checkHotBody(p, fn.Body)
+		}
+	}
+}
+
+// isHotPath reports whether the doc comment carries the //acacia:hotpath
+// directive on a line of its own.
+func isHotPath(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == "//acacia:hotpath" {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "function literal in a hotpath function allocates its closure; pre-bind a method value at construction time")
+			return false
+		case *ast.CallExpr:
+			if name, ok := builtinName(p.Info, n.Fun); ok && (name == "make" || name == "new") {
+				p.Reportf(n.Pos(), "%s allocates in a hotpath function; draw from an engine-owned pool or reuse a scratch buffer", name)
+				return true
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+					p.Reportf(n.Pos(), "fmt.%s allocates in a hotpath function; move formatting to a cold helper", fn.Name())
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(p.Info, n) {
+				p.Reportf(n.Pos(), "string concatenation allocates in a hotpath function; intern the result or build it at construction time")
+				// One finding per concatenation tree: a+b+c is one defect,
+				// not two.
+				return false
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isNonConstString(p.Info, n.Lhs[0]) {
+				p.Reportf(n.Pos(), "string concatenation allocates in a hotpath function; intern the result or build it at construction time")
+			}
+		}
+		return true
+	})
+}
+
+// builtinName resolves fun to a builtin function name, if it is one.
+func builtinName(info *types.Info, fun ast.Expr) (string, bool) {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name(), true
+	}
+	return "", false
+}
+
+// isNonConstString reports whether e has string type and is not a
+// compile-time constant (constant-folded concatenation never allocates).
+func isNonConstString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value != nil || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

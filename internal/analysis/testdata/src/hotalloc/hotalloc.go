@@ -1,0 +1,75 @@
+// Fixture for the hotalloc rule, loaded under the import path
+// acacia/internal/hotalloc. The //acacia:hotpath annotation is opt-in, so
+// the rule fires only inside annotated functions regardless of package.
+package hotalloc
+
+import "fmt"
+
+var (
+	sinkB []byte
+	sinkS string
+	sinkF func()
+	sinkP *int
+)
+
+//acacia:hotpath
+func hotSprintf(n int) {
+	sinkS = fmt.Sprintf("%d", n) // want "fmt.Sprintf allocates in a hotpath function"
+}
+
+//acacia:hotpath
+func hotMake(n int) {
+	sinkB = make([]byte, n) // want "make allocates in a hotpath function"
+}
+
+//acacia:hotpath
+func hotNew() {
+	sinkP = new(int) // want "new allocates in a hotpath function"
+}
+
+//acacia:hotpath
+func hotConcat(a, b string) {
+	sinkS = a + b // want "string concatenation allocates in a hotpath function"
+	sinkS += a    // want "string concatenation allocates in a hotpath function"
+}
+
+// hotChained checks a+b+c reports once, on the outermost concatenation.
+//
+//acacia:hotpath
+func hotChained(a, b, c string) {
+	sinkS = a + b + c // want "string concatenation allocates in a hotpath function"
+}
+
+//acacia:hotpath
+func hotClosure(x int) {
+	sinkF = func() { sinkP = &x } // want "function literal in a hotpath function allocates its closure"
+}
+
+// hotConstConcat stays clean: constant-folded concatenation never reaches
+// the runtime.
+//
+//acacia:hotpath
+func hotConstConcat() {
+	sinkS = "a" + "b"
+}
+
+// hotAppend stays clean: appending to a reused buffer is the prescribed
+// idiom, not a violation.
+//
+//acacia:hotpath
+func hotAppend(b []byte) []byte {
+	return append(b, 0x30)
+}
+
+// coldSprintf is unannotated: the same patterns are legal outside hot
+// paths.
+func coldSprintf(n int) {
+	sinkS = fmt.Sprintf("%d", n)
+	sinkB = make([]byte, n)
+}
+
+//acacia:hotpath
+func suppressedHot(n int) {
+	//acacia:allow hotalloc fixture exercises the suppression path
+	sinkB = make([]byte, n)
+}

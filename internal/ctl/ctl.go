@@ -70,6 +70,20 @@ type Transport struct {
 	acks     *telemetry.Counter
 	dups     *telemetry.Counter
 	latency  *telemetry.Histogram
+
+	// ackFree recycles ack frames: they are created per delivered data
+	// frame and consumed in one Receive call at the sender, so pooling them
+	// (engine-scoped, like packets and events) removes a per-ack allocation.
+	ackFree []*Frame
+	// dataFree recycles data frames. A data frame is shared by every cloned
+	// attempt of its transaction, so it returns to the pool only when the
+	// ack retires a transaction that was never retransmitted (control links
+	// are FIFO, so the acked sole attempt having arrived means no clone is
+	// still in flight). Retransmitted transactions leak their frame to the
+	// GC rather than risk aliasing with a late clone.
+	dataFree []*Frame
+	// txnFree recycles transaction records, retired at ack time.
+	txnFree []*txn
 }
 
 // NewTransport creates the engine's control transport with default timers.
@@ -90,6 +104,73 @@ func NewTransport(eng *sim.Engine) *Transport {
 
 // Engine returns the driving simulation engine.
 func (t *Transport) Engine() *sim.Engine { return t.eng }
+
+// takeAckFrame pops a recycled ack frame, or allocates the pool's first.
+//
+//acacia:hotpath
+func (t *Transport) takeAckFrame() *Frame {
+	if n := len(t.ackFree); n > 0 {
+		f := t.ackFree[n-1]
+		t.ackFree[n-1] = nil
+		t.ackFree = t.ackFree[:n-1]
+		return f
+	}
+	return &Frame{}
+}
+
+// takeDataFrame pops a recycled data frame, or allocates the pool's first.
+//
+//acacia:hotpath
+func (t *Transport) takeDataFrame() *Frame {
+	if n := len(t.dataFree); n > 0 {
+		f := t.dataFree[n-1]
+		t.dataFree[n-1] = nil
+		t.dataFree = t.dataFree[:n-1]
+		return f
+	}
+	return &Frame{}
+}
+
+// recycleDataFrame returns a data frame to the pool. Only the ack path may
+// call it, and only for transactions whose single attempt was acked.
+//
+//acacia:hotpath
+func (t *Transport) recycleDataFrame(f *Frame) {
+	*f = Frame{}
+	t.dataFree = append(t.dataFree, f)
+}
+
+// takeTxn pops a recycled transaction record, or allocates one.
+//
+//acacia:hotpath
+func (t *Transport) takeTxn() *txn {
+	if n := len(t.txnFree); n > 0 {
+		tx := t.txnFree[n-1]
+		t.txnFree[n-1] = nil
+		t.txnFree = t.txnFree[:n-1]
+		return tx
+	}
+	return &txn{}
+}
+
+// recycleTxn zeroes a retired transaction and returns it to the pool. The
+// cancelled T3 timer may still reference it from the event queue; that is
+// harmless — cancelled events never fire.
+//
+//acacia:hotpath
+func (t *Transport) recycleTxn(tx *txn) {
+	*tx = txn{}
+	t.txnFree = append(t.txnFree, tx)
+}
+
+// recycleAckFrame returns a consumed ack frame to the pool. Callers must
+// have copied out every field they need first.
+//
+//acacia:hotpath
+func (t *Transport) recycleAckFrame(f *Frame) {
+	*f = Frame{}
+	t.ackFree = append(t.ackFree, f)
+}
 
 // Retransmissions reports the total retransmission count.
 func (t *Transport) Retransmissions() uint64 { return t.retrans.Value() }
@@ -155,6 +236,12 @@ type Endpoint struct {
 	nextSeq map[pkt.Addr]uint32
 	pending map[txnKey]*txn
 	seen    map[txnKey]bool
+	// linkNames interns the "peer->self" label per ingress port so acks
+	// don't rebuild the string for every delivered frame.
+	linkNames map[*netsim.Port]string
+	// expireF is the method value bound once at construction so arming the
+	// per-attempt T3 timer allocates no closure.
+	expireF func(any)
 }
 
 // Endpoint attaches the transport to a node. When own is true the endpoint
@@ -163,13 +250,15 @@ type Endpoint struct {
 // false and forward frames explicitly.
 func (t *Transport) Endpoint(node *netsim.Node, own bool) *Endpoint {
 	ep := &Endpoint{
-		tr:      t,
-		node:    node,
-		routes:  make(map[pkt.Addr]*netsim.Port),
-		nextSeq: make(map[pkt.Addr]uint32),
-		pending: make(map[txnKey]*txn),
-		seen:    make(map[txnKey]bool),
+		tr:        t,
+		node:      node,
+		routes:    make(map[pkt.Addr]*netsim.Port),
+		nextSeq:   make(map[pkt.Addr]uint32),
+		pending:   make(map[txnKey]*txn),
+		seen:      make(map[txnKey]bool),
+		linkNames: make(map[*netsim.Port]string),
 	}
+	ep.expireF = ep.expireArg
 	if own {
 		node.SetHandler(ep.handleNode)
 	}
@@ -212,33 +301,45 @@ func (ep *Endpoint) NextSeq(peer pkt.Addr) uint32 {
 // seq must come from NextSeq for this peer — passing it in (rather than
 // allocating here) lets callers stamp the same value into the protocol
 // encoding (GTPv2 Seq, SCTP TSN) before computing the wire size.
+//
+//acacia:hotpath
 func (ep *Endpoint) Send(peer pkt.Addr, seq uint32, name string, size int, deliver func(), onFail func(error), onDone func(TxInfo)) {
 	if ep.routes[peer] == nil {
-		panic(fmt.Sprintf("ctl: endpoint %s has no route to %v", ep.Name(), peer))
+		noRoute(ep.Name(), peer)
 	}
-	f := &Frame{seq: seq, name: name, deliver: deliver}
-	tpl := &netsim.Packet{
-		Flow:    pkt.FiveTuple{Src: ep.Addr(), Dst: peer},
-		Size:    size,
-		Payload: f,
-	}
-	tx := &txn{
-		peer: peer, seq: seq, name: name, tpl: tpl,
-		start: ep.tr.eng.Now(), onFail: onFail, onDone: onDone,
-	}
+	f := ep.tr.takeDataFrame()
+	f.seq, f.name, f.deliver = seq, name, deliver
+	tpl := ep.node.Network().NewPacket()
+	tpl.Flow = pkt.FiveTuple{Src: ep.Addr(), Dst: peer}
+	tpl.Size = size
+	tpl.Payload = f
+	tx := ep.tr.takeTxn()
+	tx.peer, tx.seq, tx.name, tx.tpl = peer, seq, name, tpl
+	tx.start = ep.tr.eng.Now()
+	tx.onFail, tx.onDone = onFail, onDone
 	ep.pending[txnKey{peer, seq}] = tx
 	ep.tr.sent.Inc()
 	ep.transmit(tx)
 }
 
-// transmit sends one attempt (a clone of the pristine template, so per-hop
-// state like queue wait restarts per attempt) and arms the T3 timer.
+func noRoute(name string, peer pkt.Addr) {
+	panic(fmt.Sprintf("ctl: endpoint %s has no route to %v", name, peer))
+}
+
+// transmit sends one attempt (a pooled clone of the pristine template, so
+// per-hop state like queue wait restarts per attempt) and arms the T3 timer
+// through the pre-bound expiry callback.
+//
+//acacia:hotpath
 func (ep *Endpoint) transmit(tx *txn) {
-	p := tx.tpl.Clone()
+	p := ep.node.Network().ClonePacket(tx.tpl)
 	p.CreatedAt = ep.tr.eng.Now()
 	ep.routes[tx.peer].Send(p)
-	tx.timer = ep.tr.eng.Schedule(ep.tr.T3, func() { ep.expire(tx) })
+	tx.timer = ep.tr.eng.ScheduleArg(ep.tr.T3, ep.expireF, tx)
 }
+
+// expireArg adapts expire to the engine's pre-bound callback shape.
+func (ep *Endpoint) expireArg(v any) { ep.expire(v.(*txn)) }
 
 // expire fires when T3 elapses without an ack: retransmit, or fail the
 // transaction once the retry budget is spent.
@@ -269,20 +370,27 @@ func (ep *Endpoint) expire(tx *txn) {
 func (ep *Endpoint) handleNode(ingress *netsim.Port, p *netsim.Packet) {
 	if f := FrameOf(p); f != nil {
 		ep.Receive(ingress, p, f)
+		return
 	}
+	ep.node.Network().Release(p)
 }
 
 // Receive processes one arriving control frame: data frames are acked
 // (always — a retransmitted request re-acks) and delivered once; ack
 // frames retire the pending transaction and report its transport
 // observations.
+//
+//acacia:hotpath
 func (ep *Endpoint) Receive(ingress *netsim.Port, p *netsim.Packet, f *Frame) {
 	peer := p.Flow.Src
 	key := txnKey{peer, f.seq}
 	if f.ack {
 		tx := ep.pending[key]
 		if tx == nil {
-			return // duplicate ack; transaction already retired
+			// Duplicate ack; transaction already retired.
+			ep.tr.recycleAckFrame(f)
+			ep.node.Network().Release(p)
+			return
 		}
 		delete(ep.pending, key)
 		if tx.timer != nil {
@@ -291,28 +399,45 @@ func (ep *Endpoint) Receive(ingress *netsim.Port, p *netsim.Packet, f *Frame) {
 		ep.tr.acks.Inc()
 		rtt := ep.tr.eng.Now().Sub(tx.start)
 		ep.tr.latency.Observe(float64(rtt) / float64(time.Millisecond))
-		if tx.onDone != nil {
-			tx.onDone(TxInfo{Link: f.linkName, QueueWait: f.queueWait, Retrans: tx.retries, RTT: rtt})
+		info := TxInfo{Link: f.linkName, QueueWait: f.queueWait, Retrans: tx.retries, RTT: rtt}
+		onDone := tx.onDone
+		ep.tr.recycleAckFrame(f)
+		ep.node.Network().Release(p)
+		// Retire the transaction's resources. The template never rides a
+		// link itself (attempts are clones), so it always returns to the
+		// packet pool. The data frame is shared by every clone: with FIFO
+		// control links, the acked attempt having arrived means earlier
+		// attempts arrived or were dropped, but a retransmission issued
+		// before this ack landed may still be in flight — so the frame is
+		// recycled only when nothing was ever retransmitted.
+		if tx.retries == 0 {
+			if df := FrameOf(tx.tpl); df != nil {
+				ep.tr.recycleDataFrame(df)
+			}
+		}
+		ep.node.Network().Release(tx.tpl)
+		ep.tr.recycleTxn(tx)
+		if onDone != nil {
+			onDone(info)
 		}
 		return
 	}
 	// Data frame: ack unconditionally so a lost ack is repaired by the
 	// retransmitted request, echoing what this attempt experienced.
 	if back := ep.routes[peer]; back != nil {
-		linkName := ""
-		if ingress != nil && ingress.Peer() != nil {
-			linkName = ingress.Peer().Node.Name() + "->" + ingress.Node.Name()
-		}
-		ack := &Frame{ack: true, seq: f.seq, name: f.name, queueWait: p.QueueWait, linkName: linkName}
-		ap := &netsim.Packet{
-			Flow:      pkt.FiveTuple{Src: ep.Addr(), Dst: peer},
-			Size:      AckBytes,
-			Payload:   ack,
-			CreatedAt: ep.tr.eng.Now(),
-		}
+		ack := ep.tr.takeAckFrame()
+		ack.ack, ack.seq, ack.name = true, f.seq, f.name
+		ack.queueWait, ack.linkName = p.QueueWait, ep.linkNameFor(ingress)
+		ap := ep.node.Network().NewPacket()
+		ap.Flow = pkt.FiveTuple{Src: ep.Addr(), Dst: peer}
+		ap.Size = AckBytes
+		ap.Payload = ack
+		ap.CreatedAt = ep.tr.eng.Now()
 		back.Send(ap)
 	}
-	if ep.seen[key] {
+	dup := ep.seen[key]
+	ep.node.Network().Release(p)
+	if dup {
 		ep.tr.dups.Inc()
 		return
 	}
@@ -320,4 +445,17 @@ func (ep *Endpoint) Receive(ingress *netsim.Port, p *netsim.Packet, f *Frame) {
 	if f.deliver != nil {
 		f.deliver()
 	}
+}
+
+// linkNameFor returns the interned "peer->self" label of the ingress port.
+func (ep *Endpoint) linkNameFor(ingress *netsim.Port) string {
+	if ingress == nil || ingress.Peer() == nil {
+		return ""
+	}
+	if s, ok := ep.linkNames[ingress]; ok {
+		return s
+	}
+	s := ingress.Peer().Node.Name() + "->" + ingress.Node.Name()
+	ep.linkNames[ingress] = s
+	return s
 }

@@ -65,6 +65,13 @@ type Core struct {
 	sessions map[string]*Session // by IMSI
 	byIP     map[pkt.Addr]*Session
 	nextUEID uint32
+
+	// encBuf and nasBuf are core-lifetime scratch buffers for control-plane
+	// serialization. encBuf holds the outer S1AP/GTPv2 encoding, which is
+	// consumed synchronously (only its length reaches the transport). nasBuf
+	// holds NAS payloads that the following sendS1AP reads synchronously;
+	// see encodeNAS for the aliasing rule.
+	encBuf, nasBuf []byte
 }
 
 // NewCore builds an empty core and places its control plane on the network.
@@ -190,24 +197,51 @@ func (c *Core) noteTx(idx int) func(ctl.TxInfo) {
 // serializes and accounts it, and opens a transport transaction from
 // endpoint from to endpoint to. deliver runs at the receiver (unless the
 // procedure already failed); a terminal transport timeout fails pr.
+//
+//acacia:hotpath
 func (c *Core) sendS1AP(pr *proc, from, to *ctl.Endpoint, m *pkt.S1APMsg, deliver func()) {
 	seq := from.NextSeq(to.Addr())
 	m.TSN = seq
-	b := m.Encode(nil)
+	c.encBuf = m.Encode(c.encBuf[:0])
+	n := len(c.encBuf)
 	name := m.Procedure.String()
-	idx := c.Acct.RecordTx(c.Eng.Now(), ProtoS1AP, name, len(b), seq, from.Name()+"->"+to.Name())
-	from.Send(to.Addr(), seq, name, len(b), pr.step(deliver), pr.fail, c.noteTx(idx))
+	idx := c.Acct.RecordTx(c.Eng.Now(), ProtoS1AP, name, n, seq, c.txPath(from, to))
+	from.Send(to.Addr(), seq, name, n, pr.step(deliver), pr.fail, c.noteTx(idx))
 }
 
 // sendGTPv2 is sendS1AP for GTPv2-C: the allocated sequence becomes the
 // message's 24-bit Seq field.
+//
+//acacia:hotpath
 func (c *Core) sendGTPv2(pr *proc, from, to *ctl.Endpoint, m *pkt.GTPv2Msg, deliver func()) {
 	seq := from.NextSeq(to.Addr())
 	m.Seq = seq
-	b := m.Encode(nil)
+	c.encBuf = m.Encode(c.encBuf[:0])
+	n := len(c.encBuf)
 	name := m.Type.String()
-	idx := c.Acct.RecordTx(c.Eng.Now(), ProtoGTPv2, name, len(b), seq, from.Name()+"->"+to.Name())
-	from.Send(to.Addr(), seq, name, len(b), pr.step(deliver), pr.fail, c.noteTx(idx))
+	idx := c.Acct.RecordTx(c.Eng.Now(), ProtoGTPv2, name, n, seq, c.txPath(from, to))
+	from.Send(to.Addr(), seq, name, n, pr.step(deliver), pr.fail, c.noteTx(idx))
+}
+
+// txPath builds the "from->to" trace label, but only when tracing is on —
+// the concatenation allocates, and untraced runs would throw it away.
+func (c *Core) txPath(from, to *ctl.Endpoint) string {
+	if !c.Acct.Trace {
+		return ""
+	}
+	return from.Name() + "->" + to.Name()
+}
+
+// encodeNAS serializes a NAS message into the core's NAS scratch buffer.
+// The returned slice aliases the buffer and is valid only until the next
+// encodeNAS call — long enough for the synchronous S1AP encode inside the
+// sendS1AP that follows, which is the payload's only reader (the ctl
+// transport carries message lengths, not bytes). Call sites that retain
+// NAS bytes past the send (e.g. to re-decode them at the receiver) must
+// encode into their own buffer instead.
+func (c *Core) encodeNAS(m *pkt.NASMsg) []byte {
+	c.nasBuf = m.Encode(c.nasBuf[:0])
+	return c.nasBuf
 }
 
 // onPacketIn handles GW-U table misses. The only expected miss is downlink
@@ -317,19 +351,32 @@ type Session struct {
 	// onConnected callbacks run once when the session (re)enters
 	// StateConnected — promotion waiters and attach continuations.
 	onConnected []func()
+
+	// ordScratch and dedScratch back OrderedBearers and DedicatedBearers.
+	// Each call rebuilds its scratch in place, so the returned slice is
+	// valid only until the next call on this session and must not be
+	// retained. Separate slices keep the per-packet uplink classifier
+	// (DedicatedBearers) from clobbering an in-progress control-procedure
+	// iteration (OrderedBearers).
+	ordScratch, dedScratch []*Bearer
 }
 
 // Bearer returns the bearer with the given EBI, or nil.
 func (s *Session) Bearer(ebi uint8) *Bearer { return s.Bearers[ebi] }
 
-// DedicatedBearers lists non-default bearers in EBI order.
+// DedicatedBearers lists non-default bearers in EBI order. The returned
+// slice shares the session's scratch storage: it is valid until the next
+// DedicatedBearers call and must not be retained.
+//
+//acacia:hotpath
 func (s *Session) DedicatedBearers() []*Bearer {
-	var out []*Bearer
+	out := s.dedScratch[:0]
 	for ebi := uint8(EBIDedicated); ebi < 16; ebi++ {
 		if b, ok := s.Bearers[ebi]; ok {
 			out = append(out, b)
 		}
 	}
+	s.dedScratch = out
 	return out
 }
 
@@ -337,13 +384,18 @@ func (s *Session) DedicatedBearers() []*Bearer {
 // procedures must iterate bearers through it, never over the Bearers map
 // directly: E-RAB and bearer-context lists built in map order would make
 // encoded messages — and the flow-install sequence — differ run to run.
+// The returned slice shares the session's scratch storage: it is valid
+// until the next OrderedBearers call and must not be retained.
+//
+//acacia:hotpath
 func (s *Session) OrderedBearers() []*Bearer {
-	var out []*Bearer
+	out := s.ordScratch[:0]
 	for ebi := uint8(0); ebi < 16; ebi++ {
 		if b, ok := s.Bearers[ebi]; ok {
 			out = append(out, b)
 		}
 	}
+	s.ordScratch = out
 	return out
 }
 

@@ -1,7 +1,6 @@
 package epc
 
 import (
-	"sort"
 	"time"
 
 	"acacia/internal/ctl"
@@ -176,9 +175,19 @@ func (e *ENB) classifyUplink(sess *Session, p *netsim.Packet) *Bearer {
 		return nil
 	}
 	dedicated := sess.DedicatedBearers()
-	sort.SliceStable(dedicated, func(i, j int) bool {
-		return tftPrecedence(dedicated[i].TFT) < tftPrecedence(dedicated[j].TFT)
-	})
+	// Insertion sort by TFT precedence: the set is tiny (≤14 bearers) and
+	// this runs per uplink packet, so sort.SliceStable's closure and
+	// swapper allocations are not acceptable here. Shifting only on
+	// strictly-greater precedence keeps the sort stable.
+	for i := 1; i < len(dedicated); i++ {
+		b := dedicated[i]
+		j := i
+		for j > 0 && tftPrecedence(dedicated[j-1].TFT) > tftPrecedence(b.TFT) {
+			dedicated[j] = dedicated[j-1]
+			j--
+		}
+		dedicated[j] = b
+	}
 	for _, b := range dedicated {
 		if b.TFT != nil && b.TFT.MatchUplink(p.Flow, p.TOS) {
 			return b
@@ -283,7 +292,7 @@ func (e *ENB) sendServiceRequest(sess *Session) {
 		msg := &pkt.S1APMsg{
 			Procedure: pkt.S1APInitialUEMessage,
 			ENBUEID:   sess.ENBUEID,
-			NAS:       (&pkt.NASMsg{Type: pkt.NASServiceRequest}).Encode(nil),
+			NAS:       e.core.encodeNAS(&pkt.NASMsg{Type: pkt.NASServiceRequest}),
 		}
 		// The MME sees the session as idle until it processes the request.
 		sess.setState(e.core.Eng, StateIdle)
@@ -311,11 +320,11 @@ func (e *ENB) pageUE(sess *Session) {
 
 // sendInitialAttach carries the UE's attach request to the MME.
 func (e *ENB) sendInitialAttach(ue *UE, sgwPlane, pgwPlane string, done func(error)) {
-	nas := (&pkt.NASMsg{
+	nas := e.core.encodeNAS(&pkt.NASMsg{
 		Type: pkt.NASAttachRequest,
 		IMSI: ue.IMSI,
 		ESM:  &pkt.NASMsg{Type: pkt.NASActivateDefaultBearerRequest, APN: "internet"},
-	}).Encode(nil)
+	})
 	msg := &pkt.S1APMsg{
 		Procedure: pkt.S1APInitialUEMessage,
 		ENBUEID:   1,

@@ -115,13 +115,13 @@ func (m *MME) onInitialAttach(pr *proc, enb *ENB, ue *UE, sgwPlane, pgwPlane str
 func (m *MME) setupInitialContext(pr *proc, sess *Session, b *Bearer) {
 	c := m.core
 	sgw := c.SGWC.planes[b.SGWPlane]
-	acceptNAS := (&pkt.NASMsg{
+	acceptNAS := c.encodeNAS(&pkt.NASMsg{
 		Type: pkt.NASAttachAccept,
 		ESM: &pkt.NASMsg{
 			Type: pkt.NASActivateDefaultBearerRequest,
 			EBI:  b.EBI, APN: "internet", UEIP: sess.UEIP, QoS: &b.QoS,
 		},
-	}).Encode(nil)
+	})
 	icsReq := &pkt.S1APMsg{
 		Procedure: pkt.S1APInitialContextSetupRequest,
 		ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
@@ -163,7 +163,7 @@ func (m *MME) setupInitialContext(pr *proc, sess *Session, b *Bearer) {
 					complete := &pkt.S1APMsg{
 						Procedure: pkt.S1APUplinkNASTransport,
 						ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
-						NAS: (&pkt.NASMsg{Type: pkt.NASAttachComplete}).Encode(nil),
+						NAS: c.encodeNAS(&pkt.NASMsg{Type: pkt.NASAttachComplete}),
 					}
 					c.sendS1AP(pr, sess.ENB.ep, c.mmeEP, complete, func() {
 						sess.UE.completeAttach(sess)
@@ -318,7 +318,7 @@ func (m *MME) onServiceRequest(pr *proc, sess *Session) {
 					accept := &pkt.S1APMsg{
 						Procedure: pkt.S1APDownlinkNASTransport,
 						ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
-						NAS: (&pkt.NASMsg{Type: pkt.NASServiceAccept}).Encode(nil),
+						NAS: c.encodeNAS(&pkt.NASMsg{Type: pkt.NASServiceAccept}),
 					}
 					c.sendS1AP(pr, c.mmeEP, sess.ENB.ep, accept, func() {
 						sess.setState(c.Eng, StateConnected)
@@ -360,6 +360,9 @@ func (m *MME) onCreateBearerRequest(pr *proc, sess *Session, b *Bearer, done fun
 		sgw := c.SGWC.planes[b.SGWPlane]
 		// The NAS Activate Dedicated EPS Bearer Context Request carries the
 		// QoS and TFT the eNB relays to the UE in the RRC reconfiguration.
+		// Encoded into a fresh slice (not the core's NAS scratch): the bytes
+		// are re-decoded at the UE after the asynchronous S1AP delivery, so
+		// they must survive intervening encodes.
 		activateNAS := (&pkt.NASMsg{
 			Type:      pkt.NASActivateDedicatedBearerRequest,
 			EBI:       b.EBI,

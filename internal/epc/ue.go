@@ -91,7 +91,7 @@ func (u *UE) Detach(done func()) error {
 	}
 	sess := u.sess
 	core := u.enb.core
-	nas := (&pkt.NASMsg{Type: pkt.NASDetachRequest, IMSI: u.IMSI}).Encode(nil)
+	nas := core.encodeNAS(&pkt.NASMsg{Type: pkt.NASDetachRequest, IMSI: u.IMSI})
 	msg := &pkt.S1APMsg{
 		Procedure: pkt.S1APUplinkNASTransport,
 		ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,

@@ -32,14 +32,20 @@ type GreedyFlow struct {
 	AckedSegments uint64
 	// Retransmits counts loss events.
 	Retransmits uint64
+
+	// free recycles segment payloads: a *greedySeg boxes into Packet.Payload
+	// without allocating, rides to the receiver, comes back on the ACK
+	// turnaround and returns here. Payloads on dropped packets simply fall
+	// to the garbage collector.
+	free []*greedySeg
 }
 
+// greedySeg is the payload of both a data segment and (turned around by the
+// receiver) its ACK.
 type greedySeg struct {
 	seq    int
 	sentAt sim.Time
 }
-
-type greedyAck struct{ seq int }
 
 // NewGreedyFlow creates a greedy sender from h to dst:dstPort with the given
 // segment size. The receiver side must be created with NewGreedyReceiver on
@@ -52,11 +58,15 @@ func NewGreedyFlow(h *Host, dst pkt.Addr, dstPort, srcPort uint16, segSize int) 
 		sentAt:   make(map[int]sim.Time),
 	}
 	h.Listen(srcPort, AppFunc(func(_ *Host, p *Packet) {
-		ack, ok := p.Payload.(greedyAck)
+		seg, ok := p.Payload.(*greedySeg)
+		h.Node.Network().Release(p)
 		if !ok {
 			return
 		}
-		g.onAck(ack.seq)
+		seq := seg.seq
+		*seg = greedySeg{}
+		g.free = append(g.free, seg)
+		g.onAck(seq)
 	}))
 	return g
 }
@@ -84,7 +94,16 @@ func (g *GreedyFlow) pump() {
 }
 
 func (g *GreedyFlow) sendSeg(seq int) {
-	g.host.Send(g.dst, g.srcPort, g.dstPort, pkt.ProtoTCP, g.size, greedySeg{seq: seq, sentAt: g.host.Engine().Now()})
+	var seg *greedySeg
+	if n := len(g.free); n > 0 {
+		seg = g.free[n-1]
+		g.free[n-1] = nil
+		g.free = g.free[:n-1]
+	} else {
+		seg = &greedySeg{}
+	}
+	seg.seq, seg.sentAt = seq, g.host.Engine().Now()
+	g.host.Send(g.dst, g.srcPort, g.dstPort, pkt.ProtoTCP, g.size, seg)
 	if old, ok := g.inFlight[seq]; ok {
 		old.Cancel()
 	} else {
@@ -164,17 +183,17 @@ func (g *GreedyFlow) Cwnd() float64 { return g.cwnd }
 func NewGreedyReceiver(h *Host, port uint16) *Sink {
 	s := &Sink{eng: h.Engine()}
 	h.Listen(port, AppFunc(func(hh *Host, p *Packet) {
-		seg, ok := p.Payload.(greedySeg)
-		if !ok {
+		if _, ok := p.Payload.(*greedySeg); !ok {
+			hh.Node.Network().Release(p)
 			return
 		}
-		s.Deliver(hh, p)
-		ack := &Packet{
-			Flow:    p.Flow.Reverse(),
-			Size:    40, // ACK-sized
-			Payload: greedyAck{seq: seg.seq},
-		}
-		hh.Node.Inject(ack)
+		s.account(p)
+		// Turn the segment packet around as its own ACK, payload included.
+		p.Flow = p.Flow.Reverse()
+		p.Size = 40 // ACK-sized
+		p.Hops = 0
+		p.QueueWait = 0
+		hh.Node.Inject(p)
 	}))
 	return s
 }

@@ -46,19 +46,22 @@ func NewHost(node *Node) *Host {
 func (h *Host) Listen(port uint16, app App) { h.apps[port] = app }
 
 // Send originates a packet from this host to dst with the given ports,
-// protocol, wire size and payload.
+// protocol, wire size and payload. The packet comes from the network's pool
+// and is recycled wherever its life ends (a drop, a terminal application).
+//
+//acacia:hotpath
 func (h *Host) Send(dst pkt.Addr, srcPort, dstPort uint16, proto uint8, size int, payload any) {
-	p := &Packet{
-		Flow: pkt.FiveTuple{
-			Src: h.Node.Addr(), Dst: dst,
-			SrcPort: srcPort, DstPort: dstPort, Proto: proto,
-		},
-		Size:    size,
-		Payload: payload,
+	p := h.Node.Network().NewPacket()
+	p.Flow = pkt.FiveTuple{
+		Src: h.Node.Addr(), Dst: dst,
+		SrcPort: srcPort, DstPort: dstPort, Proto: proto,
 	}
+	p.Size = size
+	p.Payload = payload
 	h.Node.Inject(p)
 }
 
+//acacia:hotpath
 func (h *Host) handle(ingress *Port, p *Packet) {
 	if ingress == nil || p.Flow.Dst != h.Node.Addr() {
 		// Locally originated, or transit traffic we must forward.
@@ -70,6 +73,7 @@ func (h *Host) handle(ingress *Port, p *Packet) {
 		return
 	}
 	h.Unclaimed++
+	h.Node.Network().Release(p)
 }
 
 func (h *Host) egress(p *Packet) {
@@ -103,16 +107,15 @@ const PingPort = 7
 // PingResponder echoes any packet back to its sender, preserving size.
 type PingResponder struct{}
 
-// Deliver implements App.
+// Deliver implements App. The request packet itself is turned around and
+// reinjected as the reply — the hot echo path allocates nothing.
+//
+//acacia:hotpath
 func (PingResponder) Deliver(h *Host, p *Packet) {
-	reply := &Packet{
-		Flow:     p.Flow.Reverse(),
-		Size:     p.Size,
-		Payload:  p.Payload,
-		TOS:      p.TOS,
-		Priority: p.Priority,
-	}
-	h.Node.Inject(reply)
+	p.Flow = p.Flow.Reverse()
+	p.Hops = 0
+	p.QueueWait = 0
+	h.Node.Inject(p)
 }
 
 // Pinger sends periodic echo requests and records RTTs.
@@ -123,6 +126,9 @@ type Pinger struct {
 	srcPort  uint16
 	seq      int
 	inFlight map[int]sim.Time
+	// free recycles request payloads: boxing a *pingReq into Packet.Payload
+	// is allocation-free, and the reply handler returns the struct here.
+	free []*pingReq
 	// RTTs collects observed round-trip times in milliseconds.
 	RTTs stats.Sample
 	// Lost counts requests that were never answered by the time Stop or
@@ -137,16 +143,20 @@ type Pinger struct {
 func NewPinger(h *Host, dst pkt.Addr, size int, srcPort uint16) *Pinger {
 	pg := &Pinger{host: h, dst: dst, size: size, srcPort: srcPort, inFlight: make(map[int]sim.Time)}
 	h.Listen(srcPort, AppFunc(func(_ *Host, p *Packet) {
-		req, ok := p.Payload.(pingReq)
+		req, ok := p.Payload.(*pingReq)
+		h.Node.Network().Release(p)
 		if !ok {
 			return
 		}
-		if _, pending := pg.inFlight[req.seq]; !pending {
+		seq, sentAt := req.seq, req.sentAt
+		*req = pingReq{}
+		pg.free = append(pg.free, req)
+		if _, pending := pg.inFlight[seq]; !pending {
 			return
 		}
-		delete(pg.inFlight, req.seq)
+		delete(pg.inFlight, seq)
 		pg.Received++
-		rtt := h.Engine().Now().Sub(req.sentAt)
+		rtt := h.Engine().Now().Sub(sentAt)
 		pg.RTTs.Add(float64(rtt) / float64(time.Millisecond))
 	}))
 	return pg
@@ -159,11 +169,22 @@ func (pg *Pinger) Start(interval time.Duration) {
 }
 
 // SendOne sends a single probe immediately.
+//
+//acacia:hotpath
 func (pg *Pinger) SendOne() {
 	pg.seq++
 	pg.Sent++
 	pg.inFlight[pg.seq] = pg.host.Engine().Now()
-	pg.host.Send(pg.dst, pg.srcPort, PingPort, pkt.ProtoICMP, pg.size, pingReq{seq: pg.seq, sentAt: pg.host.Engine().Now()})
+	var req *pingReq
+	if n := len(pg.free); n > 0 {
+		req = pg.free[n-1]
+		pg.free[n-1] = nil
+		pg.free = pg.free[:n-1]
+	} else {
+		req = &pingReq{}
+	}
+	req.seq, req.sentAt = pg.seq, pg.host.Engine().Now()
+	pg.host.Send(pg.dst, pg.srcPort, PingPort, pkt.ProtoICMP, pg.size, req)
 }
 
 // Stop halts probing.
@@ -237,8 +258,17 @@ func NewSink(h *Host, port uint16) *Sink {
 	return s
 }
 
-// Deliver implements App.
-func (s *Sink) Deliver(_ *Host, p *Packet) {
+// Deliver implements App. The packet is recycled after the OnPacket hook
+// returns; hooks that keep the packet must call p.Retain.
+//
+//acacia:hotpath
+func (s *Sink) Deliver(h *Host, p *Packet) {
+	s.account(p)
+	h.Node.Network().Release(p)
+}
+
+//acacia:hotpath
+func (s *Sink) account(p *Packet) {
 	if s.Packets == 0 {
 		s.first = s.eng.Now()
 	}

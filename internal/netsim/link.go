@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"time"
 
 	"acacia/internal/sim"
@@ -70,6 +69,12 @@ type linkDir struct {
 	down   bool
 	seq    uint64 // FIFO tie-break within a priority level
 
+	// txDoneF/arriveF are method values bound once at construction and
+	// passed to Engine.AfterArg, so per-packet scheduling allocates no
+	// closures.
+	txDoneF func(any)
+	arriveF func(any)
+
 	sent      *telemetry.Counter
 	delivered *telemetry.Counter
 	dropped   *telemetry.Counter
@@ -81,7 +86,7 @@ func newLinkDir(net *Network, cfg LinkConfig, dst *Port, scope telemetry.Scope) 
 	if cfg.QueueBytes == 0 {
 		cfg.QueueBytes = DefaultQueueBytes
 	}
-	return &linkDir{
+	d := &linkDir{
 		net: net, cfg: cfg, dst: dst,
 		sent:      scope.Counter("sent"),
 		delivered: scope.Counter("delivered"),
@@ -89,6 +94,9 @@ func newLinkDir(net *Network, cfg LinkConfig, dst *Port, scope telemetry.Scope) 
 		bytes:     scope.Counter("bytes"),
 		queueLen:  scope.Gauge("queue-bytes"),
 	}
+	d.txDoneF = d.txDone
+	d.arriveF = d.arrive
+	return d
 }
 
 // stats assembles the compatibility counter view from the registry counters.
@@ -105,13 +113,17 @@ func (d *linkDir) statsView() LinkStats {
 // loss, full queue) happen here, before a packet counts as sent, keeping
 // the LinkStats identities Sent + Dropped = offered and Sent − Delivered =
 // queued + in flight.
+//
+//acacia:hotpath
 func (d *linkDir) send(p *Packet) {
 	if d.down {
 		d.dropped.Inc()
+		d.net.Release(p)
 		return
 	}
 	if d.cfg.LossProb > 0 && d.net.eng.RNG().Float64() < d.cfg.LossProb {
 		d.dropped.Inc()
+		d.net.Release(p)
 		return
 	}
 	if d.cfg.BitsPerSecond == 0 && !d.busy {
@@ -126,32 +138,31 @@ func (d *linkDir) send(p *Packet) {
 	}
 	if d.qBytes+p.Size > d.cfg.QueueBytes {
 		d.dropped.Inc()
+		d.net.Release(p)
 		return
 	}
 	d.sent.Inc()
 	d.qBytes += p.Size
 	d.queueLen.Set(float64(d.qBytes))
-	item := &queuedPacket{p: p, seq: d.seq, enq: d.net.eng.Now()}
-	d.seq++
-	if !d.cfg.Prioritized {
-		// FIFO: priority field ignored by giving every packet priority 0.
-		item.prio = 0
-	} else {
-		item.prio = p.Priority
+	prio := 0
+	if d.cfg.Prioritized {
+		prio = p.Priority
 	}
-	heap.Push(&d.queue, item)
+	d.queue.push(queuedPacket{p: p, prio: prio, seq: d.seq, enq: d.net.eng.Now()})
+	d.seq++
 	if !d.busy {
 		d.transmitNext()
 	}
 }
 
+//acacia:hotpath
 func (d *linkDir) transmitNext() {
 	if d.queue.Len() == 0 {
 		d.busy = false
 		return
 	}
 	d.busy = true
-	item := heap.Pop(&d.queue).(*queuedPacket)
+	item := d.queue.pop()
 	p := item.p
 	p.QueueWait += d.net.eng.Now().Sub(item.enq)
 	d.qBytes -= p.Size
@@ -165,21 +176,36 @@ func (d *linkDir) transmitNext() {
 	if d.cfg.BitsPerSecond > 0 {
 		txTime = time.Duration(float64(p.Size*8) / d.cfg.BitsPerSecond * float64(time.Second))
 	}
-	d.net.eng.Schedule(txTime, func() {
-		d.bytes.Add(uint64(p.Size))
-		d.deliverAfter(p, d.cfg.Propagation)
-		d.transmitNext()
-	})
+	d.net.eng.AfterArg(txTime, d.txDoneF, p)
 }
 
+// txDone finishes one serialization: account the bytes, put the packet on
+// the delay line and start the next transmission.
+//
+//acacia:hotpath
+func (d *linkDir) txDone(v any) {
+	p := v.(*Packet)
+	d.bytes.Add(uint64(p.Size))
+	d.deliverAfter(p, d.cfg.Propagation)
+	d.transmitNext()
+}
+
+//acacia:hotpath
 func (d *linkDir) deliverAfter(p *Packet, delay time.Duration) {
 	if d.cfg.Jitter > 0 {
 		delay += time.Duration(d.net.eng.RNG().ExpFloat64() * float64(d.cfg.Jitter))
 	}
-	d.net.eng.Schedule(delay, func() {
-		d.delivered.Inc()
-		d.dst.deliver(p)
-	})
+	d.net.eng.AfterArg(delay, d.arriveF, p)
+}
+
+// arrive completes the propagation delay and hands the packet to the
+// destination node.
+//
+//acacia:hotpath
+func (d *linkDir) arrive(v any) {
+	p := v.(*Packet)
+	d.delivered.Inc()
+	d.dst.deliver(p)
 }
 
 // Backlog reports the bytes currently waiting in the transmit queue.
@@ -192,24 +218,62 @@ type queuedPacket struct {
 	enq  sim.Time
 }
 
-type pktHeap []*queuedPacket
+// pktHeap is a hand-rolled binary min-heap of queuedPacket values ordered by
+// (prio, seq). container/heap would box every value through its any-typed
+// Push/Pop, allocating per enqueue on the busiest path in the simulator;
+// storing values in a plain slice makes enqueue allocation-free (amortized).
+type pktHeap []queuedPacket
 
 func (h pktHeap) Len() int { return len(h) }
-func (h pktHeap) Less(i, j int) bool {
+
+func (h pktHeap) less(i, j int) bool {
 	if h[i].prio != h[j].prio {
 		return h[i].prio < h[j].prio
 	}
 	return h[i].seq < h[j].seq
 }
-func (h pktHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *pktHeap) Push(x any)   { *h = append(*h, x.(*queuedPacket)) }
-func (h *pktHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+
+//acacia:hotpath
+func (h *pktHeap) push(it queuedPacket) {
+	q := append(*h, it)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+//acacia:hotpath
+func (h *pktHeap) pop() queuedPacket {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = queuedPacket{}
+	q = q[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	*h = q
+	return top
 }
 
 // Link is a bidirectional connection between two ports. Each direction has

@@ -6,6 +6,7 @@ import (
 
 	"acacia/internal/pkt"
 	"acacia/internal/sim"
+	"acacia/internal/telemetry"
 )
 
 // Handler processes a packet arriving at a node. ingress is nil for packets
@@ -51,6 +52,11 @@ type Node struct {
 	cpu      *CPUModel
 	cpuQueue []cpuItem
 	cpuBusy  bool
+	// cpuCur stages the item being served; cpuDoneF is the method value
+	// bound once in SetCPU so per-packet service scheduling allocates no
+	// closure.
+	cpuCur   cpuItem
+	cpuDoneF func()
 
 	stats NodeStats
 }
@@ -82,7 +88,12 @@ func (n *Node) SetHandler(h Handler) { n.handler = h }
 
 // SetCPU installs a processing-cost model; packets queue for a single
 // processor before the handler runs.
-func (n *Node) SetCPU(m *CPUModel) { n.cpu = m }
+func (n *Node) SetCPU(m *CPUModel) {
+	n.cpu = m
+	if n.cpuDoneF == nil {
+		n.cpuDoneF = n.cpuDone
+	}
+}
 
 // Ports returns the node's ports in creation order.
 func (n *Node) Ports() []*Port { return n.ports }
@@ -105,16 +116,20 @@ func (n *Node) Inject(p *Packet) {
 
 // receive is called by a link when a packet arrives on one of the node's
 // ports.
+//
+//acacia:hotpath
 func (n *Node) receive(ingress *Port, p *Packet) {
 	n.stats.Received++
 	p.Hops++
 	if p.Hops > MaxHops {
 		n.stats.HopDrops++
+		n.net.Release(p)
 		return
 	}
 	n.dispatch(ingress, p)
 }
 
+//acacia:hotpath
 func (n *Node) dispatch(ingress *Port, p *Packet) {
 	if n.cpu == nil {
 		n.handle(ingress, p)
@@ -126,6 +141,7 @@ func (n *Node) dispatch(ingress *Port, p *Packet) {
 	}
 	if len(n.cpuQueue) >= limit {
 		n.stats.CPUDrops++
+		n.net.Release(p)
 		return
 	}
 	n.cpuQueue = append(n.cpuQueue, cpuItem{ingress, p})
@@ -134,27 +150,41 @@ func (n *Node) dispatch(ingress *Port, p *Packet) {
 	}
 }
 
+//acacia:hotpath
 func (n *Node) serveCPU() {
 	if len(n.cpuQueue) == 0 {
 		n.cpuBusy = false
 		return
 	}
 	n.cpuBusy = true
-	item := n.cpuQueue[0]
+	n.cpuCur = n.cpuQueue[0]
 	n.cpuQueue = n.cpuQueue[1:]
-	cost := n.cpu.PerPacket + time.Duration(item.p.Size)*n.cpu.PerByte
-	n.net.eng.Schedule(cost, func() {
-		n.handle(item.ingress, item.p)
-		n.serveCPU()
-	})
+	cost := n.cpu.PerPacket + time.Duration(n.cpuCur.p.Size)*n.cpu.PerByte
+	n.net.eng.After(cost, n.cpuDoneF)
 }
 
+// cpuDone finishes one CPU service period: run the handler on the staged
+// item and start serving the next.
+//
+//acacia:hotpath
+func (n *Node) cpuDone() {
+	item := n.cpuCur
+	n.cpuCur = cpuItem{}
+	n.handle(item.ingress, item.p)
+	n.serveCPU()
+}
+
+//acacia:hotpath
 func (n *Node) handle(ingress *Port, p *Packet) {
 	if n.handler == nil {
-		panic(fmt.Sprintf("netsim: node %s has no handler", n.name))
+		noHandler(n.name)
 	}
 	n.stats.Forwarded++
 	n.handler(ingress, p)
+}
+
+func noHandler(name string) {
+	panic(fmt.Sprintf("netsim: node %s has no handler", name))
 }
 
 // Network is a collection of nodes and links driven by one sim engine.
@@ -164,6 +194,8 @@ type Network struct {
 	byAddr map[pkt.Addr]*Node
 	links  []*Link
 	pktSeq uint64
+	// pktFree is the network-owned packet free-list (see pool.go).
+	pktFree []*Packet
 }
 
 // New creates an empty network on eng.
@@ -213,7 +245,7 @@ func (nw *Network) Connect(a, b *Node, ab, ba LinkConfig) *Link {
 	a.ports = append(a.ports, pa)
 	b.ports = append(b.ports, pb)
 	l := &Link{A: pa, B: pb}
-	scope := nw.eng.Metrics().Scope("netsim").Scope("link").Scope(fmt.Sprintf("%d", len(nw.links)))
+	scope := nw.eng.Metrics().Scope("netsim").Scope("link").Scope(telemetry.Itoa(len(nw.links)))
 	l.ab = newLinkDir(nw, ab, pb, scope.Scope(a.name+"->"+b.name))
 	l.ba = newLinkDir(nw, ba, pa, scope.Scope(b.name+"->"+a.name))
 	pa.link, pb.link = l, l

@@ -50,14 +50,30 @@ type Packet struct {
 	QueueWait time.Duration
 	// Hops counts forwarding operations, a loop guard.
 	Hops int
+
+	// pooled marks packets drawn from their network's free-list
+	// (Network.NewPacket/ClonePacket); only those are recycled by Release.
+	// freed marks a pooled packet currently resting in the free-list, the
+	// double-release canary. retained marks a packet an application decided
+	// to keep past the delivery callback: Release then becomes a no-op and
+	// the packet leaves pool management for good.
+	pooled, freed, retained bool
 }
+
+// Retain opts the packet out of pool recycling. Applications that keep a
+// delivered packet beyond their callback (downlink buffering, reinjection
+// queues) call this so a later Release at a drop site cannot recycle state
+// they still hold.
+func (p *Packet) Retain() { p.retained = true }
 
 // MaxHops aborts forwarding loops: no testbed path is longer than this.
 const MaxHops = 64
 
-// Clone returns a copy of p sharing the Payload value.
+// Clone returns a copy of p sharing the Payload value. The copy is not pool
+// managed; use Network.ClonePacket on hot paths.
 func (p *Packet) Clone() *Packet {
 	c := *p
+	c.pooled, c.freed, c.retained = false, false, false
 	return &c
 }
 

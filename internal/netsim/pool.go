@@ -1,0 +1,57 @@
+package netsim
+
+// Packet free-list. The pool hangs off the Network — one per trial, like the
+// event free-list on the sim engine — so parallel trials never share packet
+// memory and a seeded run recycles in exactly the same order every time.
+// Only packets created by NewPacket/ClonePacket are recycled; packets built
+// with &Packet{} (tests, one-shot setup traffic) pass through Release
+// untouched and fall to the garbage collector as before.
+//
+// Ownership rule: a packet is owned by whichever queue, link or handler
+// currently holds it. The owner at the point where a packet's life ends — a
+// drop site, a terminal application callback — is responsible for calling
+// Release. Applications that keep a packet past their callback must call
+// Retain first.
+
+// NewPacket returns a zeroed pool-managed packet owned by the caller.
+//
+//acacia:hotpath
+func (nw *Network) NewPacket() *Packet {
+	if n := len(nw.pktFree); n > 0 {
+		p := nw.pktFree[n-1]
+		nw.pktFree[n-1] = nil
+		nw.pktFree = nw.pktFree[:n-1]
+		p.freed = false
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// ClonePacket returns a pool-managed copy of p sharing the Payload value.
+//
+//acacia:hotpath
+func (nw *Network) ClonePacket(p *Packet) *Packet {
+	c := nw.NewPacket()
+	c.ID, c.Flow, c.TOS, c.Size, c.Payload = p.ID, p.Flow, p.TOS, p.Size, p.Payload
+	c.TEID, c.TunnelSrc, c.TunnelDst = p.TEID, p.TunnelSrc, p.TunnelDst
+	c.Priority, c.CreatedAt, c.QueueWait, c.Hops = p.Priority, p.CreatedAt, p.QueueWait, p.Hops
+	return c
+}
+
+// Release returns a pool-managed packet to the free-list. Releasing a
+// non-pooled or retained packet is a no-op; releasing the same pooled packet
+// twice panics (the mutate-after-release canary). The packet is zeroed on
+// release, so stale readers observe garbage immediately instead of silently
+// corrupting a recycled packet.
+//
+//acacia:hotpath
+func (nw *Network) Release(p *Packet) {
+	if !p.pooled || p.retained {
+		return
+	}
+	if p.freed {
+		panic("netsim: double release of pooled packet")
+	}
+	*p = Packet{pooled: true, freed: true}
+	nw.pktFree = append(nw.pktFree, p)
+}

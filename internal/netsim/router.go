@@ -82,6 +82,7 @@ func (r *Router) Lookup(dst pkt.Addr) *Port {
 	return nil
 }
 
+//acacia:hotpath
 func (r *Router) forward(ingress *Port, p *Packet) {
 	dst := p.Flow.Dst
 	if p.Tunneled() {
@@ -90,6 +91,7 @@ func (r *Router) forward(ingress *Port, p *Packet) {
 	port := r.Lookup(dst)
 	if port == nil {
 		r.Dropped++
+		r.Node.Network().Release(p)
 		return
 	}
 	port.Send(p)

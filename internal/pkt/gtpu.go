@@ -66,8 +66,20 @@ func (g *GTPU) Decode(b []byte) (int, error) {
 // EncapsulateGPDU builds the full outer encapsulation for a user packet of
 // innerLen bytes tunneled between two gateway addresses: outer IPv4 + UDP +
 // GTP-U. It returns the encoded outer headers; the caller accounts for
-// innerLen separately.
+// innerLen separately. Hot paths should use AppendGPDU with a reused scratch
+// buffer instead.
 func EncapsulateGPDU(src, dst Addr, teid uint32, innerLen int) []byte {
+	return AppendGPDU(nil, src, dst, teid, innerLen)
+}
+
+// AppendGPDU appends the outer G-PDU encapsulation headers (IPv4 + UDP +
+// GTP-U, GTPUOverhead bytes) for a user packet of innerLen bytes to b and
+// returns the extended slice. With a caller-owned scratch buffer of
+// sufficient capacity (b[:0] reuse), the encap path performs zero
+// allocations.
+//
+//acacia:hotpath
+func AppendGPDU(b []byte, src, dst Addr, teid uint32, innerLen int) []byte {
 	g := GTPU{MsgType: GTPUMsgGPDU, Length: uint16(innerLen), TEID: teid}
 	u := UDP{SrcPort: GTPUPort, DstPort: GTPUPort, Length: uint16(UDPLen + GTPULen + innerLen)}
 	ip := IPv4{
@@ -75,7 +87,7 @@ func EncapsulateGPDU(src, dst Addr, teid uint32, innerLen int) []byte {
 		Proto:    ProtoUDP,
 		Src:      src, Dst: dst,
 	}
-	b := ip.Encode(nil)
+	b = ip.Encode(b)
 	b = u.Encode(b)
 	return g.Encode(b)
 }

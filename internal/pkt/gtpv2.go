@@ -150,7 +150,11 @@ type GTPv2Msg struct {
 
 const gtpv2HeaderLen = 12
 
-// Encode appends the full message to b.
+// Encode appends the full message to b. Every IE — including nested encodes
+// like the bearer context's TFT — is appended in place with a length
+// backfill, so encoding into a reused scratch buffer allocates nothing.
+//
+//acacia:hotpath
 func (m *GTPv2Msg) Encode(b []byte) []byte {
 	start := len(b)
 	b = append(b, 0x48, byte(m.Type)) // version 2, TEID flag set
@@ -159,19 +163,32 @@ func (m *GTPv2Msg) Encode(b []byte) []byte {
 	b = append(b, byte(m.Seq>>16), byte(m.Seq>>8), byte(m.Seq), 0)
 
 	if m.IMSI != "" {
-		b = appendIE(b, ieIMSI, encodeTBCD(m.IMSI))
+		var ie int
+		b, ie = beginIE(b, ieIMSI)
+		b = appendTBCD(b, m.IMSI)
+		b = endIE(b, ie)
 	}
 	if m.Cause != 0 {
-		b = appendIE(b, ieCause, []byte{m.Cause, 0})
+		b = append(b, ieCause, 0, 2, 0, m.Cause, 0)
 	}
 	if !m.PAA.IsZero() {
-		b = appendIE(b, iePAA, append([]byte{0x01}, m.PAA[:]...)) // PDN type IPv4
+		var ie int
+		b, ie = beginIE(b, iePAA)
+		b = append(b, 0x01) // PDN type IPv4
+		b = append(b, m.PAA[:]...)
+		b = endIE(b, ie)
 	}
 	if m.SenderFTEID != nil {
-		b = appendIE(b, ieFTEID, m.SenderFTEID.encode(nil))
+		var ie int
+		b, ie = beginIE(b, ieFTEID)
+		b = m.SenderFTEID.encode(b)
+		b = endIE(b, ie)
 	}
 	for i := range m.Bearers {
-		b = appendIE(b, ieBearerContext, m.Bearers[i].encode(nil))
+		var ie int
+		b, ie = beginIE(b, ieBearerContext)
+		b = m.Bearers[i].encode(b)
+		b = endIE(b, ie)
 	}
 
 	// Length counts everything after the first 4 header octets.
@@ -181,29 +198,51 @@ func (m *GTPv2Msg) Encode(b []byte) []byte {
 	return b
 }
 
+//acacia:hotpath
 func (bc *BearerContext) encode(b []byte) []byte {
-	b = appendIE(b, ieEBI, []byte{bc.EBI & 0x0f})
+	b = append(b, ieEBI, 0, 1, 0, bc.EBI&0x0f)
 	if bc.Cause != 0 {
-		b = appendIE(b, ieCause, []byte{bc.Cause, 0})
+		b = append(b, ieCause, 0, 2, 0, bc.Cause, 0)
 	}
 	if bc.TFT != nil {
-		b = appendIE(b, ieBearerTFT, bc.TFT.Encode(nil))
+		var ie int
+		b, ie = beginIE(b, ieBearerTFT)
+		b = bc.TFT.Encode(b)
+		b = endIE(b, ie)
 	}
 	if bc.QoS != nil {
-		b = appendIE(b, ieBearerQoS, bc.QoS.encode(nil))
+		var ie int
+		b, ie = beginIE(b, ieBearerQoS)
+		b = bc.QoS.encode(b)
+		b = endIE(b, ie)
 	}
 	for i := range bc.FTEIDs {
-		b = appendIE(b, ieFTEID, bc.FTEIDs[i].encode(nil))
+		var ie int
+		b, ie = beginIE(b, ieFTEID)
+		b = bc.FTEIDs[i].encode(b)
+		b = endIE(b, ie)
 	}
 	return b
 }
 
-// appendIE writes a TS 29.274 TLIV IE: type, 2-byte length, spare/instance.
-func appendIE(b []byte, typ uint8, payload []byte) []byte {
-	b = append(b, typ)
-	b = putU16(b, uint16(len(payload)))
-	b = append(b, 0) // spare + instance 0
-	return append(b, payload...)
+// beginIE opens a TS 29.274 TLIV IE: type, 2-byte length placeholder,
+// spare/instance octet. It returns the position endIE uses to backfill the
+// length once the payload has been appended in place.
+//
+//acacia:hotpath
+func beginIE(b []byte, typ uint8) ([]byte, int) {
+	b = append(b, typ, 0, 0, 0)
+	return b, len(b)
+}
+
+// endIE backfills the length of the IE opened at start.
+//
+//acacia:hotpath
+func endIE(b []byte, start int) []byte {
+	n := len(b) - start
+	b[start-3] = byte(n >> 8)
+	b[start-2] = byte(n)
+	return b
 }
 
 // Decode parses a message from the front of b.
@@ -335,19 +374,20 @@ func readIE(r *reader) (typ uint8, payload []byte, err error) {
 	return typ, payload, nil
 }
 
-// encodeTBCD packs a digit string into telephony BCD (two digits per octet,
-// 0xf filler for odd lengths), the IMSI wire format.
-func encodeTBCD(digits string) []byte {
-	out := make([]byte, 0, (len(digits)+1)/2)
+// appendTBCD packs a digit string into telephony BCD (two digits per octet,
+// 0xf filler for odd lengths), the IMSI wire format, appending in place.
+//
+//acacia:hotpath
+func appendTBCD(b []byte, digits string) []byte {
 	for i := 0; i < len(digits); i += 2 {
 		lo := digits[i] - '0'
 		hi := byte(0xf)
 		if i+1 < len(digits) {
 			hi = digits[i+1] - '0'
 		}
-		out = append(out, hi<<4|lo)
+		b = append(b, hi<<4|lo)
 	}
-	return out
+	return b
 }
 
 func decodeTBCD(b []byte) string {

@@ -145,7 +145,7 @@ func TestTBCDRoundTrip(t *testing.T) {
 			}
 		}
 		s := string(digits)
-		return decodeTBCD(encodeTBCD(s)) == s
+		return decodeTBCD(appendTBCD(nil, s)) == s
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)

@@ -49,41 +49,43 @@ type NASMsg struct {
 	ESM *NASMsg
 }
 
-// Encode appends the NAS message.
+// nasZeroGUTI is the stylized all-zero GUTI appended to attach accepts.
+var nasZeroGUTI [11]byte
+
+// Encode appends the NAS message. Nested fields (the piggybacked ESM
+// container, LV-framed identities, QoS and TFT) are appended in place with
+// length backfills, so encoding into a reused scratch buffer allocates
+// nothing.
+//
+//acacia:hotpath
 func (m *NASMsg) Encode(b []byte) []byte {
 	switch m.Type {
 	case NASAttachRequest:
 		// PD+security header, message type, attach type octet, identity,
 		// UE network capability (4 octets), piggybacked ESM container.
 		b = append(b, nasPDEMM, NASAttachRequest, 0x01)
-		b = appendNASLV(b, encodeTBCD(m.IMSI))
+		var lv int
+		b, lv = beginNASLV(b)
+		b = appendTBCD(b, m.IMSI)
+		b = endNASLV(b, lv)
 		b = append(b, 0x04, 0xe0, 0xe0, 0x00, 0x00) // capability TLV
-		if m.ESM != nil {
-			esm := m.ESM.Encode(nil)
-			b = putU16(b, uint16(len(esm)))
-			b = append(b, esm...)
-		} else {
-			b = putU16(b, 0)
-		}
+		b = m.appendESMContainer(b)
 	case NASAttachAccept:
 		b = append(b, nasPDEMM, NASAttachAccept, 0x01) // EPS-only result
 		// TAI list (stylized 6-octet entry) + GUTI (11 octets, stylized).
 		b = append(b, 0x06, 0x00, 0x01, 0x00, 0x01, 0x00, 0x01)
 		b = append(b, 0x0b)
-		b = append(b, make([]byte, 11)...)
-		if m.ESM != nil {
-			esm := m.ESM.Encode(nil)
-			b = putU16(b, uint16(len(esm)))
-			b = append(b, esm...)
-		} else {
-			b = putU16(b, 0)
-		}
+		b = append(b, nasZeroGUTI[:]...)
+		b = m.appendESMContainer(b)
 	case NASAttachComplete:
 		b = append(b, nasPDEMM, NASAttachComplete)
 		b = putU16(b, 0) // empty ESM container (accept acknowledged)
 	case NASDetachRequest:
 		b = append(b, nasPDEMM, NASDetachRequest, 0x01) // EPS detach, switch-off 0
-		b = appendNASLV(b, encodeTBCD(m.IMSI))
+		var lv int
+		b, lv = beginNASLV(b)
+		b = appendTBCD(b, m.IMSI)
+		b = endNASLV(b, lv)
 	case NASServiceRequest:
 		// Real service requests are 4 octets (short MAC); keep the shape.
 		b = append(b, nasPDEMM, NASServiceRequest, 0x00, 0x00)
@@ -91,30 +93,61 @@ func (m *NASMsg) Encode(b []byte) []byte {
 		b = append(b, nasPDEMM, NASServiceAccept)
 	case NASActivateDefaultBearerRequest:
 		b = append(b, nasPDESM|m.EBI<<4, NASActivateDefaultBearerRequest)
-		b = appendNASLV(b, []byte(m.APN))
+		var lv int
+		b, lv = beginNASLV(b)
+		b = append(b, m.APN...)
+		b = endNASLV(b, lv)
 		// PDN address: type IPv4 + address.
 		b = append(b, 0x05, 0x01)
 		b = append(b, m.UEIP[:]...)
 		if m.QoS != nil {
-			b = appendNASLV(b, m.QoS.encode(nil))
+			b, lv = beginNASLV(b)
+			b = m.QoS.encode(b)
+			b = endNASLV(b, lv)
 		} else {
 			b = append(b, 0)
 		}
 	case NASActivateDedicatedBearerRequest:
 		b = append(b, nasPDESM|m.EBI<<4, NASActivateDedicatedBearerRequest, m.LinkedEBI)
+		var lv int
 		if m.QoS != nil {
-			b = appendNASLV(b, m.QoS.encode(nil))
+			b, lv = beginNASLV(b)
+			b = m.QoS.encode(b)
+			b = endNASLV(b, lv)
 		} else {
 			b = append(b, 0)
 		}
 		if m.TFT != nil {
-			b = appendNASLV(b, m.TFT.Encode(nil))
+			b, lv = beginNASLV(b)
+			b = m.TFT.Encode(b)
+			b = endNASLV(b, lv)
 		} else {
 			b = append(b, 0)
 		}
 	default:
-		panic(fmt.Sprintf("pkt: cannot encode NAS type 0x%02x", m.Type))
+		badNASType(m.Type)
 	}
+	return b
+}
+
+func badNASType(t uint8) {
+	panic(fmt.Sprintf("pkt: cannot encode NAS type 0x%02x", t))
+}
+
+// appendESMContainer appends the 2-byte-length ESM container, encoding the
+// nested message in place with a length backfill.
+//
+//acacia:hotpath
+func (m *NASMsg) appendESMContainer(b []byte) []byte {
+	b = putU16(b, 0)
+	if m.ESM == nil {
+		return b
+	}
+	pos := len(b)
+	b = m.ESM.Encode(b)
+	n := len(b) - pos
+	b[pos-2] = byte(n >> 8)
+	b[pos-1] = byte(n)
 	return b
 }
 
@@ -258,13 +291,26 @@ func (m *NASMsg) decodeESMContainer(r *reader) error {
 	return nil
 }
 
-// appendNASLV writes a length-value field (1-octet length).
-func appendNASLV(b, val []byte) []byte {
-	if len(val) > 255 {
+// beginNASLV opens a length-value field (1-octet length placeholder),
+// returning the position endNASLV uses to backfill the length once the value
+// has been appended in place.
+//
+//acacia:hotpath
+func beginNASLV(b []byte) ([]byte, int) {
+	b = append(b, 0)
+	return b, len(b)
+}
+
+// endNASLV backfills the length of the LV field opened at start.
+//
+//acacia:hotpath
+func endNASLV(b []byte, start int) []byte {
+	n := len(b) - start
+	if n > 255 {
 		panic("pkt: NAS LV field too long")
 	}
-	b = append(b, byte(len(val)))
-	return append(b, val...)
+	b[start-1] = byte(n)
+	return b
 }
 
 func readNASLV(r *reader) ([]byte, error) {

@@ -108,40 +108,60 @@ const (
 )
 
 // Encode appends the SCTP-framed message to b: SCTP common header, DATA
-// chunk header, then the S1AP-lite payload.
+// chunk header, then the S1AP-lite payload. The payload is encoded in place
+// and the chunk length and checksum backfilled, so encoding into a reused
+// scratch buffer allocates nothing.
+//
+//acacia:hotpath
 func (m *S1APMsg) Encode(b []byte) []byte {
-	payload := m.encodePayload(nil)
-	// SCTP common header: src port, dst port, vtag, checksum.
+	start := len(b)
+	// SCTP common header: src port, dst port, vtag, checksum (backfilled).
 	b = putU16(b, 36412) // S1AP SCTP port
 	b = putU16(b, 36412)
 	b = putU32(b, 0xACAC1A00)
-	b = putU32(b, crc32c(payload))
-	// DATA chunk: type, flags, length, TSN, stream id, stream seq, ppid.
+	b = putU32(b, 0) // checksum placeholder, offsets start+8..11
+	// DATA chunk: type, flags, length (backfilled), TSN, stream id, stream
+	// seq, ppid.
 	b = append(b, 0, 0x03) // DATA, unfragmented
-	b = putU16(b, uint16(SCTPDataChunkLen+len(payload)))
-	b = putU32(b, m.TSN) // TSN, from the transport's per-peer allocator
-	b = putU16(b, 0)     // stream id
-	b = putU16(b, 0)     // stream seq
-	b = putU32(b, 18)    // PPID 18 = S1AP
-	return append(b, payload...)
+	b = putU16(b, 0)       // chunk length placeholder, offsets start+14..15
+	b = putU32(b, m.TSN)   // TSN, from the transport's per-peer allocator
+	b = putU16(b, 0)       // stream id
+	b = putU16(b, 0)       // stream seq
+	b = putU32(b, 18)      // PPID 18 = S1AP
+	pstart := len(b)
+	b = m.encodePayload(b)
+	plen := len(b) - pstart
+	chunkLen := uint16(SCTPDataChunkLen + plen)
+	b[start+14] = byte(chunkLen >> 8)
+	b[start+15] = byte(chunkLen)
+	sum := crc32c(b[pstart:])
+	b[start+8] = byte(sum >> 24)
+	b[start+9] = byte(sum >> 16)
+	b[start+10] = byte(sum >> 8)
+	b[start+11] = byte(sum)
+	return b
 }
 
+//acacia:hotpath
 func (m *S1APMsg) encodePayload(b []byte) []byte {
 	start := len(b)
 	b = append(b, byte(m.Procedure), 0) // procedure, criticality
 	b = putU16(b, 0)                    // length placeholder
-	b = appendTLV8(b, s1apIEENBUEID, u32bytes(m.ENBUEID))
+	b = appendTLV8U32(b, s1apIEENBUEID, m.ENBUEID)
 	if m.MMEUEID != 0 {
-		b = appendTLV8(b, s1apIEMMEUEID, u32bytes(m.MMEUEID))
+		b = appendTLV8U32(b, s1apIEMMEUEID, m.MMEUEID)
 	}
 	if len(m.NAS) > 0 {
 		b = appendTLV8(b, s1apIENAS, m.NAS)
 	}
 	if m.Cause != 0 {
-		b = appendTLV8(b, s1apIECause, []byte{m.Cause})
+		b = append(b, s1apIECause, 0, 1, m.Cause)
 	}
 	for i := range m.ERABs {
-		b = appendTLV8(b, s1apIEERAB, m.ERABs[i].encode(nil))
+		var tlv int
+		b, tlv = beginTLV8(b, s1apIEERAB)
+		b = m.ERABs[i].encode(b)
+		b = endTLV8(b, tlv)
 	}
 	plen := len(b) - start - 4
 	b[start+2] = byte(plen >> 8)
@@ -297,6 +317,32 @@ func appendTLV8(b []byte, tag uint8, val []byte) []byte {
 	b = append(b, tag)
 	b = putU16(b, uint16(len(val)))
 	return append(b, val...)
+}
+
+// appendTLV8U32 writes a 4-byte big-endian value TLV without materializing a
+// temporary slice.
+//
+//acacia:hotpath
+func appendTLV8U32(b []byte, tag uint8, v uint32) []byte {
+	b = append(b, tag, 0, 4)
+	return putU32(b, v)
+}
+
+// beginTLV8 opens a TLV whose value is encoded in place; endTLV8 backfills
+// the 2-byte length.
+//
+//acacia:hotpath
+func beginTLV8(b []byte, tag uint8) ([]byte, int) {
+	b = append(b, tag, 0, 0)
+	return b, len(b)
+}
+
+//acacia:hotpath
+func endTLV8(b []byte, start int) []byte {
+	n := len(b) - start
+	b[start-2] = byte(n >> 8)
+	b[start-1] = byte(n)
+	return b
 }
 
 func readTLV8(r *reader) (tag uint8, val []byte, err error) {

@@ -144,6 +144,8 @@ func (t *TFT) byPrecedence() []PacketFilter {
 // Encode appends the TS 24.008-style TFT encoding to b: one octet of
 // opcode + filter count, then each filter as id, direction+precedence, a
 // length octet and its component list.
+//
+//acacia:hotpath
 func (t *TFT) Encode(b []byte) []byte {
 	if len(t.Filters) > 15 {
 		panic("pkt: TFT holds at most 15 packet filters")
@@ -152,9 +154,11 @@ func (t *TFT) Encode(b []byte) []byte {
 	for i := range t.Filters {
 		f := &t.Filters[i]
 		b = append(b, f.Direction.encodeWithID(f.ID), f.Precedence)
-		comps := f.encodeComponents(nil)
-		b = append(b, byte(len(comps)))
-		b = append(b, comps...)
+		// Component list appended in place behind a 1-octet length backfill.
+		b = append(b, 0)
+		pos := len(b)
+		b = f.encodeComponents(b)
+		b[pos-1] = byte(len(b) - pos)
 	}
 	return b
 }

@@ -69,6 +69,10 @@ type Controller struct {
 
 	// ByType counts messages per OpenFlow message type.
 	ByType map[pkt.OFMsgType]uint64
+
+	// encBuf is the controller-lifetime scratch the accounting encoders
+	// serialize into; only the encoded length outlives each call.
+	encBuf []byte
 }
 
 // NewController creates a controller on eng.
@@ -169,20 +173,24 @@ func (c *Controller) nextXID() uint32 {
 	return c.xid
 }
 
+//acacia:hotpath
 func (c *Controller) accountSent(m *pkt.OFMsg) int {
-	b := m.Encode(nil)
+	c.encBuf = m.Encode(c.encBuf[:0])
+	n := len(c.encBuf)
 	c.sent.Inc()
-	c.sentBytes.Add(uint64(len(b)))
+	c.sentBytes.Add(uint64(n))
 	c.ByType[m.Type]++
-	return len(b)
+	return n
 }
 
+//acacia:hotpath
 func (c *Controller) accountReceived(m *pkt.OFMsg) int {
-	b := m.Encode(nil)
+	c.encBuf = m.Encode(c.encBuf[:0])
+	n := len(c.encBuf)
 	c.recv.Inc()
-	c.recvBytes.Add(uint64(len(b)))
+	c.recvBytes.Add(uint64(n))
 	c.ByType[m.Type]++
-	return len(b)
+	return n
 }
 
 // InstallFlow sends a FlowMod(add) to the switch; the entry takes effect

@@ -14,7 +14,6 @@ package sdn
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"acacia/internal/ctl"
@@ -125,9 +124,13 @@ type Switch struct {
 	ctlEP   *ctl.Endpoint
 	pathMon *PathMonitor
 
-	// Single-server CPU for per-packet processing costs.
+	// Single-server CPU for per-packet processing costs. cpuCur stages the
+	// packet being served; cpuDoneF is the method value bound once in
+	// NewSwitch so per-packet service scheduling allocates no closure.
 	busy     bool
 	cpuQueue []pendingPacket
+	cpuCur   pendingPacket
+	cpuDoneF func()
 
 	// Activity counters, registered under sdn/<node>/ in the engine's
 	// telemetry registry. Stats() assembles the SwitchStats compat view.
@@ -162,6 +165,7 @@ func NewSwitch(dpid uint64, node *netsim.Node, costs PathCosts) *Switch {
 		costs:   costs,
 		gtpPort: make(map[int]bool),
 	}
+	sw.cpuDoneF = sw.cpuDone
 	scope := node.Engine().Metrics().Scope("sdn").Scope(node.Name())
 	sw.fastHits = scope.Counter("fastpath/hits")
 	sw.slowHits = scope.Counter("slowpath/hits")
@@ -206,6 +210,8 @@ func (sw *Switch) MarkGTPPort(portID int) { sw.gtpPort[portID] = true }
 // receive is the netsim handler: queue the packet for the (serialized)
 // switch CPU. OpenFlow control frames bypass the data-plane CPU queue and
 // go straight to the control endpoint.
+//
+//acacia:hotpath
 func (sw *Switch) receive(ingress *netsim.Port, p *netsim.Packet) {
 	if sw.ctlEP != nil {
 		if f := ctl.FrameOf(p); f != nil {
@@ -219,19 +225,26 @@ func (sw *Switch) receive(ingress *netsim.Port, p *netsim.Packet) {
 	}
 }
 
+//acacia:hotpath
 func (sw *Switch) serveNext() {
 	if len(sw.cpuQueue) == 0 {
 		sw.busy = false
 		return
 	}
 	sw.busy = true
-	item := sw.cpuQueue[0]
+	sw.cpuCur = sw.cpuQueue[0]
 	sw.cpuQueue = sw.cpuQueue[1:]
-	cost := sw.classifyCost(item)
-	sw.eng.Schedule(cost, func() {
-		sw.process(item.ingress, item.p)
-		sw.serveNext()
-	})
+	cost := sw.classifyCost(sw.cpuCur)
+	sw.eng.After(cost, sw.cpuDoneF)
+}
+
+// cpuDone finishes one CPU service period: process the staged packet, then
+// serve the next.
+func (sw *Switch) cpuDone() {
+	item := sw.cpuCur
+	sw.cpuCur = pendingPacket{}
+	sw.process(item.ingress, item.p)
+	sw.serveNext()
 }
 
 // classifyCost picks the per-packet CPU cost: fast path on cache hit, slow
@@ -265,6 +278,7 @@ func (sw *Switch) process(ingress *netsim.Port, p *netsim.Packet) {
 	// GTP-U path management traffic is handled by the GTP stack itself,
 	// not the flow table.
 	if sw.handleEcho(ingress, p) {
+		sw.node.Network().Release(p)
 		return
 	}
 	key := sw.keyFor(ingress, p)
@@ -298,9 +312,12 @@ func (sw *Switch) process(ingress *netsim.Port, p *netsim.Packet) {
 	if idx < 0 {
 		sw.tableMisses.Inc()
 		if sw.controller != nil {
+			// The controller keeps the packet (buffer-and-page re-injects
+			// it), so ownership transfers rather than being released.
 			sw.controller.packetIn(sw, inPort, p, tunnelMeta)
 		} else {
 			sw.dropped.Inc()
+			sw.node.Network().Release(p)
 		}
 		return
 	}
@@ -358,6 +375,7 @@ func (sw *Switch) apply(e *FlowEntry, p *netsim.Packet) {
 	e.lastUsed = sw.eng.Now()
 	if !e.meterAllows(sw.eng.Now(), p.Size) {
 		sw.meterDrops.Inc()
+		sw.node.Network().Release(p)
 		return
 	}
 	e.Packets++
@@ -374,14 +392,17 @@ func (sw *Switch) apply(e *FlowEntry, p *netsim.Packet) {
 			out := p
 			sw.output(int(a.Port), out)
 		case pkt.ActionDrop:
+			sw.node.Network().Release(p)
 			return
 		}
 	}
 }
 
+//acacia:hotpath
 func (sw *Switch) output(portID int, p *netsim.Packet) {
 	if portID < 0 || portID >= len(sw.node.Ports()) {
 		sw.dropped.Inc()
+		sw.node.Network().Release(p)
 		return
 	}
 	if sw.gtpPort[portID] && sw.stagedTEID != 0 {
@@ -411,12 +432,18 @@ func (sw *Switch) installFlow(e FlowEntry) {
 			return
 		}
 	}
+	// Insert keeping the table ordered by descending priority for
+	// deterministic iteration in dumps. Shifting only strictly-lower
+	// priorities keeps insertion stable (equal priorities stay in arrival
+	// order, as sort.SliceStable did) without its per-call closure and
+	// swapper allocations on the flow-install path.
 	sw.table = append(sw.table, e)
-	// Keep the table ordered by descending priority for deterministic
-	// iteration in dumps.
-	sort.SliceStable(sw.table, func(i, j int) bool {
-		return sw.table[i].Priority > sw.table[j].Priority
-	})
+	i := len(sw.table) - 1
+	for i > 0 && sw.table[i-1].Priority < e.Priority {
+		sw.table[i] = sw.table[i-1]
+		i--
+	}
+	sw.table[i] = e
 	sw.invalidateCache()
 }
 

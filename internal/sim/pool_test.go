@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMixedSchedulingAPIsFIFO checks the determinism contract behind event
+// pooling: Schedule, ScheduleArg, After and AfterArg share one sequence
+// counter, so interleaving pooled and handle-bearing scheduling at equal
+// timestamps fires in exact call order. Swapping one API for another in a
+// hot path must never reorder a seeded run.
+func TestMixedSchedulingAPIsFIFO(t *testing.T) {
+	eng := NewEngine(1)
+	var order []int
+	note := func(v any) { order = append(order, v.(int)) }
+	eng.Schedule(time.Millisecond, func() { order = append(order, 0) })
+	eng.After(time.Millisecond, func() { order = append(order, 1) })
+	eng.ScheduleArg(time.Millisecond, note, 2)
+	eng.AfterArg(time.Millisecond, note, 3)
+	eng.After(time.Millisecond, func() { order = append(order, 4) })
+	eng.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("mixed-API firing order = %v, want 0..4 in call order", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("fired %d events, want 5", len(order))
+	}
+}
+
+// TestScheduleArgCancel checks a pre-bound timer behaves like a closure
+// timer under Cancel.
+func TestScheduleArgCancel(t *testing.T) {
+	eng := NewEngine(1)
+	fired := false
+	ev := eng.ScheduleArg(time.Millisecond, func(any) { fired = true }, nil)
+	ev.Cancel()
+	eng.Run()
+	if fired {
+		t.Error("cancelled ScheduleArg event fired")
+	}
+}
+
+// TestPooledEventArgIntegrity checks recycled events never leak a stale
+// argument into a later firing: each AfterArg invocation sees exactly the
+// argument it was scheduled with, across many recycle generations.
+func TestPooledEventArgIntegrity(t *testing.T) {
+	eng := NewEngine(1)
+	next := 0
+	var check func(any)
+	check = func(v any) {
+		if v.(int) != next {
+			t.Fatalf("event fired with arg %v, want %d", v, next)
+		}
+		next++
+		if next < 1000 {
+			eng.AfterArg(time.Microsecond, check, next)
+		}
+	}
+	eng.AfterArg(time.Microsecond, check, 0)
+	eng.Run()
+	if next != 1000 {
+		t.Fatalf("fired %d chained events, want 1000", next)
+	}
+}
+
+// TestNextEventAtSkipsCancelled checks the cancelled-event sweep in
+// NextEventAt coexists with event pooling: cancelled events are swept
+// without perturbing live pooled events behind them.
+func TestNextEventAtSkipsCancelled(t *testing.T) {
+	eng := NewEngine(1)
+	// Warm one pooled event and let it fire.
+	eng.After(time.Millisecond, func() {})
+	eng.Run()
+	// A cancelled handle-bearing event ahead of a pooled one: the sweep in
+	// NextEventAt must skip it and still report the pooled event's time.
+	ev := eng.Schedule(time.Millisecond, func() {})
+	eng.After(2*time.Millisecond, func() {})
+	ev.Cancel()
+	at, ok := eng.NextEventAt()
+	if !ok || at != Time(2*time.Millisecond).Add(eng.Now().Duration()) {
+		t.Fatalf("NextEventAt = %v, %v; want the pooled event's time", at, ok)
+	}
+	eng.Run()
+}

@@ -56,11 +56,21 @@ func (t Time) String() string { return time.Duration(t).String() }
 // Event is a scheduled callback. Events are one-shot; recurring behaviour is
 // built by re-scheduling from within the handler.
 type Event struct {
-	at     Time
-	seq    uint64 // tie-breaker: FIFO among equal timestamps
-	fn     func()
+	at  Time
+	seq uint64 // tie-breaker: FIFO among equal timestamps
+	fn  func()
+	// afn/arg are the pre-bound form used by the pooled hot-path APIs
+	// (After/AfterArg): a method value captured once at construction plus a
+	// per-call argument, so scheduling allocates no closure. When afn is
+	// non-nil it takes precedence over fn.
+	afn    func(any)
+	arg    any
 	index  int // heap index; -1 once popped or cancelled
 	cancel bool
+	// pooled marks events owned by the engine's free-list. They have no
+	// outside handle (After returns nothing), so after firing they are
+	// reset and recycled.
+	pooled bool
 }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
@@ -115,6 +125,11 @@ type Engine struct {
 	seq     uint64
 	rng     *RNG
 	stopped bool
+	// free is the engine-owned event free-list backing After/AfterArg.
+	// Hanging it off the engine (never a package global) keeps trials
+	// isolated: concurrent trials each recycle only their own events, so
+	// pooling cannot perturb the byte-identity of seeded runs.
+	free []*Event
 	// Processed counts events whose handlers have run.
 	processed uint64
 	// Limit, when non-zero, aborts Run after this many events as a runaway
@@ -152,7 +167,7 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // event handle, which may be used to cancel it.
 func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", d))
+		badDelay(d)
 	}
 	return e.ScheduleAt(e.now.Add(d), fn)
 }
@@ -161,12 +176,115 @@ func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
 // past.
 func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+		badTime(t, e.now)
 	}
 	ev := &Event{at: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
+}
+
+// ScheduleArg runs fn(arg) after delay d of virtual time and returns the
+// event handle, like Schedule. fn is typically a method value bound once at
+// construction time and arg the per-call datum, so a cancellable timer can
+// be armed without allocating a closure per call. The handle-bearing Event
+// itself is still allocated (callers may retain it); fully pooled
+// scheduling requires giving up the handle — see After/AfterArg.
+//
+// Firing order is identical to Schedule: all scheduling APIs share one
+// sequence counter.
+//
+//acacia:hotpath
+func (e *Engine) ScheduleArg(d time.Duration, fn func(any), arg any) *Event {
+	if d < 0 {
+		badDelay(d)
+	}
+	ev := &Event{at: e.now.Add(d), seq: e.seq, afn: fn, arg: arg}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn after delay d of virtual time, like Schedule, but returns no
+// handle: the event cannot be cancelled, which lets the engine recycle it
+// through its free-list after it fires. Hot paths that never cancel (link
+// transmit completions, CPU service, packet delivery) use this to schedule
+// without allocating.
+//
+// Firing order is identical to Schedule: After and Schedule share one
+// sequence counter, so interleaving the two APIs cannot reorder events.
+//
+//acacia:hotpath
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		badDelay(d)
+	}
+	ev := e.takeEvent()
+	ev.at = e.now.Add(d)
+	ev.seq = e.seq
+	ev.fn = fn
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// AfterArg runs fn(arg) after delay d of virtual time through the event
+// free-list. fn is typically a method value bound once at construction time
+// and arg the per-call datum (a packet, a frame), so the per-call cost is
+// zero allocations: no Event (pooled), no closure (pre-bound fn), and no
+// boxing when arg is pointer-shaped.
+//
+//acacia:hotpath
+func (e *Engine) AfterArg(d time.Duration, fn func(any), arg any) {
+	if d < 0 {
+		badDelay(d)
+	}
+	ev := e.takeEvent()
+	ev.at = e.now.Add(d)
+	ev.seq = e.seq
+	ev.afn = fn
+	ev.arg = arg
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// takeEvent pops a recycled event from the free-list, or allocates one.
+//
+//acacia:hotpath
+func (e *Engine) takeEvent() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{pooled: true}
+}
+
+// recycle returns a pooled event to the free-list once it can no longer
+// fire. Handle-bearing events (Schedule/ScheduleAt) are never recycled:
+// their callers may still inspect them.
+//
+//acacia:hotpath
+func (e *Engine) recycle(ev *Event) {
+	if !ev.pooled {
+		return
+	}
+	ev.at = 0
+	ev.seq = 0
+	ev.fn = nil
+	ev.afn = nil
+	ev.arg = nil
+	ev.index = -1
+	ev.cancel = false
+	e.free = append(e.free, ev)
+}
+
+func badDelay(d time.Duration) {
+	panic(fmt.Sprintf("sim: negative delay %v", d))
+}
+
+func badTime(t, now Time) {
+	panic(fmt.Sprintf("sim: schedule at %v before now %v", t, now))
 }
 
 // Stop makes Run return after the currently executing handler completes.
@@ -198,17 +316,31 @@ func (e *Engine) RunUntil(t Time) {
 // RunFor advances the simulation by d of virtual time from the current clock.
 func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
 
+//acacia:hotpath
 func (e *Engine) step() {
 	ev := heap.Pop(&e.queue).(*Event)
 	if ev.cancel {
+		e.recycle(ev)
 		return
 	}
 	e.now = ev.at
 	e.processed++
 	if e.Limit != 0 && e.processed > e.Limit {
-		panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v (scheduling loop?)", e.Limit, e.now))
+		e.limitExceeded()
 	}
-	ev.fn()
+	// Copy the callback out before recycling so the handler may immediately
+	// reuse the event slot for its own scheduling.
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	e.recycle(ev)
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
+}
+
+func (e *Engine) limitExceeded() {
+	panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v (scheduling loop?)", e.Limit, e.now))
 }
 
 // Pending reports the number of queued (possibly cancelled) events.
@@ -218,7 +350,7 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // one exists.
 func (e *Engine) NextEventAt() (Time, bool) {
 	for len(e.queue) > 0 && e.queue[0].cancel {
-		heap.Pop(&e.queue)
+		e.recycle(heap.Pop(&e.queue).(*Event))
 	}
 	if len(e.queue) == 0 {
 		return 0, false
@@ -234,6 +366,9 @@ type Ticker struct {
 	fn     func()
 	ev     *Event
 	done   bool
+	// tickF is the method value bound once at construction so re-arming
+	// each period allocates no closure.
+	tickF func()
 }
 
 // NewTicker schedules fn every period, with the first firing after one full
@@ -243,20 +378,24 @@ func NewTicker(eng *Engine, period time.Duration, fn func()) *Ticker {
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.tickF = t.tick
 	t.arm()
 	return t
 }
 
+//acacia:hotpath
 func (t *Ticker) arm() {
-	t.ev = t.eng.Schedule(t.period, func() {
-		if t.done {
-			return
-		}
-		t.fn()
-		if !t.done {
-			t.arm()
-		}
-	})
+	t.ev = t.eng.Schedule(t.period, t.tickF)
+}
+
+func (t *Ticker) tick() {
+	if t.done {
+		return
+	}
+	t.fn()
+	if !t.done {
+		t.arm()
+	}
 }
 
 // Stop halts future firings. It may be called from within the handler.

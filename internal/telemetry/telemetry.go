@@ -29,8 +29,33 @@ package telemetry
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 )
+
+// smallInts interns the decimal strings of small non-negative integers so
+// numeric name components (link indices, port ids) can be rendered without
+// allocating. The table is immutable after package init, so sharing it
+// across trials cannot couple them.
+var smallInts = func() [1024]string {
+	var t [1024]string
+	for i := range t {
+		t[i] = strconv.Itoa(i)
+	}
+	return t
+}()
+
+// Itoa returns the decimal string of n, interned for small non-negative
+// values. Hot paths use it in place of fmt.Sprintf("%d", n) when assembling
+// metric names.
+//
+//acacia:hotpath
+func Itoa(n int) string {
+	if n >= 0 && n < len(smallInts) {
+		return smallInts[n]
+	}
+	return strconv.Itoa(n)
+}
 
 // Kind discriminates metric types in snapshots.
 type Kind uint8
@@ -62,9 +87,13 @@ func (k Kind) String() string {
 type Counter struct{ n uint64 }
 
 // Inc adds one.
+//
+//acacia:hotpath
 func (c *Counter) Inc() { c.n++ }
 
 // Add adds delta.
+//
+//acacia:hotpath
 func (c *Counter) Add(delta uint64) { c.n += delta }
 
 // Value reports the current count.
@@ -74,9 +103,13 @@ func (c *Counter) Value() uint64 { return c.n }
 type Gauge struct{ v float64 }
 
 // Set replaces the value.
+//
+//acacia:hotpath
 func (g *Gauge) Set(v float64) { g.v = v }
 
 // Add shifts the value by delta.
+//
+//acacia:hotpath
 func (g *Gauge) Add(delta float64) { g.v += delta }
 
 // Value reports the current value.
@@ -93,6 +126,8 @@ type Histogram struct {
 }
 
 // Observe records one sample.
+//
+//acacia:hotpath
 func (h *Histogram) Observe(x float64) {
 	if h.count == 0 || x < h.min {
 		h.min = x
@@ -149,7 +184,14 @@ type Registry struct {
 	// kinds records every registered name for cross-kind collision checks.
 	kinds  map[string]Kind
 	events []Event
+	// prefixes interns joined scope prefixes: re-deriving the same child
+	// scope (Scope("epc/session").Scope(imsi), once per state transition)
+	// hits the table instead of re-concatenating the name.
+	prefixes map[prefixKey]string
 }
+
+// prefixKey identifies one parent-prefix + child-name join.
+type prefixKey struct{ prefix, name string }
 
 // New returns an empty registry with a zero clock (SetClock installs the
 // engine's virtual clock).
@@ -159,6 +201,7 @@ func New() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		kinds:    make(map[string]Kind),
+		prefixes: make(map[prefixKey]string),
 	}
 }
 
@@ -237,10 +280,28 @@ type Scope struct {
 }
 
 // Scope roots a naming prefix on the registry.
-func (r *Registry) Scope(name string) Scope { return Scope{r: r, prefix: name + "/"} }
+//
+//acacia:hotpath
+func (r *Registry) Scope(name string) Scope { return Scope{r: r, prefix: r.internPrefix("", name)} }
 
 // Scope nests a further prefix.
-func (s Scope) Scope(name string) Scope { return Scope{r: s.r, prefix: s.prefix + name + "/"} }
+//
+//acacia:hotpath
+func (s Scope) Scope(name string) Scope {
+	return Scope{r: s.r, prefix: s.r.internPrefix(s.prefix, name)}
+}
+
+// internPrefix joins prefix+name+"/" through the registry's intern table,
+// so repeated derivations of the same scope allocate only once.
+func (r *Registry) internPrefix(prefix, name string) string {
+	k := prefixKey{prefix, name}
+	if s, ok := r.prefixes[k]; ok {
+		return s
+	}
+	s := prefix + name + "/"
+	r.prefixes[k] = s
+	return s
+}
 
 // Counter registers a counter under the scope.
 func (s Scope) Counter(name string) *Counter { return s.r.Counter(s.prefix + name) }
