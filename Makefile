@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fmt-check bench bench-json bench-robustness bench-alloc alloc-gate results results-csv examples clean
+.PHONY: all build vet test race cover fmt-check bench bench-json bench-robustness bench-alloc bench-partition alloc-gate results results-csv examples clean
 
 all: build vet test
 
@@ -48,10 +48,13 @@ bench:
 
 # bench_to_json runs `go test -bench=$(1)` and records every Benchmark*
 # line as a JSON array in $(2) (name, iterations, ns/op, B/op, allocs/op).
-# A failed or benchmark-free run still writes valid JSON ([]) but exits
-# nonzero, so downstream tooling never parses a half-written file.
+# $(3) optionally narrows the package pattern (default ./..., which compiles
+# every package's benchmarks — subset targets that live in one package pass
+# it to skip the rest). A failed or benchmark-free run still writes valid
+# JSON ([]) but exits nonzero, so downstream tooling never parses a
+# half-written file.
 define bench_to_json
-	@if ! $(GO) test -bench='$(1)' -benchmem ./... > bench_raw.tmp 2>&1; then \
+	@if ! $(GO) test -bench='$(1)' -benchmem $(if $(3),$(3),./...) > bench_raw.tmp 2>&1; then \
 		echo "[]" > $(2); \
 		echo "bench-json: go test -bench failed; $(2) reset to []" >&2; \
 		cat bench_raw.tmp >&2; rm -f bench_raw.tmp; exit 1; fi
@@ -85,6 +88,13 @@ bench-robustness:
 bench-alloc:
 	$(call bench_to_json,^BenchmarkAlloc,BENCH_alloc.json)
 
+# Partition subset: sequential vs windowed vs gang wall-time on the
+# many-site scenario (DESIGN.md §3g). Single-core hosts see only the cache-
+# locality share of the gain; the gang/sequential ratio reflects real
+# speedup only when GOMAXPROCS spans the partitions.
+bench-partition:
+	$(call bench_to_json,^BenchmarkPartition,BENCH_partition.json,./internal/experiments)
+
 # Allocation-budget gate: re-measure and hold every BenchmarkAlloc* result
 # against the committed ceilings in ALLOC_BUDGET.json. Fails CI when a hot
 # path regresses past its budget.
@@ -106,4 +116,4 @@ bench_output.txt:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt coverage.out BENCH_control.json BENCH_robustness.json BENCH_alloc.json bench_raw.tmp
+	rm -f test_output.txt bench_output.txt coverage.out BENCH_control.json BENCH_robustness.json BENCH_alloc.json BENCH_partition.json bench_raw.tmp

@@ -8,39 +8,89 @@
 //	acacia-sim -fig 3a,3b,overhead
 //	acacia-sim -all [-full] [-seed N] [-parallel N] [-progress]
 //	acacia-sim -fig overhead -metrics -timeline overhead.json
+//	acacia-sim -fig 13 -intra-parallel 2 -cpuprofile cpu.pprof
 //
-// Trials run concurrently on up to -parallel workers; output on stdout is
-// byte-identical for every -parallel setting (and to -parallel 1).
+// Trials run concurrently on up to -parallel workers; -intra-parallel
+// additionally partitions the event loop inside each testbed-backed trial
+// (DESIGN.md §3g). Output on stdout is byte-identical for every -parallel
+// and -intra-parallel setting (and to the sequential defaults).
 // -metrics appends each experiment's merged telemetry snapshot to its
 // tables; -timeline writes the combined event log, ordered by virtual
-// time, as JSON to the named file.
+// time, as JSON to the named file. -cpuprofile/-memprofile write pprof
+// profiles of the run for performance work on the engine itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"acacia"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		fig      = flag.String("fig", "", "comma-separated experiment ids to run (e.g. 3a,8,13)")
-		all      = flag.Bool("all", false, "run every experiment")
-		full     = flag.Bool("full", false, "publication-length runs (slower, tighter statistics)")
-		seed     = flag.Uint64("seed", 2016, "simulation seed")
-		parallel = flag.Int("parallel", 0, "max concurrent trials (0 = GOMAXPROCS)")
-		progress = flag.Bool("progress", false, "report per-trial completion on stderr")
-		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
-		metrics  = flag.Bool("metrics", false, "print each experiment's merged telemetry snapshot")
-		timeline = flag.String("timeline", "", "write the combined event timeline as JSON to this file")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		fig        = flag.String("fig", "", "comma-separated experiment ids to run (e.g. 3a,8,13)")
+		all        = flag.Bool("all", false, "run every experiment")
+		full       = flag.Bool("full", false, "publication-length runs (slower, tighter statistics)")
+		seed       = flag.Uint64("seed", 2016, "simulation seed")
+		parallel   = flag.Int("parallel", 0, "max concurrent trials (0 = GOMAXPROCS)")
+		intraPar   = flag.Int("intra-parallel", 0, "partition the event loop inside each trial: 0 = single queue, 1 = windowed, N>1 = N gang workers")
+		progress   = flag.Bool("progress", false, "report per-trial completion on stderr")
+		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		metrics    = flag.Bool("metrics", false, "print each experiment's merged telemetry snapshot")
+		timeline   = flag.String("timeline", "", "write the combined event timeline as JSON to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
 
-	opts := acacia.ExperimentOptions{Full: *full, Seed: *seed, SeedSet: true, Parallel: *parallel}
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "acacia-sim:", err)
+		return 1
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "acacia-sim:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "acacia-sim:", err)
+			}
+			f.Close()
+		}()
+	}
+
+	opts := acacia.ExperimentOptions{
+		Full: *full, Seed: *seed, SeedSet: true,
+		Parallel: *parallel, IntraParallel: *intraPar,
+	}
 	if *progress {
 		opts.Progress = func(done, total int, trial string, err error) {
 			if err != nil {
@@ -67,9 +117,9 @@ func main() {
 			fmt.Print(r.Metrics)
 		}
 	}
-	writeTimeline := func() {
+	writeTimeline := func() error {
 		if *timeline == "" {
-			return
+			return nil
 		}
 		merged := acacia.MergeMetrics(snaps...)
 		if merged == nil {
@@ -77,16 +127,13 @@ func main() {
 		}
 		f, err := os.Create(*timeline)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "acacia-sim:", err)
-			os.Exit(1)
+			return err
 		}
-		if err := merged.WriteTimelineJSON(f); err == nil {
-			err = f.Close()
+		if err := merged.WriteTimelineJSON(f); err != nil {
+			f.Close()
+			return err
 		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "acacia-sim:", err)
-			os.Exit(1)
-		}
+		return f.Close()
 	}
 
 	switch {
@@ -99,23 +146,26 @@ func main() {
 		for _, r := range results {
 			print(r)
 		}
-		writeTimeline()
+		if werr := writeTimeline(); werr != nil {
+			return fail(werr)
+		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "acacia-sim:", err)
-			os.Exit(1)
+			return fail(err)
 		}
 	case *fig != "":
 		for _, id := range strings.Split(*fig, ",") {
 			r, err := acacia.RunExperiment(strings.TrimSpace(id), opts)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "acacia-sim:", err)
-				os.Exit(1)
+				return fail(err)
 			}
 			print(r)
 		}
-		writeTimeline()
+		if err := writeTimeline(); err != nil {
+			return fail(err)
+		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

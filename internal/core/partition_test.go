@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestIntraParallelMatchesSequential is the byte-identity contract for the
+// partitioned testbed (DESIGN.md §3g): the retail scenario must produce the
+// same frame counts, latency statistics, accounting totals and merged
+// telemetry whether the edge-1 site shares the core's event queue
+// (IntraParallel = 0), runs on its own partition advanced in conservative
+// windows (1), or runs those windows on a worker gang (2).
+func TestIntraParallelMatchesSequential(t *testing.T) {
+	type result struct {
+		responses uint64
+		total     float64
+		match     float64
+		acct      uint64
+		metrics   string
+		events    int
+	}
+	run := func(ip int) result {
+		tb := newRetailTestbed(t, TestbedConfig{Seed: 31415, IntraParallel: ip})
+		if (tb.Cluster != nil) != (ip > 0) {
+			t.Fatalf("IntraParallel=%d: cluster presence wrong", ip)
+		}
+		b := startRetail(t, tb, "electronics", electronicsSpot)
+		tb.Run(15 * time.Second)
+		snap := tb.MetricsSnapshot()
+		return result{
+			responses: b.Frontend.Responses,
+			total:     b.Frontend.Stats.Total.Mean(),
+			match:     b.Frontend.Stats.Match.Mean(),
+			acct:      tb.EPC.Acct.TotalBytes(),
+			metrics:   snap.String(),
+			events:    len(snap.Events),
+		}
+	}
+	seq := run(0)
+	if seq.responses == 0 {
+		t.Fatal("sequential run produced no AR responses")
+	}
+	for _, ip := range []int{1, 2} {
+		got := run(ip)
+		if got.responses != seq.responses || got.total != seq.total ||
+			got.match != seq.match || got.acct != seq.acct {
+			t.Errorf("IntraParallel=%d diverged: responses %d vs %d, total %v vs %v, match %v vs %v, acct %d vs %d",
+				ip, got.responses, seq.responses, got.total, seq.total,
+				got.match, seq.match, got.acct, seq.acct)
+		}
+		if got.events != seq.events {
+			t.Errorf("IntraParallel=%d: %d timeline events vs %d sequential", ip, got.events, seq.events)
+		}
+		if got.metrics != seq.metrics {
+			t.Errorf("IntraParallel=%d: merged metrics table differs from sequential\n--- sequential ---\n%s--- partitioned ---\n%s",
+				ip, seq.metrics, got.metrics)
+		}
+	}
+}
+
+// TestIntraParallelForbidsExtraSites pins the documented limitation: failover
+// sites share localization state with the partitioned edge-1 backend, so
+// AddEdgeSite must refuse to run under a cluster rather than silently racing.
+func TestIntraParallelForbidsExtraSites(t *testing.T) {
+	tb := newRetailTestbed(t, TestbedConfig{IntraParallel: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdgeSite under IntraParallel did not panic")
+		}
+	}()
+	tb.AddEdgeSite("edge-2")
+}

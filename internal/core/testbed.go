@@ -7,12 +7,14 @@ import (
 	"acacia/internal/compute"
 	"acacia/internal/d2d"
 	"acacia/internal/epc"
+	"acacia/internal/exec"
 	"acacia/internal/fault"
 	"acacia/internal/geo"
 	"acacia/internal/netsim"
 	"acacia/internal/pkt"
 	"acacia/internal/sdn"
 	"acacia/internal/sim"
+	"acacia/internal/telemetry"
 	"acacia/internal/vision"
 )
 
@@ -72,6 +74,17 @@ type TestbedConfig struct {
 	// the paper uses 5-10 s on air; a shorter period keeps experiment
 	// warm-up short without changing behaviour).
 	DiscoveryPeriod time.Duration
+
+	// IntraParallel partitions the event loop inside one run (DESIGN.md
+	// §3g): 0 (the default) keeps the single global event queue, bit-for-bit
+	// identical to every previous release. Any positive value moves the
+	// edge-1 site (edge SGW-U/PGW-U and the CI server) onto its own
+	// partition engine advanced in conservative windows against the core;
+	// values above 1 execute the windows on that many gang workers.
+	// Simulation output is identical for every IntraParallel value as long
+	// as the scenario keeps RNG draws out of site partitions — the standard
+	// testbed does (radio jitter and D2D run core-side).
+	IntraParallel int
 }
 
 func (c TestbedConfig) withDefaults() TestbedConfig {
@@ -156,11 +169,15 @@ type UEBundle struct {
 type Testbed struct {
 	Cfg TestbedConfig
 	Eng *sim.Engine
-	Net *netsim.Network
-	Ctl *sdn.Controller
-	EPC *epc.Core
-	MRS *MRS
-	ENB *epc.ENB
+	// Cluster is non-nil when Cfg.IntraParallel > 0: the conservative
+	// windowed partition group (core = partition 0, edge-1 = partition 1)
+	// that Run/Attach/Handover advance instead of Eng directly.
+	Cluster *sim.Cluster
+	Net     *netsim.Network
+	Ctl     *sdn.Controller
+	EPC     *epc.Core
+	MRS     *MRS
+	ENB     *epc.ENB
 	// ENBs lists every base station (ENB plus any neighbours added with
 	// AddNeighborENB).
 	ENBs      []*epc.ENB
@@ -234,6 +251,19 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	ciN := nw.AddNode("ci-server", pkt.AddrFrom(10, 3, 0, 10))
 	bgSrcN := nw.AddNode("bg-src", pkt.AddrFrom(10, 1, 1, 1))
 	bgSinkN := nw.AddNode("bg-sink", pkt.AddrFrom(8, 8, 9, 9))
+
+	// Partitioning (DESIGN.md §3g): with IntraParallel > 0 the edge-1 site
+	// gets its own partition engine before any of its links exist, so every
+	// site-internal event (fabric hops, CI server compute, backend state)
+	// runs off the core queue. The rtr↔edge-sgw-u link is the only inbound
+	// cross edge; its propagation delay becomes the conservative lookahead.
+	if cfg.IntraParallel > 0 {
+		tb.Cluster = sim.NewCluster(eng, cfg.Seed)
+		dom := nw.AddDomain(tb.Cluster.AddPartition("site/edge-1"))
+		nw.SetDomain(edgeSGWN, dom)
+		nw.SetDomain(edgePGWN, dom)
+		nw.SetDomain(ciN, dom)
+	}
 
 	// eNB port 0 = backhaul (must exist before UEs connect).
 	nw.ConnectSymmetric(enbN, rtrN, gbit(cfg.BackhaulDelay))
@@ -394,7 +424,20 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 // with the retail service as a failover candidate (no eNB lists it, so the
 // MRS only selects it when sites local to the UE's eNB are down) and with
 // the fault injector as a crash group.
+//
+// Failover sites always live in the core partition, even under
+// IntraParallel: their backends share the localization manager (tb.Loc)
+// with edge-1, and re-ordering reports across partitions would diverge
+// from the sequential schedule. The many-site experiment demonstrates
+// multi-partition scaling with fully site-local state instead.
 func (tb *Testbed) AddEdgeSite(name string) *SiteBundle {
+	if tb.Cluster != nil {
+		// The new site's backend would share tb.Loc with edge-1's backend,
+		// which lives on the site partition — cross-partition mutation of
+		// the Gauss-Newton tracks breaks both determinism and the race-free
+		// contract. Failover scenarios run with IntraParallel = 0.
+		panic("core: AddEdgeSite is incompatible with IntraParallel (failover sites share localization state with the partitioned edge-1 backend)")
+	}
 	idx := len(tb.Sites)
 	base := byte(3 + idx)
 	gbit := netsim.LinkConfig{BitsPerSecond: 1e9, Propagation: tb.Cfg.EdgeDelay}
@@ -492,7 +535,7 @@ func (tb *Testbed) Attach(b *UEBundle) error {
 		result = err
 		done = true
 	})
-	tb.Eng.RunFor(2 * time.Second)
+	tb.runFor(2 * time.Second)
 	if !done {
 		return fmt.Errorf("core: attach timed out for %s", b.Name)
 	}
@@ -577,7 +620,7 @@ func (tb *Testbed) Handover(b *UEBundle, target *epc.ENB) error {
 	var result error
 	done := false
 	tb.EPC.MME.Handover(sess, target, func(err error) { result, done = err, true })
-	tb.Eng.RunFor(time.Second)
+	tb.runFor(time.Second)
 	if !done {
 		return fmt.Errorf("core: handover for %s timed out", b.Name)
 	}
@@ -585,4 +628,48 @@ func (tb *Testbed) Handover(b *UEBundle, target *epc.ENB) error {
 }
 
 // Run advances virtual time.
-func (tb *Testbed) Run(d time.Duration) { tb.Eng.RunFor(d) }
+func (tb *Testbed) Run(d time.Duration) { tb.runFor(d) }
+
+// runFor advances the simulation by d: directly on the single engine in
+// legacy mode, otherwise through the partition cluster in conservative
+// windows. The lookahead is refreshed from the live topology on every call
+// (AddEdgeSite and radio attachment add links after construction), and a
+// worker gang exists only for the duration of the call so runs never leak
+// goroutines.
+func (tb *Testbed) runFor(d time.Duration) {
+	if tb.Cluster == nil {
+		tb.Eng.RunFor(d)
+		return
+	}
+	if la, ok := tb.Net.MinCrossLatency(); ok {
+		tb.Cluster.SetLookahead(la)
+	}
+	if n := tb.Cfg.IntraParallel; n > 1 {
+		if m := len(tb.Cluster.Engines()); n > m {
+			n = m
+		}
+		g := exec.NewGang(n)
+		tb.Cluster.SetRunner(g)
+		defer func() {
+			tb.Cluster.SetRunner(nil)
+			g.Stop()
+		}()
+	}
+	tb.Cluster.RunFor(d)
+}
+
+// MetricsSnapshot captures the testbed's telemetry: the single engine
+// registry in legacy mode, or every partition registry merged in partition
+// order (counters add, gauges keep the last write, which is unique per
+// metric because each metric lives in exactly one partition registry).
+func (tb *Testbed) MetricsSnapshot() *telemetry.Snapshot {
+	if tb.Cluster == nil {
+		return tb.Eng.Metrics().Snapshot()
+	}
+	engines := tb.Cluster.Engines()
+	snaps := make([]*telemetry.Snapshot, len(engines))
+	for i, e := range engines {
+		snaps[i] = e.Metrics().Snapshot()
+	}
+	return telemetry.MergeSnapshots(snaps...)
+}

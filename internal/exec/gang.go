@@ -1,0 +1,71 @@
+package exec
+
+// Gang is a persistent worker group that repeatedly executes batches of
+// closures with a completion barrier — the partition scheduler behind
+// sim.Cluster's parallel window mode. Unlike Run, which spins up goroutines
+// per call, a Gang keeps its workers alive between batches: a windowed
+// simulation calls Do thousands of times per run and must not pay goroutine
+// startup (or allocate) per window.
+//
+// Batch n's closures all complete before Do returns, and every write they
+// made happens-before batch n+1 starts (the channel handshake orders them),
+// so the cluster's barrier-synchronized outbox protocol needs no additional
+// locking. Closure i of a batch always runs on worker i%N: the assignment is
+// static, so a partition's state is touched by one goroutine per batch.
+type Gang struct {
+	n    int
+	work []chan []func()
+	done chan struct{}
+}
+
+// NewGang starts a gang of Workers(n) persistent workers. Call Stop when
+// done with it, or the workers leak.
+func NewGang(n int) *Gang {
+	n = Workers(n)
+	g := &Gang{n: n, done: make(chan struct{}, n)}
+	g.work = make([]chan []func(), n)
+	for w := 0; w < n; w++ {
+		g.work[w] = make(chan []func())
+		go g.worker(w)
+	}
+	return g
+}
+
+// Workers reports the gang's worker count.
+func (g *Gang) Workers() int { return g.n }
+
+func (g *Gang) worker(w int) {
+	for fns := range g.work[w] {
+		for i := w; i < len(fns); i += g.n {
+			fns[i]()
+		}
+		g.done <- struct{}{}
+	}
+}
+
+// Do runs every closure in fns and returns when all have completed. A panic
+// in a closure is not recovered: a partition panicking mid-window means the
+// simulation state is unrecoverable, so it should crash loudly (matching the
+// sequential engine, where the panic unwinds through Run).
+func (g *Gang) Do(fns []func()) {
+	if g.n == 1 {
+		// Single worker: run inline, skipping the channel round-trip.
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	for w := 0; w < g.n; w++ {
+		g.work[w] <- fns
+	}
+	for w := 0; w < g.n; w++ {
+		<-g.done
+	}
+}
+
+// Stop terminates the workers. The gang must not be used after Stop.
+func (g *Gang) Stop() {
+	for w := 0; w < g.n; w++ {
+		close(g.work[w])
+	}
+}

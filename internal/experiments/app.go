@@ -366,9 +366,10 @@ func fig13() Experiment {
 					Key: "deployment=" + c.name,
 					Run: func(seed uint64) any {
 						tb := core.NewTestbed(core.TestbedConfig{
-							Seed:        seed,
-							IdleTimeout: time.Hour,
-							Scheme:      c.scheme,
+							Seed:          seed,
+							IdleTimeout:   time.Hour,
+							Scheme:        c.scheme,
+							IntraParallel: opts.IntraParallel,
 						})
 						b := tb.UEs[0]
 						tb.MoveUE(b, retailSpot)
@@ -384,12 +385,15 @@ func fig13() Experiment {
 						}
 						tb.Run(dur)
 						st := &b.Frontend.Stats
-						return metered(fig13Means{
+						// Snapshot via the testbed so partitioned runs merge
+						// their per-partition registries (identical to the
+						// single-registry snapshot in legacy mode).
+						return Metered{Part: fig13Means{
 							match:   st.Match.Mean(),
 							compute: st.Compute.Mean(),
 							network: st.Network.Mean(),
 							total:   st.Total.Mean(),
-						}, tb.Eng)
+						}, Snap: tb.MetricsSnapshot()}
 					},
 				})
 			}

@@ -90,6 +90,13 @@ type Options struct {
 	// trials are seeded from their keys, not from scheduling order, and
 	// results are reassembled in declaration order.
 	Parallel int
+	// IntraParallel partitions the event loop inside each testbed-backed
+	// trial (DESIGN.md §3g): 0 keeps the single global event queue, 1 runs
+	// the edge site on its own partition in conservative windows, and
+	// higher values execute windows on that many gang workers. Output is
+	// byte-identical at every setting — that is the partitioned engine's
+	// core contract, enforced by the identity tests.
+	IntraParallel int
 	// Progress, when non-nil, is called serially after each trial
 	// completes. done counts finished trials including the reported one;
 	// trial is "<experiment id>/<trial key>". err is nil unless the trial
@@ -174,7 +181,7 @@ var presentation = []string{
 	"3a", "3b", "3c", "3d", "3e", "3f", "3g", "3h", "overhead", "control-loss",
 	"robust-failover",
 	"6", "8", "9", "10a", "10b",
-	"compression", "11a", "11b", "12", "13",
+	"compression", "11a", "11b", "12", "13", "many-site",
 	"ablation-fastpath", "ablation-bearer", "ablation-stages",
 	"ablation-radius", "ablation-solver", "ablation-qci", "ablation-index",
 }

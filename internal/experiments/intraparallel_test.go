@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderWithMetrics renders an experiment the way cmd/acacia-sim does with
+// -metrics: result tables plus the merged telemetry table.
+func renderWithMetrics(t *testing.T, id string, opts Options) string {
+	t.Helper()
+	r, err := Run(id, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString(r.String())
+	if r.Metrics != nil {
+		b.WriteString(r.Metrics.String())
+	}
+	return b.String()
+}
+
+// TestManySiteModesIdentical asserts the many-site experiment's own verdicts:
+// the windowed and gang executions must reproduce the sequential run exactly
+// (counters, state checksums, merged telemetry).
+func TestManySiteModesIdentical(t *testing.T) {
+	out := renderWithMetrics(t, "many-site", Options{})
+	if strings.Contains(out, "DIVERGED") {
+		t.Fatalf("partitioned modes diverged from sequential:\n%s", out)
+	}
+	if strings.Count(out, "IDENTICAL") != 2 {
+		t.Fatalf("expected two IDENTICAL verdicts:\n%s", out)
+	}
+}
+
+// TestIntraParallelExperimentOutputIdentical is the ISSUE's regression gate
+// for an existing experiment: figure 13 rendered with the partitioned gang
+// engine must be byte-identical to the single-queue rendering, including the
+// merged telemetry table.
+func TestIntraParallelExperimentOutputIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fig13 sweep")
+	}
+	seq := renderWithMetrics(t, "13", Options{})
+	par := renderWithMetrics(t, "13", Options{IntraParallel: 2})
+	if seq != par {
+		t.Errorf("IntraParallel=2 output differs from sequential:\n--- sequential ---\n%s\n--- partitioned ---\n%s", seq, par)
+	}
+}

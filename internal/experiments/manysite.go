@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"acacia/internal/exec"
+	"acacia/internal/netsim"
+	"acacia/internal/pkt"
+	"acacia/internal/sim"
+	"acacia/internal/stats"
+	"acacia/internal/telemetry"
+)
+
+func init() { register(manySite()) }
+
+// The many-site experiment is the partitioned engine's scale-out witness
+// (DESIGN.md §3g): K edge sites, each with its own server and S user
+// devices, exchange site-local request/response traffic plus periodic
+// cross-partition reports with a central hub. The same scenario runs three
+// ways — one global event queue, conservative windows on one worker, and
+// windows on a gang — and the assembly proves the three produce identical
+// per-site statistics, state checksums and merged telemetry.
+//
+// The scenario is built so zero timestamp ties exist across event owners:
+// every timer period and link delay is a whole number of microseconds,
+// every timer owner starts at a unique sub-microsecond offset, and links
+// are pure delay lines (no serialization, no queueing, no jitter — and no
+// RNG draws anywhere). Every event time is therefore congruent to its
+// owner's offset modulo 1 µs, so no two owners ever schedule at the same
+// instant and the interleaving freedom the partitioned engine exploits
+// cannot change any handler's view of the world.
+
+// manyReq is the request/response payload: which UE sent it and its
+// sequence number.
+type manyReq struct{ ue, seq int }
+
+// manyRep is a site server's periodic report to the hub.
+type manyRep struct{ site, seq int }
+
+// manySiteStats is one site's deterministic outcome.
+type manySiteStats struct {
+	served    uint64 // requests processed by the site server
+	responses uint64 // responses received back by the site's UEs
+	reports   uint64 // reports sent to the hub
+	acks      uint64 // hub acks received
+	checksum  uint64 // FNV over (ue, seq) in service order
+	rttSumNs  int64  // total request round-trip virtual time
+}
+
+// manySiteRun is the full outcome of one execution mode.
+type manySiteRun struct {
+	sites   []manySiteStats
+	hubSeen uint64
+	// metricsHash fingerprints the merged telemetry snapshot; equal hashes
+	// mean byte-equal metric tables.
+	metricsHash uint64
+}
+
+func fnv1a(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}
+
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// runManySite executes the scenario with the given shape. workers selects
+// the mode: 0 = one global event queue (no cluster), 1 = partitioned with
+// serial windows, >= 2 = partitioned with a gang of that many workers.
+func runManySite(seed uint64, sites, uesPerSite, vecLen, workers int, dur time.Duration) manySiteRun {
+	eng := sim.NewEngine(seed)
+	nw := netsim.New(eng)
+	var cluster *sim.Cluster
+	if workers > 0 {
+		cluster = sim.NewCluster(eng, seed)
+	}
+
+	// Unique per-owner sub-microsecond start offsets: the no-ties scheme
+	// needs every timer owner below 1000 (one full microsecond of distinct
+	// nanosecond phases).
+	own := 1
+	nextOff := func() time.Duration {
+		o := own
+		own++
+		if own >= 1000 {
+			panic("experiments: many-site exceeds 999 timer owners")
+		}
+		return time.Duration(o) * time.Nanosecond
+	}
+
+	hubN := nw.AddNode("hub", pkt.AddrFrom(10, 0, 0, 1))
+	hub := netsim.NewHost(hubN)
+	hubPorts := map[pkt.Addr]*netsim.Port{}
+	hub.ClassifyEgress = func(p *netsim.Packet) *netsim.Port { return hubPorts[p.Flow.Dst] }
+
+	out := manySiteRun{sites: make([]manySiteStats, sites)}
+	hub.Listen(7003, netsim.AppFunc(func(h *netsim.Host, p *netsim.Packet) {
+		rep := p.Payload.(manyRep)
+		out.hubSeen++
+		h.Send(p.Flow.Src, 7003, 7004, pkt.ProtoUDP, 200, rep)
+		h.Node.Network().Release(p)
+	}))
+
+	for i := 0; i < sites; i++ {
+		i := i
+		name := fmt.Sprintf("site-%d", i+1)
+		var dom *netsim.Domain
+		if cluster != nil {
+			dom = nw.AddDomain(cluster.AddPartition("site/" + name))
+		}
+		srvN := nw.AddNode(name+"-srv", pkt.AddrFrom(10, byte(10+i), 0, 1))
+		if dom != nil {
+			nw.SetDomain(srvN, dom)
+		}
+		// Hub <-> server: the only cross-partition edge; its 5 ms delay is
+		// the conservative lookahead.
+		hubLink := nw.ConnectSymmetric(hubN, srvN, netsim.LinkConfig{Propagation: 5 * time.Millisecond})
+		hubPorts[srvN.Addr()] = hubLink.A
+		srv := netsim.NewHost(srvN)
+		srvPorts := map[pkt.Addr]*netsim.Port{hubN.Addr(): hubLink.B}
+		srv.ClassifyEgress = func(p *netsim.Packet) *netsim.Port { return srvPorts[p.Flow.Dst] }
+
+		st := &out.sites[i]
+		// Seed the checksum with the site index so identical per-site
+		// workloads still yield distinct fingerprints — a request routed to
+		// the wrong site's server changes two checksums, not zero.
+		st.checksum = fnv1a(14695981039346656037, uint64(i+1))
+		// Per-UE feature vectors are the site's working set: every request
+		// sweeps its owner's vector, so a window of site-local events reuses
+		// the same cache-resident state.
+		vecs := make([][]float64, uesPerSite)
+		for j := range vecs {
+			vecs[j] = make([]float64, vecLen)
+		}
+		srv.Listen(7001, netsim.AppFunc(func(h *netsim.Host, p *netsim.Packet) {
+			req := p.Payload.(manyReq)
+			w := vecs[req.ue]
+			x := float64(req.seq % 97)
+			for k := 0; k < len(w); k += 8 {
+				w[k] = w[k]*0.5 + x
+			}
+			st.checksum = fnv1a(st.checksum, uint64(req.ue)<<32|uint64(uint32(req.seq)))
+			st.served++
+			h.Send(p.Flow.Src, 7001, 7002, pkt.ProtoUDP, 1000, req)
+			h.Node.Network().Release(p)
+		}))
+		srv.Listen(7004, netsim.AppFunc(func(h *netsim.Host, p *netsim.Packet) {
+			st.acks++
+			h.Node.Network().Release(p)
+		}))
+
+		// The server's periodic hub report.
+		srvEng := srvN.Engine()
+		hubAddr := hubN.Addr()
+		srvEng.Schedule(nextOff(), func() {
+			seq := 0
+			report := func() {
+				seq++
+				st.reports++
+				srv.Send(hubAddr, 7004, 7003, pkt.ProtoUDP, 200, manyRep{site: i, seq: seq})
+			}
+			report()
+			sim.NewTicker(srvEng, 25*time.Millisecond, report)
+		})
+
+		for j := 0; j < uesPerSite; j++ {
+			j := j
+			ueN := nw.AddNode(fmt.Sprintf("%s-ue-%d", name, j+1), pkt.AddrFrom(10, byte(10+i), 1, byte(1+j)))
+			if dom != nil {
+				nw.SetDomain(ueN, dom)
+			}
+			ueLink := nw.ConnectSymmetric(srvN, ueN, netsim.LinkConfig{Propagation: 200 * time.Microsecond})
+			srvPorts[ueN.Addr()] = ueLink.A
+			ue := netsim.NewHost(ueN)
+			ueEng := ueN.Engine()
+			sentAt := map[int]sim.Time{}
+			ue.Listen(7002, netsim.AppFunc(func(h *netsim.Host, p *netsim.Packet) {
+				req := p.Payload.(manyReq)
+				if t0, ok := sentAt[req.seq]; ok {
+					delete(sentAt, req.seq)
+					st.responses++
+					st.rttSumNs += int64(ueEng.Now().Sub(t0))
+				}
+				h.Node.Network().Release(p)
+			}))
+			srvAddr := srvN.Addr()
+			ueEng.Schedule(nextOff(), func() {
+				seq := 0
+				request := func() {
+					seq++
+					sentAt[seq] = ueEng.Now()
+					ue.Send(srvAddr, 7002, 7001, pkt.ProtoUDP, 1000, manyReq{ue: j, seq: seq})
+				}
+				request()
+				sim.NewTicker(ueEng, 20*time.Millisecond, request)
+			})
+		}
+	}
+
+	if cluster == nil {
+		eng.RunFor(dur)
+		out.metricsHash = hashString(eng.Metrics().Snapshot().String())
+		return out
+	}
+	if la, ok := nw.MinCrossLatency(); ok {
+		cluster.SetLookahead(la)
+	}
+	if workers > 1 {
+		n := workers
+		if m := len(cluster.Engines()); n > m {
+			n = m
+		}
+		g := exec.NewGang(n)
+		cluster.SetRunner(g)
+		cluster.RunFor(dur)
+		cluster.SetRunner(nil)
+		g.Stop()
+	} else {
+		cluster.RunFor(dur)
+	}
+	engines := cluster.Engines()
+	snaps := make([]*telemetry.Snapshot, len(engines))
+	for i, e := range engines {
+		snaps[i] = e.Metrics().Snapshot()
+	}
+	out.metricsHash = hashString(telemetry.MergeSnapshots(snaps...).String())
+	return out
+}
+
+func (r manySiteRun) equal(o manySiteRun) bool {
+	if r.hubSeen != o.hubSeen || r.metricsHash != o.metricsHash || len(r.sites) != len(o.sites) {
+		return false
+	}
+	for i := range r.sites {
+		if r.sites[i] != o.sites[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// manySite declares the experiment: the same scenario under the three
+// execution modes, assembled into per-site statistics plus identity
+// verdicts. All three trials deliberately run from one shared seed (forked
+// from the base seed by the experiment name, not the trial key) — the whole
+// point is comparing modes on an identical workload.
+func manySite() Experiment {
+	const id = "many-site"
+	shape := func(opts Options) (sites, ues, vecLen int, dur time.Duration) {
+		if opts.Full {
+			return 12, 6, 8192, 6 * time.Second
+		}
+		return 4, 3, 2048, 2 * time.Second
+	}
+	modes := []struct {
+		key     string
+		workers func(sites int) int
+	}{
+		{"sequential", func(int) int { return 0 }},
+		{"windowed", func(int) int { return 1 }},
+		{"gang", func(sites int) int { return sites }},
+	}
+	return Experiment{
+		ID:    id,
+		Title: "Partitioned engine identity and scale-out (many-site, §3g)",
+		Trials: func(opts Options) []Trial {
+			sites, ues, vecLen, dur := shape(opts)
+			trials := make([]Trial, 0, len(modes))
+			for _, m := range modes {
+				m := m
+				trials = append(trials, Trial{
+					Key: "mode=" + m.key,
+					Run: func(_ uint64) any {
+						return runManySite(subSeed(opts.BaseSeed(), id), sites, ues, vecLen, m.workers(sites), dur)
+					},
+				})
+			}
+			return trials
+		},
+		Assemble: func(opts Options, parts []any) *Result {
+			sites, ues, _, dur := shape(opts)
+			seq := parts[0].(manySiteRun)
+			win := parts[1].(manySiteRun)
+			gang := parts[2].(manySiteRun)
+			tbl := stats.NewTable(
+				fmt.Sprintf("Per-site outcome: %d sites x %d UEs, %v (sequential mode)", sites, ues, dur),
+				"site", "served", "responses", "reports", "acks", "mean-rtt-us", "checksum")
+			var served, responses uint64
+			for i, s := range seq.sites {
+				rtt := 0.0
+				if s.responses > 0 {
+					rtt = float64(s.rttSumNs) / float64(s.responses) / 1e3
+				}
+				tbl.AddRow(fmt.Sprintf("site-%d", i+1), s.served, s.responses, s.reports, s.acks,
+					fmt.Sprintf("%.1f", rtt), fmt.Sprintf("%016x", s.checksum))
+				served += s.served
+				responses += s.responses
+			}
+			verdict := func(r manySiteRun) string {
+				if r.equal(seq) {
+					return "IDENTICAL"
+				}
+				return "DIVERGED"
+			}
+			return &Result{
+				ID: id, Title: Title(id),
+				Tables: []*stats.Table{tbl},
+				Notes: []string{
+					fmt.Sprintf("total served %d, hub reports %d", served, seq.hubSeen),
+					"windowed (1 partition worker) vs sequential: " + verdict(win),
+					fmt.Sprintf("gang (%d workers, %d partitions) vs sequential: %s", sites, sites+1, verdict(gang)),
+					"identity covers per-site counters, state checksums and merged telemetry",
+				},
+			}
+		},
+	}
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// The partition benchmark family measures the many-site scenario (DESIGN.md
+// §3g) under the three execution modes `make bench-partition` compares:
+// one global event queue, conservative windows on one worker, and windows
+// on a gang sized to the partition count (9 partitions: 8 sites + hub).
+// The workload is identical across modes — the identity tests in
+// intraparallel_test.go prove the outputs are too — so the ns/op ratio is
+// pure engine overhead/speedup. On a multi-core host the gang mode spreads
+// windows across cores; on a single-core host the remaining gain is cache
+// locality from per-partition working sets.
+func benchManySite(b *testing.B, workers int) {
+	const (
+		sites, ues = 8, 6
+		vecLen     = 4096
+		dur        = 500 * time.Millisecond
+	)
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		r := runManySite(12345, sites, ues, vecLen, workers, dur)
+		sink += r.hubSeen
+	}
+	if sink == 0 {
+		b.Fatal("scenario produced no hub traffic")
+	}
+}
+
+func BenchmarkPartitionManySiteSequential(b *testing.B) { benchManySite(b, 0) }
+func BenchmarkPartitionManySiteWindowed(b *testing.B)   { benchManySite(b, 1) }
+func BenchmarkPartitionManySiteGang(b *testing.B)       { benchManySite(b, 9) }

@@ -16,7 +16,7 @@ import (
 // affordable for CI. robust-failover keeps a fault plan active during the
 // parallel-vs-sequential comparison, so failure injection itself is under
 // the byte-identical contract.
-var detSubset = []string{"3c", "3d", "9", "10a", "13", "robust-failover", "ablation-qci", "ablation-stages"}
+var detSubset = []string{"3c", "3d", "9", "10a", "13", "many-site", "robust-failover", "ablation-qci", "ablation-stages"}
 
 func renderSubset(t *testing.T, opts Options) string {
 	t.Helper()

@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"time"
+
+	"acacia/internal/sim"
+)
+
+// Domain is the partition-affinity unit of a network: a group of nodes driven
+// by one sim engine. A plain network has a single root domain on the engine
+// it was created with — exactly the historical behavior. Under intra-run
+// parallelism (sim.Cluster) each edge site gets its own domain on its
+// partition engine; links whose endpoints sit in different domains become the
+// cross-partition boundary, delivering through Engine.SendTo instead of a
+// local timer.
+//
+// Each domain owns a packet free-list and packet-ID sequence, so partitions
+// recycle packet memory without sharing: a packet crossing a domain link is
+// re-homed to the receiving domain on arrival (see linkDir.arrive), and
+// Release returns it to the pool of the domain that currently owns it.
+type Domain struct {
+	net *Network
+	eng *sim.Engine
+	// id tags packet IDs (high byte) so per-domain sequences stay globally
+	// unique. The root domain is id 0, keeping legacy packet IDs unchanged.
+	id      int
+	pktSeq  uint64
+	pktFree []*Packet
+}
+
+// Engine returns the domain's driving engine.
+func (d *Domain) Engine() *sim.Engine { return d.eng }
+
+// nextPacketID allocates a domain-unique packet ID whose high byte carries
+// the domain id, keeping IDs globally unique across partitions without a
+// shared counter. Root-domain IDs (id 0) are identical to the historical
+// network-wide sequence.
+func (d *Domain) nextPacketID() uint64 {
+	d.pktSeq++
+	return d.pktSeq | uint64(d.id)<<56
+}
+
+// AddDomain registers eng as a new partition domain of the network. Nodes
+// are placed into it with SetDomain before any links are connected.
+func (nw *Network) AddDomain(eng *sim.Engine) *Domain {
+	if len(nw.domains) >= 256 {
+		panic("netsim: too many domains (packet IDs carry the domain in one byte)")
+	}
+	d := &Domain{net: nw, eng: eng, id: len(nw.domains)}
+	nw.domains = append(nw.domains, d)
+	return d
+}
+
+// RootDomain returns the domain of the network's own engine, which every
+// node belongs to until SetDomain moves it.
+func (nw *Network) RootDomain() *Domain { return nw.domains[0] }
+
+// Domains returns all domains in creation order (root first).
+func (nw *Network) Domains() []*Domain { return nw.domains }
+
+// SetDomain moves n into domain d. It must be called before the node is
+// connected to anything: link directions bind their endpoint engines at
+// Connect time (and switches, hosts and backends capture Node.Engine() at
+// construction), so moving a wired node would split its state across
+// partitions.
+func (nw *Network) SetDomain(n *Node, d *Domain) {
+	if d.net != nw {
+		panic("netsim: domain belongs to a different network")
+	}
+	if len(n.ports) > 0 {
+		panic("netsim: SetDomain after Connect on node " + n.name)
+	}
+	n.dom = d
+}
+
+// MinCrossLatency reports the smallest propagation delay of any link
+// direction that crosses domains, and whether any such direction exists.
+// This is the conservative lookahead bound for sim.Cluster: no event can
+// affect another partition sooner than this (jitter only adds delay).
+func (nw *Network) MinCrossLatency() (time.Duration, bool) {
+	best, ok := time.Duration(0), false
+	for _, l := range nw.links {
+		for _, d := range []*linkDir{l.ab, l.ba} {
+			if d.cross && (!ok || d.cfg.Propagation < best) {
+				best, ok = d.cfg.Propagation, true
+			}
+		}
+	}
+	return best, ok
+}

@@ -46,12 +46,13 @@ func NewHost(node *Node) *Host {
 func (h *Host) Listen(port uint16, app App) { h.apps[port] = app }
 
 // Send originates a packet from this host to dst with the given ports,
-// protocol, wire size and payload. The packet comes from the network's pool
-// and is recycled wherever its life ends (a drop, a terminal application).
+// protocol, wire size and payload. The packet comes from the host's domain
+// pool and is recycled wherever its life ends (a drop, a terminal
+// application).
 //
 //acacia:hotpath
 func (h *Host) Send(dst pkt.Addr, srcPort, dstPort uint16, proto uint8, size int, payload any) {
-	p := h.Node.Network().NewPacket()
+	p := h.Node.NewPacket()
 	p.Flow = pkt.FiveTuple{
 		Src: h.Node.Addr(), Dst: dst,
 		SrcPort: srcPort, DstPort: dstPort, Proto: proto,

@@ -60,7 +60,15 @@ func (s LinkStats) Offered() uint64 { return s.Sent + s.Dropped }
 // queue, followed by a propagation delay line. Its activity counters live in
 // the engine's telemetry registry under netsim/link/<n>/<src>-><dst>/.
 type linkDir struct {
-	net    *Network
+	net *Network
+	// eng drives the transmit side (queueing, serialization, loss/jitter
+	// draws): the source node's domain engine. dstEng/dstDom are the
+	// receiving end; cross marks directions whose ends live in different
+	// partition domains, making the propagation leg a cross-partition send.
+	eng    *sim.Engine
+	dstEng *sim.Engine
+	dstDom *Domain
+	cross  bool
 	cfg    LinkConfig
 	dst    *Port
 	queue  pktHeap
@@ -82,17 +90,22 @@ type linkDir struct {
 	queueLen  *telemetry.Gauge // queued bytes awaiting transmission
 }
 
-func newLinkDir(net *Network, cfg LinkConfig, dst *Port, scope telemetry.Scope) *linkDir {
+func newLinkDir(net *Network, srcDom, dstDom *Domain, cfg LinkConfig, dst *Port, srcScope, dstScope telemetry.Scope) *linkDir {
 	if cfg.QueueBytes == 0 {
 		cfg.QueueBytes = DefaultQueueBytes
 	}
 	d := &linkDir{
-		net: net, cfg: cfg, dst: dst,
-		sent:      scope.Counter("sent"),
-		delivered: scope.Counter("delivered"),
-		dropped:   scope.Counter("dropped"),
-		bytes:     scope.Counter("bytes"),
-		queueLen:  scope.Gauge("queue-bytes"),
+		net: net, eng: srcDom.eng, dstEng: dstDom.eng, dstDom: dstDom,
+		cross: srcDom != dstDom,
+		cfg:   cfg, dst: dst,
+		// Source-side events touch sent/dropped/bytes/queue-bytes; the
+		// arrival event — which runs in the destination partition — touches
+		// delivered, so it registers in the destination registry.
+		sent:      srcScope.Counter("sent"),
+		delivered: dstScope.Counter("delivered"),
+		dropped:   srcScope.Counter("dropped"),
+		bytes:     srcScope.Counter("bytes"),
+		queueLen:  srcScope.Gauge("queue-bytes"),
 	}
 	d.txDoneF = d.txDone
 	d.arriveF = d.arrive
@@ -121,7 +134,7 @@ func (d *linkDir) send(p *Packet) {
 		d.net.Release(p)
 		return
 	}
-	if d.cfg.LossProb > 0 && d.net.eng.RNG().Float64() < d.cfg.LossProb {
+	if d.cfg.LossProb > 0 && d.eng.RNG().Float64() < d.cfg.LossProb {
 		d.dropped.Inc()
 		d.net.Release(p)
 		return
@@ -148,7 +161,7 @@ func (d *linkDir) send(p *Packet) {
 	if d.cfg.Prioritized {
 		prio = p.Priority
 	}
-	d.queue.push(queuedPacket{p: p, prio: prio, seq: d.seq, enq: d.net.eng.Now()})
+	d.queue.push(queuedPacket{p: p, prio: prio, seq: d.seq, enq: d.eng.Now()})
 	d.seq++
 	if !d.busy {
 		d.transmitNext()
@@ -164,7 +177,7 @@ func (d *linkDir) transmitNext() {
 	d.busy = true
 	item := d.queue.pop()
 	p := item.p
-	p.QueueWait += d.net.eng.Now().Sub(item.enq)
+	p.QueueWait += d.eng.Now().Sub(item.enq)
 	d.qBytes -= p.Size
 	d.queueLen.Set(float64(d.qBytes))
 	// Zero BitsPerSecond means infinite bandwidth. A direction can be
@@ -176,7 +189,7 @@ func (d *linkDir) transmitNext() {
 	if d.cfg.BitsPerSecond > 0 {
 		txTime = time.Duration(float64(p.Size*8) / d.cfg.BitsPerSecond * float64(time.Second))
 	}
-	d.net.eng.AfterArg(txTime, d.txDoneF, p)
+	d.eng.AfterArg(txTime, d.txDoneF, p)
 }
 
 // txDone finishes one serialization: account the bytes, put the packet on
@@ -193,17 +206,27 @@ func (d *linkDir) txDone(v any) {
 //acacia:hotpath
 func (d *linkDir) deliverAfter(p *Packet, delay time.Duration) {
 	if d.cfg.Jitter > 0 {
-		delay += time.Duration(d.net.eng.RNG().ExpFloat64() * float64(d.cfg.Jitter))
+		delay += time.Duration(d.eng.RNG().ExpFloat64() * float64(d.cfg.Jitter))
 	}
-	d.net.eng.AfterArg(delay, d.arriveF, p)
+	// SendTo degenerates to AfterArg when both ends share an engine; on a
+	// cross-partition direction it routes the arrival through the cluster
+	// outbox. The propagation delay must then be at least the cluster
+	// lookahead — guaranteed when the lookahead is extracted from
+	// MinCrossLatency — or SendTo panics.
+	d.eng.SendTo(d.dstEng, delay, d.arriveF, p)
 }
 
 // arrive completes the propagation delay and hands the packet to the
-// destination node.
+// destination node. It executes in the destination partition; on a
+// cross-partition direction the packet is re-homed first, so releases and
+// clones downstream use the pool of the partition that now owns it.
 //
 //acacia:hotpath
 func (d *linkDir) arrive(v any) {
 	p := v.(*Packet)
+	if d.cross {
+		p.dom = d.dstDom
+	}
 	d.delivered.Inc()
 	d.dst.deliver(p)
 }

@@ -44,6 +44,7 @@ type NodeStats struct {
 // counters.
 type Node struct {
 	net     *Network
+	dom     *Domain
 	name    string
 	addr    pkt.Addr
 	ports   []*Port
@@ -75,9 +76,20 @@ func (n *Node) Addr() pkt.Addr { return n.addr }
 // Network returns the owning network.
 func (n *Node) Network() *Network { return n.net }
 
-// Engine returns the simulation engine, a convenience for handlers that
-// schedule work.
-func (n *Node) Engine() *sim.Engine { return n.net.eng }
+// Engine returns the simulation engine driving this node — its domain's
+// engine, which is the network engine unless the node was moved into a
+// partition domain. Handlers must schedule all node-local work on it.
+func (n *Node) Engine() *sim.Engine { return n.dom.eng }
+
+// Domain returns the partition domain the node belongs to.
+func (n *Node) Domain() *Domain { return n.dom }
+
+// NewPacket returns a pool-managed packet from the node's domain pool. Hosts
+// and traffic sources originate packets through this so each partition
+// recycles only its own packet memory.
+//
+//acacia:hotpath
+func (n *Node) NewPacket() *Packet { return n.dom.newPacket() }
 
 // Stats reports the node's packet counters.
 func (n *Node) Stats() NodeStats { return n.stats }
@@ -109,8 +121,8 @@ func (n *Node) Port(id int) *Port {
 // Inject hands a locally originated packet to the node's handler, stamping
 // its creation time. Use this to start traffic at a host.
 func (n *Node) Inject(p *Packet) {
-	p.ID = n.net.nextPacketID()
-	p.CreatedAt = n.net.eng.Now()
+	p.ID = n.dom.nextPacketID()
+	p.CreatedAt = n.dom.eng.Now()
 	n.dispatch(nil, p)
 }
 
@@ -160,7 +172,7 @@ func (n *Node) serveCPU() {
 	n.cpuCur = n.cpuQueue[0]
 	n.cpuQueue = n.cpuQueue[1:]
 	cost := n.cpu.PerPacket + time.Duration(n.cpuCur.p.Size)*n.cpu.PerByte
-	n.net.eng.After(cost, n.cpuDoneF)
+	n.dom.eng.After(cost, n.cpuDoneF)
 }
 
 // cpuDone finishes one CPU service period: run the handler on the staged
@@ -187,24 +199,29 @@ func noHandler(name string) {
 	panic(fmt.Sprintf("netsim: node %s has no handler", name))
 }
 
-// Network is a collection of nodes and links driven by one sim engine.
+// Network is a collection of nodes and links. A plain network is driven by
+// one sim engine; under intra-run parallelism its nodes are spread across
+// partition domains, each driven by its own engine (see domain.go).
 type Network struct {
 	eng    *sim.Engine
 	nodes  map[string]*Node
 	byAddr map[pkt.Addr]*Node
 	links  []*Link
-	pktSeq uint64
-	// pktFree is the network-owned packet free-list (see pool.go).
-	pktFree []*Packet
+	// domains holds the partition domains; domains[0] is the root domain on
+	// eng, which owns every node not explicitly moved by SetDomain. Packet
+	// free-lists and ID sequences live per domain (see pool.go).
+	domains []*Domain
 }
 
 // New creates an empty network on eng.
 func New(eng *sim.Engine) *Network {
-	return &Network{
+	nw := &Network{
 		eng:    eng,
 		nodes:  make(map[string]*Node),
 		byAddr: make(map[pkt.Addr]*Node),
 	}
+	nw.domains = []*Domain{{net: nw, eng: eng, id: 0}}
+	return nw
 }
 
 // Engine returns the driving simulation engine.
@@ -220,7 +237,7 @@ func (nw *Network) AddNode(name string, addr pkt.Addr) *Node {
 			panic(fmt.Sprintf("netsim: address %v already assigned to %s", addr, other.name))
 		}
 	}
-	n := &Node{net: nw, name: name, addr: addr}
+	n := &Node{net: nw, dom: nw.domains[0], name: name, addr: addr}
 	nw.nodes[name] = n
 	if !addr.IsZero() {
 		nw.byAddr[addr] = n
@@ -239,19 +256,35 @@ func (nw *Network) NodeByAddr(a pkt.Addr) *Node { return nw.byAddr[a] }
 // each node. Each direction registers its counters in the engine's
 // telemetry registry under netsim/link/<index>/<src>-><dst>/ (the creation
 // index disambiguates parallel links between the same node pair).
+//
+// When the endpoints sit in different partition domains the link becomes a
+// cross-partition boundary: transmission and queueing are simulated on the
+// source domain's engine, and the propagation leg is delivered through
+// sim.Engine.SendTo at the destination engine. Per direction, the source
+// side's counters (sent/dropped/bytes/queue-bytes) register in the source
+// engine's registry and the delivered counter in the destination's, so every
+// counter is only ever touched by the partition that owns the touching event.
 func (nw *Network) Connect(a, b *Node, ab, ba LinkConfig) *Link {
 	pa := &Port{Node: a, ID: len(a.ports)}
 	pb := &Port{Node: b, ID: len(b.ports)}
 	a.ports = append(a.ports, pa)
 	b.ports = append(b.ports, pb)
 	l := &Link{A: pa, B: pb}
-	scope := nw.eng.Metrics().Scope("netsim").Scope("link").Scope(telemetry.Itoa(len(nw.links)))
-	l.ab = newLinkDir(nw, ab, pb, scope.Scope(a.name+"->"+b.name))
-	l.ba = newLinkDir(nw, ba, pa, scope.Scope(b.name+"->"+a.name))
+	idx := telemetry.Itoa(len(nw.links))
+	l.ab = newLinkDir(nw, a.dom, b.dom, ab, pb, linkScope(a.dom, idx, a, b), linkScope(b.dom, idx, a, b))
+	l.ba = newLinkDir(nw, b.dom, a.dom, ba, pa, linkScope(b.dom, idx, b, a), linkScope(a.dom, idx, b, a))
 	pa.link, pb.link = l, l
 	pa.out, pb.out = l.ab, l.ba
 	nw.links = append(nw.links, l)
 	return l
+}
+
+// linkScope builds the telemetry scope for one link direction src->dst in
+// the registry of domain d. Cross-domain directions build the same scope
+// name in two registries (source side and destination side); merged
+// snapshots add them back into one set of counters.
+func linkScope(d *Domain, idx string, src, dst *Node) telemetry.Scope {
+	return d.eng.Metrics().Scope("netsim").Scope("link").Scope(idx).Scope(src.name + "->" + dst.name)
 }
 
 // ConnectSymmetric joins two nodes with identical per-direction configs.
@@ -261,8 +294,3 @@ func (nw *Network) ConnectSymmetric(a, b *Node, cfg LinkConfig) *Link {
 
 // Links returns all links in creation order.
 func (nw *Network) Links() []*Link { return nw.links }
-
-func (nw *Network) nextPacketID() uint64 {
-	nw.pktSeq++
-	return nw.pktSeq
-}

@@ -145,14 +145,17 @@ func (c *Controller) wireSwitch(sw *Switch) {
 
 // toSwitch delivers a controller-to-switch message: over the transactional
 // transport when the switch has a control link, otherwise after the legacy
-// fixed RTT.
+// fixed RTT. A switch living in another partition (intra-run parallelism)
+// receives the apply closure through the cluster outbox; the control RTT
+// must then be at least the cluster lookahead. Same-partition delivery is
+// byte-identical to the historical Schedule call.
 func (c *Controller) toSwitch(sw *Switch, name string, size int, fn func()) {
 	if c.ep != nil && sw.ctlEP != nil {
 		seq := c.ep.NextSeq(sw.ctlEP.Addr())
 		c.ep.Send(sw.ctlEP.Addr(), seq, name, size, fn, nil, nil)
 		return
 	}
-	c.eng.Schedule(c.RTT, fn)
+	c.eng.CrossSchedule(sw.eng, c.RTT, fn)
 }
 
 // toController delivers a switch-to-controller message symmetrically.
@@ -224,8 +227,22 @@ func (c *Controller) RemoveFlows(sw *Switch, cookie uint64) int {
 	return n
 }
 
+// assertSameEngine enforces the partitioned control-plane contract: the
+// switch-to-controller paths (packet-in, path status, flow expiry) mutate
+// controller state — xid, accounting, the encode buffer — synchronously in
+// the calling event, so they may only fire from the controller's own
+// partition. Partitioned scenarios must pre-install covering flows on
+// remote-partition switches and keep path supervision core-side; tripping
+// this panic means the scenario violates that contract.
+func (c *Controller) assertSameEngine(sw *Switch) {
+	if sw.eng != c.eng {
+		panic("sdn: switch " + sw.node.Name() + " called into the controller from another partition (packet-in/path-status/flow-expiry must stay in the controller's partition)")
+	}
+}
+
 // packetIn is called by a switch on a table miss.
 func (c *Controller) packetIn(sw *Switch, inPort uint32, p *netsim.Packet, tunnelID uint64) {
+	c.assertSameEngine(sw)
 	msg := &pkt.OFMsg{
 		Type: pkt.OFPacketIn, XID: c.nextXID(),
 		BufferID: 0xffffffff,
@@ -244,6 +261,7 @@ func (c *Controller) packetIn(sw *Switch, inPort uint32, p *netsim.Packet, tunne
 // controller as a PortStatus message over the control channel (path
 // supervision is port liveness in the GTP-tunnelled fabric).
 func (c *Controller) pathStatus(sw *Switch, peer pkt.Addr, down bool) {
+	c.assertSameEngine(sw)
 	reason := uint8(0) // up
 	if down {
 		reason = 1
@@ -263,6 +281,7 @@ func (c *Controller) pathStatus(sw *Switch, peer pkt.Addr, down bool) {
 
 // flowRemoved is called by a switch when an idle entry expires.
 func (c *Controller) flowRemoved(sw *Switch, e *FlowEntry) {
+	c.assertSameEngine(sw)
 	msg := &pkt.OFMsg{
 		Type: pkt.OFFlowRemoved, XID: c.nextXID(),
 		Cookie: e.Cookie, Priority: e.Priority, Match: e.Match,

@@ -138,6 +138,9 @@ type Engine struct {
 	// metrics is the engine-scoped telemetry registry every layer built on
 	// this engine registers into.
 	metrics *telemetry.Registry
+	// part is non-nil when the engine belongs to a Cluster (see cluster.go):
+	// it identifies the partition for cross-partition sends.
+	part *partition
 }
 
 // NewEngine returns an engine with its clock at the epoch and a deterministic
