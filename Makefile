@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fmt-check bench bench-json bench-robustness bench-alloc bench-partition alloc-gate results results-csv examples clean
+.PHONY: all build vet test race cover fmt-check bench bench-json bench-robustness bench-alloc bench-partition bench-scale alloc-gate results results-csv examples clean
 
 all: build vet test
 
@@ -95,6 +95,12 @@ bench-alloc:
 bench-partition:
 	$(call bench_to_json,^BenchmarkPartition,BENCH_partition.json,./internal/experiments)
 
+# Metro-scale subset: the generated 12-site/1200-UE scenario under the
+# three execution modes (cohort attach, capacity admission, per-site frame
+# loops). Same single-core caveat as bench-partition.
+bench-scale:
+	$(call bench_to_json,^BenchmarkScale,BENCH_scale.json,./internal/experiments)
+
 # Allocation-budget gate: re-measure and hold every BenchmarkAlloc* result
 # against the committed ceilings in ALLOC_BUDGET.json. Fails CI when a hot
 # path regresses past its budget.
@@ -116,4 +122,4 @@ bench_output.txt:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt coverage.out BENCH_control.json BENCH_robustness.json BENCH_alloc.json BENCH_partition.json bench_raw.tmp
+	rm -f test_output.txt bench_output.txt coverage.out BENCH_control.json BENCH_robustness.json BENCH_alloc.json BENCH_partition.json BENCH_scale.json bench_raw.tmp

@@ -157,3 +157,20 @@ func RunExperiment(id string, opts ExperimentOptions) (*ExperimentResult, error)
 func RunAllExperiments(opts ExperimentOptions) ([]*ExperimentResult, error) {
 	return experiments.RunAll(opts)
 }
+
+// ScaleConfig shapes the generated metro-scale scenario: the site/eNB grid,
+// the UE population and its arrival profile, per-site admission capacity,
+// the frame-loop timing, and the execution mode (Workers, matching
+// -intra-parallel semantics).
+type ScaleConfig = experiments.ScaleConfig
+
+// DefaultScaleConfig returns the preset metro shapes: quick (test-sized)
+// or full (the >= 10,000 UE / >= 12 site acceptance scenario).
+func DefaultScaleConfig(full bool) ScaleConfig { return experiments.DefaultScaleConfig(full) }
+
+// RunScaleScenario runs the metro-scale scenario once with the given shape
+// (the acacia-sim -scale entry point). Zero-valued config fields take the
+// quick-shape defaults.
+func RunScaleScenario(seed uint64, cfg ScaleConfig) *ExperimentResult {
+	return experiments.RunScaleScenario(seed, cfg)
+}

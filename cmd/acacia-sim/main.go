@@ -9,11 +9,21 @@
 //	acacia-sim -all [-full] [-seed N] [-parallel N] [-progress]
 //	acacia-sim -fig overhead -metrics -timeline overhead.json
 //	acacia-sim -fig 13 -intra-parallel 2 -cpuprofile cpu.pprof
+//	acacia-sim -scale -scale-ues 5000 -scale-sites 8 -intra-parallel 8
 //
 // Trials run concurrently on up to -parallel workers; -intra-parallel
 // additionally partitions the event loop inside each testbed-backed trial
 // (DESIGN.md §3g). Output on stdout is byte-identical for every -parallel
 // and -intra-parallel setting (and to the sequential defaults).
+//
+// -scale runs the generated metro scenario standalone (the "scale"
+// experiment's scenario, one execution mode): -scale-ues, -scale-sites,
+// -scale-enbs, -scale-capacity and -scale-arrival override the preset shape
+// (-full selects the 10,000-UE preset), -seed picks the seed and
+// -intra-parallel the execution mode. Unset knobs keep their preset values.
+// The generated scenario draws no randomness (its determinism scheme is
+// tie-free by construction), so -scale output depends only on the shape,
+// not the seed.
 // -metrics appends each experiment's merged telemetry snapshot to its
 // tables; -timeline writes the combined event log, ordered by virtual
 // time, as JSON to the named file. -cpuprofile/-memprofile write pprof
@@ -48,6 +58,12 @@ func run() int {
 		csv        = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		metrics    = flag.Bool("metrics", false, "print each experiment's merged telemetry snapshot")
 		timeline   = flag.String("timeline", "", "write the combined event timeline as JSON to this file")
+		scale      = flag.Bool("scale", false, "run the generated metro-scale scenario standalone")
+		scaleUEs   = flag.Int("scale-ues", 0, "scale: UE population (0 = preset)")
+		scaleSites = flag.Int("scale-sites", 0, "scale: number of edge sites in the grid (0 = preset)")
+		scaleENBs  = flag.Int("scale-enbs", 0, "scale: eNodeBs per site (0 = preset)")
+		scaleCap   = flag.Int("scale-capacity", 0, "scale: admission capacity units per site (0 = preset, -1 = unbounded)")
+		scaleArr   = flag.String("scale-arrival", "", "scale: arrival profile: uniform, diurnal or flash (\"\" = preset)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
@@ -137,6 +153,31 @@ func run() int {
 	}
 
 	switch {
+	case *scale:
+		cfg := acacia.DefaultScaleConfig(*full)
+		if *scaleUEs > 0 {
+			cfg.UEs = *scaleUEs
+		}
+		if *scaleSites > 0 {
+			cfg.Sites = *scaleSites
+		}
+		if *scaleENBs > 0 {
+			cfg.ENBsPerSite = *scaleENBs
+		}
+		switch {
+		case *scaleCap > 0:
+			cfg.SiteCapacity = *scaleCap
+		case *scaleCap < 0:
+			cfg.SiteCapacity = 0 // unbounded admission
+		}
+		if *scaleArr != "" {
+			cfg.Arrival = *scaleArr
+		}
+		cfg.Workers = *intraPar
+		print(acacia.RunScaleScenario(*seed, cfg))
+		if err := writeTimeline(); err != nil {
+			return fail(err)
+		}
 	case *list:
 		for _, id := range acacia.ExperimentIDs() {
 			fmt.Printf("%-18s %s\n", id, acacia.ExperimentTitle(id))

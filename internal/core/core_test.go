@@ -431,7 +431,7 @@ func TestMRSPicksSiteByENB(t *testing.T) {
 	tb := newRetailTestbed(t, TestbedConfig{})
 	svc := tb.MRS.Service(RetailServiceName)
 	// Add a second site local to a different eNB.
-	svc.Sites = append(svc.Sites, EdgeSite{
+	tb.MRS.AddSite(RetailServiceName, EdgeSite{
 		Name: "edge-2", CIServer: pkt.AddrFrom(10, 4, 0, 10),
 		SGWPlane: "edge-sgw", PGWPlane: "edge-pgw",
 		ENBs: []string{"enb-2"},

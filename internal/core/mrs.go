@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -24,7 +25,28 @@ type EdgeSite struct {
 	// ENBs lists the base stations this site is local to; the MRS picks
 	// the site serving the requesting UE's eNB.
 	ENBs []string
+	// CapacityUnits bounds concurrent MEC bindings the site admits; zero
+	// means unbounded (the paper-scale default). One binding consumes one
+	// unit — the UCMEC-style abstraction of the site's compute/bearer
+	// budget that placement and admission work against.
+	CapacityUnits int
+
+	// load is the MRS-maintained count of units in use (reserved at
+	// placement, released on teardown or failed activation).
+	load int
 }
+
+// Remaining reports the site's spare capacity units; unbounded sites report
+// a large sentinel so max-remaining placement treats them as never full.
+func (s *EdgeSite) Remaining() int {
+	if s.CapacityUnits <= 0 {
+		return int(^uint(0) >> 2) // effectively infinite
+	}
+	return s.CapacityUnits - s.load
+}
+
+// Load reports the units currently reserved on the site.
+func (s *EdgeSite) Load() int { return s.load }
 
 // CIService is a continuous-interactive service registered with the MRS.
 type CIService struct {
@@ -32,8 +54,24 @@ type CIService struct {
 	Name string
 	// PolicyID keys the PCRF rule for this service's dedicated bearers.
 	PolicyID string
-	Sites    []EdgeSite
+	// Sites seeds the service's edge sites at registration time. The live
+	// set is MRS-owned afterwards: grow it with MRS.AddSite (stable
+	// *EdgeSite identity, indexes maintained), not by appending here.
+	Sites []EdgeSite
+
+	// sites is the live, MRS-owned site list in registration order; byENB
+	// indexes the eNB-local subsets (same order).
+	sites []*EdgeSite
+	byENB map[string][]*EdgeSite
 }
+
+// SiteList returns the service's live edge sites in registration order.
+func (s *CIService) SiteList() []*EdgeSite { return s.sites }
+
+// ErrNoCapacity is returned (wrapped) by RequestConnectivity when every
+// surviving edge site of the service is at capacity. It is retriable: the
+// device manager's capped backoff re-requests until a unit frees up.
+var ErrNoCapacity = errors.New("no edge site with spare capacity")
 
 // MRS is the MEC Registration Server: the 3GPP application function that
 // turns device-manager connectivity requests into PCRF signaling and tracks
@@ -43,15 +81,29 @@ type MRS struct {
 	services map[string]*CIService
 	bindings map[pkt.Addr]*binding // by UE IP
 
+	// siteBindings indexes live bindings by site name, so failover never
+	// scans the full binding table; peerSites resolves a supervised
+	// user-plane address straight to the sites whose fabric owns it. Both
+	// replace O(#sessions)/O(#sites) scans on the path-event hot path.
+	siteBindings map[string]map[pkt.Addr]*binding
+	peerSites    map[pkt.Addr][]*EdgeSite
+	// peerDirty forces a peerSites rebuild: user-plane addresses resolve
+	// through the gateway control planes, which may register planes after
+	// the service, so the index is (re)built lazily on first use and after
+	// every site mutation.
+	peerDirty bool
+
 	// downSites marks edge sites (by name) whose GTP-U path is currently
-	// failed, as reported by HandlePathEvent. SiteFor skips them.
+	// failed, as reported by HandlePathEvent. Placement skips them.
 	downSites map[string]bool
 
 	scope telemetry.Scope
 
 	// Requests/Deletes count connectivity operations; Failovers counts
-	// bindings moved off a failed site.
-	Requests, Deletes, Failovers uint64
+	// bindings moved off a failed site; Rejections counts requests denied
+	// for lack of capacity.
+	Requests, Deletes, Failovers, Rejections uint64
+	rejectionsCtr                            *telemetry.Counter
 }
 
 type binding struct {
@@ -70,45 +122,102 @@ type binding struct {
 
 // NewMRS creates an MRS against the given EPC control plane.
 func NewMRS(core *epc.Core) *MRS {
+	scope := core.Eng.Metrics().Scope("core").Scope("mrs")
 	return &MRS{
-		core:      core,
-		services:  make(map[string]*CIService),
-		bindings:  make(map[pkt.Addr]*binding),
-		downSites: make(map[string]bool),
-		scope:     core.Eng.Metrics().Scope("core").Scope("mrs"),
+		core:          core,
+		services:      make(map[string]*CIService),
+		bindings:      make(map[pkt.Addr]*binding),
+		siteBindings:  make(map[string]map[pkt.Addr]*binding),
+		peerSites:     make(map[pkt.Addr][]*EdgeSite),
+		downSites:     make(map[string]bool),
+		scope:         scope,
+		rejectionsCtr: scope.Counter("admission-rejects"),
 	}
 }
 
 // RegisterService adds a CI service and its edge sites.
 func (m *MRS) RegisterService(svc CIService) {
 	cp := svc
+	cp.byENB = make(map[string][]*EdgeSite)
 	m.services[svc.Name] = &cp
+	for i := range svc.Sites {
+		m.addSite(&cp, svc.Sites[i])
+	}
 }
 
 // Service returns a registered service by name.
 func (m *MRS) Service(name string) *CIService { return m.services[name] }
 
-// SiteFor picks the edge site of a service local to the given eNB, skipping
-// sites currently marked down. It falls back to the first surviving site
-// when no live site lists the eNB.
+// AddSite registers another edge site with a service (a failover candidate
+// when no eNB lists it) and returns the MRS-owned instance. All site-set
+// mutation goes through here so the address and eNB indexes stay current.
+func (m *MRS) AddSite(serviceName string, site EdgeSite) *EdgeSite {
+	svc := m.services[serviceName]
+	if svc == nil {
+		return nil
+	}
+	return m.addSite(svc, site)
+}
+
+func (m *MRS) addSite(svc *CIService, site EdgeSite) *EdgeSite {
+	s := new(EdgeSite)
+	*s = site
+	s.load = 0
+	svc.sites = append(svc.sites, s)
+	for _, enb := range s.ENBs {
+		svc.byENB[enb] = append(svc.byENB[enb], s)
+	}
+	m.peerDirty = true
+	return s
+}
+
+// AddServiceENB marks every site of the service as local to the named eNB
+// (the testbed's neighbour-cell deployment, where the store's sites serve
+// both cells).
+func (m *MRS) AddServiceENB(serviceName, enbName string) {
+	svc := m.services[serviceName]
+	if svc == nil {
+		return
+	}
+	for _, s := range svc.sites {
+		s.ENBs = append(s.ENBs, enbName)
+		svc.byENB[enbName] = append(svc.byENB[enbName], s)
+	}
+}
+
+// SiteFor places a connectivity request: the first eNB-local live site with
+// spare capacity, else — the UCMEC-style delay-constrained spill — the
+// surviving non-full site with the most remaining units (registration order
+// breaks ties, so placement is deterministic). A wrapped ErrNoCapacity
+// distinguishes "everything full" (retriable) from "nothing survives".
 func (m *MRS) SiteFor(svc *CIService, enbName string) (*EdgeSite, error) {
-	if len(svc.Sites) == 0 {
+	if len(svc.sites) == 0 {
 		return nil, fmt.Errorf("core: service %q has no edge sites", svc.Name)
 	}
-	for i := range svc.Sites {
-		if m.downSites[svc.Sites[i].Name] {
-			continue
-		}
-		for _, e := range svc.Sites[i].ENBs {
-			if e == enbName {
-				return &svc.Sites[i], nil
-			}
+	for _, s := range svc.byENB[enbName] {
+		if !m.downSites[s.Name] && s.Remaining() > 0 {
+			return s, nil
 		}
 	}
-	for i := range svc.Sites {
-		if !m.downSites[svc.Sites[i].Name] {
-			return &svc.Sites[i], nil
+	var best *EdgeSite
+	alive := false
+	for _, s := range svc.sites {
+		if m.downSites[s.Name] {
+			continue
 		}
+		alive = true
+		if s.Remaining() <= 0 {
+			continue
+		}
+		if best == nil || s.Remaining() > best.Remaining() {
+			best = s
+		}
+	}
+	if best != nil {
+		return best, nil
+	}
+	if alive {
+		return nil, fmt.Errorf("core: service %q: %w", svc.Name, ErrNoCapacity)
 	}
 	return nil, fmt.Errorf("core: service %q has no surviving edge sites", svc.Name)
 }
@@ -116,11 +225,29 @@ func (m *MRS) SiteFor(svc *CIService, enbName string) (*EdgeSite, error) {
 // SiteDown reports whether the named site is currently marked failed.
 func (m *MRS) SiteDown(name string) bool { return m.downSites[name] }
 
+// SiteLoad reports the units reserved on the named site, or -1 when no
+// service registers it.
+func (m *MRS) SiteLoad(name string) int {
+	for _, svc := range m.services {
+		for _, s := range svc.sites {
+			if s.Name == name {
+				return s.load
+			}
+		}
+	}
+	return -1
+}
+
 // RequestConnectivity handles a device manager's request: locate the
 // closest CI server for the service and have the PCRF activate a dedicated
 // bearer toward it. done receives the selected CI server address. The MRS
 // keeps the request parameters with the binding so it can replay the
 // procedure against a surviving site when the serving site fails.
+//
+// Admission is capacity-based: placement reserves one unit on the selected
+// site up front (released again if activation fails) and rejects with a
+// wrapped ErrNoCapacity when every surviving site is full — a deterministic,
+// retriable outcome the device manager's capped backoff absorbs.
 func (m *MRS) RequestConnectivity(serviceName string, ueIP pkt.Addr, enbName string, done func(pkt.Addr, error)) {
 	m.Requests++
 	svc, ok := m.services[serviceName]
@@ -142,27 +269,58 @@ func (m *MRS) RequestConnectivity(serviceName string, ueIP pkt.Addr, enbName str
 	}
 	site, err := m.SiteFor(svc, enbName)
 	if err != nil {
+		if errors.Is(err, ErrNoCapacity) {
+			m.Rejections++
+			m.rejectionsCtr.Inc()
+			m.scope.Emit("admission-reject", ueIP.String())
+		}
 		if done != nil {
 			done(pkt.Addr{}, err)
 		}
 		return
 	}
+	site.load++ // reserve the unit across the activation round-trip
 	m.core.PCRF.RequestDedicatedBearer(svc.PolicyID, ueIP, site.CIServer, site.SGWPlane, site.PGWPlane,
 		func(ebi uint8, err error) {
 			if err != nil {
+				site.load--
 				if done != nil {
 					done(pkt.Addr{}, err)
 				}
 				return
 			}
-			m.bindings[ueIP] = &binding{
+			m.bind(ueIP, &binding{
 				service: svc, site: site, ebi: ebi,
 				enbName: enbName, notify: done,
-			}
+			})
 			if done != nil {
 				done(site.CIServer, nil)
 			}
 		})
+}
+
+// bind records a live binding in the per-UE and per-site indexes.
+func (m *MRS) bind(ueIP pkt.Addr, b *binding) {
+	m.bindings[ueIP] = b
+	bySite := m.siteBindings[b.site.Name]
+	if bySite == nil {
+		bySite = make(map[pkt.Addr]*binding)
+		m.siteBindings[b.site.Name] = bySite
+	}
+	bySite[ueIP] = b
+}
+
+// unbind removes a binding from both indexes and frees its capacity unit.
+func (m *MRS) unbind(ueIP pkt.Addr) {
+	b := m.bindings[ueIP]
+	if b == nil {
+		return
+	}
+	delete(m.bindings, ueIP)
+	if bySite := m.siteBindings[b.site.Name]; bySite != nil {
+		delete(bySite, ueIP)
+	}
+	b.site.load--
 }
 
 // ReleaseConnectivity tears down the UE's dedicated bearer for the service.
@@ -177,7 +335,7 @@ func (m *MRS) ReleaseConnectivity(ueIP pkt.Addr, done func(error)) {
 	m.Deletes++
 	m.core.PCRF.RequestBearerTermination(ueIP, b.site.CIServer, func(err error) {
 		if err == nil {
-			delete(m.bindings, ueIP)
+			m.unbind(ueIP)
 		}
 		if done != nil {
 			done(err)
@@ -218,52 +376,69 @@ func (m *MRS) HandlePathEvent(peer pkt.Addr, down bool) {
 	}
 }
 
-// sitesOfPeer resolves a supervised peer address to the edge sites whose
-// fabric (CI server, SGW-U or PGW-U plane) it belongs to, across services
-// in sorted name order for deterministic event sequencing.
+// sitesOfPeer resolves a supervised peer address through the address index;
+// a miss rebuilds the index once (user planes may have registered since the
+// last build) before giving up.
 func (m *MRS) sitesOfPeer(peer pkt.Addr) []*EdgeSite {
+	if m.peerDirty {
+		m.rebuildPeerIndex()
+	}
+	if sites, ok := m.peerSites[peer]; ok {
+		return sites
+	}
+	m.rebuildPeerIndex()
+	return m.peerSites[peer]
+}
+
+// rebuildPeerIndex maps every site fabric address (CI server, SGW-U and
+// PGW-U plane) to its sites, visiting services in sorted name order and
+// sites in registration order so each address's site list — and with it the
+// failover event sequence — is deterministic.
+func (m *MRS) rebuildPeerIndex() {
+	for k := range m.peerSites {
+		delete(m.peerSites, k)
+	}
 	names := make([]string, 0, len(m.services))
 	for name := range m.services {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var out []*EdgeSite
 	seen := make(map[string]bool)
 	for _, name := range names {
-		svc := m.services[name]
-		for i := range svc.Sites {
-			site := &svc.Sites[i]
-			if seen[site.Name] || !m.siteOwnsAddr(site, peer) {
+		for _, site := range m.services[name].sites {
+			if seen[site.Name] {
 				continue
 			}
 			seen[site.Name] = true
-			out = append(out, site)
+			add := func(addr pkt.Addr) {
+				if !addr.IsZero() {
+					m.peerSites[addr] = append(m.peerSites[addr], site)
+				}
+			}
+			add(site.CIServer)
+			if up := m.core.SGWC.Plane(site.SGWPlane); up != nil {
+				add(up.SW.Node().Addr())
+			}
+			if up := m.core.PGWC.Plane(site.PGWPlane); up != nil {
+				add(up.SW.Node().Addr())
+			}
 		}
 	}
-	return out
-}
-
-// siteOwnsAddr reports whether addr is part of a site's user-plane fabric.
-func (m *MRS) siteOwnsAddr(site *EdgeSite, addr pkt.Addr) bool {
-	if site.CIServer == addr {
-		return true
-	}
-	if up := m.core.SGWC.Plane(site.SGWPlane); up != nil && up.SW.Node().Addr() == addr {
-		return true
-	}
-	if up := m.core.PGWC.Plane(site.PGWPlane); up != nil && up.SW.Node().Addr() == addr {
-		return true
-	}
-	return false
+	m.peerDirty = false
 }
 
 // failoverBindings moves every binding served by the failed site onto a
 // surviving one, in ascending UE-address order so the resulting signaling
-// sequence is deterministic.
+// sequence is deterministic. The per-site index makes this proportional to
+// the failed site's population, not the whole binding table.
 func (m *MRS) failoverBindings(siteName string) {
-	var ues []pkt.Addr
-	for ueIP, b := range m.bindings {
-		if b.site.Name == siteName && !b.failing {
+	bySite := m.siteBindings[siteName]
+	if len(bySite) == 0 {
+		return
+	}
+	ues := make([]pkt.Addr, 0, len(bySite))
+	for ueIP, b := range bySite {
+		if !b.failing {
 			ues = append(ues, ueIP)
 		}
 	}
@@ -279,7 +454,8 @@ func (m *MRS) failoverBindings(siteName string) {
 // plane is dark), drop the binding, and replay the original connectivity
 // request. The stored notify callback tells the device manager about the
 // new CI server — or about the failure, whose capped-backoff retry then
-// keeps the session from hanging when no site survives.
+// keeps the session from hanging when no site survives or none has spare
+// capacity.
 func (m *MRS) failover(ueIP pkt.Addr) {
 	b := m.bindings[ueIP]
 	if b == nil || b.failing {
@@ -292,7 +468,7 @@ func (m *MRS) failover(ueIP pkt.Addr) {
 		// Teardown of a bearer toward a dark site may time out at the
 		// user-plane switches; the compensations in the coordinator have
 		// already released control-plane state, so proceed either way.
-		delete(m.bindings, ueIP)
+		m.unbind(ueIP)
 		m.RequestConnectivity(b.service.Name, ueIP, b.enbName, func(server pkt.Addr, err error) {
 			if err != nil {
 				m.scope.Emit("failover-failed", fmt.Sprintf("%v: %v", ueIP, err))

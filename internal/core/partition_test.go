@@ -59,15 +59,59 @@ func TestIntraParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-// TestIntraParallelForbidsExtraSites pins the documented limitation: failover
-// sites share localization state with the partitioned edge-1 backend, so
-// AddEdgeSite must refuse to run under a cluster rather than silently racing.
-func TestIntraParallelForbidsExtraSites(t *testing.T) {
-	tb := newRetailTestbed(t, TestbedConfig{IntraParallel: 1})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("AddEdgeSite under IntraParallel did not panic")
+// TestIntraParallelAddEdgeSiteMatchesSequential extends the identity
+// contract to AddEdgeSite: localization state is site-local, so every added
+// site runs on its own partition and the multi-site retail scenario must
+// replay byte-identically across IntraParallel = 0, 1 and a gang.
+func TestIntraParallelAddEdgeSiteMatchesSequential(t *testing.T) {
+	type result struct {
+		responses uint64
+		total     float64
+		acct      uint64
+		metrics   string
+		events    int
+	}
+	run := func(ip int) result {
+		tb := newRetailTestbed(t, TestbedConfig{Seed: 27182, IntraParallel: ip})
+		s2 := tb.AddEdgeSite("edge-2")
+		s3 := tb.AddEdgeSite("edge-3")
+		if tb.Cluster != nil {
+			if got, want := len(tb.Cluster.Engines()), 4; got != want {
+				t.Fatalf("IntraParallel=%d: %d partition engines, want %d (core + 3 sites)", ip, got, want)
+			}
 		}
-	}()
-	tb.AddEdgeSite("edge-2")
+		b := startRetail(t, tb, "electronics", electronicsSpot)
+		tb.Run(10 * time.Second)
+		for _, s := range []*SiteBundle{s2, s3} {
+			if s.Loc == tb.Loc || s.Backend == tb.EdgeBackend {
+				t.Fatalf("site %s shares edge-1 state", s.Name)
+			}
+		}
+		snap := tb.MetricsSnapshot()
+		return result{
+			responses: b.Frontend.Responses,
+			total:     b.Frontend.Stats.Total.Mean(),
+			acct:      tb.EPC.Acct.TotalBytes(),
+			metrics:   snap.String(),
+			events:    len(snap.Events),
+		}
+	}
+	seq := run(0)
+	if seq.responses == 0 {
+		t.Fatal("sequential run produced no AR responses")
+	}
+	for _, ip := range []int{1, 3} {
+		got := run(ip)
+		if got.responses != seq.responses || got.total != seq.total || got.acct != seq.acct {
+			t.Errorf("IntraParallel=%d diverged: responses %d vs %d, total %v vs %v, acct %d vs %d",
+				ip, got.responses, seq.responses, got.total, seq.total, got.acct, seq.acct)
+		}
+		if got.events != seq.events {
+			t.Errorf("IntraParallel=%d: %d timeline events vs %d sequential", ip, got.events, seq.events)
+		}
+		if got.metrics != seq.metrics {
+			t.Errorf("IntraParallel=%d: merged metrics table differs from sequential\n--- sequential ---\n%s--- partitioned ---\n%s",
+				ip, seq.metrics, got.metrics)
+		}
+	}
 }

@@ -10,6 +10,7 @@ import (
 	"acacia/internal/exec"
 	"acacia/internal/fault"
 	"acacia/internal/geo"
+	"acacia/internal/localization"
 	"acacia/internal/netsim"
 	"acacia/internal/pkt"
 	"acacia/internal/sdn"
@@ -144,13 +145,19 @@ const (
 )
 
 // SiteBundle groups the pieces of one edge site: the local user-plane
-// switches, the CI server with its AR backend, and the site's links (the
-// fault injector's crash target).
+// switches, the CI server with its AR backend and localization manager,
+// and the site's links (the fault injector's crash target).
 type SiteBundle struct {
 	Name     string
 	SGW, PGW *sdn.Switch
 	CI       *netsim.Host
 	Backend  *ARBackend
+	// Loc is the site-local localization manager: each CI server tracks
+	// only the users bound to it, so site state never crosses partition
+	// boundaries under IntraParallel. After a failover the adopting site
+	// starts cold and its backend falls back to full-database search until
+	// the user's landmark reports re-accumulate there.
+	Loc      *LocalizationManager
 	SGWPlane string
 	PGWPlane string
 	links    []*netsim.Link
@@ -185,7 +192,14 @@ type Testbed struct {
 	D2D       *d2d.Env
 	Floor     *geo.Floor
 	DB        *vision.DB
-	Loc       *LocalizationManager
+	// Loc is edge-1's localization manager (every site carries its own in
+	// SiteBundle.Loc; this field aliases Sites[0].Loc for the single-site
+	// experiments).
+	Loc *LocalizationManager
+	// locFit is the one-time path-loss calibration, computed once and
+	// shared by every site's manager (the fit is immutable; per-user
+	// tracking state is what must stay site-local).
+	locFit localization.PathLossFit
 
 	UEs []*UEBundle
 
@@ -369,7 +383,8 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 		code := d2d.ServiceCode(RetailServiceCode, uint16(sectionIdx), uint16(i))
 		dev.Publish(RetailServiceName, code, lm.Section, cfg.DiscoveryPeriod)
 	}
-	tb.Loc = NewLocalizationManager(tb.Floor, CalibrateFromChannel(tb.D2D.PathLoss, nil))
+	tb.locFit = CalibrateFromChannel(tb.D2D.PathLoss, nil)
+	tb.Loc = NewLocalizationManager(tb.Floor, tb.locFit)
 	tb.DB = vision.BuildRetailDB(tb.Floor, cfg.DBFeatures)
 
 	// Servers and backends.
@@ -405,7 +420,7 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	tb.Faults.RegisterLink("shared-core", tb.SharedCoreLink)
 	site1 := &SiteBundle{
 		Name: "edge-1", SGW: tb.EdgeSGW, PGW: tb.EdgePGW,
-		CI: tb.CIServer, Backend: tb.EdgeBackend,
+		CI: tb.CIServer, Backend: tb.EdgeBackend, Loc: tb.Loc,
 		SGWPlane: "edge-sgw", PGWPlane: "edge-pgw",
 		links: []*netsim.Link{edgeRtrLink, edgeFabricLink, edgeCILink},
 	}
@@ -420,24 +435,18 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 }
 
 // AddEdgeSite deploys another edge cloud instance on the aggregation
-// router: its own SGW-U/PGW-U pair, CI server and AR backend, registered
-// with the retail service as a failover candidate (no eNB lists it, so the
-// MRS only selects it when sites local to the UE's eNB are down) and with
-// the fault injector as a crash group.
+// router: its own SGW-U/PGW-U pair, CI server, AR backend and localization
+// manager, registered with the retail service as a failover candidate (no
+// eNB lists it, so the MRS only selects it when sites local to the UE's
+// eNB are down) and with the fault injector as a crash group.
 //
-// Failover sites always live in the core partition, even under
-// IntraParallel: their backends share the localization manager (tb.Loc)
-// with edge-1, and re-ordering reports across partitions would diverge
-// from the sequential schedule. The many-site experiment demonstrates
-// multi-partition scaling with fully site-local state instead.
+// Every site's state — switches, compute server, backend, localization
+// tracks — is fully site-local, so under IntraParallel each added site
+// gets its own partition engine exactly like edge-1: its nodes join a
+// fresh domain before any link exists, and the rtr↔site-SGW-U link is the
+// site's only cross edge. Adding sites never changes simulation output;
+// only the partition a site's events run on.
 func (tb *Testbed) AddEdgeSite(name string) *SiteBundle {
-	if tb.Cluster != nil {
-		// The new site's backend would share tb.Loc with edge-1's backend,
-		// which lives on the site partition — cross-partition mutation of
-		// the Gauss-Newton tracks breaks both determinism and the race-free
-		// contract. Failover scenarios run with IntraParallel = 0.
-		panic("core: AddEdgeSite is incompatible with IntraParallel (failover sites share localization state with the partitioned edge-1 backend)")
-	}
 	idx := len(tb.Sites)
 	base := byte(3 + idx)
 	gbit := netsim.LinkConfig{BitsPerSecond: 1e9, Propagation: tb.Cfg.EdgeDelay}
@@ -445,6 +454,13 @@ func (tb *Testbed) AddEdgeSite(name string) *SiteBundle {
 	sgwN := tb.Net.AddNode(name+"-sgw-u", pkt.AddrFrom(10, base, 0, 1))
 	pgwN := tb.Net.AddNode(name+"-pgw-u", pkt.AddrFrom(10, base, 0, 2))
 	ciN := tb.Net.AddNode(name+"-ci", pkt.AddrFrom(10, base, 0, 10))
+
+	if tb.Cluster != nil {
+		dom := tb.Net.AddDomain(tb.Cluster.AddPartition("site/" + name))
+		tb.Net.SetDomain(sgwN, dom)
+		tb.Net.SetDomain(pgwN, dom)
+		tb.Net.SetDomain(ciN, dom)
+	}
 
 	rtrLink := tb.Net.ConnectSymmetric(rtrN, sgwN, gbit)
 	tb.aggRouter.AddHostRoute(sgwN.Addr(), rtrN.Port(len(rtrN.Ports())-1))
@@ -462,21 +478,21 @@ func (tb *Testbed) AddEdgeSite(name string) *SiteBundle {
 
 	ci := netsim.NewHost(ciN)
 	ci.Listen(netsim.PingPort, netsim.PingResponder{})
-	backend := NewARBackend(ci, tb.Cfg.EdgeDevice, tb.Cfg.Scheme, tb.Floor, tb.DB, tb.Loc)
+	loc := NewLocalizationManager(tb.Floor, tb.locFit)
+	backend := NewARBackend(ci, tb.Cfg.EdgeDevice, tb.Cfg.Scheme, tb.Floor, tb.DB, loc)
 
 	s := &SiteBundle{
-		Name: name, SGW: sgw, PGW: pgw, CI: ci, Backend: backend,
+		Name: name, SGW: sgw, PGW: pgw, CI: ci, Backend: backend, Loc: loc,
 		SGWPlane: name + "-sgw", PGWPlane: name + "-pgw",
 		links: []*netsim.Link{rtrLink, fabricLink, ciLink},
 	}
 	tb.Sites = append(tb.Sites, s)
 	tb.Faults.RegisterSite(name, s.links...)
-	if svc := tb.MRS.Service(RetailServiceName); svc != nil {
-		svc.Sites = append(svc.Sites, EdgeSite{
-			Name: name, CIServer: ciN.Addr(),
-			SGWPlane: s.SGWPlane, PGWPlane: s.PGWPlane,
-		})
-	}
+	tb.MRS.AddSite(RetailServiceName, EdgeSite{
+		Name: name, CIServer: ciN.Addr(),
+		SGWPlane: s.SGWPlane, PGWPlane: s.PGWPlane,
+	})
+	tb.Eng.Metrics().Scope("core/testbed").Emit("site-added", name)
 	return s
 }
 
@@ -584,11 +600,7 @@ func (tb *Testbed) AddNeighborENB(name string) *epc.ENB {
 	for _, b := range tb.UEs {
 		tb.connectRadio(enb, b)
 	}
-	if svc := tb.MRS.Service(RetailServiceName); svc != nil {
-		for i := range svc.Sites {
-			svc.Sites[i].ENBs = append(svc.Sites[i].ENBs, name)
-		}
-	}
+	tb.MRS.AddServiceENB(RetailServiceName, name)
 	tb.ENBs = append(tb.ENBs, enb)
 	return enb
 }

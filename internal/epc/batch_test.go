@@ -1,0 +1,149 @@
+package epc
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"acacia/internal/netsim"
+	"acacia/internal/pkt"
+)
+
+// addBatchUEs provisions and radio-connects n extra UEs on the testbed's
+// eNB, returning the full cohort including the original UE.
+func (tb *testbed) addBatchUEs(n int) []*UE {
+	cohort := []*UE{tb.ue}
+	for i := 0; i < n; i++ {
+		imsi := fmt.Sprintf("00101000001%04d", i+1)
+		ueN := tb.nw.AddNode(fmt.Sprintf("ue-%d", i+2), pkt.AddrFrom(172, 16, 0, byte(3+i)))
+		ue := NewUE(ueN, imsi)
+		tb.enb.ConnectUE(ue, netsim.LinkConfig{BitsPerSecond: 100e6, Propagation: radioDelay})
+		tb.core.HSS.Provision(Subscriber{IMSI: imsi})
+		cohort = append(cohort, ue)
+	}
+	return cohort
+}
+
+func TestAttachBatchAmortizesGTPv2(t *testing.T) {
+	tb := buildTestbed(t, time.Hour)
+	cohort := tb.addBatchUEs(2)
+
+	before := tb.core.Acct.Snapshot()
+	results := make(map[string]error)
+	tb.core.AttachBatch(cohort, "core-sgw", "core-pgw", func(ue *UE, err error) {
+		results[ue.IMSI] = err
+	})
+	tb.eng.RunFor(2 * time.Second)
+
+	if len(results) != len(cohort) {
+		t.Fatalf("outcomes = %d, want %d", len(results), len(cohort))
+	}
+	imsis := make([]string, 0, len(results))
+	for imsi := range results {
+		imsis = append(imsis, imsi)
+	}
+	sort.Strings(imsis)
+	for _, imsi := range imsis {
+		if err := results[imsi]; err != nil {
+			t.Fatalf("attach %s: %v", imsi, err)
+		}
+	}
+	for _, ue := range cohort {
+		if !ue.Attached() {
+			t.Errorf("UE %s not attached", ue.IMSI)
+		}
+		sess := tb.core.Session(ue.IMSI)
+		if sess == nil || sess.State != StateConnected {
+			t.Errorf("session %s = %+v", ue.IMSI, sess)
+		}
+	}
+	// The shared chain is 6 GTPv2 messages regardless of cohort size:
+	// Create Session req/resp on S11 and S5, Modify Bearer req/resp.
+	d := tb.core.Acct.Diff(before)
+	if d.Msgs[ProtoGTPv2] != 6 {
+		t.Errorf("GTPv2 msgs = %d, want 6 for the whole cohort", d.Msgs[ProtoGTPv2])
+	}
+	// Radio-side signaling stays per-UE: InitialUEMessage, ICS req/resp and
+	// attach complete for each member.
+	if want := uint64(4 * len(cohort)); d.Msgs[ProtoS1AP] != want {
+		t.Errorf("S1AP msgs = %d, want %d", d.Msgs[ProtoS1AP], want)
+	}
+	// Per-UE flow state landed: 2 rules per UE on each core gateway.
+	if got, want := tb.coreSGW.FlowCount(), 2*len(cohort); got != want {
+		t.Errorf("core SGW flows = %d, want %d", got, want)
+	}
+}
+
+func TestAttachBatchReportsInvalidMembers(t *testing.T) {
+	tb := buildTestbed(t, time.Hour)
+	cohort := tb.addBatchUEs(1)
+	// An unprovisioned UE in the cohort fails alone.
+	strayN := tb.nw.AddNode("stray", pkt.AddrFrom(172, 16, 0, 99))
+	stray := NewUE(strayN, "999990000000001")
+	tb.enb.ConnectUE(stray, netsim.LinkConfig{BitsPerSecond: 100e6, Propagation: radioDelay})
+	cohort = append(cohort, stray)
+
+	results := make(map[string]error)
+	tb.core.AttachBatch(cohort, "core-sgw", "core-pgw", func(ue *UE, err error) {
+		results[ue.IMSI] = err
+	})
+	tb.eng.RunFor(2 * time.Second)
+
+	if err := results[stray.IMSI]; err == nil {
+		t.Error("unprovisioned cohort member attached")
+	}
+	for _, ue := range cohort[:2] {
+		if results[ue.IMSI] != nil || !ue.Attached() {
+			t.Errorf("valid member %s: err=%v attached=%v", ue.IMSI, results[ue.IMSI], ue.Attached())
+		}
+	}
+}
+
+func TestDetachBatch(t *testing.T) {
+	tb := buildTestbed(t, time.Hour)
+	cohort := tb.addBatchUEs(2)
+	tb.core.AttachBatch(cohort, "core-sgw", "core-pgw", nil)
+	tb.eng.RunFor(2 * time.Second)
+
+	before := tb.core.Acct.Snapshot()
+	results := make(map[string]error)
+	tb.core.DetachBatch(cohort, func(ue *UE, err error) { results[ue.IMSI] = err })
+	tb.eng.RunFor(2 * time.Second)
+
+	for _, ue := range cohort {
+		if err, ok := results[ue.IMSI]; !ok || err != nil {
+			t.Errorf("detach %s: ok=%v err=%v", ue.IMSI, ok, err)
+		}
+		if ue.Attached() || tb.core.Session(ue.IMSI) != nil {
+			t.Errorf("UE %s still attached", ue.IMSI)
+		}
+	}
+	if d := tb.core.Acct.Diff(before); d.Msgs[ProtoGTPv2] != 4 {
+		t.Errorf("GTPv2 msgs = %d, want 4 for the whole cohort", d.Msgs[ProtoGTPv2])
+	}
+	if got := tb.coreSGW.FlowCount(); got != 0 {
+		t.Errorf("core SGW flows after detach = %d", got)
+	}
+}
+
+func TestGTPv2BatchIMSIRoundTrip(t *testing.T) {
+	m := &pkt.GTPv2Msg{
+		Type:  pkt.GTPv2CreateSessionRequest,
+		IMSI:  "001010000000001",
+		IMSIs: []string{"001010000000002", "001010000000003"},
+	}
+	solo := &pkt.GTPv2Msg{Type: pkt.GTPv2CreateSessionRequest, IMSI: "001010000000001"}
+	enc := m.Encode(nil)
+	var got pkt.GTPv2Msg
+	if _, err := got.Decode(enc); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.IMSI != m.IMSI || len(got.IMSIs) != 2 || got.IMSIs[0] != m.IMSIs[0] || got.IMSIs[1] != m.IMSIs[1] {
+		t.Errorf("round trip = %q + %v", got.IMSI, got.IMSIs)
+	}
+	// Single-UE wire bytes are unchanged by the batch extension.
+	if soloEnc := solo.Encode(nil); len(soloEnc) >= len(enc) {
+		t.Errorf("solo encoding (%d bytes) not smaller than batch (%d)", len(soloEnc), len(enc))
+	}
+}

@@ -66,6 +66,15 @@ type Core struct {
 	byIP     map[pkt.Addr]*Session
 	nextUEID uint32
 
+	// Flyweight intern tables: shared immutable configuration (QoS
+	// profiles, TFT templates, plane pairs, APN data) is stored once and
+	// referenced by handle from every session/bearer, so per-UE state
+	// carries only hot mutable fields. See flyweight.go.
+	qosIntern   map[pkt.BearerQoS]*pkt.BearerQoS
+	tftIntern   map[tftKey]*pkt.TFT
+	planeIntern map[planeKey]*PlanePair
+	apnIntern   map[apnKey]*APNProfile
+
 	// encBuf and nasBuf are core-lifetime scratch buffers for control-plane
 	// serialization. encBuf holds the outer S1AP/GTPv2 encoding, which is
 	// consumed synchronously (only its length reaches the transport). nasBuf
@@ -89,6 +98,11 @@ func NewCore(cfg Config) *Core {
 		Acct:     NewAccounting(cfg.Eng.Metrics()),
 		sessions: make(map[string]*Session),
 		byIP:     make(map[pkt.Addr]*Session),
+
+		qosIntern:   make(map[pkt.BearerQoS]*pkt.BearerQoS),
+		tftIntern:   make(map[tftKey]*pkt.TFT),
+		planeIntern: make(map[planeKey]*PlanePair),
+		apnIntern:   make(map[apnKey]*APNProfile),
 	}
 	c.HSS = &HSS{subscribers: make(map[string]Subscriber)}
 	c.PCRF = &PCRF{core: c, rules: make(map[string]PolicyRule)}
@@ -265,9 +279,9 @@ func (c *Core) onPacketIn(sw *sdn.Switch, inPort uint32, p *netsim.Packet, tunne
 func (c *Core) releaseSessionResources(sess *Session) {
 	for _, b := range sess.OrderedBearers() {
 		c.removeBearerFlows(sess, b)
-		c.PGWC.planes[b.PGWPlane].releaseGBR(b.QoS.GuaranteedUL + b.QoS.GuaranteedDL)
+		b.Planes.PGW.releaseGBR(b.QoS.GuaranteedUL + b.QoS.GuaranteedDL)
 	}
-	sess.Bearers = make(map[uint8]*Bearer)
+	sess.Bearers = [16]*Bearer{}
 }
 
 // forceDetach tears a session down locally after a detach procedure lost
@@ -315,14 +329,21 @@ func (s SessionState) String() string {
 // Bearer is the authoritative record of one EPS bearer. Individual control
 // entities exchange real messages to mutate it, but the state itself is
 // kept in one place rather than copied per entity.
+//
+// The layout is a flyweight: QoS, TFT and the serving plane pair are
+// handles into the core's intern tables — shared, immutable, one copy per
+// distinct profile regardless of UE count — and only the hot mutable
+// per-UE fields (the four tunnel endpoints) live inline.
 type Bearer struct {
 	EBI uint8
-	QoS pkt.BearerQoS
-	// TFT is nil for the default bearer (match-everything-else).
+	// QoS is the interned QoS profile (never mutated after creation).
+	QoS *pkt.BearerQoS
+	// TFT is the interned traffic flow template; nil for the default
+	// bearer (match-everything-else).
 	TFT *pkt.TFT
-	// SGWPlane/PGWPlane name the user planes serving this bearer; the
-	// dedicated MEC bearer uses local (edge) planes.
-	SGWPlane, PGWPlane string
+	// Planes is the interned handle to the user planes serving this
+	// bearer; the dedicated MEC bearer uses local (edge) planes.
+	Planes *PlanePair
 	// CIServer is the dedicated bearer's remote endpoint filter anchor.
 	CIServer pkt.Addr
 
@@ -333,16 +354,19 @@ type Bearer struct {
 	S5DL uint32 // allocated by SGW-C
 }
 
-// Session is one UE's EPC context.
+// Session is one UE's EPC context. Bearers is a fixed inline array indexed
+// by EBI (0..15 is the full EPS bearer-id space): no per-session map, no
+// hashing on the per-packet classify path.
 type Session struct {
 	IMSI    string
 	UEIP    pkt.Addr
 	State   SessionState
 	ENB     *ENB
 	UE      *UE
+	APN     *APNProfile
 	MMEUEID uint32
 	ENBUEID uint32
-	Bearers map[uint8]*Bearer
+	Bearers [16]*Bearer
 
 	// Timestamps for observability.
 	AttachedAt  sim.Time
@@ -362,7 +386,12 @@ type Session struct {
 }
 
 // Bearer returns the bearer with the given EBI, or nil.
-func (s *Session) Bearer(ebi uint8) *Bearer { return s.Bearers[ebi] }
+func (s *Session) Bearer(ebi uint8) *Bearer {
+	if ebi >= 16 {
+		return nil
+	}
+	return s.Bearers[ebi]
+}
 
 // DedicatedBearers lists non-default bearers in EBI order. The returned
 // slice shares the session's scratch storage: it is valid until the next
@@ -371,8 +400,8 @@ func (s *Session) Bearer(ebi uint8) *Bearer { return s.Bearers[ebi] }
 //acacia:hotpath
 func (s *Session) DedicatedBearers() []*Bearer {
 	out := s.dedScratch[:0]
-	for ebi := uint8(EBIDedicated); ebi < 16; ebi++ {
-		if b, ok := s.Bearers[ebi]; ok {
+	for ebi := EBIDedicated; ebi < 16; ebi++ {
+		if b := s.Bearers[ebi]; b != nil {
 			out = append(out, b)
 		}
 	}
@@ -390,8 +419,8 @@ func (s *Session) DedicatedBearers() []*Bearer {
 //acacia:hotpath
 func (s *Session) OrderedBearers() []*Bearer {
 	out := s.ordScratch[:0]
-	for ebi := uint8(0); ebi < 16; ebi++ {
-		if b, ok := s.Bearers[ebi]; ok {
+	for ebi := 0; ebi < 16; ebi++ {
+		if b := s.Bearers[ebi]; b != nil {
 			out = append(out, b)
 		}
 	}

@@ -161,7 +161,7 @@ func (e *ENB) forwardUplink(ctx *ueCtx, p *netsim.Packet) {
 		e.DroppedUL++
 		return
 	}
-	sgw := e.core.SGWC.planes[b.SGWPlane]
+	sgw := b.Planes.SGW
 	p.Priority = b.QoS.QCI.Priority()
 	p.Encapsulate(e.Addr(), sgw.Addr(), b.S1UL)
 	e.ULPackets++

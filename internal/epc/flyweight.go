@@ -1,0 +1,106 @@
+package epc
+
+import (
+	"fmt"
+
+	"acacia/internal/pkt"
+)
+
+// Flyweight intern tables. At metro scale the overwhelming majority of
+// per-UE configuration is identical across UEs: every subscriber of a
+// service shares one QoS profile, every dedicated bearer toward the same CI
+// server shares one TFT, every session on an APN shares the same default
+// user planes. Storing those once and handing sessions/bearers immutable
+// handles shrinks per-UE state to its hot mutable fields and makes profile
+// comparisons pointer comparisons.
+//
+// Interned values are immutable by contract: callers must never write
+// through the returned pointers. Mutation would alias every session sharing
+// the profile.
+
+// PlanePair is the interned handle to a bearer's serving user planes: the
+// resolved SGW-U/PGW-U pair, so the per-message string-keyed map lookups of
+// the pre-flyweight layout happen once at intern time.
+type PlanePair struct {
+	SGWName, PGWName string
+	SGW, PGW         *UserPlane
+}
+
+// APNProfile is the interned per-APN configuration a session attaches
+// against: the access point name and the default-bearer plane pair.
+type APNProfile struct {
+	Name   string
+	Planes *PlanePair
+}
+
+type tftKey struct {
+	ciServer   pkt.Addr
+	precedence uint8
+}
+
+type planeKey struct {
+	sgw, pgw string
+}
+
+type apnKey struct {
+	name     string
+	sgw, pgw string
+}
+
+// internQoS returns the canonical instance of a QoS profile.
+func (c *Core) internQoS(q pkt.BearerQoS) *pkt.BearerQoS {
+	if p := c.qosIntern[q]; p != nil {
+		return p
+	}
+	p := new(pkt.BearerQoS)
+	*p = q
+	c.qosIntern[q] = p
+	return p
+}
+
+// internTFT returns the canonical dedicated-bearer TFT toward a CI server
+// at the given filter precedence. All UEs bound to the same edge site share
+// one template.
+func (c *Core) internTFT(ciServer pkt.Addr, precedence uint8) *pkt.TFT {
+	k := tftKey{ciServer: ciServer, precedence: precedence}
+	if t := c.tftIntern[k]; t != nil {
+		return t
+	}
+	t := new(pkt.TFT)
+	*t = pkt.DedicatedBearerTFT(ciServer)
+	t.Filters[0].Precedence = precedence
+	c.tftIntern[k] = t
+	return t
+}
+
+// internPlanes resolves and interns a (SGW-U, PGW-U) plane pair by name.
+// It fails when either plane is unknown — the resolution error the
+// pre-flyweight code surfaced per message now surfaces once, up front.
+func (c *Core) internPlanes(sgwPlane, pgwPlane string) (*PlanePair, error) {
+	k := planeKey{sgw: sgwPlane, pgw: pgwPlane}
+	if p := c.planeIntern[k]; p != nil {
+		return p, nil
+	}
+	sgw := c.SGWC.planes[sgwPlane]
+	pgw := c.PGWC.planes[pgwPlane]
+	if sgw == nil || pgw == nil {
+		return nil, fmt.Errorf("epc: unknown user planes %q/%q", sgwPlane, pgwPlane)
+	}
+	p := &PlanePair{SGWName: sgwPlane, PGWName: pgwPlane, SGW: sgw, PGW: pgw}
+	c.planeIntern[k] = p
+	return p, nil
+}
+
+// internAPN returns the canonical APN profile for (name, plane pair).
+func (c *Core) internAPN(name string, planes *PlanePair) *APNProfile {
+	k := apnKey{name: name, sgw: planes.SGWName, pgw: planes.PGWName}
+	if a := c.apnIntern[k]; a != nil {
+		return a
+	}
+	a := &APNProfile{Name: name, Planes: planes}
+	c.apnIntern[k] = a
+	return a
+}
+
+// defaultAPN is the access point name of the always-on default bearer.
+const defaultAPN = "internet"

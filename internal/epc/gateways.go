@@ -215,11 +215,8 @@ func (p *PGWC) Plane(name string) *UserPlane { return p.planes[name] }
 // installBearerFlows programs the four GTP flow rules of one bearer:
 // uplink and downlink on both its SGW-U and PGW-U.
 func (c *Core) installBearerFlows(sess *Session, b *Bearer) {
-	sgw := c.SGWC.planes[b.SGWPlane]
-	pgw := c.PGWC.planes[b.PGWPlane]
-	if sgw == nil || pgw == nil {
-		panic(fmt.Sprintf("epc: bearer references unknown planes %q/%q", b.SGWPlane, b.PGWPlane))
-	}
+	sgw := b.Planes.SGW
+	pgw := b.Planes.PGW
 	// SGW-U uplink: S1 tunnel in -> S5 tunnel out toward PGW-U.
 	c.Ctl.InstallFlow(sgw.SW, sdn.FlowEntry{
 		Priority: 100, Cookie: cookieUL(sess.UEIP, b.EBI),
@@ -245,8 +242,8 @@ func (c *Core) installBearerFlows(sess *Session, b *Bearer) {
 // They are installed separately because S1 release deletes the SGW-U
 // downlink rule while keeping uplink state.
 func (c *Core) installDownlinkFlows(sess *Session, b *Bearer) {
-	sgw := c.SGWC.planes[b.SGWPlane]
-	pgw := c.PGWC.planes[b.PGWPlane]
+	sgw := b.Planes.SGW
+	pgw := b.Planes.PGW
 	// PGW-U downlink: classify by UE IP (and CI server for dedicated
 	// bearers) -> S5 tunnel toward SGW-U.
 	dlMatch := pkt.Match{IPv4Dst: pkt.AddrPtr(sess.UEIP)}
@@ -270,7 +267,7 @@ func (c *Core) installDownlinkFlows(sess *Session, b *Bearer) {
 // by eNB TEID changes — matching the testbed's OpenFlow message budget of
 // one delete + one add per bearer per release/re-establish cycle.
 func (c *Core) installSGWDownlink(sess *Session, b *Bearer) {
-	sgw := c.SGWC.planes[b.SGWPlane]
+	sgw := b.Planes.SGW
 	// SGW-U downlink: S5 tunnel in -> S1 tunnel toward the eNB.
 	c.Ctl.InstallFlow(sgw.SW, sdn.FlowEntry{
 		Priority: 100, Cookie: cookieDL(sess.UEIP, b.EBI),
@@ -284,8 +281,8 @@ func (c *Core) installSGWDownlink(sess *Session, b *Bearer) {
 
 // removeBearerFlows deletes all four rules of a bearer.
 func (c *Core) removeBearerFlows(sess *Session, b *Bearer) {
-	sgw := c.SGWC.planes[b.SGWPlane]
-	pgw := c.PGWC.planes[b.PGWPlane]
+	sgw := b.Planes.SGW
+	pgw := b.Planes.PGW
 	c.Ctl.RemoveFlows(sgw.SW, cookieUL(sess.UEIP, b.EBI))
 	c.Ctl.RemoveFlows(pgw.SW, cookieUL(sess.UEIP, b.EBI))
 	c.Ctl.RemoveFlows(pgw.SW, cookieDL(sess.UEIP, b.EBI))
@@ -295,7 +292,7 @@ func (c *Core) removeBearerFlows(sess *Session, b *Bearer) {
 // removeSGWDownlink deletes only the SGW-U downlink rule — the S1 release
 // action that makes later downlink traffic miss and trigger paging.
 func (c *Core) removeSGWDownlink(sess *Session, b *Bearer) {
-	sgw := c.SGWC.planes[b.SGWPlane]
+	sgw := b.Planes.SGW
 	c.Ctl.RemoveFlows(sgw.SW, cookieDL(sess.UEIP, b.EBI))
 }
 
@@ -345,8 +342,9 @@ func (p *PGWC) activateDedicatedBearer(sess *Session, rule PolicyRule, ciServer 
 		fail(done, fmt.Errorf("epc: UE %s not attached", sess.IMSI))
 		return
 	}
-	if p.planes[pgwPlane] == nil || p.core.SGWC.planes[sgwPlane] == nil {
-		fail(done, fmt.Errorf("epc: unknown user planes %q/%q", sgwPlane, pgwPlane))
+	planes, perr := p.core.internPlanes(sgwPlane, pgwPlane)
+	if perr != nil {
+		fail(done, perr)
 		return
 	}
 	// Next free EBI.
@@ -362,25 +360,22 @@ func (p *PGWC) activateDedicatedBearer(sess *Session, rule PolicyRule, ciServer 
 	// serving plane's remaining capacity or be rejected outright
 	// (TS 23.401 bearer-level admission at the PCEF).
 	gbr := rule.GuaranteedUL + rule.GuaranteedDL
-	plane := p.planes[pgwPlane]
+	plane := planes.PGW
 	if !plane.admitGBR(gbr) {
 		fail(done, fmt.Errorf("epc: plane %q GBR capacity exhausted (%d in use of %d, requested %d)",
 			pgwPlane, plane.gbrInUse, plane.GBRCapacityBps, gbr))
 		return
 	}
 
-	tft := pkt.DedicatedBearerTFT(ciServer)
-	tft.Filters[0].Precedence = rule.Precedence
 	b := &Bearer{
 		EBI: ebi,
-		QoS: pkt.BearerQoS{
+		QoS: p.core.internQoS(pkt.BearerQoS{
 			QCI: rule.QCI, ARP: rule.ARP,
 			GuaranteedUL: rule.GuaranteedUL, GuaranteedDL: rule.GuaranteedDL,
 			MaxBitrateUL: rule.MaxUL, MaxBitrateDL: rule.MaxDL,
-		},
-		TFT:      &tft,
-		SGWPlane: sgwPlane,
-		PGWPlane: pgwPlane,
+		}),
+		TFT:      p.core.internTFT(ciServer, rule.Precedence),
+		Planes:   planes,
 		CIServer: ciServer,
 		S5UL:     p.teids.alloc(),
 	}
@@ -405,8 +400,8 @@ func (p *PGWC) activateDedicatedBearer(sess *Session, rule PolicyRule, ciServer 
 		Type: pkt.GTPv2CreateBearerRequest,
 		TEID: 1,
 		Bearers: []pkt.BearerContext{{
-			EBI: ebi, TFT: b.TFT, QoS: &b.QoS,
-			FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS5PGW, TEID: b.S5UL, Addr: p.planes[pgwPlane].Addr()}},
+			EBI: ebi, TFT: b.TFT, QoS: b.QoS,
+			FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS5PGW, TEID: b.S5UL, Addr: planes.PGW.Addr()}},
 		}},
 	}
 	p.core.sendGTPv2(pr, p.core.pgwEP, p.core.sgwEP, req, func() {
@@ -425,8 +420,8 @@ func (s *SGWC) onCreateBearerRequest(pr *proc, sess *Session, b *Bearer) {
 		Type: pkt.GTPv2CreateBearerRequest,
 		TEID: 2,
 		Bearers: []pkt.BearerContext{{
-			EBI: b.EBI, TFT: b.TFT, QoS: &b.QoS,
-			FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: s.planes[b.SGWPlane].Addr()}},
+			EBI: b.EBI, TFT: b.TFT, QoS: b.QoS,
+			FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: b.Planes.SGW.Addr()}},
 		}},
 	}
 	s.core.sendGTPv2(pr, s.core.sgwEP, s.core.mmeEP, req, func() {
@@ -450,7 +445,7 @@ func (s *SGWC) finishCreateBearer(pr *proc, sess *Session, b *Bearer, err error)
 		TEID: 1, Cause: cause,
 		Bearers: []pkt.BearerContext{{
 			EBI: b.EBI, Cause: cause,
-			FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS5SGW, TEID: b.S5DL, Addr: s.planes[b.SGWPlane].Addr()}},
+			FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS5SGW, TEID: b.S5DL, Addr: b.Planes.SGW.Addr()}},
 		}},
 	}
 	s.core.sendGTPv2(pr, s.core.sgwEP, s.core.pgwEP, resp, func() {
@@ -501,8 +496,8 @@ func (p *PGWC) deactivateDedicatedBearer(sess *Session, ciServer pkt.Addr, done 
 				}
 				p.core.sendGTPv2(pr, p.core.sgwEP, p.core.pgwEP, resp, func() {
 					p.core.removeBearerFlows(sess, b)
-					delete(sess.Bearers, b.EBI)
-					p.planes[b.PGWPlane].releaseGBR(b.QoS.GuaranteedUL + b.QoS.GuaranteedDL)
+					sess.Bearers[b.EBI] = nil
+					b.Planes.PGW.releaseGBR(b.QoS.GuaranteedUL + b.QoS.GuaranteedDL)
 					pr.finish(nil)
 				})
 			})

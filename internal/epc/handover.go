@@ -55,10 +55,9 @@ func (m *MME) Handover(sess *Session, target *ENB, done func(error)) {
 		// 2. MME -> target eNB: Handover Request carrying every E-RAB.
 		var erabs []pkt.ERABItem
 		for _, b := range sess.OrderedBearers() {
-			sgw := c.SGWC.planes[b.SGWPlane]
 			erabs = append(erabs, pkt.ERABItem{
-				ERABID: b.EBI, QoS: &b.QoS,
-				Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: sgw.Addr()},
+				ERABID: b.EBI, QoS: b.QoS,
+				Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: b.Planes.SGW.Addr()},
 			})
 		}
 		hoReq := &pkt.S1APMsg{

@@ -35,7 +35,8 @@ func (m *MME) onInitialAttach(pr *proc, enb *ENB, ue *UE, sgwPlane, pgwPlane str
 		pr.finish(fmt.Errorf("epc: IMSI %s already attached", ue.IMSI))
 		return
 	}
-	if c.SGWC.planes[sgwPlane] == nil || c.PGWC.planes[pgwPlane] == nil {
+	planes, err := c.internPlanes(sgwPlane, pgwPlane)
+	if err != nil {
 		pr.finish(fmt.Errorf("epc: unknown default planes %q/%q", sgwPlane, pgwPlane))
 		return
 	}
@@ -45,9 +46,9 @@ func (m *MME) onInitialAttach(pr *proc, enb *ENB, ue *UE, sgwPlane, pgwPlane str
 		IMSI:       ue.IMSI,
 		ENB:        enb,
 		UE:         ue,
+		APN:        c.internAPN(defaultAPN, planes),
 		MMEUEID:    c.nextUEID,
 		ENBUEID:    c.nextUEID | 0x1000000,
-		Bearers:    make(map[uint8]*Bearer),
 		AttachedAt: c.Eng.Now(),
 	}
 	sess.setState(c.Eng, StateConnecting)
@@ -63,11 +64,11 @@ func (m *MME) onInitialAttach(pr *proc, enb *ENB, ue *UE, sgwPlane, pgwPlane str
 	})
 
 	// MME -> SGW-C: Create Session Request (S11).
-	b := &Bearer{EBI: EBIDefault, QoS: sub.DefaultQoS, SGWPlane: sgwPlane, PGWPlane: pgwPlane}
+	b := &Bearer{EBI: EBIDefault, QoS: c.internQoS(sub.DefaultQoS), Planes: planes}
 	csReq := &pkt.GTPv2Msg{
 		Type:    pkt.GTPv2CreateSessionRequest,
 		IMSI:    ue.IMSI,
-		Bearers: []pkt.BearerContext{{EBI: b.EBI, QoS: &b.QoS}},
+		Bearers: []pkt.BearerContext{{EBI: b.EBI, QoS: b.QoS}},
 	}
 	c.sendGTPv2(pr, c.mmeEP, c.sgwEP, csReq, func() {
 		// SGW-C allocates its TEIDs, forwards Create Session to the PGW-C.
@@ -76,8 +77,8 @@ func (m *MME) onInitialAttach(pr *proc, enb *ENB, ue *UE, sgwPlane, pgwPlane str
 		fwd := &pkt.GTPv2Msg{
 			Type:        pkt.GTPv2CreateSessionRequest,
 			IMSI:        ue.IMSI,
-			SenderFTEID: &pkt.FTEID{IfaceType: pkt.FTEIDIfaceS5SGW, TEID: b.S5DL, Addr: c.SGWC.planes[sgwPlane].Addr()},
-			Bearers:     []pkt.BearerContext{{EBI: b.EBI, QoS: &b.QoS}},
+			SenderFTEID: &pkt.FTEID{IfaceType: pkt.FTEIDIfaceS5SGW, TEID: b.S5DL, Addr: planes.SGW.Addr()},
+			Bearers:     []pkt.BearerContext{{EBI: b.EBI, QoS: b.QoS}},
 		}
 		c.sendGTPv2(pr, c.sgwEP, c.pgwEP, fwd, func() {
 			// PGW-C (PCEF): confirm the UE's statically bound address (the
@@ -88,7 +89,7 @@ func (m *MME) onInitialAttach(pr *proc, enb *ENB, ue *UE, sgwPlane, pgwPlane str
 			resp := &pkt.GTPv2Msg{
 				Type:  pkt.GTPv2CreateSessionResponse,
 				Cause: pkt.GTPv2CauseAccepted, PAA: sess.UEIP,
-				SenderFTEID: &pkt.FTEID{IfaceType: pkt.FTEIDIfaceS5PGW, TEID: b.S5UL, Addr: c.PGWC.planes[pgwPlane].Addr()},
+				SenderFTEID: &pkt.FTEID{IfaceType: pkt.FTEIDIfaceS5PGW, TEID: b.S5UL, Addr: planes.PGW.Addr()},
 				Bearers:     []pkt.BearerContext{{EBI: b.EBI, Cause: pkt.GTPv2CauseAccepted}},
 			}
 			c.sendGTPv2(pr, c.pgwEP, c.sgwEP, resp, func() {
@@ -99,7 +100,7 @@ func (m *MME) onInitialAttach(pr *proc, enb *ENB, ue *UE, sgwPlane, pgwPlane str
 					Cause: pkt.GTPv2CauseAccepted, PAA: sess.UEIP,
 					Bearers: []pkt.BearerContext{{
 						EBI: b.EBI, Cause: pkt.GTPv2CauseAccepted,
-						FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: c.SGWC.planes[sgwPlane].Addr()}},
+						FTEIDs: []pkt.FTEID{{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: planes.SGW.Addr()}},
 					}},
 				}
 				c.sendGTPv2(pr, c.sgwEP, c.mmeEP, resp2, func() {
@@ -114,12 +115,12 @@ func (m *MME) onInitialAttach(pr *proc, enb *ENB, ue *UE, sgwPlane, pgwPlane str
 // eNB and the follow-up Modify Bearer toward the SGW-C.
 func (m *MME) setupInitialContext(pr *proc, sess *Session, b *Bearer) {
 	c := m.core
-	sgw := c.SGWC.planes[b.SGWPlane]
+	sgw := b.Planes.SGW
 	acceptNAS := c.encodeNAS(&pkt.NASMsg{
 		Type: pkt.NASAttachAccept,
 		ESM: &pkt.NASMsg{
 			Type: pkt.NASActivateDefaultBearerRequest,
-			EBI:  b.EBI, APN: "internet", UEIP: sess.UEIP, QoS: &b.QoS,
+			EBI:  b.EBI, APN: sess.APN.Name, UEIP: sess.UEIP, QoS: b.QoS,
 		},
 	})
 	icsReq := &pkt.S1APMsg{
@@ -127,7 +128,7 @@ func (m *MME) setupInitialContext(pr *proc, sess *Session, b *Bearer) {
 		ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 		NAS: acceptNAS,
 		ERABs: []pkt.ERABItem{{
-			ERABID: b.EBI, QoS: &b.QoS,
+			ERABID: b.EBI, QoS: b.QoS,
 			Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: sgw.Addr()},
 		}},
 	}
@@ -271,10 +272,9 @@ func (m *MME) onServiceRequest(pr *proc, sess *Session) {
 	// Rebuild the E-RAB list for every bearer of the session.
 	var erabs []pkt.ERABItem
 	for _, b := range sess.OrderedBearers() {
-		sgw := c.SGWC.planes[b.SGWPlane]
 		erabs = append(erabs, pkt.ERABItem{
-			ERABID: b.EBI, QoS: &b.QoS,
-			Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: sgw.Addr()},
+			ERABID: b.EBI, QoS: b.QoS,
+			Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: b.Planes.SGW.Addr()},
 			TFT:       b.TFT,
 		})
 	}
@@ -357,7 +357,7 @@ func (m *MME) page(sess *Session) {
 func (m *MME) onCreateBearerRequest(pr *proc, sess *Session, b *Bearer, done func(error)) {
 	c := m.core
 	doSetup := func() {
-		sgw := c.SGWC.planes[b.SGWPlane]
+		sgw := b.Planes.SGW
 		// The NAS Activate Dedicated EPS Bearer Context Request carries the
 		// QoS and TFT the eNB relays to the UE in the RRC reconfiguration.
 		// Encoded into a fresh slice (not the core's NAS scratch): the bytes
@@ -367,7 +367,7 @@ func (m *MME) onCreateBearerRequest(pr *proc, sess *Session, b *Bearer, done fun
 			Type:      pkt.NASActivateDedicatedBearerRequest,
 			EBI:       b.EBI,
 			LinkedEBI: EBIDefault,
-			QoS:       &b.QoS,
+			QoS:       b.QoS,
 			TFT:       b.TFT,
 		}).Encode(nil)
 		req := &pkt.S1APMsg{
@@ -375,7 +375,7 @@ func (m *MME) onCreateBearerRequest(pr *proc, sess *Session, b *Bearer, done fun
 			ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 			NAS: activateNAS,
 			ERABs: []pkt.ERABItem{{
-				ERABID: b.EBI, QoS: &b.QoS,
+				ERABID: b.EBI, QoS: b.QoS,
 				Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1USGW, TEID: b.S1UL, Addr: sgw.Addr()},
 				TFT:       b.TFT,
 			}},

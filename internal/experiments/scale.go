@@ -1,0 +1,734 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"acacia/internal/core"
+	"acacia/internal/epc"
+	"acacia/internal/exec"
+	"acacia/internal/netsim"
+	"acacia/internal/pkt"
+	"acacia/internal/sdn"
+	"acacia/internal/sim"
+	"acacia/internal/stats"
+	"acacia/internal/telemetry"
+)
+
+func init() { register(scaleMetro()) }
+
+// The scale experiment is the metro-scale witness for the whole refactor
+// stack: a generated grid of edge sites (each on its own partition of the
+// conservative-parallel engine), a grid of eNBs on the aggregation router,
+// and a UE population that arrives on a diurnal curve with a flash crowd
+// around one site. Arriving UEs attach in batched cohorts (AttachBatch),
+// request MEC connectivity through the capacity-admitting MRS (spilling to
+// other sites when their home site fills, backing off when everything is
+// full), and then run a periodic AR-style frame loop against their assigned
+// CI server. The output is the UEs-vs-latency curve — attach and frame
+// percentiles bucketed by the attached population at the time of the
+// measurement — plus the §3g identity verdicts across sequential, windowed
+// and gang execution.
+//
+// Determinism: no RNG is drawn anywhere. Placement uses a golden-ratio
+// low-discrepancy sequence over deterministic site weights, arrivals invert
+// the diurnal CDF at fixed quantiles, and every frame timer owns a unique
+// sub-millisecond phase (UE k sends at a whole millisecond plus k+1 ns, with
+// a whole-millisecond period), so no two UEs ever schedule a cross-partition
+// event at the same instant.
+
+// ScaleConfig shapes the generated metro scenario.
+type ScaleConfig struct {
+	// Sites is the number of generated edge sites; ENBsPerSite eNBs hang
+	// off the aggregation router for each site.
+	Sites       int
+	ENBsPerSite int
+	// UEs is the total population.
+	UEs int
+	// SiteCapacity is the MRS capacity units per site (0 = unbounded).
+	// When Sites*SiteCapacity < UEs the tail of the population is rejected
+	// with ErrNoCapacity and retries on a capped backoff.
+	SiteCapacity int
+	// Ramp is the arrival window; Hold extends the run after the last
+	// scheduled arrival so the frame loops reach steady state.
+	Ramp, Hold time.Duration
+	// CohortWindow groups arrivals into AttachBatch cohorts.
+	CohortWindow time.Duration
+	// FramePeriod/FrameService shape the AR frame loop: each bound UE sends
+	// one request per period; the CI server is a FIFO single-server queue
+	// with the given per-frame service time. Both must be whole
+	// milliseconds/microseconds (the no-ties scheme relies on it).
+	FramePeriod  time.Duration
+	FrameService time.Duration
+	// Arrival selects the profile: "uniform" (flat), "diurnal" (sin^2
+	// curve) or "flash" (diurnal plus a flash crowd around FlashSite).
+	Arrival string
+	// FlashSite is the 0-based site index the flash crowd is homed on;
+	// FlashFraction the fraction of the population arriving in the flash.
+	FlashSite     int
+	FlashFraction float64
+	// Workers selects the execution mode: 0 = one global event queue, 1 =
+	// per-site partitions in serial windows, >= 2 = windows on a gang of
+	// that many workers.
+	Workers int
+}
+
+// DefaultScaleConfig returns the preset shapes: the quick shape keeps tests
+// fast; the full shape is the acceptance scenario (>= 10,000 UEs across
+// >= 12 generated sites).
+func DefaultScaleConfig(full bool) ScaleConfig {
+	if full {
+		return ScaleConfig{
+			Sites: 12, ENBsPerSite: 2, UEs: 10000, SiteCapacity: 820,
+			Ramp: 20 * time.Second, Hold: 10 * time.Second,
+			CohortWindow: 250 * time.Millisecond,
+			FramePeriod:  2 * time.Second, FrameService: 2 * time.Millisecond,
+			Arrival: "flash", FlashSite: 4, FlashFraction: 0.2,
+		}
+	}
+	return ScaleConfig{
+		Sites: 4, ENBsPerSite: 1, UEs: 120, SiteCapacity: 26,
+		Ramp: 6 * time.Second, Hold: 3 * time.Second,
+		CohortWindow: 250 * time.Millisecond,
+		FramePeriod:  time.Second, FrameService: 20 * time.Millisecond,
+		Arrival: "flash", FlashSite: 2, FlashFraction: 0.25,
+	}
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	d := DefaultScaleConfig(false)
+	if c.Sites <= 0 {
+		c.Sites = d.Sites
+	}
+	if c.ENBsPerSite <= 0 {
+		c.ENBsPerSite = d.ENBsPerSite
+	}
+	if c.UEs <= 0 {
+		c.UEs = d.UEs
+	}
+	if c.Ramp <= 0 {
+		c.Ramp = d.Ramp
+	}
+	if c.Hold <= 0 {
+		c.Hold = d.Hold
+	}
+	if c.CohortWindow <= 0 {
+		c.CohortWindow = d.CohortWindow
+	}
+	if c.FramePeriod <= 0 {
+		c.FramePeriod = d.FramePeriod
+	}
+	if c.FrameService <= 0 {
+		c.FrameService = d.FrameService
+	}
+	if c.Arrival == "" {
+		c.Arrival = d.Arrival
+	}
+	if c.FlashSite < 0 || c.FlashSite >= c.Sites {
+		c.FlashSite = c.Sites / 2
+	}
+	if c.FlashFraction <= 0 || c.FlashFraction >= 1 {
+		c.FlashFraction = d.FlashFraction
+	}
+	return c
+}
+
+const (
+	scaleFramePort = 7101
+	scaleRespPort  = 7102
+	scaleService   = "metro-ci"
+	scalePolicy    = "metro-ar"
+	scaleMaxBatch  = 64
+	scaleBuckets   = 10
+	scaleFrameReq  = 8 * 1024 // uplink frame bytes
+	scaleFrameResp = 200      // downlink annotation bytes
+)
+
+// scaleFrame is one AR frame request/response payload.
+type scaleFrame struct{ ue, seq int }
+
+// scaleSiteOutcome is one generated site's deterministic outcome.
+type scaleSiteOutcome struct {
+	Bound  int    // capacity units in use at the end of the run
+	Served uint64 // frames processed by the site's CI server
+}
+
+// scaleRun is the full outcome of one execution mode.
+type scaleRun struct {
+	attached   uint64 // UEs through the batched attach
+	bound      uint64 // UEs with a MEC binding
+	rejections uint64 // MRS admission rejections (all sites full)
+	retries    uint64 // backoff retries scheduled after a rejection
+	attachErrs uint64
+	framesSent uint64
+	framesDone uint64
+
+	sites []scaleSiteOutcome
+
+	// attachMs/frameMs bucket latency samples by the attached population at
+	// measurement time (bucket i covers populations up to (i+1)/10 of the
+	// configured total) — the raw material of the UEs-vs-latency curve.
+	attachMs [scaleBuckets]*stats.Sample
+	frameMs  [scaleBuckets]*stats.Sample
+
+	// checksum folds every attach latency and frame round trip (with its
+	// owner and the population at send time) in master-engine event order;
+	// metricsHash fingerprints the merged telemetry snapshot.
+	checksum    uint64
+	metricsHash uint64
+}
+
+func (r *scaleRun) equal(o *scaleRun) bool {
+	if r.attached != o.attached || r.bound != o.bound ||
+		r.rejections != o.rejections || r.retries != o.retries ||
+		r.attachErrs != o.attachErrs ||
+		r.framesSent != o.framesSent || r.framesDone != o.framesDone ||
+		r.checksum != o.checksum || r.metricsHash != o.metricsHash ||
+		len(r.sites) != len(o.sites) {
+		return false
+	}
+	for i := range r.sites {
+		if r.sites[i] != o.sites[i] {
+			return false
+		}
+	}
+	for i := range r.attachMs {
+		if r.attachMs[i].N() != o.attachMs[i].N() || r.frameMs[i].N() != o.frameMs[i].N() {
+			return false
+		}
+	}
+	return true
+}
+
+// scaleSiteWeights is the deterministic "downtown gradient": site 0 is the
+// densest, falling off on a cosine toward the metro edge. Uniform arrivals
+// flatten it.
+func scaleSiteWeights(cfg ScaleConfig) []float64 {
+	w := make([]float64, cfg.Sites)
+	for s := range w {
+		if cfg.Arrival == "uniform" || cfg.Sites == 1 {
+			w[s] = 1
+			continue
+		}
+		w[s] = 0.6 + 0.4*math.Cos(math.Pi*float64(s)/float64(cfg.Sites-1))
+	}
+	return w
+}
+
+// diurnalCDF is the normalized cumulative arrival mass of the diurnal curve
+// w(u) = 0.35 + 0.65 sin^2(pi u) over u in [0, 1].
+func diurnalCDF(u float64) float64 {
+	c := 0.35*u + 0.65*(u/2-math.Sin(2*math.Pi*u)/(4*math.Pi))
+	return c / 0.675
+}
+
+// invertDiurnal returns the u with diurnalCDF(u) = p, by bisection (the CDF
+// is strictly increasing).
+func invertDiurnal(p float64) float64 {
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 48; i++ {
+		mid := (lo + hi) / 2
+		if diurnalCDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// runScale builds the generated metro and executes it in the mode selected
+// by cfg.Workers. All randomness-free: the same cfg and seed produce the
+// same run in every mode — that is the identity contract the experiment
+// verifies.
+func runScale(seed uint64, cfg ScaleConfig) *scaleRun {
+	cfg = cfg.withDefaults()
+	const (
+		radioDelay    = 5 * time.Millisecond
+		backhaulDelay = 500 * time.Microsecond
+		coreDelay     = 10 * time.Millisecond
+		siteDelay     = 2 * time.Millisecond // rtr -> site SGW-U: the conservative lookahead
+		fabricDelay   = 100 * time.Microsecond
+	)
+
+	eng := sim.NewEngine(seed)
+	nw := netsim.New(eng)
+	ctl := sdn.NewController(eng)
+	ctl.RTT = 200 * time.Microsecond
+	var cluster *sim.Cluster
+	if cfg.Workers > 0 {
+		cluster = sim.NewCluster(eng, seed)
+	}
+
+	out := &scaleRun{sites: make([]scaleSiteOutcome, cfg.Sites)}
+	for i := range out.attachMs {
+		out.attachMs[i] = &stats.Sample{}
+		out.frameMs[i] = &stats.Sample{}
+	}
+	out.checksum = fnv1a(14695981039346656037, uint64(cfg.Sites))
+
+	link := func(d time.Duration) netsim.LinkConfig {
+		return netsim.LinkConfig{Propagation: d}
+	}
+
+	// Aggregation core: router, centralized default-bearer gateways, SGi
+	// sink. Everything here (plus the EPC control plane, the controller and
+	// every eNB/UE) lives on the master partition.
+	rtrN := nw.AddNode("agg-router", pkt.AddrFrom(10, 1, 0, 254))
+	coreSGWN := nw.AddNode("metro-core-sgw-u", pkt.AddrFrom(10, 2, 0, 1))
+	corePGWN := nw.AddNode("metro-core-pgw-u", pkt.AddrFrom(10, 2, 0, 2))
+	inetN := nw.AddNode("inet-sink", pkt.AddrFrom(8, 8, 0, 10))
+
+	// eNB grid: ENBsPerSite eNBs per site on the router (eNB port 0 must be
+	// the backhaul, so these links precede every UE connection).
+	numENBs := cfg.Sites * cfg.ENBsPerSite
+	enbNodes := make([]*netsim.Node, 0, numENBs)
+	for s := 0; s < cfg.Sites; s++ {
+		for e := 0; e < cfg.ENBsPerSite; e++ {
+			n := nw.AddNode(fmt.Sprintf("enb-%d-%d", s+1, e+1), pkt.AddrFrom(10, 1, byte(1+s), byte(1+e)))
+			nw.ConnectSymmetric(n, rtrN, link(backhaulDelay))
+			enbNodes = append(enbNodes, n)
+		}
+	}
+	nw.ConnectSymmetric(rtrN, coreSGWN, link(coreDelay)) // rtr port numENBs
+	nw.ConnectSymmetric(coreSGWN, corePGWN, link(backhaulDelay))
+	nw.ConnectSymmetric(corePGWN, inetN, link(2*time.Millisecond))
+
+	// Generated sites: SGW-U/PGW-U pair plus CI server, each site one
+	// partition (domains are set before any link touches the nodes; the
+	// rtr<->site-SGW link is the only cross edge).
+	type siteNodes struct {
+		name         string
+		sgw, pgw, ci *netsim.Node
+		sgwSW, pgwSW *sdn.Switch
+		sgwPl, pgwPl string
+	}
+	siteList := make([]*siteNodes, cfg.Sites)
+	for s := 0; s < cfg.Sites; s++ {
+		name := fmt.Sprintf("site-%d", s+1)
+		sn := &siteNodes{
+			name:  name,
+			sgw:   nw.AddNode(name+"-sgw-u", pkt.AddrFrom(10, byte(30+s), 0, 1)),
+			pgw:   nw.AddNode(name+"-pgw-u", pkt.AddrFrom(10, byte(30+s), 0, 2)),
+			ci:    nw.AddNode(name+"-ci", pkt.AddrFrom(10, byte(30+s), 0, 10)),
+			sgwPl: name + "-sgw",
+			pgwPl: name + "-pgw",
+		}
+		if cluster != nil {
+			dom := nw.AddDomain(cluster.AddPartition("site/" + name))
+			nw.SetDomain(sn.sgw, dom)
+			nw.SetDomain(sn.pgw, dom)
+			nw.SetDomain(sn.ci, dom)
+		}
+		nw.ConnectSymmetric(rtrN, sn.sgw, link(siteDelay)) // rtr port numENBs+1+s
+		nw.ConnectSymmetric(sn.sgw, sn.pgw, link(fabricDelay))
+		nw.ConnectSymmetric(sn.pgw, sn.ci, link(fabricDelay))
+		siteList[s] = sn
+	}
+
+	rtr := netsim.NewRouter(rtrN)
+	for i, n := range enbNodes {
+		rtr.AddHostRoute(n.Addr(), rtrN.Port(i))
+	}
+	rtr.AddHostRoute(coreSGWN.Addr(), rtrN.Port(numENBs))
+	for s, sn := range siteList {
+		rtr.AddHostRoute(sn.sgw.Addr(), rtrN.Port(numENBs+1+s))
+	}
+
+	// Switches (created after the domains so their telemetry and OpenFlow
+	// endpoints live on the owning partition's engine).
+	coreSGW := sdn.NewSwitch(1, coreSGWN, sdn.ACACIAGWCosts)
+	corePGW := sdn.NewSwitch(2, corePGWN, sdn.ACACIAGWCosts)
+	ctl.AddSwitch(coreSGW)
+	ctl.AddSwitch(corePGW)
+	for s, sn := range siteList {
+		sn.sgwSW = sdn.NewSwitch(uint64(3+2*s), sn.sgw, sdn.ACACIAGWCosts)
+		sn.pgwSW = sdn.NewSwitch(uint64(4+2*s), sn.pgw, sdn.ACACIAGWCosts)
+		ctl.AddSwitch(sn.sgwSW)
+		ctl.AddSwitch(sn.pgwSW)
+	}
+
+	// EPC control plane and user planes.
+	ec := epc.NewCore(epc.Config{
+		Eng: eng, Net: nw, Ctl: ctl,
+		S1APDelay:   2 * time.Millisecond,
+		GTPv2Delay:  time.Millisecond,
+		IdleTimeout: time.Hour,
+	})
+	ec.SGWC.AddUserPlane("metro-core-sgw", coreSGW, 0, 1)
+	ec.PGWC.AddUserPlane("metro-core-pgw", corePGW, 0, 1)
+	for _, sn := range siteList {
+		ec.SGWC.AddUserPlane(sn.sgwPl, sn.sgwSW, 0, 1)
+		ec.PGWC.AddUserPlane(sn.pgwPl, sn.pgwSW, 0, 1)
+	}
+	ec.PCRF.AddRule(epc.PolicyRule{ServiceID: scalePolicy, QCI: pkt.QCIMEC, ARP: 2, Precedence: 10})
+
+	enbs := make([]*epc.ENB, len(enbNodes))
+	for i, n := range enbNodes {
+		enbs[i] = epc.NewENB(ec, n)
+	}
+
+	// MRS with capacity-based admission: each site is local to its own
+	// eNBs; the UCMEC-style spill and the ErrNoCapacity backoff handle a
+	// site filling up.
+	mrs := core.NewMRS(ec)
+	svc := core.CIService{Name: scaleService, PolicyID: scalePolicy}
+	for s, sn := range siteList {
+		enbNames := make([]string, cfg.ENBsPerSite)
+		for e := 0; e < cfg.ENBsPerSite; e++ {
+			enbNames[e] = enbNodes[s*cfg.ENBsPerSite+e].Name()
+		}
+		svc.Sites = append(svc.Sites, core.EdgeSite{
+			Name: sn.name, CIServer: sn.ci.Addr(),
+			SGWPlane: sn.sgwPl, PGWPlane: sn.pgwPl,
+			ENBs: enbNames, CapacityUnits: cfg.SiteCapacity,
+		})
+	}
+	mrs.RegisterService(svc)
+
+	// CI servers: a deterministic FIFO single-server queue per site, run
+	// entirely on the site's partition engine.
+	netsim.NewHost(inetN)
+	for s, sn := range siteList {
+		st := &out.sites[s]
+		ci := netsim.NewHost(sn.ci)
+		ciEng := sn.ci.Engine()
+		var busyUntil sim.Time
+		ci.Listen(scaleFramePort, netsim.AppFunc(func(h *netsim.Host, p *netsim.Packet) {
+			st.Served++
+			now := ciEng.Now()
+			start := now
+			if busyUntil > start {
+				start = busyUntil
+			}
+			busyUntil = start.Add(cfg.FrameService)
+			src := p.Flow.Src
+			fr := p.Payload.(scaleFrame)
+			ciEng.Schedule(busyUntil.Sub(now), func() {
+				h.Send(src, scaleFramePort, scaleRespPort, pkt.ProtoUDP, scaleFrameResp, fr)
+			})
+			h.Node.Network().Release(p)
+		}))
+	}
+
+	// Population: deterministic weighted placement over the site grid (a
+	// golden-ratio sequence against the cumulative weights decorrelates the
+	// home site from the arrival index), flash crowd homed on FlashSite.
+	weights := scaleSiteWeights(cfg)
+	cum := make([]float64, cfg.Sites)
+	total := 0.0
+	for s, w := range weights {
+		total += w
+		cum[s] = total
+	}
+	homeSite := func(k int) int {
+		pos := math.Mod(float64(k)*0.6180339887498949, 1) * total
+		for s := range cum {
+			if pos < cum[s] {
+				return s
+			}
+		}
+		return cfg.Sites - 1
+	}
+
+	flash := 0
+	if cfg.Arrival == "flash" {
+		flash = int(float64(cfg.UEs) * cfg.FlashFraction)
+	}
+	background := cfg.UEs - flash
+
+	ues := make([]*epc.UE, cfg.UEs)
+	homeENB := make([]*epc.ENB, cfg.UEs)
+	arrivalAt := make([]sim.Time, cfg.UEs)
+	ueIndex := make(map[*epc.UE]int, cfg.UEs)
+	for k := 0; k < cfg.UEs; k++ {
+		imsi := fmt.Sprintf("001017%09d", k+1)
+		ueN := nw.AddNode(fmt.Sprintf("ue-%d", k+1), pkt.AddrFrom(172, 16, byte(1+k/250), byte(1+k%250)))
+		ue := epc.NewUE(ueN, imsi)
+		site := homeSite(k)
+		if k >= background {
+			site = cfg.FlashSite
+		}
+		enb := enbs[site*cfg.ENBsPerSite+k%cfg.ENBsPerSite]
+		enb.ConnectUE(ue, link(radioDelay))
+		ec.HSS.Provision(epc.Subscriber{IMSI: imsi})
+		ues[k] = ue
+		homeENB[k] = enb
+		ueIndex[ue] = k
+	}
+
+	// Arrival schedule: background UEs invert the profile CDF at fixed
+	// quantiles across the ramp; the flash crowd lands in a narrow window
+	// around 60% of the ramp. The k+1 ns term keeps arrivals distinct.
+	arrival := func(k int) time.Duration {
+		var pos float64
+		if k >= background {
+			i := k - background
+			pos = 0.60 + 0.05*(float64(i)+0.5)/float64(flash)
+		} else {
+			p := (float64(k) + 0.5) / float64(background)
+			if cfg.Arrival == "uniform" {
+				pos = p
+			} else {
+				pos = invertDiurnal(p)
+			}
+		}
+		t := time.Duration(pos * float64(cfg.Ramp))
+		return t.Truncate(time.Microsecond) + time.Duration(k+1)*time.Nanosecond
+	}
+
+	bucket := func(pop uint64) int {
+		b := int(pop) * scaleBuckets / cfg.UEs
+		if b >= scaleBuckets {
+			b = scaleBuckets - 1
+		}
+		return b
+	}
+
+	// Frame loop: started once the UE is bound to a CI server. UE k's sends
+	// land on whole milliseconds plus its unique k+1 ns phase; with a
+	// whole-millisecond period no two UEs ever emit a cross-partition event
+	// at the same instant.
+	startFrames := func(k int, ue *epc.UE, ciAddr pkt.Addr) {
+		ueEng := ue.Host.Node.Engine()
+		seq := 0
+		sentAt := make(map[int]sim.Time)
+		popAt := make(map[int]uint64)
+		ue.Host.Listen(scaleRespPort, netsim.AppFunc(func(h *netsim.Host, p *netsim.Packet) {
+			fr := p.Payload.(scaleFrame)
+			if t0, ok := sentAt[fr.seq]; ok {
+				delete(sentAt, fr.seq)
+				rtt := ueEng.Now().Sub(t0)
+				pop := popAt[fr.seq]
+				delete(popAt, fr.seq)
+				out.framesDone++
+				out.frameMs[bucket(pop)].Add(float64(rtt) / 1e6)
+				out.checksum = fnv1a(out.checksum, 2)
+				out.checksum = fnv1a(out.checksum, uint64(fr.ue)<<32|uint64(uint32(fr.seq)))
+				out.checksum = fnv1a(out.checksum, uint64(rtt))
+				out.checksum = fnv1a(out.checksum, pop)
+			}
+			h.Node.Network().Release(p)
+		}))
+		now := ueEng.Now()
+		ms := sim.Time(time.Millisecond)
+		first := (now/ms+1)*ms + sim.Time(k+1)
+		ueEng.Schedule(first.Sub(now), func() {
+			send := func() {
+				seq++
+				sentAt[seq] = ueEng.Now()
+				popAt[seq] = out.attached
+				out.framesSent++
+				ue.Host.Send(ciAddr, scaleRespPort, scaleFramePort, pkt.ProtoUDP, scaleFrameReq, scaleFrame{ue: k, seq: seq})
+			}
+			send()
+			sim.NewTicker(ueEng, cfg.FramePeriod, send)
+		})
+	}
+
+	// MEC connectivity with the device-manager-style capped backoff:
+	// ErrNoCapacity is retriable, anything else terminal.
+	var requestCI func(k int, ue *epc.UE, attempt int)
+	requestCI = func(k int, ue *epc.UE, attempt int) {
+		mrs.RequestConnectivity(scaleService, ue.Addr(), homeENB[k].Name(), func(ci pkt.Addr, err error) {
+			if err != nil {
+				if errors.Is(err, core.ErrNoCapacity) {
+					out.retries++
+					backoff := 500 * time.Millisecond << uint(min(attempt, 3))
+					eng.Schedule(backoff, func() { requestCI(k, ue, attempt+1) })
+				}
+				return
+			}
+			out.bound++
+			startFrames(k, ue, ci)
+		})
+	}
+
+	// Cohort attach: arrivals accumulate between cohort windows; each flush
+	// cuts the pending list into batched attach transactions.
+	var pending []*epc.UE
+	flush := func() {
+		for len(pending) > 0 {
+			n := len(pending)
+			if n > scaleMaxBatch {
+				n = scaleMaxBatch
+			}
+			cohort := append([]*epc.UE(nil), pending[:n]...)
+			pending = pending[n:]
+			ec.AttachBatch(cohort, "metro-core-sgw", "metro-core-pgw", func(u *epc.UE, err error) {
+				if err != nil {
+					out.attachErrs++
+					return
+				}
+				k := ueIndex[u]
+				lat := eng.Now().Sub(arrivalAt[k])
+				out.attached++
+				out.attachMs[bucket(out.attached)].Add(float64(lat) / 1e6)
+				out.checksum = fnv1a(out.checksum, 1)
+				out.checksum = fnv1a(out.checksum, uint64(k))
+				out.checksum = fnv1a(out.checksum, uint64(lat))
+				requestCI(k, u, 0)
+			})
+		}
+	}
+	for k := 0; k < cfg.UEs; k++ {
+		k := k
+		eng.Schedule(arrival(k), func() {
+			arrivalAt[k] = eng.Now()
+			pending = append(pending, ues[k])
+		})
+	}
+	eng.Schedule(cfg.CohortWindow, func() {
+		flush()
+		sim.NewTicker(eng, cfg.CohortWindow, flush)
+	})
+
+	dur := cfg.Ramp + cfg.Hold
+	if cluster == nil {
+		eng.RunFor(dur)
+		out.metricsHash = hashString(eng.Metrics().Snapshot().String())
+	} else {
+		if la, ok := nw.MinCrossLatency(); ok {
+			cluster.SetLookahead(la)
+		}
+		if cfg.Workers > 1 {
+			n := cfg.Workers
+			if m := len(cluster.Engines()); n > m {
+				n = m
+			}
+			g := exec.NewGang(n)
+			cluster.SetRunner(g)
+			cluster.RunFor(dur)
+			cluster.SetRunner(nil)
+			g.Stop()
+		} else {
+			cluster.RunFor(dur)
+		}
+		engines := cluster.Engines()
+		snaps := make([]*telemetry.Snapshot, len(engines))
+		for i, e := range engines {
+			snaps[i] = e.Metrics().Snapshot()
+		}
+		out.metricsHash = hashString(telemetry.MergeSnapshots(snaps...).String())
+	}
+
+	for s, sn := range siteList {
+		out.sites[s].Bound = mrs.SiteLoad(sn.name)
+	}
+	out.rejections = mrs.Rejections
+	return out
+}
+
+// assembleScale renders one run (plus optional cross-mode verdicts) as a
+// Result: the UEs-vs-latency curve, the per-site placement table, and the
+// admission/identity notes.
+func assembleScale(id string, cfg ScaleConfig, seq *scaleRun, extraNotes []string) *Result {
+	curve := stats.NewTable(
+		fmt.Sprintf("UEs vs latency: %d UEs, %d sites x %d eNBs, %v ramp (%s arrivals)",
+			cfg.UEs, cfg.Sites, cfg.ENBsPerSite, cfg.Ramp, cfg.Arrival),
+		"population", "attach-n", "attach-p50-ms", "attach-p99-ms", "frame-n", "frame-p50-ms", "frame-p99-ms")
+	for i := 0; i < scaleBuckets; i++ {
+		a, f := seq.attachMs[i], seq.frameMs[i]
+		if a.N() == 0 && f.N() == 0 {
+			continue
+		}
+		row := []any{fmt.Sprintf("<=%d", (i+1)*cfg.UEs/scaleBuckets), a.N()}
+		if a.N() > 0 {
+			row = append(row, fmt.Sprintf("%.2f", a.Median()), fmt.Sprintf("%.2f", a.Percentile(99)))
+		} else {
+			row = append(row, "-", "-")
+		}
+		row = append(row, f.N())
+		if f.N() > 0 {
+			row = append(row, fmt.Sprintf("%.2f", f.Median()), fmt.Sprintf("%.2f", f.Percentile(99)))
+		} else {
+			row = append(row, "-", "-")
+		}
+		curve.AddRow(row...)
+	}
+
+	capDesc := "unbounded capacity"
+	if cfg.SiteCapacity > 0 {
+		capDesc = fmt.Sprintf("capacity %d units/site", cfg.SiteCapacity)
+	}
+	if cfg.Arrival == "flash" {
+		capDesc += fmt.Sprintf(", flash crowd on site-%d", cfg.FlashSite+1)
+	}
+	sitesTbl := stats.NewTable("Placement: "+capDesc, "site", "bound", "frames-served")
+	for s := range seq.sites {
+		sitesTbl.AddRow(fmt.Sprintf("site-%d", s+1), seq.sites[s].Bound, seq.sites[s].Served)
+	}
+
+	notes := []string{
+		fmt.Sprintf("attached %d/%d UEs, %d bound to CI servers; %d frames sent, %d completed",
+			seq.attached, cfg.UEs, seq.bound, seq.framesSent, seq.framesDone),
+		fmt.Sprintf("admission: %d rejections (every site full at request time), %d backoff retries", seq.rejections, seq.retries),
+	}
+	notes = append(notes, extraNotes...)
+	return &Result{ID: id, Title: Title(id), Tables: []*stats.Table{curve, sitesTbl}, Notes: notes}
+}
+
+// RunScaleScenario runs the metro scenario once with the given shape — the
+// acacia-sim -scale entry point. cfg.Workers selects the execution mode
+// exactly like -intra-parallel.
+func RunScaleScenario(seed uint64, cfg ScaleConfig) *Result {
+	cfg = cfg.withDefaults()
+	r := runScale(seed, cfg)
+	res := assembleScale("scale", cfg, r, nil)
+	return res
+}
+
+// scaleMetro declares the experiment: the same generated metro under the
+// three execution modes (one shared seed, forked from the experiment name),
+// assembled into the latency curve plus identity verdicts.
+func scaleMetro() Experiment {
+	const id = "scale"
+	shape := func(opts Options) ScaleConfig { return DefaultScaleConfig(opts.Full) }
+	modes := []struct {
+		key     string
+		workers func(cfg ScaleConfig) int
+	}{
+		{"sequential", func(ScaleConfig) int { return 0 }},
+		{"windowed", func(ScaleConfig) int { return 1 }},
+		{"gang", func(cfg ScaleConfig) int { return cfg.Sites }},
+	}
+	return Experiment{
+		ID:    id,
+		Title: "Metro-scale scenario: batched attach, admission and partitioned scale-out",
+		Trials: func(opts Options) []Trial {
+			cfg := shape(opts)
+			trials := make([]Trial, 0, len(modes))
+			for _, m := range modes {
+				m := m
+				trials = append(trials, Trial{
+					Key: "mode=" + m.key,
+					Run: func(_ uint64) any {
+						c := cfg
+						c.Workers = m.workers(cfg)
+						return runScale(subSeed(opts.BaseSeed(), id), c)
+					},
+				})
+			}
+			return trials
+		},
+		Assemble: func(opts Options, parts []any) *Result {
+			cfg := shape(opts)
+			seq := parts[0].(*scaleRun)
+			win := parts[1].(*scaleRun)
+			gang := parts[2].(*scaleRun)
+			verdict := func(r *scaleRun) string {
+				if r.equal(seq) {
+					return "IDENTICAL"
+				}
+				return "DIVERGED"
+			}
+			return assembleScale(id, cfg, seq, []string{
+				"windowed (1 partition worker) vs sequential: " + verdict(win),
+				fmt.Sprintf("gang (%d workers, %d partitions) vs sequential: %s", cfg.Sites, cfg.Sites+1, verdict(gang)),
+				"identity covers attach/frame checksums, admission counters, per-site placement and merged telemetry",
+			})
+		},
+	}
+}

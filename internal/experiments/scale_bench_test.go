@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// The scale benchmark family measures the generated metro scenario under
+// the three execution modes `make bench-scale` compares. The shape is a
+// mid-size metro — 12 sites, 1,200 UEs, a flash crowd — so one iteration
+// covers the whole arrival ramp: batched cohort attaches, capacity
+// admission with spill, and the per-site frame loops. The workload is
+// identical across modes (TestScaleIdentityAcrossModes proves the outputs
+// are too), so the ns/op ratio isolates the partitioned engine's
+// overhead/speedup at metro scale.
+func benchScale(b *testing.B, workers int) {
+	cfg := ScaleConfig{
+		Sites: 12, ENBsPerSite: 1, UEs: 1200, SiteCapacity: 110,
+		Ramp: 6 * time.Second, Hold: 2 * time.Second,
+		CohortWindow: 250 * time.Millisecond,
+		FramePeriod:  time.Second, FrameService: 5 * time.Millisecond,
+		Arrival: "flash", FlashSite: 4, FlashFraction: 0.2,
+		Workers: workers,
+	}
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		r := runScale(2016, cfg)
+		sink += r.framesDone
+	}
+	if sink == 0 {
+		b.Fatal("scenario produced no frame traffic")
+	}
+}
+
+func BenchmarkScaleMetroSequential(b *testing.B) { benchScale(b, 0) }
+func BenchmarkScaleMetroWindowed(b *testing.B)   { benchScale(b, 1) }
+func BenchmarkScaleMetroGang(b *testing.B)       { benchScale(b, 12) }

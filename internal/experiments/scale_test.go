@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScaleIdentityAcrossModes is the §3g identity contract for the
+// generated metro: the same seed and shape must replay byte-identically
+// whether the run uses one global event queue, per-site partitions in
+// serial windows, or windows on a worker gang.
+func TestScaleIdentityAcrossModes(t *testing.T) {
+	cfg := DefaultScaleConfig(false)
+	run := func(workers int) *scaleRun {
+		c := cfg
+		c.Workers = workers
+		return runScale(777, c)
+	}
+	seq := run(0)
+	if seq.attached == 0 || seq.framesDone == 0 {
+		t.Fatalf("sequential run idle: attached=%d framesDone=%d", seq.attached, seq.framesDone)
+	}
+	// The quick shape under-provisions capacity (4 x 26 < 120), so the
+	// admission path must reject and the backoff must retry.
+	if seq.rejections == 0 || seq.retries == 0 {
+		t.Errorf("admission not exercised: rejections=%d retries=%d", seq.rejections, seq.retries)
+	}
+	if want := uint64(cfg.Sites * cfg.SiteCapacity); seq.bound != want {
+		t.Errorf("bound = %d, want %d (every capacity unit in use)", seq.bound, want)
+	}
+	for s, st := range seq.sites {
+		if st.Bound > cfg.SiteCapacity {
+			t.Errorf("site-%d bound %d exceeds capacity %d", s+1, st.Bound, cfg.SiteCapacity)
+		}
+	}
+	for _, workers := range []int{1, cfg.Sites} {
+		got := run(workers)
+		if !got.equal(seq) {
+			t.Errorf("workers=%d diverged from sequential:\nseq  = %+v\ngot  = %+v", workers, summary(seq), summary(got))
+		}
+	}
+}
+
+func summary(r *scaleRun) map[string]uint64 {
+	return map[string]uint64{
+		"attached": r.attached, "bound": r.bound,
+		"rejections": r.rejections, "retries": r.retries,
+		"framesSent": r.framesSent, "framesDone": r.framesDone,
+		"checksum": r.checksum, "metricsHash": r.metricsHash,
+	}
+}
+
+// TestScaleFlashCrowdSpills checks the placement story: the flash crowd
+// overloads its home site, which fills to capacity, and the UCMEC-style
+// spill pushes the overflow onto other sites.
+func TestScaleFlashCrowdSpills(t *testing.T) {
+	cfg := DefaultScaleConfig(false)
+	r := runScale(42, cfg)
+	if got := r.sites[cfg.FlashSite].Bound; got != cfg.SiteCapacity {
+		t.Errorf("flash site bound = %d, want full (%d)", got, cfg.SiteCapacity)
+	}
+	var served uint64
+	for _, st := range r.sites {
+		served += st.Served
+	}
+	if served == 0 || served < r.framesDone {
+		t.Errorf("served = %d, framesDone = %d", served, r.framesDone)
+	}
+}
+
+// TestScaleUniformArrivalNoRejections: with unbounded capacity every UE
+// binds to its eNB-local site and admission never rejects.
+func TestScaleUniformArrivalNoRejections(t *testing.T) {
+	cfg := DefaultScaleConfig(false)
+	cfg.Arrival = "uniform"
+	cfg.SiteCapacity = 0 // unbounded
+	r := runScale(7, cfg)
+	if r.rejections != 0 || r.retries != 0 {
+		t.Errorf("unbounded capacity rejected: rejections=%d retries=%d", r.rejections, r.retries)
+	}
+	if r.bound != uint64(cfg.UEs) {
+		t.Errorf("bound = %d, want every UE (%d)", r.bound, cfg.UEs)
+	}
+	for s, st := range r.sites {
+		if st.Bound == 0 {
+			t.Errorf("site-%d has no bindings under uniform arrivals", s+1)
+		}
+	}
+}
+
+// TestScaleExperimentQuick runs the registered experiment end to end and
+// checks the assembled curve and identity verdicts.
+func TestScaleExperimentQuick(t *testing.T) {
+	r, err := Run("scale", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 2 {
+		t.Fatalf("tables = %d, want curve + placement", len(r.Tables))
+	}
+	if len(r.Tables[0].Rows) == 0 {
+		t.Fatal("empty UEs-vs-latency curve")
+	}
+	cfg := DefaultScaleConfig(false)
+	if len(r.Tables[1].Rows) != cfg.Sites {
+		t.Errorf("placement rows = %d, want %d sites", len(r.Tables[1].Rows), cfg.Sites)
+	}
+	s := r.String()
+	if strings.Contains(s, "DIVERGED") {
+		t.Errorf("identity verdicts report divergence:\n%s", s)
+	}
+	if !strings.Contains(s, "IDENTICAL") {
+		t.Errorf("no identity verdicts in result:\n%s", s)
+	}
+}
+
+// TestRunScaleScenarioStandalone exercises the acacia-sim -scale entry
+// point with overridden knobs.
+func TestRunScaleScenarioStandalone(t *testing.T) {
+	cfg := DefaultScaleConfig(false)
+	cfg.UEs = 60
+	cfg.Sites = 3
+	cfg.SiteCapacity = 25
+	cfg.Arrival = "diurnal"
+	cfg.Workers = 1
+	r := RunScaleScenario(5, cfg)
+	if r == nil || len(r.Tables) != 2 {
+		t.Fatalf("standalone scenario result = %+v", r)
+	}
+	if len(r.Tables[1].Rows) != 3 {
+		t.Errorf("placement rows = %d, want 3", len(r.Tables[1].Rows))
+	}
+}

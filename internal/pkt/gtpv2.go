@@ -138,10 +138,14 @@ const (
 // GTPv2Msg is one GTPv2-C message: header fields plus the IEs the testbed
 // uses. Unset optional fields are omitted from the encoding.
 type GTPv2Msg struct {
-	Type        GTPv2MsgType
-	TEID        uint32 // header TEID: the receiver's control TEID
-	Seq         uint32 // 24-bit sequence number
-	IMSI        string // digits; identifies the UE in session-level messages
+	Type GTPv2MsgType
+	TEID uint32 // header TEID: the receiver's control TEID
+	Seq  uint32 // 24-bit sequence number
+	IMSI string // digits; identifies the UE in session-level messages
+	// IMSIs carries the additional cohort members of a batched session
+	// procedure (each encoded as its own IMSI IE after the primary). Empty
+	// for single-UE messages, whose wire bytes are unchanged.
+	IMSIs       []string
 	Cause       uint8
 	PAA         Addr // UE IP address assigned by the PGW
 	SenderFTEID *FTEID
@@ -166,6 +170,12 @@ func (m *GTPv2Msg) Encode(b []byte) []byte {
 		var ie int
 		b, ie = beginIE(b, ieIMSI)
 		b = appendTBCD(b, m.IMSI)
+		b = endIE(b, ie)
+	}
+	for _, imsi := range m.IMSIs {
+		var ie int
+		b, ie = beginIE(b, ieIMSI)
+		b = appendTBCD(b, imsi)
 		b = endIE(b, ie)
 	}
 	if m.Cause != 0 {
@@ -276,7 +286,7 @@ func (m *GTPv2Msg) Decode(b []byte) (int, error) {
 	}
 	m.Seq = uint32(seq[0])<<16 | uint32(seq[1])<<8 | uint32(seq[2])
 	end := 4 + int(msgLen)
-	m.IMSI, m.Cause, m.PAA, m.SenderFTEID, m.Bearers = "", 0, Addr{}, nil, nil
+	m.IMSI, m.IMSIs, m.Cause, m.PAA, m.SenderFTEID, m.Bearers = "", nil, 0, Addr{}, nil, nil
 	for r.off < end {
 		typ, payload, err := readIE(r)
 		if err != nil {
@@ -284,7 +294,11 @@ func (m *GTPv2Msg) Decode(b []byte) (int, error) {
 		}
 		switch typ {
 		case ieIMSI:
-			m.IMSI = decodeTBCD(payload)
+			if m.IMSI == "" {
+				m.IMSI = decodeTBCD(payload)
+			} else {
+				m.IMSIs = append(m.IMSIs, decodeTBCD(payload))
+			}
 		case ieCause:
 			if len(payload) < 1 {
 				return 0, fmt.Errorf("%w: empty cause IE", ErrTruncated)

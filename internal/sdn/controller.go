@@ -40,11 +40,14 @@ type Controller struct {
 	RTT time.Duration
 
 	switches map[uint64]*Switch
-	// order remembers switch registration order: control-channel links are
-	// wired from it so link creation (and with it metric naming and RNG
-	// consumption) is deterministic, which map iteration would not be.
-	order []*Switch
-	xid   uint32
+	// byName indexes switches by node name so per-message resolution is a
+	// map probe; order remembers switch registration order for the places
+	// where iteration sequence matters (control-channel wiring creates
+	// links, and with them metric naming and RNG consumption, in a
+	// deterministic order that map iteration would not give).
+	byName map[string]*Switch
+	order  []*Switch
+	xid    uint32
 
 	// Transactional control channel, enabled by EnableTransport. When nil,
 	// control messages fall back to fixed-RTT scheduling (standalone
@@ -81,6 +84,7 @@ func NewController(eng *sim.Engine) *Controller {
 	return &Controller{
 		eng:       eng,
 		switches:  make(map[uint64]*Switch),
+		byName:    make(map[string]*Switch),
 		ByType:    make(map[pkt.OFMsgType]uint64),
 		sent:      scope.Counter("sent"),
 		sentBytes: scope.Counter("sent-bytes"),
@@ -106,6 +110,7 @@ func (c *Controller) AddSwitch(sw *Switch) {
 		panic(fmt.Sprintf("sdn: duplicate dpid %d", sw.DPID))
 	}
 	c.switches[sw.DPID] = sw
+	c.byName[sw.node.Name()] = sw
 	c.order = append(c.order, sw)
 	sw.controller = c
 	if c.tr != nil {
@@ -171,6 +176,14 @@ func (c *Controller) toController(sw *Switch, name string, size int, fn func()) 
 // Switch returns the connected switch with the given datapath id, or nil.
 func (c *Controller) Switch(dpid uint64) *Switch { return c.switches[dpid] }
 
+// SwitchByName returns the connected switch on the named node, or nil — an
+// O(1) probe for callers that would otherwise walk the registration order.
+func (c *Controller) SwitchByName(name string) *Switch { return c.byName[name] }
+
+// Switches returns the connected switches in registration order (the
+// deterministic iteration base; the map views are index-only).
+func (c *Controller) Switches() []*Switch { return c.order }
+
 func (c *Controller) nextXID() uint32 {
 	c.xid++
 	return c.xid
@@ -228,12 +241,13 @@ func (c *Controller) RemoveFlows(sw *Switch, cookie uint64) int {
 }
 
 // assertSameEngine enforces the partitioned control-plane contract: the
-// switch-to-controller paths (packet-in, path status, flow expiry) mutate
-// controller state — xid, accounting, the encode buffer — synchronously in
-// the calling event, so they may only fire from the controller's own
-// partition. Partitioned scenarios must pre-install covering flows on
-// remote-partition switches and keep path supervision core-side; tripping
-// this panic means the scenario violates that contract.
+// packet-in and flow-expiry paths mutate controller state — xid, accounting,
+// the encode buffer — synchronously in the calling event, so they may only
+// fire from the controller's own partition. Partitioned scenarios must
+// pre-install covering permanent flows on remote-partition switches;
+// tripping this panic means the scenario violates that contract. (Path
+// status is exempt: pathStatus defers its controller-state mutation into the
+// delivery closure, so partitioned sites may supervise their own fabric.)
 func (c *Controller) assertSameEngine(sw *Switch) {
 	if sw.eng != c.eng {
 		panic("sdn: switch " + sw.node.Name() + " called into the controller from another partition (packet-in/path-status/flow-expiry must stay in the controller's partition)")
@@ -260,23 +274,51 @@ func (c *Controller) packetIn(sw *Switch, inPort uint32, p *netsim.Packet, tunne
 // pathStatus carries a switch's GTP path-state transition to the
 // controller as a PortStatus message over the control channel (path
 // supervision is port liveness in the GTP-tunnelled fabric).
+//
+// Unlike packet-in, a switch on a remote partition may report path status:
+// the controller's xid, accounting counters and encode buffer are then
+// touched only inside the delivery closure, which the transport (or the
+// cluster outbox fallback) runs on the controller's own partition. The xid
+// is allocated at delivery rather than at the transition in that case — the
+// encoded length, and with it every counter, is xid-independent, so the
+// accounting totals are identical once the message lands.
 func (c *Controller) pathStatus(sw *Switch, peer pkt.Addr, down bool) {
-	c.assertSameEngine(sw)
 	reason := uint8(0) // up
 	if down {
 		reason = 1
 	}
-	msg := &pkt.OFMsg{
-		Type: pkt.OFPortStatus, XID: c.nextXID(),
-		Reason: reason,
-		Match:  pkt.Match{IPv4Src: pkt.AddrPtr(peer)},
+	if sw.eng == c.eng {
+		msg := &pkt.OFMsg{
+			Type: pkt.OFPortStatus, XID: c.nextXID(),
+			Reason: reason,
+			Match:  pkt.Match{IPv4Src: pkt.AddrPtr(peer)},
+		}
+		n := c.accountReceived(msg)
+		c.toController(sw, "PortStatus", n, func() {
+			if c.OnPathEvent != nil {
+				c.OnPathEvent(sw, peer, down)
+			}
+		})
+		return
 	}
-	n := c.accountReceived(msg)
-	c.toController(sw, "PortStatus", n, func() {
+	msg := pkt.OFMsg{
+		Type: pkt.OFPortStatus, Reason: reason,
+		Match: pkt.Match{IPv4Src: pkt.AddrPtr(peer)},
+	}
+	n := len(msg.Encode(nil))
+	fn := func() {
+		msg.XID = c.nextXID()
+		c.accountReceived(&msg)
 		if c.OnPathEvent != nil {
 			c.OnPathEvent(sw, peer, down)
 		}
-	})
+	}
+	if c.ep != nil && sw.ctlEP != nil {
+		seq := sw.ctlEP.NextSeq(c.ep.Addr())
+		sw.ctlEP.Send(c.ep.Addr(), seq, "PortStatus", n, fn, nil, nil)
+		return
+	}
+	sw.eng.CrossSchedule(c.eng, c.RTT, fn)
 }
 
 // flowRemoved is called by a switch when an idle entry expires.

@@ -92,6 +92,114 @@ type cacheKey struct {
 	teid   uint64
 }
 
+// Shape bits for the tuple-space slow-path index: one bit per packet-visible
+// match field. EthType has no bit — the packet view carries no EthType, so
+// Match.Matches ignores it and entries fold into the shape of their
+// remaining fields.
+const (
+	shpInPort uint8 = 1 << iota
+	shpIPProto
+	shpIPv4Src
+	shpIPv4Dst
+	shpUDPSrc
+	shpUDPDst
+	shpTunnelID
+)
+
+// idxKey is one tuple-space hash key: the shape plus the exact values of the
+// fields the shape selects (unselected fields stay zero). Every Match in
+// this model is exact-per-field (set pointer = exact value, nil = wildcard),
+// so every table entry hashes into exactly one (shape, values) bucket.
+type idxKey struct {
+	shape        uint8
+	inPort       uint32
+	proto        uint8
+	src, dst     pkt.Addr
+	sport, dport uint16
+	teid         uint64
+}
+
+// matchShape computes the shape bitmap of a match.
+func matchShape(m *pkt.Match) uint8 {
+	var s uint8
+	if m.InPort != nil {
+		s |= shpInPort
+	}
+	if m.IPProto != nil {
+		s |= shpIPProto
+	}
+	if m.IPv4Src != nil {
+		s |= shpIPv4Src
+	}
+	if m.IPv4Dst != nil {
+		s |= shpIPv4Dst
+	}
+	if m.UDPSrc != nil {
+		s |= shpUDPSrc
+	}
+	if m.UDPDst != nil {
+		s |= shpUDPDst
+	}
+	if m.TunnelID != nil {
+		s |= shpTunnelID
+	}
+	return s
+}
+
+// entryKey hashes a table entry into its tuple-space bucket.
+func entryKey(m *pkt.Match) idxKey {
+	k := idxKey{shape: matchShape(m)}
+	if m.InPort != nil {
+		k.inPort = *m.InPort
+	}
+	if m.IPProto != nil {
+		k.proto = *m.IPProto
+	}
+	if m.IPv4Src != nil {
+		k.src = *m.IPv4Src
+	}
+	if m.IPv4Dst != nil {
+		k.dst = *m.IPv4Dst
+	}
+	if m.UDPSrc != nil {
+		k.sport = *m.UDPSrc
+	}
+	if m.UDPDst != nil {
+		k.dport = *m.UDPDst
+	}
+	if m.TunnelID != nil {
+		k.teid = *m.TunnelID
+	}
+	return k
+}
+
+// probeKey projects a packet view onto one shape's hash key.
+func probeKey(shape uint8, inPort uint32, flow pkt.FiveTuple, tunnelID uint64) idxKey {
+	k := idxKey{shape: shape}
+	if shape&shpInPort != 0 {
+		k.inPort = inPort
+	}
+	if shape&shpIPProto != 0 {
+		k.proto = flow.Proto
+	}
+	if shape&shpIPv4Src != 0 {
+		k.src = flow.Src
+	}
+	if shape&shpIPv4Dst != 0 {
+		k.dst = flow.Dst
+	}
+	if shape&shpUDPSrc != 0 {
+		k.sport = flow.SrcPort
+	}
+	if shape&shpUDPDst != 0 {
+		k.dport = flow.DstPort
+	}
+	if shape&shpTunnelID != 0 {
+		k.teid = tunnelID
+	}
+	return k
+}
+
 // SwitchStats counts switch activity. It is a point-in-time view assembled
 // from the switch's telemetry counters, which live in the engine's metrics
 // registry under sdn/<node>/ (e.g. sdn/gw-u/fastpath/hits).
@@ -117,6 +225,18 @@ type Switch struct {
 	cache   map[cacheKey]int // megaflow cache: key -> table index
 	costs   PathCosts
 	gtpPort map[int]bool // ports with GTP logical-port semantics
+
+	// Tuple-space slow-path index (DESIGN.md §3h): for every shape present
+	// in the table, the exact-value bucket maps to the lowest table index
+	// carrying that (shape, values) pair — which, with the table sorted by
+	// descending priority and insertion-stable, is the scan winner within
+	// the bucket. Lookup probes one bucket per active shape instead of
+	// walking the table. Any table mutation marks the index dirty; the next
+	// slow-path lookup rebuilds it (the same invalidation discipline the
+	// megaflow cache already uses).
+	index      map[idxKey]int
+	shapes     []uint8
+	indexDirty bool
 
 	controller *Controller
 	// ctlEP is the switch's OpenFlow control endpoint, set when the
@@ -162,6 +282,7 @@ func NewSwitch(dpid uint64, node *netsim.Node, costs PathCosts) *Switch {
 		node:    node,
 		eng:     node.Engine(),
 		cache:   make(map[cacheKey]int),
+		index:   make(map[idxKey]int),
 		costs:   costs,
 		gtpPort: make(map[int]bool),
 	}
@@ -329,8 +450,44 @@ func (sw *Switch) process(ingress *netsim.Port, p *netsim.Packet) {
 	sw.apply(&sw.table[idx], p)
 }
 
-// lookup returns the index of the highest-priority matching entry, or -1.
+// lookup returns the index of the highest-priority matching entry, or -1,
+// by probing one tuple-space bucket per shape present in the table. Ties
+// replicate the linear scan exactly: higher priority wins, then higher
+// specificity, then the lower table index (first installed).
 func (sw *Switch) lookup(inPort uint32, flow pkt.FiveTuple, tunnelID uint64) int {
+	if sw.indexDirty {
+		sw.rebuildIndex()
+	}
+	best := -1
+	for _, shape := range sw.shapes {
+		c, ok := sw.index[probeKey(shape, inPort, flow, tunnelID)]
+		if !ok {
+			continue
+		}
+		e := &sw.table[c]
+		if !e.Match.Matches(inPort, flow, tunnelID) {
+			// Guards the EthType fold: an entry keyed under this shape may
+			// still carry constraints the packet view cannot satisfy.
+			continue
+		}
+		if best < 0 {
+			best = c
+			continue
+		}
+		b := &sw.table[best]
+		if e.Priority > b.Priority ||
+			(e.Priority == b.Priority && e.Match.SpecificityScore() > b.Match.SpecificityScore()) ||
+			(e.Priority == b.Priority && e.Match.SpecificityScore() == b.Match.SpecificityScore() && c < best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// lookupScan is the historical O(#flows) linear scan, kept as the semantic
+// reference: TestLookupMatchesScan holds lookup() to it entry for entry, and
+// the BenchmarkScaleLookup* pair quantifies the gap at 10k entries.
+func (sw *Switch) lookupScan(inPort uint32, flow pkt.FiveTuple, tunnelID uint64) int {
 	best := -1
 	for i := range sw.table {
 		e := &sw.table[i]
@@ -344,6 +501,34 @@ func (sw *Switch) lookup(inPort uint32, flow pkt.FiveTuple, tunnelID uint64) int
 		}
 	}
 	return best
+}
+
+// rebuildIndex rehashes the table into the tuple-space buckets. Ascending
+// order makes the first writer of each bucket the lowest index with that
+// exact (shape, values) pair — the bucket's scan winner, since entries in
+// one bucket share a specificity and the table is priority-sorted.
+func (sw *Switch) rebuildIndex() {
+	for k := range sw.index {
+		delete(sw.index, k)
+	}
+	sw.shapes = sw.shapes[:0]
+	for i := range sw.table {
+		k := entryKey(&sw.table[i].Match)
+		if _, ok := sw.index[k]; !ok {
+			sw.index[k] = i
+		}
+		seen := false
+		for _, s := range sw.shapes {
+			if s == k.shape {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			sw.shapes = append(sw.shapes, k.shape)
+		}
+	}
+	sw.indexDirty = false
 }
 
 // meterAllows refills and charges the entry's token bucket; a false return
@@ -463,13 +648,15 @@ func (sw *Switch) removeFlows(cookie uint64) int {
 	return removed
 }
 
-// invalidateCache flushes the megaflow cache; indices into the table are
-// no longer valid after any table mutation.
+// invalidateCache flushes the megaflow cache and marks the tuple-space
+// index dirty; indices into the table are no longer valid after any table
+// mutation.
 func (sw *Switch) invalidateCache() {
 	for k := range sw.cache {
 		delete(sw.cache, k)
 	}
 	sw.occupancy.Set(0)
+	sw.indexDirty = true
 }
 
 // ExpireIdleFlows removes entries idle past their timeout, as the periodic
