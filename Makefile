@@ -2,19 +2,29 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover fmt-check bench bench-json bench-robustness bench-alloc bench-partition bench-scale alloc-gate results results-csv examples clean
+.PHONY: all build vet vet-escape test race cover fmt-check bench bench-json bench-robustness bench-alloc bench-partition bench-scale alloc-gate results results-csv examples clean
 
 all: build vet test
 
 build:
 	$(GO) build ./...
 
-# go vet for generic mistakes, acacia-vet for the repo's own contracts
-# (virtual time, seeded randomness, sorted map output, metric grammar,
-# exec-only goroutines). See DESIGN.md §3d.
+# go vet for generic mistakes, acacia-vet for the repo's own contracts:
+# per-file rules (virtual time, seeded randomness, sorted map output,
+# metric grammar, exec-only goroutines, hot-path allocation syntax) plus
+# the interprocedural rules over the whole-program call graph (dettaint,
+# hotpath-escape, partition-confine). See DESIGN.md §3d and §3i.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/acacia-vet ./...
+
+# Escape gate alone: rebuilds the module with -gcflags='-m -m' and holds
+# every //acacia:hotpath range to zero escape diagnostics (DESIGN.md §3i).
+# Split out so CI runs it on each toolchain in the matrix — the compiler's
+# escape output format changed between Go 1.22 and 1.24 and the parser
+# must keep up with both.
+vet-escape:
+	$(GO) run ./cmd/acacia-vet -rules hotpath-escape ./...
 
 test:
 	$(GO) test ./...

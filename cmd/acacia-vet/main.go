@@ -1,9 +1,18 @@
 // Command acacia-vet statically enforces the repo's determinism,
-// telemetry and transport contracts (DESIGN.md §3d): virtual time only in
-// sim code (wallclock), trial-seeded randomness (globalrand), sorted keys
-// before map iteration feeds output (maprange), the layer[/sub]/name
-// metric grammar (metricname), and worker-pool-only concurrency
-// (goroutine).
+// telemetry and transport contracts (DESIGN.md §3d, §3i).
+//
+// Per-file rules: virtual time only in sim code (wallclock), trial-seeded
+// randomness (globalrand), sorted keys before map iteration feeds output
+// (maprange), the layer[/sub]/name metric grammar (metricname),
+// worker-pool-only concurrency (goroutine), and allocation syntax inside
+// //acacia:hotpath functions (hotalloc).
+//
+// Interprocedural rules, run over a static call graph of every loaded
+// package: wall-clock/env/global-rand sinks reachable from sim event
+// handlers (dettaint), compiler-verified escape-freedom of hotpath ranges
+// via `go build -gcflags='-m -m'` (hotpath-escape), and cross-partition
+// engine access from handler context outside SendTo/CrossSchedule
+// (partition-confine).
 //
 // Usage:
 //
@@ -12,7 +21,10 @@
 // Packages default to ./... resolved against the enclosing module. The
 // exit status is 0 when the tree is clean, 1 when findings exist, and 2
 // when packages fail to load or type-check. Findings are suppressed at
-// the site with `//acacia:allow <rule> <reason>`.
+// the site with `//acacia:allow <rule> <reason>`; a directive that
+// suppresses nothing is itself reported as stale. Output is sorted by
+// (file, line, column, rule) in both text and -json modes, so runs are
+// byte-stable and diffable.
 package main
 
 import (

@@ -30,7 +30,9 @@ import (
 	"strings"
 )
 
-// Rule is one statically checked contract.
+// Rule is one statically checked contract. A rule is either per-package
+// (Run, invoked once per loaded package) or whole-program (RunProgram,
+// invoked once over all packages — the call-graph and escape-gate rules).
 type Rule struct {
 	// Name identifies the rule in diagnostics, -rules selections and
 	// //acacia:allow directives.
@@ -39,6 +41,9 @@ type Rule struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunProgram inspects the whole program. Exactly one of Run/RunProgram
+	// is set.
+	RunProgram func(*ProgramPass)
 }
 
 // Diagnostic is one finding: a violated contract at a position.
@@ -91,11 +96,14 @@ func (p *Pass) BasePath() string { return strings.TrimSuffix(p.Path, "_test") }
 // slice is freshly allocated; callers may reorder or subset it.
 func AllRules() []*Rule {
 	rules := []*Rule{
+		DetTaintRule(),
 		GoroutineRule(),
 		GlobalRandRule(),
 		HotAllocRule(),
+		HotpathEscapeRule(),
 		MapRangeRule(),
 		MetricNameRule(),
+		PartitionConfineRule(),
 		WallClockRule(),
 	}
 	sort.Slice(rules, func(i, j int) bool { return rules[i].Name < rules[j].Name })
@@ -152,6 +160,7 @@ var allowPattern = regexp.MustCompile(`^//acacia:allow\s+(\S+)\s*(.*)$`)
 type allowDirective struct {
 	file   string
 	line   int
+	col    int
 	rule   string
 	reason string
 	used   bool
@@ -159,9 +168,18 @@ type allowDirective struct {
 
 // Run executes the rules over the packages and returns the surviving
 // diagnostics sorted by position. Suppressed findings are removed;
-// malformed directives (missing reason, unknown rule) are reported as
-// "directive" findings so a typo cannot silently disable a check.
+// malformed directives (missing reason, unknown rule) and stale ones
+// (suppressing nothing) are reported as "directive" findings so a typo —
+// or a fix that outlived its exemption — cannot silently disable a check.
 func Run(pkgs []*Package, rules []*Rule) []Diagnostic {
+	return RunProgram(NewProgram(pkgs), rules)
+}
+
+// RunProgram is Run with an explicit Program, the entry point for callers
+// that need to pre-configure program state (the escape-gate tests inject
+// canned compiler output through Program.EscapeOutput).
+func RunProgram(prog *Program, rules []*Rule) []Diagnostic {
+	pkgs := prog.Pkgs
 	var diags []Diagnostic
 	var allows []*allowDirective
 	knownRule := map[string]bool{}
@@ -170,6 +188,9 @@ func Run(pkgs []*Package, rules []*Rule) []Diagnostic {
 	}
 	for _, pkg := range pkgs {
 		for _, rule := range rules {
+			if rule.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Fset:  pkg.Fset,
 				Path:  pkg.Path,
@@ -189,7 +210,7 @@ func Run(pkgs []*Package, rules []*Rule) []Diagnostic {
 						continue
 					}
 					pos := pkg.Fset.Position(c.Pos())
-					d := &allowDirective{file: pos.Filename, line: pos.Line, rule: m[1], reason: strings.TrimSpace(m[2])}
+					d := &allowDirective{file: pos.Filename, line: pos.Line, col: pos.Column, rule: m[1], reason: strings.TrimSpace(m[2])}
 					allows = append(allows, d)
 					switch {
 					case !knownRule[d.rule]:
@@ -209,7 +230,22 @@ func Run(pkgs []*Package, rules []*Rule) []Diagnostic {
 			}
 		}
 	}
+	for _, rule := range rules {
+		if rule.RunProgram == nil {
+			continue
+		}
+		rule.RunProgram(&ProgramPass{Prog: prog, rule: rule, diags: &diags})
+	}
+	selected := map[string]bool{}
+	for _, r := range rules {
+		selected[r.Name] = true
+	}
 	diags = suppress(diags, allows)
+	diags = append(diags, unusedAllows(allows, knownRule, selected)...)
+	// Total order: (file, line, column, rule, message). The message
+	// tie-break matters for -json consumers and golden files — one rule can
+	// report twice at one position, and without it the relative order would
+	// depend on map-iteration accidents upstream.
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -221,9 +257,36 @@ func Run(pkgs []*Package, rules []*Rule) []Diagnostic {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
 	return diags
+}
+
+// unusedAllows reports well-formed //acacia:allow directives that
+// suppressed nothing in this run — stale exemptions that would otherwise
+// quietly accumulate. Only directives for rules that actually ran are
+// judged (running `-rules wallclock` must not condemn a maprange allow),
+// and hotpath-escape is exempt: its findings vary with the compiler
+// version, so an allow used on Go 1.24 may legitimately be idle on 1.22.
+func unusedAllows(allows []*allowDirective, knownRule, selected map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range allows {
+		if a.used || a.reason == "" || !knownRule[a.rule] || !selected[a.rule] || a.rule == "hotpath-escape" {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:     token.Position{Filename: a.file, Line: a.line, Column: a.col},
+			File:    a.file,
+			Line:    a.line,
+			Col:     a.col,
+			Rule:    "directive",
+			Message: fmt.Sprintf("//acacia:allow %s suppresses nothing; delete the stale directive", a.rule),
+		})
+	}
+	return out
 }
 
 // suppress drops findings covered by a well-formed allow directive on the

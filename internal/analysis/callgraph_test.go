@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// edgeTo reports whether node n has an edge to key.
+func edgeTo(n *CGNode, key string) bool {
+	if n == nil {
+		return false
+	}
+	for _, e := range n.Edges() {
+		if e.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCallGraphStructure asserts on the graph the builder produces for the
+// callgraph fixture: direct edges, interface-dispatch over-approximation,
+// method-value and struct-field function flows, handler-root marking, and
+// path rendering. The fixture has no want comments — the contract here is
+// the graph shape, not rule findings.
+func TestCallGraphStructure(t *testing.T) {
+	_, pkgs := loadGolden(t, "callgraph", "acacia/x/callgraph")
+	graph := NewProgram(pkgs).CallGraph()
+
+	const pkg = "acacia/x/callgraph"
+	dispatch := graph.Nodes[pkg+".dispatch"]
+	if dispatch == nil {
+		t.Fatal("no node for dispatch")
+	}
+
+	// Interface dispatch over-approximates: d.Do() fans out to every
+	// module-declared zero-parameter Do, on either receiver form.
+	for _, callee := range []string{pkg + ".(A).Do", pkg + ".(*B).Do"} {
+		if !edgeTo(dispatch, callee) {
+			t.Errorf("dispatch has no edge to %s; interface dispatch not over-approximated", callee)
+		}
+	}
+
+	// A method value bound to a local and invoked resolves through the flow
+	// map back to the method.
+	if !edgeTo(graph.Nodes[pkg+".methodValue"], pkg+".(*T).helper") {
+		t.Error("methodValue: f := t.helper; f() did not resolve to (*T).helper")
+	}
+
+	// A function stored into a struct field at construction (in fieldFlow)
+	// and invoked through the field elsewhere (in runHook) resolves via the
+	// field's flow key.
+	if !edgeTo(graph.Nodes[pkg+".runHook"], pkg+".leaf") {
+		t.Error("runHook: t.hook() did not resolve to leaf stored in fieldFlow")
+	}
+
+	// The literal passed to Engine.Schedule in start is the fixture's only
+	// handler root.
+	var roots []*CGNode
+	for _, k := range graph.RootKeys {
+		n := graph.Nodes[k]
+		if n != nil && n.Pkg != nil && n.Pkg.Path == pkg {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) != 1 {
+		t.Fatalf("fixture has %d handler roots, want exactly 1 (the Schedule literal)", len(roots))
+	}
+	root := roots[0]
+	if !strings.HasPrefix(root.Key, "lit:") || !root.Root {
+		t.Errorf("root is %q (Root=%v), want a lit: node with Root set", root.Key, root.Root)
+	}
+	for _, callee := range []string{pkg + ".dispatch", pkg + ".methodValue", pkg + ".runHook"} {
+		if !edgeTo(root, callee) {
+			t.Errorf("handler literal has no edge to %s", callee)
+		}
+	}
+
+	// Reachability: everything the handler calls, transitively — including
+	// (*B).Do, which only an impossible dispatch branch reaches; the
+	// over-approximation keeps it in. unreached is never scheduled and must
+	// stay out.
+	order, parent := graph.HandlerReachable()
+	reached := map[string]bool{}
+	for _, n := range order {
+		reached[n.Key] = true
+	}
+	for _, k := range []string{
+		root.Key,
+		pkg + ".dispatch", pkg + ".(A).Do", pkg + ".(*B).Do",
+		pkg + ".methodValue", pkg + ".(*T).helper",
+		pkg + ".runHook", pkg + ".leaf",
+	} {
+		if !reached[k] {
+			t.Errorf("%s not handler-reachable, want reachable", k)
+		}
+	}
+	if reached[pkg+".unreached"] {
+		t.Error("unreached is handler-reachable, want unreachable")
+	}
+
+	// The parent chain renders a root-to-leaf path for diagnostics.
+	path := graph.PathTo(parent, pkg+".leaf")
+	if !strings.Contains(path, " -> ") || !strings.HasSuffix(path, "leaf") {
+		t.Errorf("PathTo(leaf) = %q, want a chain ending in leaf", path)
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DetTaintRule is the interprocedural strengthening of wallclock and
+// globalrand: instead of flagging direct calls per site, it walks the
+// whole-program call graph from every sim.Engine event handler and reports
+// any call chain that reaches a nondeterminism source — time.Now and
+// friends (wall clock), math/rand's process-global draw functions, or the
+// process environment (os.Getenv). A helper that wraps time.Now in a
+// package the per-site rules don't govern (cmd/, examples/, the root
+// package) launders nondeterminism into handler context invisibly to the
+// syntactic rules; the call graph makes the laundering visible.
+//
+// The graph over-approximates (interface dispatch by name/arity,
+// flow-insensitive function values), so a finding names the path it
+// believes exists; a path that cannot happen at runtime is suppressed at
+// the sink call site with //acacia:allow dettaint <why the path is dead>.
+func DetTaintRule() *Rule {
+	return &Rule{
+		Name:       "dettaint",
+		Doc:        "no call chain from a sim event handler may reach time.Now, global math/rand, or os.Getenv",
+		RunProgram: runDetTaint,
+	}
+}
+
+// sinkDescription classifies a call-graph node key as a nondeterminism
+// sink. Keys are "pkgpath.Name" for package-level functions.
+func sinkDescription(key string) (string, bool) {
+	dot := strings.LastIndex(key, ".")
+	if dot < 0 {
+		return "", false
+	}
+	pkg, name := key[:dot], key[dot+1:]
+	switch pkg {
+	case "time":
+		if wallClockFuncs[name] {
+			return "time." + name + " reads or waits on the wall clock", true
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level draws only: methods on *Rand carry a "(...)"
+		// receiver segment and never match the package prefix exactly.
+		if !randConstructors[name] {
+			return pkg + "." + name + " draws from process-global random state", true
+		}
+	case "os":
+		switch name {
+		case "Getenv", "LookupEnv", "Environ":
+			return "os." + name + " reads the process environment", true
+		}
+	}
+	return "", false
+}
+
+func runDetTaint(p *ProgramPass) {
+	graph := p.Prog.CallGraph()
+	order, parent := graph.HandlerReachable()
+
+	type finding struct {
+		pos  token.Pos
+		msg  string
+		key  string
+		from string
+	}
+	var finds []finding
+	seen := map[string]bool{}
+	for _, n := range order {
+		for _, e := range n.Edges() {
+			desc, ok := sinkDescription(e.Key)
+			if !ok {
+				continue
+			}
+			id := p.Prog.Fset.Position(e.Pos).String() + "|" + e.Key
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			finds = append(finds, finding{pos: e.Pos, msg: desc, key: e.Key, from: n.Key})
+		}
+	}
+	// Deterministic report order regardless of BFS tie-breaks.
+	sort.Slice(finds, func(i, j int) bool {
+		if finds[i].pos != finds[j].pos {
+			return finds[i].pos < finds[j].pos
+		}
+		return finds[i].key < finds[j].key
+	})
+	for _, f := range finds {
+		p.Reportf(f.pos,
+			"%s but is reachable from a sim event handler (path: %s); handlers run in virtual time — use the engine clock and trial-seeded RNGs",
+			f.msg, graph.PathTo(parent, f.from))
+	}
+}

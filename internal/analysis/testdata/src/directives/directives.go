@@ -22,3 +22,9 @@ func wellFormed() time.Time {
 	//acacia:allow wallclock fixture wants one honoured directive too
 	return time.Now()
 }
+
+func stale() time.Duration {
+	//acacia:allow maprange nothing on this line ranges a map any more
+	// want:-1 "//acacia:allow maprange suppresses nothing; delete the stale directive"
+	return tick
+}

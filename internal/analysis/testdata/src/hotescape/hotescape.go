@@ -1,0 +1,37 @@
+// Fixture for the compiler-verified escape gate. The test does not run the
+// compiler; it synthesizes `go build -gcflags=-m` output from the
+// "escape:" marker comments below (once in Go 1.22 form, once in 1.24 form
+// with trailing colons and indented explanation blocks) and injects it
+// through Program.EscapeOutput. A marker line inside a //acacia:hotpath
+// function must be reported; outside one, or under an allow, it must not.
+package hotescape
+
+type buf struct{ b []byte }
+
+var sink *buf
+
+//acacia:hotpath
+func hot() {
+	grow() // escape: &buf{...} escapes to heap
+	// want:-1 "escapes to heap inside //acacia:hotpath function hot"
+}
+
+//acacia:hotpath
+func (p *buf) hotMethod() {
+	grow() // escape: moved to heap: p
+	// want:-1 "moved to heap: p inside //acacia:hotpath function .\*buf..hotMethod"
+}
+
+//acacia:hotpath
+func hotAllowed() {
+	//acacia:allow hotpath-escape fixture: sanctioned pool-miss allocation
+	grow() // escape: &buf{...} escapes to heap
+}
+
+// cold is not annotated: the same diagnostic on its lines is outside every
+// hot range and must be dropped.
+func cold() {
+	grow() // escape: &buf{...} escapes to heap
+}
+
+func grow() { sink = &buf{} }

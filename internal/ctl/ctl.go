@@ -151,7 +151,7 @@ func (st *trState) takeAckFrame() *Frame {
 		st.ackFree = st.ackFree[:n-1]
 		return f
 	}
-	return &Frame{home: st}
+	return st.newFrame()
 }
 
 // takeDataFrame pops a recycled data frame, or allocates a fresh one homed
@@ -165,6 +165,14 @@ func (st *trState) takeDataFrame() *Frame {
 		st.dataFree = st.dataFree[:n-1]
 		return f
 	}
+	return st.newFrame()
+}
+
+// newFrame is the frame pools' shared refill path. Noinline keeps the
+// pool-miss allocation out of hotpath callers' escape profiles.
+//
+//go:noinline
+func (st *trState) newFrame() *Frame {
 	return &Frame{home: st}
 }
 
@@ -201,6 +209,14 @@ func (st *trState) takeTxn() *txn {
 		st.txnFree = st.txnFree[:n-1]
 		return tx
 	}
+	return newTxn()
+}
+
+// newTxn is the transaction pool's refill path, noinline for the same
+// reason as newFrame.
+//
+//go:noinline
+func newTxn() *txn {
 	return &txn{}
 }
 
@@ -396,6 +412,10 @@ func (ep *Endpoint) Send(peer pkt.Addr, seq uint32, name string, size int, deliv
 	ep.transmit(tx)
 }
 
+// noRoute is noinline so the panic-path boxing stays out of Send's escape
+// profile.
+//
+//go:noinline
 func noRoute(name string, peer pkt.Addr) {
 	panic(fmt.Sprintf("ctl: endpoint %s has no route to %v", name, peer))
 }

@@ -220,6 +220,7 @@ func (c *Core) sendS1AP(pr *proc, from, to *ctl.Endpoint, m *pkt.S1APMsg, delive
 	n := len(c.encBuf)
 	name := m.Procedure.String()
 	idx := c.Acct.RecordTx(c.Eng.Now(), ProtoS1AP, name, n, seq, c.txPath(from, to))
+	//acacia:allow hotpath-escape per-transaction callbacks capture procedure state; control-plane sends are bounded by procedure rate, not the packet rate
 	from.Send(to.Addr(), seq, name, n, pr.step(deliver), pr.fail, c.noteTx(idx))
 }
 
@@ -234,11 +235,17 @@ func (c *Core) sendGTPv2(pr *proc, from, to *ctl.Endpoint, m *pkt.GTPv2Msg, deli
 	n := len(c.encBuf)
 	name := m.Type.String()
 	idx := c.Acct.RecordTx(c.Eng.Now(), ProtoGTPv2, name, n, seq, c.txPath(from, to))
+	//acacia:allow hotpath-escape per-transaction callbacks capture procedure state; control-plane sends are bounded by procedure rate, not the packet rate
 	from.Send(to.Addr(), seq, name, n, pr.step(deliver), pr.fail, c.noteTx(idx))
 }
 
 // txPath builds the "from->to" trace label, but only when tracing is on —
 // the concatenation allocates, and untraced runs would throw it away.
+// Noinline: inlined into the hotpath senders, the trace-only concatenation
+// would land in their escape profiles even though untraced runs never
+// execute it.
+//
+//go:noinline
 func (c *Core) txPath(from, to *ctl.Endpoint) string {
 	if !c.Acct.Trace {
 		return ""

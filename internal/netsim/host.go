@@ -182,10 +182,18 @@ func (pg *Pinger) SendOne() {
 		pg.free[n-1] = nil
 		pg.free = pg.free[:n-1]
 	} else {
-		req = &pingReq{}
+		req = newPingReq()
 	}
 	req.seq, req.sentAt = pg.seq, pg.host.Engine().Now()
 	pg.host.Send(pg.dst, pg.srcPort, PingPort, pkt.ProtoICMP, pg.size, req)
+}
+
+// newPingReq is the pool-miss refill path, noinline to keep the allocation
+// out of SendOne's escape profile.
+//
+//go:noinline
+func newPingReq() *pingReq {
+	return &pingReq{}
 }
 
 // Stop halts probing.

@@ -368,9 +368,17 @@ type Port struct {
 // Send transmits p out of this port.
 func (pt *Port) Send(p *Packet) {
 	if pt.out == nil {
-		panic("netsim: send on unconnected port " + pt.Node.Name())
+		panicUnconnected(pt.Node.Name())
 	}
 	pt.out.send(p)
+}
+
+// panicUnconnected is noinline so the message concatenation stays out of
+// hotpath callers' escape profiles.
+//
+//go:noinline
+func panicUnconnected(node string) {
+	panic("netsim: send on unconnected port " + node)
 }
 
 // Peer returns the port at the other end of the attached link.

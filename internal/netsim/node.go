@@ -195,6 +195,7 @@ func (n *Node) handle(ingress *Port, p *Packet) {
 	n.handler(ingress, p)
 }
 
+//go:noinline
 func noHandler(name string) {
 	panic(fmt.Sprintf("netsim: node %s has no handler", name))
 }

@@ -86,11 +86,19 @@ func (p *Packet) Clone() *Packet {
 // grows the wire size by the encapsulation overhead.
 func (p *Packet) Encapsulate(src, dst pkt.Addr, teid uint32) {
 	if p.TEID != 0 {
-		panic("netsim: double GTP encapsulation")
+		panicDoubleGTP()
 	}
 	p.TEID = teid
 	p.TunnelSrc, p.TunnelDst = src, dst
 	p.Size += pkt.GTPUOverhead
+}
+
+// panicDoubleGTP is noinline so the boxed panic message stays out of
+// hotpath callers' escape profiles.
+//
+//go:noinline
+func panicDoubleGTP() {
+	panic("netsim: double GTP encapsulation")
 }
 
 // Decapsulate removes GTP-U tunnel state and returns the TEID it carried.

@@ -33,7 +33,25 @@ func (d *Domain) newPacket() *Packet {
 		p.freed = false
 		return p
 	}
+	return d.newPacketSlow()
+}
+
+// newPacketSlow is the pool-miss refill path. Noinline keeps the
+// unavoidable allocation out of hotpath callers' escape profiles: inlined,
+// the &Packet{} would be attributed to every caller's line range and trip
+// the hotpath-escape gate.
+//
+//go:noinline
+func (d *Domain) newPacketSlow() *Packet {
 	return &Packet{pooled: true, dom: d}
+}
+
+// panicDoubleRelease reports the mutate-after-release canary. Noinline so
+// the boxed panic message never lands in a hotpath caller.
+//
+//go:noinline
+func panicDoubleRelease() {
+	panic("netsim: double release of pooled packet")
 }
 
 // ClonePacket returns a pool-managed copy of p sharing the Payload value.
@@ -64,7 +82,7 @@ func (nw *Network) Release(p *Packet) {
 		return
 	}
 	if p.freed {
-		panic("netsim: double release of pooled packet")
+		panicDoubleRelease()
 	}
 	dom := p.dom
 	if dom == nil {

@@ -130,6 +130,7 @@ func (m *NASMsg) Encode(b []byte) []byte {
 	return b
 }
 
+//go:noinline
 func badNASType(t uint8) {
 	panic(fmt.Sprintf("pkt: cannot encode NAS type 0x%02x", t))
 }
@@ -307,10 +308,18 @@ func beginNASLV(b []byte) ([]byte, int) {
 func endNASLV(b []byte, start int) []byte {
 	n := len(b) - start
 	if n > 255 {
-		panic("pkt: NAS LV field too long")
+		panicLVTooLong()
 	}
 	b[start-1] = byte(n)
 	return b
+}
+
+// panicLVTooLong is noinline so the boxed panic message stays out of the
+// escape profiles of the hotpath encoders endNASLV inlines into.
+//
+//go:noinline
+func panicLVTooLong() {
+	panic("pkt: NAS LV field too long")
 }
 
 func readNASLV(r *reader) ([]byte, error) {

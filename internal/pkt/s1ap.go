@@ -68,6 +68,14 @@ func (p S1APProcedure) String() string {
 	if s, ok := s1apNames[p]; ok {
 		return s
 	}
+	return unknownS1AP(p)
+}
+
+// unknownS1AP formats the out-of-range fallback. Noinline keeps its boxing
+// out of the escape profiles of hotpath callers of String.
+//
+//go:noinline
+func unknownS1AP(p S1APProcedure) string {
 	return fmt.Sprintf("S1APProcedure(%d)", uint8(p))
 }
 

@@ -148,7 +148,7 @@ func (t *TFT) byPrecedence() []PacketFilter {
 //acacia:hotpath
 func (t *TFT) Encode(b []byte) []byte {
 	if len(t.Filters) > 15 {
-		panic("pkt: TFT holds at most 15 packet filters")
+		panicTFTOverflow()
 	}
 	b = append(b, byte(t.Op)<<5|byte(len(t.Filters)))
 	for i := range t.Filters {
@@ -161,6 +161,14 @@ func (t *TFT) Encode(b []byte) []byte {
 		b[pos-1] = byte(len(b) - pos)
 	}
 	return b
+}
+
+// panicTFTOverflow is noinline so the boxed panic message stays out of
+// Encode's escape profile.
+//
+//go:noinline
+func panicTFTOverflow() {
+	panic("pkt: TFT holds at most 15 packet filters")
 }
 
 func (d FilterDirection) encodeWithID(id uint8) byte {

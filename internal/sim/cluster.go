@@ -388,10 +388,15 @@ func (e *Engine) CrossSchedule(dst *Engine, d time.Duration, fn func()) {
 	c.out[p.id][dst.part.id] = append(c.out[p.id][dst.part.id], xev{at: at, fn: fn})
 }
 
+// Noinline for the same reason as badDelay: keep the panic-path boxing out
+// of hotpath callers' escape profiles.
+//
+//go:noinline
 func badCross() {
 	panic("sim: cross-engine send between engines not in the same cluster")
 }
 
+//go:noinline
 func badLookahead(at, limit Time) {
 	panic(fmt.Sprintf("sim: cross-partition send at %v violates conservative window limit %v (delay shorter than cluster lookahead?)", at, limit))
 }

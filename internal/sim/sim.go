@@ -202,6 +202,7 @@ func (e *Engine) ScheduleArg(d time.Duration, fn func(any), arg any) *Event {
 	if d < 0 {
 		badDelay(d)
 	}
+	//acacia:allow hotpath-escape handle-bearing event: callers may retain the returned *Event to cancel it, so it cannot come from the free-list (see doc comment)
 	ev := &Event{at: e.now.Add(d), seq: e.seq, afn: fn, arg: arg}
 	e.seq++
 	heap.Push(&e.queue, ev)
@@ -260,6 +261,14 @@ func (e *Engine) takeEvent() *Event {
 		e.free = e.free[:n-1]
 		return ev
 	}
+	return newEvent()
+}
+
+// newEvent is takeEvent's pool-miss refill path. Noinline keeps the
+// unavoidable allocation out of the hotpath callers' escape profiles.
+//
+//go:noinline
+func newEvent() *Event {
 	return &Event{pooled: true}
 }
 
@@ -282,10 +291,16 @@ func (e *Engine) recycle(ev *Event) {
 	e.free = append(e.free, ev)
 }
 
+// The panic helpers are marked noinline: inlined into a hotpath caller,
+// their Sprintf boxing would count as an allocation inside the caller's
+// line range and trip the hotpath-escape gate.
+//
+//go:noinline
 func badDelay(d time.Duration) {
 	panic(fmt.Sprintf("sim: negative delay %v", d))
 }
 
+//go:noinline
 func badTime(t, now Time) {
 	panic(fmt.Sprintf("sim: schedule at %v before now %v", t, now))
 }
@@ -342,6 +357,7 @@ func (e *Engine) step() {
 	}
 }
 
+//go:noinline
 func (e *Engine) limitExceeded() {
 	panic(fmt.Sprintf("sim: event limit %d exceeded at t=%v (scheduling loop?)", e.Limit, e.now))
 }

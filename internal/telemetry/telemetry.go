@@ -298,7 +298,16 @@ func (r *Registry) internPrefix(prefix, name string) string {
 	if s, ok := r.prefixes[k]; ok {
 		return s
 	}
-	s := prefix + name + "/"
+	return r.internPrefixSlow(k)
+}
+
+// internPrefixSlow is the intern-miss path: each distinct scope pays the
+// join exactly once. Noinline keeps that one-time allocation out of the
+// hotpath Scope callers' escape profiles.
+//
+//go:noinline
+func (r *Registry) internPrefixSlow(k prefixKey) string {
+	s := k.prefix + k.name + "/"
 	r.prefixes[k] = s
 	return s
 }
