@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet vet-escape test race cover fmt-check bench bench-json bench-robustness bench-alloc bench-partition bench-scale alloc-gate results results-csv examples clean
+.PHONY: all build vet vet-escape test race cover fmt-check bench bench-json bench-robustness bench-alloc bench-partition bench-scale bench-mobility alloc-gate results results-csv examples clean
 
 all: build vet test
 
@@ -111,6 +111,12 @@ bench-partition:
 bench-scale:
 	$(call bench_to_json,^BenchmarkScale,BENCH_scale.json,./internal/experiments)
 
+# Mobility subset: the cross-site walk trial (handover + MRS relocation +
+# freeze/copy/resume state transfer) under the three execution modes.
+# Same single-core caveat as bench-partition.
+bench-mobility:
+	$(call bench_to_json,^BenchmarkMobility,BENCH_mobility.json,./internal/experiments)
+
 # Allocation-budget gate: re-measure and hold every BenchmarkAlloc* result
 # against the committed ceilings in ALLOC_BUDGET.json. Fails CI when a hot
 # path regresses past its budget.
@@ -132,4 +138,4 @@ bench_output.txt:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 clean:
-	rm -f test_output.txt bench_output.txt coverage.out BENCH_control.json BENCH_robustness.json BENCH_alloc.json BENCH_partition.json BENCH_scale.json bench_raw.tmp
+	rm -f test_output.txt bench_output.txt coverage.out BENCH_control.json BENCH_robustness.json BENCH_alloc.json BENCH_partition.json BENCH_scale.json BENCH_mobility.json bench_raw.tmp

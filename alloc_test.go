@@ -182,6 +182,37 @@ func BenchmarkAllocAttachBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkAllocHandover measures the S1 handover control path on a live
+// testbed: one iteration ping-pongs an attached session between two cells
+// (two full handovers), covering the S1AP leg to both eNBs, the GTPv2
+// bearer-modify exchange toward the gateways, and the path switch with its
+// compensation bookkeeping. The UE runs no app, so this isolates the
+// control plane from MRS relocation and state migration.
+func BenchmarkAllocHandover(b *testing.B) {
+	tb := NewTestbed(TestbedConfig{Seed: 1, IdleTimeout: time.Hour})
+	east := tb.AddNeighborENB("enb-east")
+	ue := tb.UEs[0]
+	if err := tb.Attach(ue); err != nil {
+		b.Fatal(err)
+	}
+	// Warm: one round trip so lazily-built state exists before measuring.
+	if err := tb.Handover(ue, east); err != nil {
+		b.Fatal(err)
+	}
+	if err := tb.Handover(ue, tb.ENB); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := tb.Handover(ue, east); err != nil {
+			b.Fatal(err)
+		}
+		if err := tb.Handover(ue, tb.ENB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestZeroAllocGTPUEncap pins the strict contract from ISSUE acceptance:
 // GTP-U encapsulation into a reused scratch buffer performs zero
 // allocations per packet.

@@ -105,11 +105,24 @@ type ARBackend struct {
 
 	// Frames and Misses count served frames and no-match responses.
 	Frames, Misses uint64
+	// MigrationsOut counts sessions frozen and shipped away from this site;
+	// MigrationsIn counts sessions resumed here (see migration.go).
+	MigrationsOut, MigrationsIn uint64
 	// CandidateStats samples the per-frame candidate-object counts.
 	CandidateStats stats.Sample
 
+	// migratingOut tracks in-progress outbound state transfers by user.
+	migratingOut map[string]*outTransfer
+	// migratedAway quiesces users whose state was frozen and shipped off
+	// this site: frames and landmark reports still in flight toward the old
+	// CI server are dropped instead of answered, because the reply path —
+	// the user's dedicated bearer here — is already torn down. A user
+	// migrating back is removed on the inbound state transfer.
+	migratedAway map[string]bool
+
 	// Registry mirrors under core/backend/<host>/.
-	framesCtr, missesCtr *telemetry.Counter
+	framesCtr, missesCtr              *telemetry.Counter
+	migrationsOutCtr, migrationsInCtr *telemetry.Counter
 }
 
 // NewARBackend attaches an AR back-end to host, computing on dev under the
@@ -119,12 +132,17 @@ func NewARBackend(host *netsim.Host, dev compute.Device, scheme Scheme, floor *g
 		Host: host, eng: host.Engine(), dev: dev,
 		srv:    compute.NewServer(host.Engine(), dev),
 		scheme: scheme, floor: floor, db: db, lm: lm,
+		migratingOut: make(map[string]*outTransfer),
+		migratedAway: make(map[string]bool),
 	}
 	scope := host.Engine().Metrics().Scope("core/backend").Scope(host.Node.Name())
 	b.framesCtr = scope.Counter("frames")
 	b.missesCtr = scope.Counter("misses")
+	b.migrationsOutCtr = scope.Counter("migrations-out")
+	b.migrationsInCtr = scope.Counter("migrations-in")
 	host.Listen(ARPort, netsim.AppFunc(b.onFrame))
 	host.Listen(LocPort, netsim.AppFunc(b.onLocReport))
+	host.Listen(MigratePort, netsim.AppFunc(b.onMigrate))
 	return b
 }
 
@@ -133,7 +151,7 @@ func (b *ARBackend) Scheme() Scheme { return b.scheme }
 
 func (b *ARBackend) onLocReport(_ *netsim.Host, p *netsim.Packet) {
 	rep, ok := p.Payload.(locReport)
-	if !ok || b.lm == nil {
+	if !ok || b.lm == nil || b.migratedAway[rep.user] {
 		return
 	}
 	b.lm.Report(rep.user, rep.landmark, rep.rxPower)
@@ -171,7 +189,7 @@ func (b *ARBackend) candidateSubsections(user string) []int {
 
 func (b *ARBackend) onFrame(_ *netsim.Host, p *netsim.Packet) {
 	req, ok := p.Payload.(arFrameReq)
-	if !ok {
+	if !ok || b.migratedAway[req.user] {
 		return
 	}
 	b.Frames++
@@ -220,6 +238,11 @@ func (b *ARBackend) onFrame(_ *netsim.Host, p *netsim.Packet) {
 	reply := p.Flow.Reverse()
 	b.srv.Submit(&compute.Job{Work: prepWork, Done: func(prepElapsed time.Duration) {
 		b.srv.Submit(&compute.Job{Work: matchWork, Done: func(matchElapsed time.Duration) {
+			// The user may have migrated away while the frame was in
+			// compute; its bearer here is gone, so the reply has no path.
+			if b.migratedAway[req.user] {
+				return
+			}
 			b.Host.Node.Inject(&netsim.Packet{
 				Flow: reply,
 				Size: 300,
@@ -261,6 +284,13 @@ type ARFrontend struct {
 	pending map[int]frameTiming
 	running bool
 
+	// Migration state (see migration.go): the frame loop pauses between
+	// relocation detection and migrateDone.
+	migrating    bool
+	migrateStart sim.Time
+	migrateWatch *sim.Event
+	lastRespAt   sim.Time
+
 	// FrameTimeout bounds how long the closed loop waits for a response
 	// before abandoning the frame and capturing the next (losses during
 	// handover or congestion must not stall the session). Default 2 s.
@@ -271,13 +301,22 @@ type ARFrontend struct {
 	// Responses counts results; Found counts successful matches; Timeouts
 	// counts frames abandoned without a response.
 	Responses, Found, Timeouts uint64
+	// Migrations counts completed state migrations; MigratedBytes sums the
+	// shipped state; MigrationTimeouts counts watchdog-resumed sessions.
+	Migrations, MigratedBytes, MigrationTimeouts uint64
+	// MigrateTransferMS is the last completed migration's duration, from
+	// the fetch request to the done notification (pure protocol + transfer
+	// time, free of frame-cadence phase).
+	MigrateTransferMS float64
 	// OnResponse, when set, observes every result.
 	OnResponse func(ARFrameResult)
 
 	// Per-stage latency histograms, shared across all frontends of the
 	// engine under core/session/stage/ (the Fig. 13 decomposition as
-	// always-on telemetry).
+	// always-on telemetry), plus the migration continuity-gap/state-size
+	// pair under core/session/migrate/.
 	matchHist, computeHist, networkHist, totalHist *telemetry.Histogram
+	migrateGapHist, migrateSizeHist                *telemetry.Histogram
 }
 
 type frameTiming struct {
@@ -301,7 +340,11 @@ func NewARFrontend(ue *netsim.Host, user string, res compute.Resolution, pos geo
 	f.computeHist = stage.Histogram("compute-ms")
 	f.networkHist = stage.Histogram("network-ms")
 	f.totalHist = stage.Histogram("total-ms")
+	migrate := ue.Engine().Metrics().Scope("core/session/migrate")
+	f.migrateGapHist = migrate.Histogram("gap-ms")
+	f.migrateSizeHist = migrate.Histogram("state-kb")
 	ue.Listen(ARPort, netsim.AppFunc(f.onResponse))
+	ue.Listen(MigratePort, netsim.AppFunc(f.onMigrateDone))
 	return f
 }
 
@@ -316,13 +359,20 @@ func (f *ARFrontend) Server() pkt.Addr { return f.server }
 
 // Start begins the closed-loop frame pipeline toward server: each frame is
 // captured at the camera rate, compressed, uploaded; the next frame starts
-// after the response (or the next camera slot, whichever is later).
+// after the response (or the next camera slot, whichever is later). A
+// running session re-Started with a different server (the MRS relocated its
+// binding) migrates its backend state before resuming (migration.go).
 func (f *ARFrontend) Start(server pkt.Addr) {
+	old := f.server
 	f.server = server
 	if f.running {
+		if server != old && !old.IsZero() {
+			f.relocateTo(old, server)
+		}
 		return
 	}
 	f.running = true
+	f.lastRespAt = f.eng.Now()
 	f.captureAndSend()
 }
 
@@ -330,13 +380,13 @@ func (f *ARFrontend) Start(server pkt.Addr) {
 func (f *ARFrontend) Stop() { f.running = false }
 
 func (f *ARFrontend) captureAndSend() {
-	if !f.running {
+	if !f.running || f.migrating {
 		return
 	}
 	// Camera delivers the frame, then the phone compresses it.
 	compress := f.phone.JPEGTime(f.res.Pixels())
 	f.eng.Schedule(compress, func() {
-		if !f.running {
+		if !f.running || f.migrating {
 			return
 		}
 		f.seq++
@@ -373,6 +423,7 @@ func (f *ARFrontend) onResponse(_ *netsim.Host, p *netsim.Packet) {
 	timing.timeout.Cancel()
 	delete(f.pending, resp.seq)
 	f.Responses++
+	f.lastRespAt = f.eng.Now()
 	if resp.found {
 		f.Found++
 	}

@@ -141,3 +141,48 @@ func (lm *LocalizationManager) StrongestLandmarks(user string, n int) []string {
 
 // Forget drops a user's tracking state (application exit).
 func (lm *LocalizationManager) Forget(user string) { delete(lm.users, user) }
+
+// TrackSnapshot is a user's portable localization state: the freeze/copy
+// payload shipped site-to-site when a session migrates. Landmarks are kept
+// as a sorted slice (not a map) so the snapshot's encoded size and its
+// replay are deterministic.
+type TrackSnapshot struct {
+	Landmarks []LandmarkReading
+	Est       geo.Point
+	HasEst    bool
+}
+
+// LandmarkReading is one (landmark, rxPower) pair of a snapshot.
+type LandmarkReading struct {
+	Name       string
+	RxPowerDBm float64
+}
+
+// Export freezes a user's tracking state into a snapshot and removes it
+// from this manager — the "freeze" phase of migration. The second return is
+// false when the user is unknown (nothing to migrate).
+func (lm *LocalizationManager) Export(user string) (TrackSnapshot, bool) {
+	tr := lm.users[user]
+	if tr == nil {
+		return TrackSnapshot{}, false
+	}
+	snap := TrackSnapshot{Est: tr.est, HasEst: tr.hasEst}
+	for _, name := range sortedLandmarkNames(tr) {
+		snap.Landmarks = append(snap.Landmarks, LandmarkReading{Name: name, RxPowerDBm: tr.latest[name]})
+	}
+	delete(lm.users, user)
+	return snap, true
+}
+
+// Import installs a migrated snapshot — the "resume" phase: the new site's
+// manager starts with the user's full landmark history and last estimate,
+// so database pruning works on the first post-migration frame instead of
+// waiting for three fresh landmark reports.
+func (lm *LocalizationManager) Import(user string, snap TrackSnapshot) {
+	tr := &userTrack{latest: make(map[string]float64, len(snap.Landmarks))}
+	for _, r := range snap.Landmarks {
+		tr.latest[r.Name] = r.RxPowerDBm
+	}
+	tr.est, tr.hasEst = snap.Est, snap.HasEst
+	lm.users[user] = tr
+}

@@ -100,10 +100,11 @@ type MRS struct {
 	scope telemetry.Scope
 
 	// Requests/Deletes count connectivity operations; Failovers counts
-	// bindings moved off a failed site; Rejections counts requests denied
-	// for lack of capacity.
-	Requests, Deletes, Failovers, Rejections uint64
-	rejectionsCtr                            *telemetry.Counter
+	// bindings moved off a failed site; Relocations counts bindings moved
+	// because the UE handed over to a cell another site serves; Rejections
+	// counts requests denied for lack of capacity.
+	Requests, Deletes, Failovers, Relocations, Rejections uint64
+	rejectionsCtr                                         *telemetry.Counter
 }
 
 type binding struct {
@@ -182,6 +183,24 @@ func (m *MRS) AddServiceENB(serviceName, enbName string) {
 	for _, s := range svc.sites {
 		s.ENBs = append(s.ENBs, enbName)
 		svc.byENB[enbName] = append(svc.byENB[enbName], s)
+	}
+}
+
+// AddSiteENB marks one named site of a service as local to an eNB — the
+// cross-site mobility deployment, where each cell has its own edge site
+// (unlike AddServiceENB's blanket neighbour-cell coverage).
+func (m *MRS) AddSiteENB(serviceName, siteName, enbName string) {
+	svc := m.services[serviceName]
+	if svc == nil {
+		return
+	}
+	for _, s := range svc.sites {
+		if s.Name != siteName {
+			continue
+		}
+		s.ENBs = append(s.ENBs, enbName)
+		svc.byENB[enbName] = append(svc.byENB[enbName], s)
+		return
 	}
 }
 
@@ -446,6 +465,67 @@ func (m *MRS) failoverBindings(siteName string) {
 	for _, ueIP := range ues {
 		m.failover(ueIP)
 	}
+}
+
+// HandleHandover reacts to a completed EPC handover: the UE with ueIP is
+// now served by enbName. The binding's replay context is updated so any
+// later failover places against the right cell, and — when the new cell has
+// its own live edge site with capacity that is not the current one — the
+// binding is relocated there, re-anchoring the dedicated MEC bearer on the
+// target site's gateways. When the current site already serves the new cell
+// (the neighbour-cell deployment) or no local site can take the session,
+// the SGW-anchored bearer keeps working from where it is and nothing moves.
+func (m *MRS) HandleHandover(ueIP pkt.Addr, enbName string) {
+	b := m.bindings[ueIP]
+	if b == nil || b.failing {
+		return
+	}
+	b.enbName = enbName
+	for _, s := range b.service.byENB[enbName] {
+		if s == b.site {
+			return // already local to the new cell
+		}
+	}
+	local := false
+	for _, s := range b.service.byENB[enbName] {
+		if !m.downSites[s.Name] && s.Remaining() > 0 {
+			local = true
+			break
+		}
+	}
+	if !local {
+		m.scope.Emit("relocate-skip", fmt.Sprintf("%v at %s stays on %s", ueIP, enbName, b.site.Name))
+		return
+	}
+	m.relocate(ueIP)
+}
+
+// relocate moves one binding to the edge site local to the UE's new cell:
+// terminate the old dedicated bearer, drop the binding, and replay the
+// connectivity request — SiteFor now prefers the eNB-local site. The stored
+// notify callback delivers the new CI server to the device manager, whose
+// application then runs its own state migration against the old backend.
+func (m *MRS) relocate(ueIP pkt.Addr) {
+	b := m.bindings[ueIP]
+	if b == nil || b.failing {
+		return
+	}
+	b.failing = true
+	m.Relocations++
+	m.scope.Emit("relocate-start", fmt.Sprintf("%v from %s", ueIP, b.site.Name))
+	m.core.PCRF.RequestBearerTermination(ueIP, b.site.CIServer, func(err error) {
+		m.unbind(ueIP)
+		m.RequestConnectivity(b.service.Name, ueIP, b.enbName, func(server pkt.Addr, err error) {
+			if err != nil {
+				m.scope.Emit("relocate-failed", fmt.Sprintf("%v: %v", ueIP, err))
+			} else {
+				m.scope.Emit("relocate-done", fmt.Sprintf("%v to %v", ueIP, server))
+			}
+			if b.notify != nil {
+				b.notify(server, err)
+			}
+		})
+	})
 }
 
 // failover re-runs the dedicated-bearer procedure for one UE against a

@@ -411,6 +411,11 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 			ENBs: []string{"enb"},
 		}},
 	})
+	// Handover completions flow into the MRS so it can re-anchor the MEC
+	// binding when the UE's new cell has a closer edge site (DESIGN.md §3j).
+	tb.EPC.MME.OnHandoverComplete = func(sess *epc.Session, _, target *epc.ENB) {
+		tb.MRS.HandleHandover(sess.UE.Addr(), target.Name())
+	}
 
 	// Fault-injection targets: the named control/bottleneck links and the
 	// default edge site as a crash group.
@@ -426,6 +431,8 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	}
 	tb.Sites = []*SiteBundle{site1}
 	tb.Faults.RegisterSite(site1.Name, site1.links...)
+	rtr.AddHostRoute(ciN.Addr(), rtrN.Port(2))
+	tb.routeSiteCI(site1)
 
 	// UEs.
 	for i := 0; i < cfg.NumUEs; i++ {
@@ -464,6 +471,7 @@ func (tb *Testbed) AddEdgeSite(name string) *SiteBundle {
 
 	rtrLink := tb.Net.ConnectSymmetric(rtrN, sgwN, gbit)
 	tb.aggRouter.AddHostRoute(sgwN.Addr(), rtrN.Port(len(rtrN.Ports())-1))
+	tb.aggRouter.AddHostRoute(ciN.Addr(), rtrN.Port(len(rtrN.Ports())-1))
 	fabricLink := tb.Net.ConnectSymmetric(sgwN, pgwN, gbit)
 	ciLink := tb.Net.ConnectSymmetric(pgwN, ciN, gbit)
 
@@ -492,8 +500,46 @@ func (tb *Testbed) AddEdgeSite(name string) *SiteBundle {
 		Name: name, CIServer: ciN.Addr(),
 		SGWPlane: s.SGWPlane, PGWPlane: s.PGWPlane,
 	})
+	tb.routeSiteCI(s)
 	tb.Eng.Metrics().Scope("core/testbed").Emit("site-added", name)
 	return s
+}
+
+// ciRouteCookie tags the static inter-site routes that carry the session
+// migration protocol between edge clouds' CI servers.
+const ciRouteCookie = uint64(0xc1c1c1)
+
+// routeSiteCI makes a site's CI server reachable across the fabric: the
+// site's own switches forward its CI address inward (SGW port 1 toward the
+// PGW, PGW port 1 toward the server), and between this site and every
+// earlier one, foreign CI addresses exit toward the aggregation router
+// (port 0). Bearer traffic is untouched — tunnel and per-UE flows sit at
+// higher priority — so these routes only carry the raw CI-to-CI migration
+// transfers.
+func (tb *Testbed) routeSiteCI(s *SiteBundle) {
+	out := func(port uint32) []pkt.Action {
+		return []pkt.Action{{Type: pkt.ActionOutput, Port: port}}
+	}
+	toward := func(sw *sdn.Switch, dst pkt.Addr, port uint32) {
+		tb.Ctl.InstallFlow(sw, sdn.FlowEntry{
+			Priority: 50, Cookie: ciRouteCookie,
+			Match:   pkt.Match{IPv4Dst: pkt.AddrPtr(dst)},
+			Actions: out(port),
+		})
+	}
+	ciAddr := s.CI.Node.Addr()
+	for _, other := range tb.Sites {
+		if other == s {
+			continue
+		}
+		otherAddr := other.CI.Node.Addr()
+		toward(other.SGW, ciAddr, 0)
+		toward(other.PGW, ciAddr, 0)
+		toward(s.SGW, otherAddr, 0)
+		toward(s.PGW, otherAddr, 0)
+	}
+	toward(s.SGW, ciAddr, 1)
+	toward(s.PGW, ciAddr, 1)
 }
 
 // EnableFailover arms MEC failure recovery: every edge site's SGW-U runs a
@@ -590,6 +636,17 @@ func (tb *Testbed) MoveUE(b *UEBundle, pos geo.Point) {
 // making it a handover candidate. The new eNB is registered with the
 // retail service's edge site so MEC bindings remain valid after handover.
 func (tb *Testbed) AddNeighborENB(name string) *epc.ENB {
+	enb := tb.AddCellENB(name)
+	tb.MRS.AddServiceENB(RetailServiceName, name)
+	return enb
+}
+
+// AddCellENB deploys a base station on the backhaul WITHOUT registering it
+// with any edge site: a session handed over to it keeps its MEC bearer, but
+// the MRS treats the serving site as remote and relocates the binding to a
+// site bound to the new cell (BindSiteToENB) when one is live — the
+// cross-site mobility case of DESIGN.md §3j.
+func (tb *Testbed) AddCellENB(name string) *epc.ENB {
 	rtrN := tb.Net.Node("agg-router")
 	enbN := tb.Net.AddNode(name, pkt.AddrFrom(10, 1, 0, byte(2+len(tb.ENBs))))
 	tb.Net.ConnectSymmetric(enbN, rtrN, netsim.LinkConfig{
@@ -600,9 +657,49 @@ func (tb *Testbed) AddNeighborENB(name string) *epc.ENB {
 	for _, b := range tb.UEs {
 		tb.connectRadio(enb, b)
 	}
-	tb.MRS.AddServiceENB(RetailServiceName, name)
 	tb.ENBs = append(tb.ENBs, enb)
 	return enb
+}
+
+// BindSiteToENB declares an edge site local to a cell: the MRS prefers it
+// for sessions attaching — or handing over — through that eNB.
+func (tb *Testbed) BindSiteToENB(siteName, enbName string) {
+	tb.MRS.AddSiteENB(RetailServiceName, siteName, enbName)
+}
+
+// StartWalk drives a UE along the walker's path: every tick the radio and
+// AR ground truth move to the walker's position, and at each precomputed
+// cell-boundary crossing the MME hands the session over to the crossing's
+// target eNB. cells maps cellOf's cell indices to serving eNBs; crossings
+// into unmapped cells are skipped. onHO, when non-nil, observes every
+// attempted handover's completion. The returned crossings are the schedule
+// being executed.
+func (tb *Testbed) StartWalk(b *UEBundle, w geo.Walker, cellOf func(geo.Point) int,
+	cells []*epc.ENB, tick time.Duration, onHO func(c geo.Crossing, err error)) []geo.Crossing {
+	for el := time.Duration(0); el <= w.Duration(); el += tick {
+		el := el
+		tb.Eng.Schedule(el, func() { tb.MoveUE(b, w.PosAt(el)) })
+	}
+	crossings := w.Crossings(cellOf, tick)
+	for _, c := range crossings {
+		c := c
+		if c.To < 0 || c.To >= len(cells) || cells[c.To] == nil {
+			continue
+		}
+		target := cells[c.To]
+		tb.Eng.Schedule(c.At, func() {
+			sess := tb.EPC.Session(b.UE.IMSI)
+			if sess == nil || sess.ENB == target {
+				return
+			}
+			tb.EPC.MME.Handover(sess, target, func(err error) {
+				if onHO != nil {
+					onHO(c, err)
+				}
+			})
+		})
+	}
+	return crossings
 }
 
 // connectRadio links a UE bundle to an eNB with the testbed's radio

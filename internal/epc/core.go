@@ -123,6 +123,11 @@ func NewCore(cfg Config) *Core {
 
 	c.unmatchedPktIn = cfg.Eng.Metrics().Scope("epc").Scope("packet-in").Counter("unmatched")
 
+	c.MME.hoScope = cfg.Eng.Metrics().Scope("epc").Scope("handover")
+	c.MME.hoCompleted = c.MME.hoScope.Counter("completed")
+	c.MME.hoFailed = c.MME.hoScope.Counter("failed")
+	c.MME.hoGap = c.MME.hoScope.Histogram("gap-ms")
+
 	if cfg.Ctl != nil {
 		cfg.Ctl.OnPacketIn = c.onPacketIn
 		ofN := cfg.Net.AddNode("sdn-ctl", pkt.AddrFrom(10, 255, 0, 10))

@@ -244,6 +244,28 @@ func (e *ENB) attachBearer(sess *Session, b *Bearer) uint32 {
 	return teid
 }
 
+// restoreBearerMapping reinstates a previously held downlink mapping for a
+// bearer — the handover compensation path, where the source eNB must take a
+// session back after its context was already released. Unlike attachBearer
+// it reuses the caller-supplied TEID (the one the SGW-U rules still point
+// at) instead of allocating a fresh one, and tolerates the UE context being
+// gone entirely.
+func (e *ENB) restoreBearerMapping(sess *Session, ebi uint8, teid uint32) {
+	ctx := e.byUEIP[sess.UE.Addr()]
+	if ctx == nil {
+		return
+	}
+	ctx.sess = sess
+	ctx.connected = true
+	ctx.lastSeen = e.core.Eng.Now()
+	for old, key := range e.byDLTEID {
+		if key.ctx == ctx && key.ebi == ebi {
+			delete(e.byDLTEID, old)
+		}
+	}
+	e.byDLTEID[teid] = dlKey{ctx: ctx, ebi: ebi}
+}
+
 // detachBearer removes a dedicated bearer's radio mapping.
 func (e *ENB) detachBearer(sess *Session, ebi uint8) {
 	for teid, key := range e.byDLTEID {

@@ -267,13 +267,21 @@ func (c *Core) installDownlinkFlows(sess *Session, b *Bearer) {
 // by eNB TEID changes — matching the testbed's OpenFlow message budget of
 // one delete + one add per bearer per release/re-establish cycle.
 func (c *Core) installSGWDownlink(sess *Session, b *Bearer) {
+	c.installSGWDownlinkTo(sess, b, b.S1DL, sess.ENB.Addr())
+}
+
+// installSGWDownlinkTo is installSGWDownlink with an explicit S1 downlink
+// TEID and eNB address. The handover compensation path uses it to repoint
+// the rule at the *source* eNB's captured endpoints after the session
+// fields were already rewritten toward the target.
+func (c *Core) installSGWDownlinkTo(sess *Session, b *Bearer, s1dl uint32, enbAddr pkt.Addr) {
 	sgw := b.Planes.SGW
 	// SGW-U downlink: S5 tunnel in -> S1 tunnel toward the eNB.
 	c.Ctl.InstallFlow(sgw.SW, sdn.FlowEntry{
 		Priority: 100, Cookie: cookieDL(sess.UEIP, b.EBI),
 		Match: pkt.Match{TunnelID: pkt.U64(uint64(b.S5DL))},
 		Actions: []pkt.Action{
-			{Type: pkt.ActionSetTunnel, TunnelID: uint64(b.S1DL), TunnelDst: sess.ENB.Addr()},
+			{Type: pkt.ActionSetTunnel, TunnelID: uint64(s1dl), TunnelDst: enbAddr},
 			{Type: pkt.ActionOutput, Port: uint32(sgw.AccessPort)},
 		},
 	})

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"acacia/internal/pkt"
+	"acacia/internal/sim"
 )
 
 // S1-based handover (TS 23.401 §5.5.1): the serving eNB reports the UE
@@ -13,12 +14,16 @@ import (
 // stays the anchor — exactly the role the paper's background section
 // assigns it — so UE IP and bearers (including the dedicated MEC bearer)
 // survive the move.
+//
+// Every leg runs over the lossy ctl transport, so each state mutation
+// registers a pr.onError compensation; a terminal timeout on any leg
+// unwinds them in reverse order, leaving the session fully anchored at the
+// source (or cleanly failed) instead of half-switched with leaked
+// target-eNB contexts.
 
 // handoverInterruption is the radio-layer outage while the UE detunes from
 // the source cell and synchronizes to the target (detach + RACH).
 const handoverInterruption = 30 * time.Millisecond
-
-// Handovers counts completed handovers (on the MME).
 
 // Handover moves sess from its serving eNB to target. done (may be nil)
 // fires when the path switch completes or the preparation fails.
@@ -44,8 +49,39 @@ func (m *MME) Handover(sess *Session, target *ENB, done func(error)) {
 		}
 		return
 	}
+	srcCtx := source.byUEIP[sess.UE.Addr()]
 
-	pr := newProc(done)
+	// The interruption gap runs from the source context release (UE detunes)
+	// to procedure end; only successful handovers observe it.
+	var gapStart sim.Time
+	var gapStarted bool
+	m.hoScope.Emit("start", sess.IMSI+" "+source.Name()+"->"+target.Name())
+	pr := newProc(func(err error) {
+		if err != nil {
+			m.hoFailed.Inc()
+			m.hoScope.Emit("failed", sess.IMSI+" "+err.Error())
+		} else {
+			m.Handovers++
+			m.hoCompleted.Inc()
+			if gapStarted {
+				m.hoGap.Observe(float64(c.Eng.Now()-gapStart) / float64(time.Millisecond))
+			}
+			m.hoScope.Emit("complete", sess.IMSI+" "+source.Name()+"->"+target.Name())
+			if m.OnHandoverComplete != nil {
+				m.OnHandoverComplete(sess, source, target)
+			}
+		}
+		if done != nil {
+			done(err)
+		}
+	})
+
+	// Bearer pointers and their pre-handover S1 downlink TEIDs, captured
+	// once for the compensations (OrderedBearers scratch must not be
+	// retained across legs).
+	var hoBearers []*Bearer
+	var oldTEIDs []uint32
+
 	// 1. Source eNB -> MME: Handover Required.
 	required := &pkt.S1APMsg{
 		Procedure: pkt.S1APHandoverRequired,
@@ -69,12 +105,22 @@ func (m *MME) Handover(sess *Session, target *ENB, done func(error)) {
 			// Target admits the bearers: new downlink TEIDs.
 			var ackItems []pkt.ERABItem
 			for _, b := range sess.OrderedBearers() {
+				hoBearers = append(hoBearers, b)
+				oldTEIDs = append(oldTEIDs, b.S1DL)
 				b.S1DL = target.attachBearer(sess, b)
 				ackItems = append(ackItems, pkt.ERABItem{
 					ERABID:    b.EBI,
 					Transport: pkt.FTEID{IfaceType: pkt.FTEIDIfaceS1UeNodeB, TEID: b.S1DL, Addr: target.Addr()},
 				})
 			}
+			// Compensation: drop the admitted target contexts and put the
+			// source TEIDs back on the bearers.
+			pr.onError(func() {
+				target.releaseContext(sess)
+				for i, b := range hoBearers {
+					b.S1DL = oldTEIDs[i]
+				}
+			})
 			// 3. Target -> MME: Handover Request Acknowledge.
 			ack := &pkt.S1APMsg{
 				Procedure: pkt.S1APHandoverRequestAck,
@@ -93,16 +139,32 @@ func (m *MME) Handover(sess *Session, target *ENB, done func(error)) {
 				}
 				c.sendS1AP(pr, c.mmeEP, source.ep, cmd, func() {
 					source.releaseContext(sess)
+					gapStarted, gapStart = true, c.Eng.Now()
+					// Compensation: re-adopt the session at the source with
+					// the original TEIDs (tolerates the source context being
+					// gone — restoreBearerMapping nil-checks it).
+					pr.onError(func() {
+						for i, b := range hoBearers {
+							source.restoreBearerMapping(sess, b.EBI, oldTEIDs[i])
+						}
+					})
 					c.Eng.Schedule(handoverInterruption, pr.step(func() {
 						sess.UE.switchRadio(target, tctx.uePort)
 						sess.ENB = target
+						// Compensation: retune the UE back to the source.
+						pr.onError(func() {
+							sess.ENB = source
+							if srcCtx != nil {
+								sess.UE.switchRadio(source, srcCtx.uePort)
+							}
+						})
 						// 5. Target -> MME: Handover Notify.
 						notify := &pkt.S1APMsg{
 							Procedure: pkt.S1APHandoverNotify,
 							ENBUEID:   sess.ENBUEID, MMEUEID: sess.MMEUEID,
 						}
 						c.sendS1AP(pr, target.ep, c.mmeEP, notify, func() {
-							m.pathSwitch(pr, sess)
+							m.pathSwitch(pr, sess, source, hoBearers, oldTEIDs)
 						})
 					}))
 				})
@@ -112,8 +174,10 @@ func (m *MME) Handover(sess *Session, target *ENB, done func(error)) {
 }
 
 // pathSwitch repoints the SGW-U downlink rules at the new eNB (Modify
-// Bearer Request/Response on S11).
-func (m *MME) pathSwitch(pr *proc, sess *Session) {
+// Bearer Request/Response on S11). source and the captured TEIDs feed the
+// compensation that repoints the rules back if the procedure dies after the
+// switch.
+func (m *MME) pathSwitch(pr *proc, sess *Session, source *ENB, hoBearers []*Bearer, oldTEIDs []uint32) {
 	c := m.core
 	var items []pkt.BearerContext
 	for _, b := range sess.OrderedBearers() {
@@ -127,9 +191,15 @@ func (m *MME) pathSwitch(pr *proc, sess *Session) {
 		for _, b := range sess.OrderedBearers() {
 			c.installSGWDownlink(sess, b)
 		}
+		// Compensation: reinstall the downlink rules toward the source eNB
+		// and its TEIDs (installFlow replaces on identical match+priority).
+		pr.onError(func() {
+			for i, b := range hoBearers {
+				c.installSGWDownlinkTo(sess, b, oldTEIDs[i], source.Addr())
+			}
+		})
 		resp := &pkt.GTPv2Msg{Type: pkt.GTPv2ModifyBearerResponse, Cause: pkt.GTPv2CauseAccepted}
 		c.sendGTPv2(pr, c.sgwEP, c.mmeEP, resp, func() {
-			m.Handovers++
 			pr.finish(nil)
 		})
 	})

@@ -99,6 +99,103 @@ func TestDedicatedBearerFailureReleasesResources(t *testing.T) {
 	tb.dedicate(t)
 }
 
+// TestHandoverLossyLegsLeakNothing sweeps a kill time across the whole
+// handover procedure — S1AP legs at ~2 ms spacing, the 30 ms radio
+// interruption, and the GTPv2 path switch — and at each point kills every
+// control link mid-flight. Whatever leg dies, the compensations must leave
+// the session either fully at the source (usable, no target contexts, all
+// downlink state repointed) or cleanly completed at the target; a healed
+// retry must then succeed, proving no TEIDs or eNB contexts leaked.
+func TestHandoverLossyLegsLeakNothing(t *testing.T) {
+	failures, successes := 0, 0
+	for killMS := 0; killMS <= 60; killMS += 3 {
+		killAt := time.Duration(killMS) * time.Millisecond
+		tb := buildTestbed(t, time.Hour)
+		enb2 := withSecondENB(t, tb)
+		tb.attach(t)
+		tb.dedicate(t)
+		sess := tb.core.Session(tb.ue.IMSI)
+		srcMappings := len(tb.enb.byDLTEID)
+
+		var hoErr error
+		doneCalls := 0
+		tb.eng.Schedule(killAt, func() {
+			tb.enb.S1Link().SetLoss(1.0)
+			enb2.S1Link().SetLoss(1.0)
+			tb.core.S11Link().SetLoss(1.0)
+		})
+		tb.core.MME.Handover(sess, enb2, func(err error) {
+			hoErr = err
+			doneCalls++
+		})
+		tb.eng.RunFor(8 * time.Second) // bounded: terminal timeouts conclude the proc
+		if doneCalls != 1 {
+			t.Fatalf("kill@%v: handover callback fired %d times, want exactly once", killAt, doneCalls)
+		}
+
+		if hoErr != nil {
+			failures++
+			// Failed leg: fully unwound to the source.
+			if sess.ENB != tb.enb {
+				t.Fatalf("kill@%v: session half-switched, ENB=%s", killAt, sess.ENB.Name())
+			}
+			if sess.UE.ServingENB() != tb.enb {
+				t.Fatalf("kill@%v: UE radio left at %s", killAt, sess.UE.ServingENB().Name())
+			}
+			if n := len(enb2.byDLTEID); n != 0 {
+				t.Fatalf("kill@%v: %d bearer contexts leaked at the target eNB", killAt, n)
+			}
+			if n := len(tb.enb.byDLTEID); n != srcMappings {
+				t.Fatalf("kill@%v: source eNB has %d downlink mappings, want %d", killAt, n, srcMappings)
+			}
+			for _, b := range sess.OrderedBearers() {
+				key, ok := tb.enb.byDLTEID[b.S1DL]
+				if !ok || key.ebi != b.EBI {
+					t.Fatalf("kill@%v: bearer %d S1DL %d not mapped at the source", killAt, b.EBI, b.S1DL)
+				}
+			}
+			if tb.core.MME.Handovers != 0 {
+				t.Fatalf("kill@%v: failed handover counted as completed", killAt)
+			}
+		} else {
+			successes++
+			// Late kill: the procedure finished first and must be complete.
+			if sess.ENB != enb2 || sess.UE.ServingENB() != enb2 {
+				t.Fatalf("kill@%v: handover reported success but session at %s", killAt, sess.ENB.Name())
+			}
+		}
+
+		// Heal and prove the session is usable on its current anchor.
+		tb.enb.S1Link().SetLoss(0)
+		enb2.S1Link().SetLoss(0)
+		tb.core.S11Link().SetLoss(0)
+		pg := netsim.NewPinger(tb.ue.Host, tb.ciHost.Node.Addr(), 64, uint16(5400+killMS))
+		pg.SendOne()
+		tb.eng.RunFor(500 * time.Millisecond)
+		if pg.Received != 1 {
+			t.Fatalf("kill@%v: post-recovery CI ping lost (handover err=%v)", killAt, hoErr)
+		}
+
+		// A failed handover must be retryable: nothing leaked blocks it.
+		if hoErr != nil {
+			var retryErr error
+			retried := false
+			tb.core.MME.Handover(sess, enb2, func(err error) { retryErr, retried = err, true })
+			tb.eng.RunFor(time.Second)
+			if !retried || retryErr != nil {
+				t.Fatalf("kill@%v: healed retry failed: done=%v err=%v", killAt, retried, retryErr)
+			}
+			if sess.ENB != enb2 {
+				t.Fatalf("kill@%v: retry left session at %s", killAt, sess.ENB.Name())
+			}
+		}
+	}
+	// The sweep must exercise both outcomes or it proves nothing.
+	if failures == 0 || successes == 0 {
+		t.Fatalf("sweep degenerate: %d failures, %d successes", failures, successes)
+	}
+}
+
 func TestTraceSeqsMonotonicPerPath(t *testing.T) {
 	tb := buildTestbed(t, 500*time.Millisecond)
 	tb.core.Acct.Trace = true

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"acacia/internal/pkt"
+	"acacia/internal/telemetry"
 )
 
 // MME is the mobility management entity: it terminates S1AP from the eNBs
@@ -16,6 +17,18 @@ type MME struct {
 	Promotions uint64
 	Pagings    uint64
 	Handovers  uint64
+
+	// OnHandoverComplete, when set, fires after a successful handover's
+	// path switch with the session and the eNBs it moved between. The MRS
+	// hooks it to learn the UE's new serving cell and rebind the MEC
+	// session when the move crosses edge-site coverage.
+	OnHandoverComplete func(sess *Session, source, target *ENB)
+
+	// Handover telemetry (registered by NewCore).
+	hoScope     telemetry.Scope
+	hoCompleted *telemetry.Counter
+	hoFailed    *telemetry.Counter
+	hoGap       *telemetry.Histogram
 }
 
 // --- Attach ---

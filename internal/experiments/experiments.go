@@ -179,7 +179,7 @@ var (
 // across files) is alphabetical by file and not meaningful.
 var presentation = []string{
 	"3a", "3b", "3c", "3d", "3e", "3f", "3g", "3h", "overhead", "control-loss",
-	"robust-failover",
+	"robust-failover", "mobility-continuity",
 	"6", "8", "9", "10a", "10b",
 	"compression", "11a", "11b", "12", "13", "many-site", "scale",
 	"ablation-fastpath", "ablation-bearer", "ablation-stages",

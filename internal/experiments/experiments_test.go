@@ -11,7 +11,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"3a", "3b", "3c", "3d", "3e", "3f", "3g", "3h", "overhead", "control-loss",
-		"robust-failover",
+		"robust-failover", "mobility-continuity",
 		"6", "8", "9", "10a", "10b",
 		"compression", "11a", "11b", "12", "13", "many-site", "scale",
 		"ablation-fastpath", "ablation-bearer", "ablation-stages", "ablation-radius", "ablation-solver", "ablation-qci", "ablation-index",

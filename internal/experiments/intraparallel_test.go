@@ -48,3 +48,18 @@ func TestIntraParallelExperimentOutputIdentical(t *testing.T) {
 		t.Errorf("IntraParallel=2 output differs from sequential:\n--- sequential ---\n%s\n--- partitioned ---\n%s", seq, par)
 	}
 }
+
+// TestMobilityContinuityOutputIdentical gates the first scenario where a
+// live session migrates between partitions: the mobility-continuity
+// experiment — cross-site handover, MRS relocation and the CI-to-CI state
+// transfer all crossing the partition boundary — must render byte-identical
+// under the single queue, the windowed engine and the worker gang.
+func TestMobilityContinuityOutputIdentical(t *testing.T) {
+	seq := renderWithMetrics(t, "mobility-continuity", Options{})
+	for _, n := range []int{1, 2} {
+		par := renderWithMetrics(t, "mobility-continuity", Options{IntraParallel: n})
+		if seq != par {
+			t.Errorf("IntraParallel=%d output differs from sequential:\n--- sequential ---\n%s\n--- partitioned ---\n%s", n, seq, par)
+		}
+	}
+}

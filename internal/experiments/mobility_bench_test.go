@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The mobility benchmark family measures the cross-site walk scenario
+// `make bench-mobility` records: one iteration is a full trial — testbed
+// construction, attach, retail registration, the walker-driven boundary
+// crossing, the S1 handover, the MRS relocation and the freeze/copy/resume
+// state transfer — under the three execution modes. The workload is
+// identical across modes (TestMobilityContinuityOutputIdentical proves the
+// outputs are too), so the ns/op ratio isolates what the partitioned
+// engine costs when a live session migrates between partitions.
+func benchMobility(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := runMobilityTrial(2016, 200, workers)
+		row := m.Part.([]any)
+		if row[len(row)-1] != "ok" {
+			b.Fatalf("trial did not migrate: %v", row)
+		}
+	}
+}
+
+func BenchmarkMobilitySequential(b *testing.B) { benchMobility(b, 0) }
+func BenchmarkMobilityWindowed(b *testing.B)   { benchMobility(b, 1) }
+func BenchmarkMobilityGang(b *testing.B)       { benchMobility(b, 3) }

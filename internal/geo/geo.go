@@ -50,19 +50,22 @@ func (r Rect) Center() Point {
 
 // Clamp returns the point inside r closest to pt. Localization clamps
 // estimates with it: a retail user is known to be inside the store, which
-// bounds the damage of degenerate landmark geometries.
+// bounds the damage of degenerate landmark geometries. Because Contains is
+// max-exclusive, the upper edge clamps to the largest representable
+// coordinate below Max, so a clamped point always satisfies r.Contains and
+// falls inside some subsection of a floor that tiles r.
 func (r Rect) Clamp(pt Point) Point {
 	if pt.X < r.Min.X {
 		pt.X = r.Min.X
 	}
-	if pt.X > r.Max.X {
-		pt.X = r.Max.X
+	if pt.X >= r.Max.X {
+		pt.X = math.Nextafter(r.Max.X, math.Inf(-1))
 	}
 	if pt.Y < r.Min.Y {
 		pt.Y = r.Min.Y
 	}
-	if pt.Y > r.Max.Y {
-		pt.Y = r.Max.Y
+	if pt.Y >= r.Max.Y {
+		pt.Y = math.Nextafter(r.Max.Y, math.Inf(-1))
 	}
 	return pt
 }

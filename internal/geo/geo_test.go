@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestPointDist(t *testing.T) {
@@ -62,6 +63,99 @@ func TestRectContains(t *testing.T) {
 	}
 	if r.Center() != (Point{3, 5}) {
 		t.Errorf("Center = %v", r.Center())
+	}
+}
+
+func TestClampResultsAreContained(t *testing.T) {
+	r := Rect{Min: Point{0, 0}, Max: Point{6, 10}}
+	pts := []Point{
+		{-1, -1}, {7, 11}, {6, 10}, {6, 5}, {3, 10},
+		{3, 5}, {0, 0}, {100, -100}, {5.999, 9.999},
+	}
+	for _, pt := range pts {
+		c := r.Clamp(pt)
+		if !r.Contains(c) {
+			t.Errorf("Clamp(%v) = %v not Contained by %v", pt, c, r)
+		}
+	}
+	// Interior points pass through unchanged.
+	if got := r.Clamp(Point{3, 5}); got != (Point{3, 5}) {
+		t.Errorf("interior point moved: %v", got)
+	}
+}
+
+func TestClampedBoundaryEstimateStaysOnFloor(t *testing.T) {
+	// A localization estimate clamped to the floor boundary must still map
+	// to a subsection/section: the Max edge previously fell outside every
+	// max-exclusive cell.
+	f := RetailFloor()
+	est := f.Bounds.Clamp(Point{RetailWidth + 3, RetailHeight + 3})
+	if ss := f.SubsectionAt(est); ss == nil {
+		t.Fatalf("clamped estimate %v in no subsection", est)
+	}
+	if sec := f.SectionAt(est); sec == "" {
+		t.Fatalf("clamped estimate %v in no section", sec)
+	}
+	if ids := f.SubsectionsNear(est, 0); len(ids) == 0 {
+		t.Fatal("clamped estimate prunes to zero subsections")
+	}
+}
+
+func TestWalkerPosAndDuration(t *testing.T) {
+	w := Walker{Path: Path{Waypoints: []Point{{0, 0}, {20, 0}}}, Speed: 2}
+	if d := w.Duration(); d != 10*time.Second {
+		t.Errorf("Duration = %v", d)
+	}
+	if p := w.PosAt(0); p != (Point{0, 0}) {
+		t.Errorf("PosAt(0) = %v", p)
+	}
+	if p := w.PosAt(5 * time.Second); p != (Point{10, 0}) {
+		t.Errorf("PosAt(5s) = %v", p)
+	}
+	if p := w.PosAt(time.Hour); p != (Point{20, 0}) {
+		t.Errorf("PosAt(beyond) = %v", p)
+	}
+	if (Walker{Path: Path{Waypoints: []Point{{0, 0}, {20, 0}}}}).Duration() != 0 {
+		t.Error("zero-speed walker has nonzero duration")
+	}
+}
+
+func TestWalkerCrossings(t *testing.T) {
+	// Walk 0→20 at 2 m/s with a midline at x=10: one crossing at t=5s.
+	w := Walker{Path: Path{Waypoints: []Point{{0, 0}, {20, 0}}}, Speed: 2}
+	cr := w.Crossings(MidlineCell(10), 250*time.Millisecond)
+	if len(cr) != 1 {
+		t.Fatalf("crossings = %v, want 1", cr)
+	}
+	if cr[0].From != 0 || cr[0].To != 1 {
+		t.Errorf("crossing cells = %d→%d", cr[0].From, cr[0].To)
+	}
+	if diff := cr[0].At - 5*time.Second; diff < 0 || diff > 2*time.Millisecond {
+		t.Errorf("crossing at %v, want ~5s", cr[0].At)
+	}
+	if cr[0].Pos.X < 10 {
+		t.Errorf("crossing pos %v still west of midline", cr[0].Pos)
+	}
+	// There and back: two crossings, second one returns to cell 0.
+	w2 := Walker{Path: Path{Waypoints: []Point{{0, 0}, {20, 0}, {0, 0}}}, Speed: 2}
+	cr2 := w2.Crossings(MidlineCell(10), 250*time.Millisecond)
+	if len(cr2) != 2 || cr2[1].From != 1 || cr2[1].To != 0 {
+		t.Fatalf("round-trip crossings = %v", cr2)
+	}
+	// Determinism: same inputs, same output.
+	again := w2.Crossings(MidlineCell(10), 250*time.Millisecond)
+	if len(again) != len(cr2) || again[0] != cr2[0] || again[1] != cr2[1] {
+		t.Error("crossings not deterministic")
+	}
+}
+
+func TestWalkerCrossingsDegenerate(t *testing.T) {
+	if cr := (Walker{}).Crossings(MidlineCell(10), time.Second); cr != nil {
+		t.Errorf("empty walker crossings = %v", cr)
+	}
+	w := Walker{Path: Path{Waypoints: []Point{{0, 0}, {5, 0}}}, Speed: 1}
+	if cr := w.Crossings(MidlineCell(10), time.Second); cr != nil {
+		t.Errorf("no-crossing walk reported %v", cr)
 	}
 }
 
